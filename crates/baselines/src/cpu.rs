@@ -1,0 +1,181 @@
+//! Measured multithreaded host-CPU BP-M baseline.
+//!
+//! The only baseline this reproduction can honestly *measure* is the
+//! machine it runs on. This is a parallel BP-M with the same numerics
+//! as the golden reference: within each directional sweep, strips of
+//! the orthogonal axis run on scoped threads (the same parallel
+//! decomposition VIP's software uses), with the message arrays split
+//! mutably per strip. The benches report its throughput next to the
+//! simulated VIP numbers.
+
+use vip_isa::alu::{sat_add16, sat_sub16};
+use vip_kernels::bp::{Messages, Mrf, Sweep};
+
+/// Runs `iters` BP-M iterations using up to `threads` worker threads
+/// and returns the final messages.
+#[must_use]
+pub fn run_parallel(mrf: &Mrf, iters: usize, threads: usize) -> Messages {
+    let mut msgs = Messages::new(&mrf.params);
+    for _ in 0..iters {
+        for dir in Sweep::iteration_order() {
+            parallel_sweep(mrf, &mut msgs, dir, threads);
+        }
+    }
+    msgs
+}
+
+/// One parallel directional sweep.
+pub fn parallel_sweep(mrf: &Mrf, msgs: &mut Messages, dir: Sweep, threads: usize) {
+    let p = &mrf.params;
+    let l = p.labels;
+    let norm = msgs.normalize;
+    let (w, h) = (p.width, p.height);
+
+    // Immutable inputs per direction; the written plane is split.
+    let (theta, smooth) = (&mrf.data_costs, &p.smoothness);
+    let vertical = dir.is_vertical();
+    let ortho = if vertical { w } else { h };
+    let threads = threads.clamp(1, ortho);
+
+    // Clone the read planes (cheap relative to the sweep) so the
+    // written plane can be sliced mutably without aliasing. For the
+    // written plane the *old* values are also inputs (the chain), so
+    // workers read their own slice's previous values in place.
+    let from_above = msgs.from_above.clone();
+    let from_below = msgs.from_below.clone();
+    let from_left = msgs.from_left.clone();
+    let from_right = msgs.from_right.clone();
+
+    let written: &mut Vec<i16> = match dir {
+        Sweep::Down => &mut msgs.from_above,
+        Sweep::Up => &mut msgs.from_below,
+        Sweep::Right => &mut msgs.from_left,
+        Sweep::Left => &mut msgs.from_right,
+    };
+
+    // Vertical sweeps parallelize over x, horizontal over y; each worker
+    // owns a contiguous ortho band. The written plane is row-major, so
+    // bands are strided: hand each worker a raw pointer region guarded
+    // by the disjoint-band invariant via chunked interior mutability.
+    // To stay in safe Rust we give each worker its own output buffer
+    // for its band and splice afterwards.
+    let band = ortho.div_ceil(threads);
+    let results: Vec<(usize, usize, Vec<i16>)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let o0 = t * band;
+            let o1 = ((t + 1) * band).min(ortho);
+            if o0 >= o1 {
+                continue;
+            }
+            let written_ro: &Vec<i16> = written;
+            let (fa, fb, fl, fr) = (&from_above, &from_below, &from_left, &from_right);
+            handles.push(scope.spawn(move |_| {
+                let mut out = written_ro.clone();
+                let at = |x: usize, y: usize| (y * w + x) * l;
+                let seq_positions: Vec<(usize, usize, usize, usize)> = match dir {
+                    Sweep::Down => (0..h - 1)
+                        .flat_map(|y| (o0..o1).map(move |x| (x, y, x, y + 1)))
+                        .collect(),
+                    Sweep::Up => (1..h)
+                        .rev()
+                        .flat_map(|y| (o0..o1).map(move |x| (x, y, x, y - 1)))
+                        .collect(),
+                    Sweep::Right => (0..w - 1)
+                        .flat_map(|x| (o0..o1).map(move |y| (x, y, x + 1, y)))
+                        .collect(),
+                    Sweep::Left => (1..w)
+                        .rev()
+                        .flat_map(|x| (o0..o1).map(move |y| (x, y, x - 1, y)))
+                        .collect(),
+                };
+                for (x, y, tx, ty) in seq_positions {
+                    let a = at(x, y);
+                    let mut th: Vec<i16> = theta[a..a + l].to_vec();
+                    let adds: [&[i16]; 2] = match dir {
+                        Sweep::Down | Sweep::Up => [&fl[a..a + l], &fr[a..a + l]],
+                        Sweep::Right | Sweep::Left => [&fa[a..a + l], &fb[a..a + l]],
+                    };
+                    let along: &[i16] = match dir {
+                        Sweep::Down => &out[a..a + l],
+                        Sweep::Up => &out[a..a + l],
+                        Sweep::Right => &out[a..a + l],
+                        Sweep::Left => &out[a..a + l],
+                    };
+                    for i in 0..l {
+                        th[i] = sat_add16(th[i], along[i]);
+                        th[i] = sat_add16(th[i], adds[0][i]);
+                        th[i] = sat_add16(th[i], adds[1][i]);
+                    }
+                    let ta = at(tx, ty);
+                    for lv in 0..l {
+                        let mut best = i16::MAX;
+                        for lp in 0..l {
+                            let v = sat_add16(smooth[lv * l + lp], th[lp]);
+                            best = best.min(v);
+                        }
+                        out[ta + lv] = best;
+                    }
+                    if norm {
+                        let m0 = out[ta];
+                        for v in &mut out[ta..ta + l] {
+                            *v = sat_sub16(*v, m0);
+                        }
+                    }
+                }
+                (o0, o1, out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("scope");
+
+    // Splice each worker's band back (bands are disjoint in the ortho
+    // axis; copy only positions the worker owned).
+    for (o0, o1, out) in results {
+        for y in 0..h {
+            for x in 0..w {
+                let owned = if vertical { (o0..o1).contains(&x) } else { (o0..o1).contains(&y) };
+                if owned {
+                    let a = (y * w + x) * l;
+                    written[a..a + l].copy_from_slice(&out[a..a + l]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vip_kernels::bp::{self, MrfParams};
+
+    #[test]
+    fn parallel_matches_sequential_golden() {
+        let (w, h, l) = (32, 16, 8);
+        let costs = bp::stereo_data_costs(w, h, l, 9);
+        let mrf = Mrf::new(MrfParams::truncated_linear(w, h, l, 2, 10), costs);
+        let par = run_parallel(&mrf, 3, 4);
+        let mut seq = Messages::new(&mrf.params);
+        for _ in 0..3 {
+            bp::iteration(&mrf, &mut seq);
+        }
+        assert_eq!(par.from_above, seq.from_above);
+        assert_eq!(par.from_below, seq.from_below);
+        assert_eq!(par.from_left, seq.from_left);
+        assert_eq!(par.from_right, seq.from_right);
+    }
+
+    #[test]
+    fn single_thread_also_matches() {
+        let (w, h, l) = (16, 16, 4);
+        let costs = bp::stereo_data_costs(w, h, l, 2);
+        let mrf = Mrf::new(MrfParams::truncated_linear(w, h, l, 1, 6), costs);
+        let par = run_parallel(&mrf, 2, 1);
+        let mut seq = Messages::new(&mrf.params);
+        for _ in 0..2 {
+            bp::iteration(&mrf, &mut seq);
+        }
+        assert_eq!(par.from_above, seq.from_above);
+    }
+}

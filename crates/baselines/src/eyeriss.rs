@@ -1,0 +1,92 @@
+//! The "Eyeriss-scaled" normalization analysis (§VI-A).
+//!
+//! Eyeriss reports 4,309 ms for VGG-16's convolution layers at batch 3,
+//! but in 65 nm, 12 mm², and 200 MHz against VIP's 28 nm, 18 mm², and
+//! 1.25 GHz. The paper optimistically scales Eyeriss to VIP's
+//! area/technology/clock and concludes VIP is "less than 10% worse than
+//! Eyeriss-scaled, at Eyeriss' own and only game". This module encodes
+//! that arithmetic.
+
+/// Inputs to the scaling analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingAnalysis {
+    /// Reported runtime, ms.
+    pub reported_ms: f64,
+    /// Baseline's area, mm².
+    pub area_mm2: f64,
+    /// Baseline's technology node, nm.
+    pub tech_nm: f64,
+    /// Baseline's clock, Hz.
+    pub clock_hz: f64,
+    /// Target (VIP) area, mm².
+    pub target_area_mm2: f64,
+    /// Target technology node, nm.
+    pub target_tech_nm: f64,
+    /// Target clock, Hz.
+    pub target_clock_hz: f64,
+}
+
+impl ScalingAnalysis {
+    /// Eyeriss vs. VIP, with the paper's numbers.
+    #[must_use]
+    pub fn eyeriss_vs_vip() -> Self {
+        ScalingAnalysis {
+            reported_ms: 4309.0,
+            area_mm2: 12.0,
+            tech_nm: 65.0,
+            clock_hz: 200e6,
+            target_area_mm2: 18.0,
+            target_tech_nm: 28.0,
+            target_clock_hz: 1.25e9,
+        }
+    }
+
+    /// Area scaling divisor (18/12 in the paper).
+    #[must_use]
+    pub fn area_factor(&self) -> f64 {
+        self.target_area_mm2 / self.area_mm2
+    }
+
+    /// Technology scaling divisor ((65/28)² in the paper).
+    #[must_use]
+    pub fn tech_factor(&self) -> f64 {
+        (self.tech_nm / self.target_tech_nm).powi(2)
+    }
+
+    /// Clock scaling divisor (25/4 in the paper).
+    #[must_use]
+    pub fn clock_factor(&self) -> f64 {
+        self.target_clock_hz / self.clock_hz
+    }
+
+    /// The optimistically-scaled runtime: reported time divided by all
+    /// three factors (assumes perfect scaling with no new bottlenecks,
+    /// as §VI-A states).
+    #[must_use]
+    pub fn scaled_ms(&self) -> f64 {
+        self.reported_ms / self.area_factor() / self.tech_factor() / self.clock_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_match_the_papers_arithmetic() {
+        let a = ScalingAnalysis::eyeriss_vs_vip();
+        assert!((a.area_factor() - 1.5).abs() < 1e-12);
+        assert!((a.tech_factor() - (65.0f64 / 28.0).powi(2)).abs() < 1e-12);
+        assert!((a.clock_factor() - 6.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vip_is_within_ten_percent_of_eyeriss_scaled() {
+        // §VI-A's conclusion: VIP's 91.6 ms (batch 3) is less than 10%
+        // worse than Eyeriss-scaled.
+        let scaled = ScalingAnalysis::eyeriss_vs_vip().scaled_ms();
+        let vip = crate::published::vip_paper::VGG16_CONV_B3_MS;
+        assert!(vip > scaled, "Eyeriss-scaled wins narrowly");
+        assert!(vip / scaled < 1.10, "ratio {:.3}", vip / scaled);
+    }
+}

@@ -1,0 +1,26 @@
+//! # vip-baselines — the systems VIP is compared against
+//!
+//! Table IV of the paper compares VIP to GPUs (Pascal Titan X, Volta,
+//! Jetson TX2), accelerators (Eyeriss, Tile-BP), and Optical Gibbs'
+//! sampling. The paper re-measures only the Titan X BP-M baseline; all
+//! other numbers are taken from the cited publications. This crate
+//! mirrors that structure:
+//!
+//! * [`published`] — the cited numbers, with provenance, used verbatim
+//!   (DESIGN.md substitution #3);
+//! * [`eyeriss`] — the paper's area/technology/clock scaling analysis
+//!   for "Eyeriss-scaled" (§VI-A), implemented as code;
+//! * [`gpu`] — an analytical latency model for the Titan X BP-M CUDA
+//!   baseline, calibrated to the paper's measured 11.5 ms/iteration
+//!   (DESIGN.md substitution #2: no GPU exists in this environment);
+//! * [`cpu`] — a *measured* multithreaded host-CPU BP-M implementation,
+//!   an honest local reference point exercised by the benches.
+//!
+//! The Figure 4 "traditional vector machine" variants live in
+//! [`vip_kernels::bp::VectorMachineStyle`]: they are VIP programs, not
+//! external baselines.
+
+pub mod cpu;
+pub mod eyeriss;
+pub mod gpu;
+pub mod published;

@@ -1,0 +1,177 @@
+//! Published baseline numbers, exactly as Table IV cites them.
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedResult {
+    /// System name.
+    pub system: &'static str,
+    /// Workload descriptor.
+    pub workload: &'static str,
+    /// Batch size, if meaningful.
+    pub batch: Option<u32>,
+    /// Iterations, if meaningful (BP rows).
+    pub iterations: Option<&'static str>,
+    /// Reported time in milliseconds.
+    pub time_ms: f64,
+    /// Reported power in watts.
+    pub power_w: f64,
+    /// Technology node in nanometres (0 if unknown).
+    pub tech_nm: u32,
+    /// Silicon area in mm² (0 if unknown).
+    pub area_mm2: f64,
+    /// Citation.
+    pub source: &'static str,
+}
+
+/// MRF (belief propagation) rows of Table IV, excluding VIP itself.
+#[must_use]
+pub fn mrf_baselines() -> Vec<PublishedResult> {
+    vec![
+        PublishedResult {
+            system: "Optical Gibbs' Sampling",
+            workload: "MRF labeling (Gibbs' sampling)",
+            batch: None,
+            iterations: Some("5000*"),
+            time_ms: 1100.0,
+            power_w: 12.0,
+            tech_nm: 15,
+            area_mm2: 200.0,
+            source: "Wang et al., ISCA 2016 [55]",
+        },
+        PublishedResult {
+            system: "Tile-BP (720p)",
+            workload: "stereo BP, tile-recomputed messages",
+            batch: None,
+            iterations: Some("(1,2)*"),
+            time_ms: 32.7,
+            power_w: 0.242,
+            tech_nm: 90,
+            area_mm2: 12.0,
+            source: "Cheng et al., ISCAS 2010 [10]",
+        },
+        PublishedResult {
+            system: "Pascal Titan X",
+            workload: "full-HD BP-M, 16 labels",
+            batch: None,
+            iterations: Some("8"),
+            time_ms: 92.2,
+            power_w: 250.0,
+            tech_nm: 16,
+            area_mm2: 471.0,
+            source: "paper's own CUDA implementation (§V-B)",
+        },
+    ]
+}
+
+/// CNN rows of Table IV, excluding VIP itself.
+#[must_use]
+pub fn cnn_baselines() -> Vec<PublishedResult> {
+    vec![
+        PublishedResult {
+            system: "Eyeriss",
+            workload: "VGG-16 convolution layers",
+            batch: Some(3),
+            iterations: None,
+            time_ms: 4309.0,
+            power_w: 0.236,
+            tech_nm: 65,
+            area_mm2: 12.0,
+            source: "Chen et al., JSSC 2017 [9]",
+        },
+        PublishedResult {
+            system: "Pascal Titan X",
+            workload: "VGG-16 full network",
+            batch: Some(16),
+            iterations: None,
+            time_ms: 41.6,
+            power_w: 250.0,
+            tech_nm: 16,
+            area_mm2: 471.0,
+            source: "Johnson, cnn-benchmarks [25]",
+        },
+        PublishedResult {
+            system: "Volta",
+            workload: "VGG-19 full network (Tensor cores)",
+            batch: Some(1),
+            iterations: None,
+            time_ms: 2.2,
+            power_w: 144.0,
+            tech_nm: 12,
+            area_mm2: 815.0,
+            source: "Nvidia [13, 40]",
+        },
+        PublishedResult {
+            system: "Jetson TX2",
+            workload: "VGG-19 full network",
+            batch: Some(1),
+            iterations: None,
+            time_ms: 42.2,
+            power_w: 10.0,
+            tech_nm: 16,
+            area_mm2: 0.0,
+            source: "Nvidia deep learning platform [40]",
+        },
+    ]
+}
+
+/// The VIP rows of Table IV as the paper reports them — the targets our
+/// simulation is compared against in EXPERIMENTS.md.
+pub mod vip_paper {
+    /// Full-HD baseline BP-M, 8 iterations (ms).
+    pub const BP_BASELINE_MS: f64 = 41.3;
+    /// One BP-M iteration on full HD (ms).
+    pub const BP_ITERATION_MS: f64 = 5.2;
+    /// Hierarchical BP-M, 5 iterations (ms).
+    pub const BP_HIER_MS: f64 = 36.3;
+    /// Hierarchical construct phase (ms).
+    pub const BP_CONSTRUCT_MS: f64 = 0.36;
+    /// Hierarchical copy phase (ms).
+    pub const BP_COPY_MS: f64 = 1.26;
+    /// One quarter-HD BP-M iteration (ms).
+    pub const BP_QHD_ITERATION_MS: f64 = 1.8;
+    /// VGG-16 convolution layers, batch 3 (ms).
+    pub const VGG16_CONV_B3_MS: f64 = 91.6;
+    /// VGG-16 conv+pool+ReLU before fc6, batch 1 (ms).
+    pub const VGG16_CONV_B1_MS: f64 = 30.9;
+    /// VGG-19 conv+pool+ReLU before fc6, batch 1 (ms).
+    pub const VGG19_CONV_B1_MS: f64 = 39.2;
+    /// VGG-16 full network, batch 1 (ms).
+    pub const VGG16_FULL_B1_MS: f64 = 32.3;
+    /// VGG-16 full network, batch 16 (ms).
+    pub const VGG16_FULL_B16_MS: f64 = 492.4;
+    /// VGG-19 full network, batch 1 (ms).
+    pub const VGG19_FULL_B1_MS: f64 = 40.6;
+    /// Fully-connected layers, batch 1 (ms).
+    pub const FC_B1_MS: f64 = 1.4;
+    /// Fully-connected layers, batch 16 (ms).
+    pub const FC_B16_MS: f64 = 4.4;
+    /// BP power (W, 128 PEs).
+    pub const BP_POWER_W: f64 = 3.5;
+    /// CNN power (W, 128 PEs).
+    pub const CNN_POWER_W: f64 = 4.8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_complete() {
+        assert_eq!(mrf_baselines().len(), 3);
+        assert_eq!(cnn_baselines().len(), 4);
+        for r in mrf_baselines().iter().chain(&cnn_baselines()) {
+            assert!(r.time_ms > 0.0, "{}", r.system);
+            assert!(r.power_w > 0.0, "{}", r.system);
+            assert!(!r.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn vip_beats_titan_x_on_bp_in_the_paper() {
+        let titan = mrf_baselines()
+            .into_iter()
+            .find(|r| r.system == "Pascal Titan X")
+            .unwrap();
+        assert!(vip_paper::BP_BASELINE_MS < titan.time_ms);
+    }
+}

@@ -1,0 +1,16 @@
+//! Ablation study over the BP-M tile: quantifies the design choices
+//! DESIGN.md calls out (bank-aware placement, the reduction unit, and
+//! renormalization overhead). Run with --release.
+fn main() {
+    println!("Ablations (one BP-M tile iteration, 64x32, 4 PEs):");
+    println!("{:<26} {:>12} {:>12} {:>10}", "choice", "with (cyc)", "without", "slowdown");
+    for a in vip_bench::experiments::ablations() {
+        println!(
+            "{:<26} {:>12} {:>12} {:>9.2}x",
+            a.name,
+            a.with_cycles,
+            a.without_cycles,
+            a.slowdown()
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (scratchpad/reduction-unit sensitivity): runs
+//! the vertical BP-M strip under SP+R / SP-R / RF+R / RF-R. Run with
+//! --release.
+fn main() {
+    let rows = vip_bench::experiments::figure4();
+    print!("{}", vip_bench::report::figure4_table(&rows));
+}

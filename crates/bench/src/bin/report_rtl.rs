@@ -1,0 +1,7 @@
+//! Regenerates the Section VII area/power numbers from the calibrated
+//! analytical model plus simulated switching activity. Run with
+//! --release.
+fn main() {
+    let r = vip_bench::experiments::rtl_report();
+    print!("{}", vip_bench::report::rtl_table(&r));
+}

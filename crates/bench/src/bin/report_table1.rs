@@ -1,0 +1,4 @@
+//! Regenerates Table I (qualitative platform landscape).
+fn main() {
+    print!("{}", vip_bench::report::table1());
+}

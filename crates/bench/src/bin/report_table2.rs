@@ -1,0 +1,4 @@
+//! Regenerates Table II (the VIP instruction set) from the live ISA.
+fn main() {
+    print!("{}", vip_bench::report::table2());
+}

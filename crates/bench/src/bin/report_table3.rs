@@ -1,0 +1,5 @@
+//! Regenerates Table III (memory-simulation parameters) from the live
+//! default configuration.
+fn main() {
+    print!("{}", vip_bench::report::table3());
+}

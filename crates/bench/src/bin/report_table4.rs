@@ -1,0 +1,7 @@
+//! Regenerates Table IV: runs the BP / VGG tile simulations, applies the
+//! paper's independent-tile extrapolation, and prints ours-vs-paper next
+//! to the published baselines. Run with --release.
+fn main() {
+    let t = vip_bench::experiments::table4();
+    print!("{}", vip_bench::report::table4(&t));
+}

@@ -1,0 +1,44 @@
+//! # vip-bench — regenerating the paper's evaluation
+//!
+//! A shared experiment library used by the `report-*` binaries (one per
+//! table/figure of the paper) and the Criterion benches. Experiments
+//! follow the paper's §V-A methodology: cycle-level simulation of the
+//! largest *independent tile* of each workload on one vault (4 PEs),
+//! extrapolated to the 32-vault machine, with outputs verified against
+//! the golden references by the test suite.
+//!
+//! | Paper artifact | Entry point |
+//! |---|---|
+//! | Table I | [`report::table1`] |
+//! | Table II | [`report::table2`] |
+//! | Table III | [`report::table3`] |
+//! | Table IV | [`experiments::table4`] |
+//! | Figure 3 | [`experiments::roofline`] |
+//! | Figure 4 | [`experiments::figure4`] |
+//! | Figure 5 | [`experiments::figure5_bp`] / [`experiments::figure5_cnn`] |
+//! | §VII / Fig. 6 | [`experiments::rtl_report`] |
+
+pub mod experiments;
+pub mod report;
+
+use vip_core::SystemConfig;
+use vip_mem::MemConfig;
+use vip_noc::TorusConfig;
+
+/// A single-vault (4-PE) system with the given memory preset — the
+/// independent-tile simulation vehicle.
+#[must_use]
+pub fn vault_system_config(mut mem: MemConfig) -> SystemConfig {
+    mem.vaults = 1;
+    SystemConfig {
+        mem,
+        torus: TorusConfig { width: 1, height: 1, ..TorusConfig::vip() },
+        ..SystemConfig::vip()
+    }
+}
+
+/// Deterministic small-magnitude test values (weights/activations).
+#[must_use]
+pub fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
+    (0..n).map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset).collect()
+}

@@ -1,0 +1,119 @@
+//! The ARC — array range check (§III-B).
+
+/// Identifier of an allocated ARC entry.
+pub type ArcId = u32;
+
+/// The associative array of scratchpad address ranges with outstanding
+/// loads.
+///
+/// When an `ld.sram` issues, its destination range is entered here; any
+/// subsequent instruction whose scratchpad operands overlap a live entry
+/// stalls at issue until the load completes and clears the entry. The
+/// table has 20 entries in VIP (more would not close timing at 0.8 ns);
+/// a full table stalls further loads.
+#[derive(Debug, Clone)]
+pub struct ArcTable {
+    entries: Vec<Option<(usize, usize)>>, // [start, end)
+    next_id: ArcId,
+    live: usize,
+}
+
+impl ArcTable {
+    /// Creates a table with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ArcTable { entries: vec![None; capacity], next_id: 0, live: 0 }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether a new entry can be allocated.
+    #[must_use]
+    pub fn has_free_entry(&self) -> bool {
+        self.live < self.entries.len()
+    }
+
+    /// Whether `[start, start+len)` overlaps any live entry. Zero-length
+    /// ranges never overlap.
+    #[must_use]
+    pub fn overlaps(&self, start: usize, len: usize) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let end = start + len;
+        self.entries
+            .iter()
+            .flatten()
+            .any(|&(s, e)| start < e && s < end)
+    }
+
+    /// Allocates an entry covering `[start, start+len)`, returning its
+    /// id, or `None` if the table is full.
+    pub fn insert(&mut self, start: usize, len: usize) -> Option<ArcId> {
+        let slot = self.entries.iter().position(Option::is_none)?;
+        self.entries[slot] = Some((start, start + len));
+        self.live += 1;
+        // Ids encode the slot so clearing is O(1); the generation in the
+        // high bits guards against double-clear bugs in the simulator.
+        let id = (self.next_id << 8) | slot as ArcId;
+        self.next_id += 1;
+        Some(id)
+    }
+
+    /// Clears the entry `id` (called when its load completes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry was already cleared (a simulator bug).
+    pub fn clear(&mut self, id: ArcId) {
+        let slot = (id & 0xff) as usize;
+        assert!(self.entries[slot].is_some(), "ARC entry {id} already cleared");
+        self.entries[slot] = None;
+        self.live -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_semantics() {
+        let mut arc = ArcTable::new(20);
+        let id = arc.insert(100, 32).unwrap();
+        assert!(arc.overlaps(100, 32));
+        assert!(arc.overlaps(131, 1));
+        assert!(!arc.overlaps(132, 10));
+        assert!(!arc.overlaps(90, 10));
+        assert!(arc.overlaps(90, 11));
+        assert!(!arc.overlaps(0, 0), "zero-length never overlaps");
+        arc.clear(id);
+        assert!(!arc.overlaps(100, 32));
+        assert_eq!(arc.live(), 0);
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut arc = ArcTable::new(2);
+        let a = arc.insert(0, 8).unwrap();
+        let _b = arc.insert(8, 8).unwrap();
+        assert!(!arc.has_free_entry());
+        assert!(arc.insert(16, 8).is_none());
+        arc.clear(a);
+        assert!(arc.has_free_entry());
+        assert!(arc.insert(16, 8).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already cleared")]
+    fn double_clear_panics() {
+        let mut arc = ArcTable::new(2);
+        let a = arc.insert(0, 8).unwrap();
+        arc.clear(a);
+        arc.clear(a);
+    }
+}

@@ -1,0 +1,370 @@
+//! The load-store unit: splits scratchpad↔DRAM transfers into DRAM
+//! columns and tracks up to 64 outstanding requests (§III-B).
+
+use std::collections::{HashMap, VecDeque};
+
+use vip_isa::Reg;
+use vip_mem::{MemRequest, MemResponse, ReqId, RequestKind};
+
+use crate::arc::ArcId;
+use crate::scalar::ScalarRegs;
+use crate::scratchpad::Scratchpad;
+use crate::ArcTable;
+
+/// What an in-flight operation does when its responses arrive.
+#[derive(Debug)]
+enum OpKind {
+    /// `ld.sram`: responses fill the scratchpad; clears an ARC entry on
+    /// completion.
+    LoadSram { arc_id: ArcId },
+    /// `st.sram` / `st.reg` / `st.reg.ff`: data was snapshotted at issue;
+    /// acks just drain.
+    Store,
+    /// `ld.reg` / `ld.reg.fe`: the response fills a scalar register and
+    /// sets its valid bit.
+    LoadReg { rd: Reg },
+}
+
+#[derive(Debug)]
+struct Chunk {
+    dram_addr: u64,
+    sp_addr: usize,
+    len: usize,
+    data: Vec<u8>,
+    kind: RequestKind,
+}
+
+#[derive(Debug)]
+struct LsuOp {
+    kind: OpKind,
+    unsent: VecDeque<Chunk>,
+    outstanding: usize,
+}
+
+/// Per-request bookkeeping for routing a response to its chunk.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    op: u64,
+    sp_addr: usize,
+}
+
+/// The PE's load-store unit.
+///
+/// Accepts whole `ld.sram`/`st.sram`/`ld.reg`/`st.reg` operations from
+/// the issue stage, splits them into HMC request packets (up to 128
+/// bytes, never crossing a DRAM row), sends at most one request per
+/// cycle (respecting the 64-outstanding limit), and applies responses —
+/// writing scratchpad bytes, filling scalar registers, and clearing ARC
+/// entries when a scratchpad load fully lands.
+#[derive(Debug)]
+pub struct LoadStoreUnit {
+    pe_id: u64,
+    capacity: usize,
+    granule: usize,
+    ops: HashMap<u64, LsuOp>,
+    send_order: VecDeque<u64>,
+    in_flight: HashMap<ReqId, InFlight>,
+    next_op: u64,
+    next_req: u64,
+}
+
+impl LoadStoreUnit {
+    /// Creates the LSU for PE `pe_id` with `capacity` outstanding
+    /// requests, splitting transfers at `granule`-byte windows (the
+    /// stack's request packet size — 128 B for the HMC, less if rows
+    /// are narrower).
+    #[must_use]
+    pub fn new(pe_id: usize, capacity: usize, granule: usize) -> Self {
+        LoadStoreUnit {
+            pe_id: pe_id as u64,
+            capacity,
+            granule,
+            ops: HashMap::new(),
+            send_order: VecDeque::new(),
+            in_flight: HashMap::new(),
+            next_op: 0,
+            next_req: 0,
+        }
+    }
+
+    /// Outstanding requests (sent, unanswered).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether all accepted operations have fully completed (the
+    /// `memfence` condition).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Splits `[addr, addr+len)` at request-granule windows.
+    fn split(&self, addr: u64, len: usize) -> Vec<(u64, usize)> {
+        let col = self.granule as u64;
+        let mut chunks = Vec::new();
+        let mut at = addr;
+        let end = addr + len as u64;
+        while at < end {
+            let next_boundary = (at / col + 1) * col;
+            let chunk_end = end.min(next_boundary);
+            chunks.push((at, (chunk_end - at) as usize));
+            at = chunk_end;
+        }
+        chunks
+    }
+
+    /// Accepts an `ld.sram`: DRAM `[dram, dram+len)` into scratchpad
+    /// `[sp, sp+len)`, guarded by ARC entry `arc_id`.
+    pub fn push_load_sram(&mut self, dram: u64, sp: usize, len: usize, arc_id: ArcId) {
+        let unsent = self
+            .split(dram, len)
+            .into_iter()
+            .scan(sp, |sp_at, (addr, clen)| {
+                let chunk = Chunk {
+                    dram_addr: addr,
+                    sp_addr: *sp_at,
+                    len: clen,
+                    data: Vec::new(),
+                    kind: RequestKind::Read,
+                };
+                *sp_at += clen;
+                Some(chunk)
+            })
+            .collect();
+        self.push_op(LsuOp { kind: OpKind::LoadSram { arc_id }, unsent, outstanding: 0 });
+    }
+
+    /// Accepts an `st.sram` with the scratchpad bytes snapshotted at
+    /// issue.
+    pub fn push_store_sram(&mut self, dram: u64, data: Vec<u8>) {
+        let mut offset = 0;
+        let unsent = self
+            .split(dram, data.len())
+            .into_iter()
+            .map(|(addr, clen)| {
+                let chunk = Chunk {
+                    dram_addr: addr,
+                    sp_addr: 0,
+                    len: clen,
+                    data: data[offset..offset + clen].to_vec(),
+                    kind: RequestKind::Write,
+                };
+                offset += clen;
+                chunk
+            })
+            .collect();
+        self.push_op(LsuOp { kind: OpKind::Store, unsent, outstanding: 0 });
+    }
+
+    /// Accepts an `ld.reg` (or `ld.reg.fe`): the caller has already
+    /// cleared `rd`'s valid bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram` is not 8-byte aligned.
+    pub fn push_load_reg(&mut self, dram: u64, rd: Reg, full_empty: bool) {
+        assert_eq!(dram % 8, 0, "ld.reg address {dram:#x} is not 8-byte aligned");
+        let kind = if full_empty { RequestKind::FeLoad } else { RequestKind::Read };
+        let chunk = Chunk { dram_addr: dram, sp_addr: 0, len: 8, data: Vec::new(), kind };
+        self.push_op(LsuOp {
+            kind: OpKind::LoadReg { rd },
+            unsent: VecDeque::from([chunk]),
+            outstanding: 0,
+        });
+    }
+
+    /// Accepts an `st.reg` (or `st.reg.ff`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram` is not 8-byte aligned.
+    pub fn push_store_reg(&mut self, dram: u64, value: u64, full_empty: bool) {
+        assert_eq!(dram % 8, 0, "st.reg address {dram:#x} is not 8-byte aligned");
+        let kind = if full_empty { RequestKind::FeStore } else { RequestKind::Write };
+        let chunk = Chunk {
+            dram_addr: dram,
+            sp_addr: 0,
+            len: 8,
+            data: value.to_le_bytes().to_vec(),
+            kind,
+        };
+        self.push_op(LsuOp { kind: OpKind::Store, unsent: VecDeque::from([chunk]), outstanding: 0 });
+    }
+
+    fn push_op(&mut self, op: LsuOp) {
+        let id = self.next_op;
+        self.next_op += 1;
+        self.ops.insert(id, op);
+        self.send_order.push_back(id);
+    }
+
+    /// Emits the next request, if the outstanding limit allows and any
+    /// chunk is waiting. Called at most once per cycle.
+    pub fn next_request(&mut self) -> Option<MemRequest> {
+        if self.in_flight.len() >= self.capacity {
+            return None;
+        }
+        let &op_id = self.send_order.front()?;
+        let op = self.ops.get_mut(&op_id).expect("queued op exists");
+        let chunk = op.unsent.pop_front().expect("queued op has unsent chunks");
+        if op.unsent.is_empty() {
+            self.send_order.pop_front();
+        }
+        op.outstanding += 1;
+        let id: ReqId = (self.pe_id << 32) | self.next_req;
+        self.next_req = (self.next_req + 1) & 0xffff_ffff;
+        self.in_flight.insert(id, InFlight { op: op_id, sp_addr: chunk.sp_addr });
+        Some(match chunk.kind {
+            RequestKind::Read => MemRequest::read(id, chunk.dram_addr, chunk.len),
+            RequestKind::Write => MemRequest::write(id, chunk.dram_addr, chunk.data),
+            RequestKind::FeLoad => MemRequest::fe_load(id, chunk.dram_addr),
+            RequestKind::FeStore => MemRequest {
+                id,
+                kind: RequestKind::FeStore,
+                addr: chunk.dram_addr,
+                len: chunk.data.len(),
+                data: chunk.data,
+            },
+        })
+    }
+
+    /// Applies a completion: fills scratchpad or register state and
+    /// clears the ARC entry when a scratchpad load finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response does not match an in-flight request (a
+    /// routing bug in the system model).
+    pub fn complete(
+        &mut self,
+        resp: &MemResponse,
+        sp: &mut Scratchpad,
+        regs: &mut ScalarRegs,
+        arc: &mut ArcTable,
+    ) {
+        let inflight = self
+            .in_flight
+            .remove(&resp.id)
+            .unwrap_or_else(|| panic!("response {:#x} matches no in-flight request", resp.id));
+        let op = self.ops.get_mut(&inflight.op).expect("op exists");
+        op.outstanding -= 1;
+        match op.kind {
+            OpKind::LoadSram { .. } => {
+                sp.write(inflight.sp_addr, &resp.data);
+            }
+            OpKind::LoadReg { rd } => {
+                let value = u64::from_le_bytes(resp.data.as_slice().try_into().expect("8 bytes"));
+                regs.write(rd, value);
+            }
+            OpKind::Store => {}
+        }
+        if op.outstanding == 0 && op.unsent.is_empty() {
+            let op = self.ops.remove(&inflight.op).expect("op exists");
+            if let OpKind::LoadSram { arc_id } = op.kind {
+                arc.clear(arc_id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (LoadStoreUnit, Scratchpad, ScalarRegs, ArcTable) {
+        (LoadStoreUnit::new(3, 64, 32), Scratchpad::new(4096), ScalarRegs::new(), ArcTable::new(20))
+    }
+
+    #[test]
+    fn split_respects_column_boundaries() {
+        let lsu = LoadStoreUnit::new(0, 64, 32);
+        assert_eq!(lsu.split(0, 64), vec![(0, 32), (32, 32)]);
+        assert_eq!(lsu.split(16, 32), vec![(16, 16), (32, 16)]);
+        assert_eq!(lsu.split(40, 8), vec![(40, 8)]);
+        assert_eq!(lsu.split(30, 5), vec![(30, 2), (32, 3)]);
+    }
+
+    #[test]
+    fn load_sram_fills_scratchpad_and_clears_arc() {
+        let (mut lsu, mut sp, mut regs, mut arc) = fixture();
+        let arc_id = arc.insert(100, 48).unwrap();
+        lsu.push_load_sram(0x20, 100, 48, arc_id);
+
+        let mut reqs = Vec::new();
+        while let Some(r) = lsu.next_request() {
+            reqs.push(r);
+        }
+        assert_eq!(reqs.len(), 2); // 0x20..0x40, 0x40..0x50
+        assert_eq!(lsu.outstanding(), 2);
+
+        for (i, req) in reqs.iter().enumerate() {
+            let resp = MemResponse {
+                id: req.id,
+                kind: RequestKind::Read,
+                addr: req.addr,
+                data: vec![i as u8 + 1; req.len],
+            };
+            lsu.complete(&resp, &mut sp, &mut regs, &mut arc);
+        }
+        assert!(lsu.is_empty());
+        assert_eq!(arc.live(), 0, "ARC entry cleared on completion");
+        assert_eq!(sp.read(100, 32), vec![1; 32]);
+        assert_eq!(sp.read(132, 16), vec![2; 16]);
+    }
+
+    #[test]
+    fn load_reg_sets_valid_bit() {
+        let (mut lsu, mut sp, mut regs, mut arc) = fixture();
+        let rd = Reg::new(9);
+        regs.invalidate(rd);
+        lsu.push_load_reg(0x40, rd, false);
+        let req = lsu.next_request().unwrap();
+        assert_eq!(req.len, 8);
+        let resp = MemResponse {
+            id: req.id,
+            kind: RequestKind::Read,
+            addr: req.addr,
+            data: 777u64.to_le_bytes().to_vec(),
+        };
+        lsu.complete(&resp, &mut sp, &mut regs, &mut arc);
+        assert!(regs.is_valid(rd));
+        assert_eq!(regs.read(rd), 777);
+    }
+
+    #[test]
+    fn outstanding_limit_throttles() {
+        let mut lsu = LoadStoreUnit::new(0, 2, 32);
+        lsu.push_store_sram(0, vec![0; 32 * 5]);
+        assert!(lsu.next_request().is_some());
+        assert!(lsu.next_request().is_some());
+        assert!(lsu.next_request().is_none(), "capacity 2 reached");
+    }
+
+    #[test]
+    fn requests_preserve_op_order() {
+        let (mut lsu, ..) = fixture();
+        lsu.push_store_reg(0, 1, false);
+        lsu.push_store_reg(8, 2, false);
+        let a = lsu.next_request().unwrap();
+        let b = lsu.next_request().unwrap();
+        assert_eq!(a.addr, 0);
+        assert_eq!(b.addr, 8);
+    }
+
+    #[test]
+    fn request_ids_encode_pe() {
+        let (mut lsu, ..) = fixture();
+        lsu.push_store_reg(0, 1, false);
+        let req = lsu.next_request().unwrap();
+        assert_eq!(req.id >> 32, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 8-byte aligned")]
+    fn misaligned_reg_access_panics() {
+        let (mut lsu, ..) = fixture();
+        lsu.push_load_reg(0x41, Reg::new(1), false);
+    }
+}

@@ -1,0 +1,727 @@
+//! The VIP processing engine: front end, issue logic, and functional
+//! execution.
+
+use vip_isa::{alu, ElemType, Instruction, Program, Reg, VerticalOp};
+use vip_mem::{MemRequest, MemResponse};
+
+use crate::arc::ArcTable;
+use crate::config::SystemConfig;
+use crate::lsu::LoadStoreUnit;
+use crate::scalar::ScalarRegs;
+use crate::scratchpad::Scratchpad;
+use crate::stats::PeStats;
+use crate::vector::VectorUnit;
+use crate::Cycle;
+
+/// Why issue stalled this cycle (for the statistics breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum StallReason {
+    /// A scalar source (or overwritten destination) register's valid bit
+    /// is clear — an `ld.reg` fill is in flight.
+    ScalarOperand = 0,
+    /// The vector unit is still streaming a previous instruction's beats.
+    VectorBusy = 1,
+    /// A scratchpad operand range overlaps a live ARC entry.
+    ArcOverlap = 2,
+    /// No free ARC entry for a new scratchpad load.
+    ArcFull = 3,
+    /// The load-store unit is at its 64-outstanding limit.
+    LsqBusy = 4,
+    /// `v.drain` waiting for the vector pipeline to empty.
+    Drain = 5,
+    /// `memfence` waiting for outstanding loads/stores.
+    Fence = 6,
+    /// Front-end bubble after a taken branch.
+    BranchBubble = 7,
+}
+
+impl StallReason {
+    /// Number of distinct reasons (sizes the stats array).
+    pub const COUNT: usize = 8;
+
+    /// All reasons, in index order.
+    #[must_use]
+    pub fn all() -> [StallReason; Self::COUNT] {
+        [
+            StallReason::ScalarOperand,
+            StallReason::VectorBusy,
+            StallReason::ArcOverlap,
+            StallReason::ArcFull,
+            StallReason::LsqBusy,
+            StallReason::Drain,
+            StallReason::Fence,
+            StallReason::BranchBubble,
+        ]
+    }
+}
+
+/// One retired-instruction trace record (see [`Pe::enable_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the instruction issued.
+    pub cycle: Cycle,
+    /// Program counter.
+    pub pc: usize,
+    /// The instruction.
+    pub inst: Instruction,
+}
+
+/// One VIP processing engine (§III-B, Figure 1).
+///
+/// Owned and clocked by [`System`](crate::System); unit tests may also
+/// drive one directly. See the crate docs for the modelled pipeline
+/// structure and its fidelity notes.
+#[derive(Debug)]
+pub struct Pe {
+    id: usize,
+    vault: usize,
+    program: Program,
+    pc: usize,
+    halted: bool,
+    regs: ScalarRegs,
+    sp: Scratchpad,
+    arc: ArcTable,
+    vec: VectorUnit,
+    lsu: LoadStoreUnit,
+    stall_until: Cycle,
+    branch_penalty: u64,
+    multiply_latency: u64,
+    reduce_latency: u64,
+    stats: PeStats,
+    trace: Option<Vec<TraceEvent>>,
+    trace_limit: usize,
+}
+
+impl Pe {
+    /// Creates PE `id` belonging to `vault` with `cfg`'s parameters.
+    #[must_use]
+    pub fn new(id: usize, vault: usize, cfg: &SystemConfig) -> Self {
+        Pe {
+            id,
+            vault,
+            program: Program::default(),
+            pc: 0,
+            halted: true, // no program loaded yet
+            regs: ScalarRegs::new(),
+            sp: Scratchpad::new(cfg.scratchpad_bytes),
+            arc: ArcTable::new(cfg.arc_entries),
+            vec: VectorUnit::new(),
+            lsu: LoadStoreUnit::new(id, cfg.lsq_entries, cfg.mem.request_granule()),
+            stall_until: 0,
+            branch_penalty: cfg.branch_penalty,
+            multiply_latency: cfg.multiply_latency,
+            reduce_latency: cfg.reduce_latency,
+            stats: PeStats::default(),
+            trace: None,
+            trace_limit: 0,
+        }
+    }
+
+    /// Starts recording an issue trace of up to `limit` instructions
+    /// (older events are kept; recording stops at the limit). Useful for
+    /// debugging generated programs.
+    pub fn enable_trace(&mut self, limit: usize) {
+        self.trace = Some(Vec::new());
+        self.trace_limit = limit;
+    }
+
+    /// The recorded trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called).
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// This PE's global index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The vault this PE lives in.
+    #[must_use]
+    pub fn vault(&self) -> usize {
+        self.vault
+    }
+
+    /// Loads `program` into the instruction buffer and resets the PC.
+    ///
+    /// The program is passed through the 64-bit binary instruction
+    /// encoding and decoded back — the instruction buffer holds encoded
+    /// words in hardware, so anything a PE runs is guaranteed
+    /// representable in the ISA's binary format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction cannot be encoded (an immediate too wide
+    /// for its field) — a code-generation bug.
+    pub fn load_program(&mut self, program: &Program) {
+        let decoded: Vec<_> = program
+            .iter()
+            .map(|inst| {
+                let word = inst.encode().expect("program instructions are encodable");
+                vip_isa::Instruction::decode(word).expect("encoded word decodes")
+            })
+            .collect();
+        debug_assert_eq!(decoded.as_slice(), program.as_slice());
+        self.program = Program::new(decoded);
+        self.pc = 0;
+        self.halted = program.is_empty();
+    }
+
+    /// Whether the PE has executed `halt` (or has no program).
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the PE still has loads/stores or vector work in flight.
+    #[must_use]
+    pub fn is_quiesced(&self, now: Cycle) -> bool {
+        self.lsu.is_empty() && self.vec.drained(now)
+    }
+
+    /// Sets a scalar register (host initialization).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs.write(r, value);
+    }
+
+    /// Reads a scalar register (host inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the register has a fill in flight.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs.read(r)
+    }
+
+    /// Host access to the scratchpad.
+    #[must_use]
+    pub fn scratchpad(&self) -> &Scratchpad {
+        &self.sp
+    }
+
+    /// Host mutation of the scratchpad (test preloading).
+    pub fn scratchpad_mut(&mut self) -> &mut Scratchpad {
+        &mut self.sp
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &PeStats {
+        &self.stats
+    }
+
+    /// Applies a memory completion.
+    pub fn receive(&mut self, resp: &MemResponse) {
+        self.lsu
+            .complete(resp, &mut self.sp, &mut self.regs, &mut self.arc);
+    }
+
+    /// Pulls at most one outbound memory request this cycle.
+    pub fn emit_request(&mut self) -> Option<MemRequest> {
+        self.lsu.next_request()
+    }
+
+    fn stall(&mut self, reason: StallReason) {
+        self.stats.stalls[reason as usize] += 1;
+    }
+
+    fn regs_ready(&self, inst: &Instruction) -> bool {
+        inst.reads().iter().all(|&r| self.regs.is_valid(r))
+            && inst.writes().is_none_or(|r| self.regs.is_valid(r))
+    }
+
+    /// Advances the front end one cycle, issuing at most one instruction.
+    pub fn tick(&mut self, now: Cycle) {
+        if self.halted {
+            return;
+        }
+        self.stats.active_cycles = now;
+        if now < self.stall_until {
+            self.stall(StallReason::BranchBubble);
+            return;
+        }
+        let Some(inst) = self.program.get(self.pc).copied() else {
+            // Fell off the end of the program: treat as halt.
+            self.halted = true;
+            return;
+        };
+
+        if !self.regs_ready(&inst) {
+            self.stall(StallReason::ScalarOperand);
+            return;
+        }
+
+        let issued_before = self.stats.instructions;
+        let pc_before = self.pc;
+
+        use Instruction::*;
+        match inst {
+            SetVl { rs } => {
+                self.vec.set_vl(self.regs.read(rs) as usize);
+                self.retire_vector();
+            }
+            SetMr { rs } => {
+                self.vec.set_mr(self.regs.read(rs) as usize);
+                self.retire_vector();
+            }
+            VDrain => {
+                if self.vec.drained(now) {
+                    self.retire_front_end();
+                } else {
+                    self.stall(StallReason::Drain);
+                }
+            }
+            MatVec { vop, hop, ty, rd, rs_mat, rs_vec } => {
+                self.issue_mat_vec(now, vop, hop, ty, rd, rs_mat, rs_vec);
+            }
+            VecVec { op, ty, rd, rs1, rs2 } => {
+                self.issue_vec_vec(now, op, ty, rd, rs1, rs2);
+            }
+            VecScalar { op, ty, rd, rs_vec, rs_scalar } => {
+                self.issue_vec_scalar(now, op, ty, rd, rs_vec, rs_scalar);
+            }
+            Scalar { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.regs.read(rs1), self.regs.read(rs2));
+                self.regs.write(rd, v);
+                self.retire_scalar();
+            }
+            ScalarImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.regs.read(rs1), imm as i64 as u64);
+                self.regs.write(rd, v);
+                self.retire_scalar();
+            }
+            Mov { rd, rs } => {
+                let v = self.regs.read(rs);
+                self.regs.write(rd, v);
+                self.retire_scalar();
+            }
+            MovImm { rd, imm } => {
+                self.regs.write(rd, imm as u64);
+                self.retire_scalar();
+            }
+            Branch { cond, rs1, rs2, target } => {
+                let taken = cond.eval(self.regs.read(rs1), self.regs.read(rs2));
+                self.stats.instructions += 1;
+                self.stats.scalar_instructions += 1;
+                if taken {
+                    self.pc = target as usize;
+                    self.stall_until = now + 1 + self.branch_penalty;
+                } else {
+                    self.pc += 1;
+                }
+            }
+            Jmp { target } => {
+                self.stats.instructions += 1;
+                self.stats.scalar_instructions += 1;
+                self.pc = target as usize;
+                self.stall_until = now + 1 + self.branch_penalty;
+            }
+            LdSram { ty, rd_sp, rs_addr, rs_len } => {
+                self.issue_ld_sram(ty, rd_sp, rs_addr, rs_len);
+            }
+            StSram { ty, rs_sp, rs_addr, rs_len } => {
+                self.issue_st_sram(ty, rs_sp, rs_addr, rs_len);
+            }
+            LdReg { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, false),
+            LdRegFe { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, true),
+            StReg { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, false),
+            StRegFf { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, true),
+            MemFence => {
+                if self.lsu.is_empty() {
+                    self.retire_front_end();
+                } else {
+                    self.stall(StallReason::Fence);
+                }
+            }
+            Nop => self.retire_front_end(),
+            Halt => {
+                self.stats.instructions += 1;
+                self.halted = true;
+            }
+        }
+
+        if self.stats.instructions > issued_before {
+            if let Some(trace) = &mut self.trace {
+                if trace.len() < self.trace_limit {
+                    trace.push(TraceEvent { cycle: now, pc: pc_before, inst });
+                }
+            }
+        }
+    }
+
+    fn retire_front_end(&mut self) {
+        self.stats.instructions += 1;
+        self.pc += 1;
+    }
+
+    fn retire_scalar(&mut self) {
+        self.stats.instructions += 1;
+        self.stats.scalar_instructions += 1;
+        self.pc += 1;
+    }
+
+    fn retire_vector(&mut self) {
+        self.stats.instructions += 1;
+        self.stats.vector_instructions += 1;
+        self.pc += 1;
+    }
+
+    fn retire_ldst(&mut self) {
+        self.stats.instructions += 1;
+        self.stats.ldst_instructions += 1;
+        self.pc += 1;
+    }
+
+    fn lsq_has_room(&self) -> bool {
+        self.lsu.outstanding() < 64
+    }
+
+    fn issue_mat_vec(
+        &mut self,
+        now: Cycle,
+        vop: VerticalOp,
+        hop: vip_isa::HorizontalOp,
+        ty: ElemType,
+        rd: Reg,
+        rs_mat: Reg,
+        rs_vec: Reg,
+    ) {
+        if !self.vec.ready(now) {
+            self.stall(StallReason::VectorBusy);
+            return;
+        }
+        let (vl, mr) = (self.vec.vl(), self.vec.mr());
+        let es = ty.size_bytes();
+        let d = self.regs.read(rd) as usize;
+        let m = self.regs.read(rs_mat) as usize;
+        let v = self.regs.read(rs_vec) as usize;
+        let (mat_len, vec_len, dst_len) = (mr * vl * es, vl * es, mr * es);
+        if self.arc.overlaps(m, mat_len)
+            || self.arc.overlaps(v, vec_len)
+            || self.arc.overlaps(d, dst_len)
+        {
+            self.stall(StallReason::ArcOverlap);
+            return;
+        }
+        let mat = self.sp.read(m, mat_len);
+        let vec = self.sp.read(v, vec_len);
+        let mut dst = vec![0u8; dst_len];
+        alu::mat_vec(vop, hop, ty, &mut dst, &mat, &vec, mr, vl);
+        self.sp.write(d, &dst);
+
+        let beats = mr as u64 * VectorUnit::beats(vl, ty);
+        let vert = if vop.is_multiply() { self.multiply_latency } else { 1 };
+        self.vec.issue(now, beats, vert + self.reduce_latency);
+        self.stats.lane_ops += 2 * (mr * vl) as u64; // vertical + horizontal
+        if vop.is_multiply() {
+            self.stats.lane_mul_ops += (mr * vl) as u64;
+        }
+        self.stats.sp_beats += 3 * beats; // 2 reads + result writeback
+        self.retire_vector();
+    }
+
+    fn issue_vec_vec(
+        &mut self,
+        now: Cycle,
+        op: VerticalOp,
+        ty: ElemType,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    ) {
+        if !self.vec.ready(now) {
+            self.stall(StallReason::VectorBusy);
+            return;
+        }
+        let vl = self.vec.vl();
+        let len = vl * ty.size_bytes();
+        let d = self.regs.read(rd) as usize;
+        let a = self.regs.read(rs1) as usize;
+        let b = self.regs.read(rs2) as usize;
+        if self.arc.overlaps(a, len) || self.arc.overlaps(b, len) || self.arc.overlaps(d, len) {
+            self.stall(StallReason::ArcOverlap);
+            return;
+        }
+        let av = self.sp.read(a, len);
+        let bv = self.sp.read(b, len);
+        let mut dst = vec![0u8; len];
+        alu::vec_vec(op, ty, &mut dst, &av, &bv, vl);
+        self.sp.write(d, &dst);
+
+        let beats = VectorUnit::beats(vl, ty);
+        let vert = if op.is_multiply() { self.multiply_latency } else { 1 };
+        self.vec.issue(now, beats, vert);
+        self.stats.lane_ops += vl as u64;
+        if op.is_multiply() {
+            self.stats.lane_mul_ops += vl as u64;
+        }
+        self.stats.sp_beats += 3 * beats;
+        self.retire_vector();
+    }
+
+    fn issue_vec_scalar(
+        &mut self,
+        now: Cycle,
+        op: VerticalOp,
+        ty: ElemType,
+        rd: Reg,
+        rs_vec: Reg,
+        rs_scalar: Reg,
+    ) {
+        if !self.vec.ready(now) {
+            self.stall(StallReason::VectorBusy);
+            return;
+        }
+        let vl = self.vec.vl();
+        let len = vl * ty.size_bytes();
+        let d = self.regs.read(rd) as usize;
+        let a = self.regs.read(rs_vec) as usize;
+        let s = self.regs.read(rs_scalar);
+        if self.arc.overlaps(a, len) || self.arc.overlaps(d, len) {
+            self.stall(StallReason::ArcOverlap);
+            return;
+        }
+        let av = self.sp.read(a, len);
+        let mut dst = vec![0u8; len];
+        alu::vec_scalar(op, ty, &mut dst, &av, s, vl);
+        self.sp.write(d, &dst);
+
+        let beats = VectorUnit::beats(vl, ty);
+        let vert = if op.is_multiply() { self.multiply_latency } else { 1 };
+        self.vec.issue(now, beats, vert);
+        self.stats.lane_ops += vl as u64;
+        if op.is_multiply() {
+            self.stats.lane_mul_ops += vl as u64;
+        }
+        self.stats.sp_beats += 2 * beats; // 1 read + writeback
+        self.retire_vector();
+    }
+
+    fn issue_ld_sram(&mut self, ty: ElemType, rd_sp: Reg, rs_addr: Reg, rs_len: Reg) {
+        let sp = self.regs.read(rd_sp) as usize;
+        let dram = self.regs.read(rs_addr);
+        let len = self.regs.read(rs_len) as usize * ty.size_bytes();
+        if self.arc.overlaps(sp, len) {
+            self.stall(StallReason::ArcOverlap);
+            return;
+        }
+        if !self.lsq_has_room() {
+            self.stall(StallReason::LsqBusy);
+            return;
+        }
+        let Some(arc_id) = self.arc.insert(sp, len) else {
+            self.stall(StallReason::ArcFull);
+            return;
+        };
+        assert!(sp + len <= self.sp.len(), "ld.sram destination out of scratchpad");
+        self.lsu.push_load_sram(dram, sp, len, arc_id);
+        self.retire_ldst();
+    }
+
+    fn issue_st_sram(&mut self, ty: ElemType, rs_sp: Reg, rs_addr: Reg, rs_len: Reg) {
+        let sp = self.regs.read(rs_sp) as usize;
+        let dram = self.regs.read(rs_addr);
+        let len = self.regs.read(rs_len) as usize * ty.size_bytes();
+        if self.arc.overlaps(sp, len) {
+            self.stall(StallReason::ArcOverlap);
+            return;
+        }
+        if !self.lsq_has_room() {
+            self.stall(StallReason::LsqBusy);
+            return;
+        }
+        let data = self.sp.read(sp, len);
+        self.lsu.push_store_sram(dram, data);
+        self.retire_ldst();
+    }
+
+    fn issue_ld_reg(&mut self, rd: Reg, rs_addr: Reg, full_empty: bool) {
+        if !self.lsq_has_room() {
+            self.stall(StallReason::LsqBusy);
+            return;
+        }
+        let dram = self.regs.read(rs_addr);
+        self.regs.invalidate(rd);
+        self.lsu.push_load_reg(dram, rd, full_empty);
+        self.retire_ldst();
+    }
+
+    fn issue_st_reg(&mut self, rs: Reg, rs_addr: Reg, full_empty: bool) {
+        if !self.lsq_has_room() {
+            self.stall(StallReason::LsqBusy);
+            return;
+        }
+        let dram = self.regs.read(rs_addr);
+        let value = self.regs.read(rs);
+        self.lsu.push_store_reg(dram, value, full_empty);
+        self.retire_ldst();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vip_isa::Asm;
+
+    fn pe() -> Pe {
+        Pe::new(0, 0, &SystemConfig::small_test())
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Runs the PE without any memory system (scalar/vector-only
+    /// programs).
+    fn run_local(pe: &mut Pe, max: u64) {
+        for now in 1..=max {
+            pe.tick(now);
+            if pe.is_halted() {
+                return;
+            }
+        }
+        panic!("PE did not halt in {max} cycles");
+    }
+
+    #[test]
+    fn scalar_loop_computes() {
+        let mut p = pe();
+        let mut asm = Asm::new();
+        // sum = 0; for i in 0..10 { sum += i }
+        asm.mov_imm(r(1), 0) // i
+            .mov_imm(r(2), 10)
+            .mov_imm(r(3), 0) // sum
+            .label("loop")
+            .add(r(3), r(3), r(1))
+            .addi(r(1), r(1), 1)
+            .blt(r(1), r(2), "loop")
+            .halt();
+        p.load_program(&asm.assemble().unwrap());
+        run_local(&mut p, 1000);
+        assert_eq!(p.reg(r(3)), 45);
+        assert!(p.stats().stalls_for(StallReason::BranchBubble) > 0);
+    }
+
+    #[test]
+    fn vector_add_in_scratchpad() {
+        let mut p = pe();
+        // a at 0, b at 32, result at 64, vl=16 i16.
+        for i in 0..16 {
+            alu::write_lane(p.scratchpad_mut().slice_mut(0, 32), i, ElemType::I16, i as i64);
+            alu::write_lane(p.scratchpad_mut().slice_mut(32, 32), i, ElemType::I16, 100);
+        }
+        let mut asm = Asm::new();
+        asm.mov_imm(r(1), 16)
+            .set_vl(r(1))
+            .mov_imm(r(2), 0)
+            .mov_imm(r(3), 32)
+            .mov_imm(r(4), 64)
+            .vec_vec(VerticalOp::Add, ElemType::I16, r(4), r(2), r(3))
+            .v_drain()
+            .halt();
+        p.load_program(&asm.assemble().unwrap());
+        run_local(&mut p, 1000);
+        for i in 0..16 {
+            assert_eq!(
+                alu::read_lane(p.scratchpad().slice(64, 32), i, ElemType::I16),
+                100 + i as i64
+            );
+        }
+        assert_eq!(p.stats().lane_ops, 16);
+    }
+
+    #[test]
+    fn mat_vec_min_sum_matches_reference() {
+        let mut p = pe();
+        let ty = ElemType::I16;
+        // 4x4 smoothness at 0, theta-hat at 128, result at 192.
+        let smooth: Vec<i64> = (0..16).map(|i| (i % 5) as i64).collect();
+        let theta: Vec<i64> = vec![3, 1, 4, 1];
+        {
+            let sp = p.scratchpad_mut();
+            for (i, &v) in smooth.iter().enumerate() {
+                alu::write_lane(sp.slice_mut(0, 32), i, ty, v);
+            }
+            for (i, &v) in theta.iter().enumerate() {
+                alu::write_lane(sp.slice_mut(128, 8), i, ty, v);
+            }
+        }
+        let mut asm = Asm::new();
+        asm.mov_imm(r(1), 4)
+            .set_vl(r(1))
+            .set_mr(r(1))
+            .mov_imm(r(2), 0) // matrix
+            .mov_imm(r(3), 128) // vector
+            .mov_imm(r(4), 192) // dst
+            .mat_vec(
+                VerticalOp::Add,
+                vip_isa::HorizontalOp::Min,
+                ty,
+                r(4),
+                r(2),
+                r(3),
+            )
+            .v_drain()
+            .halt();
+        p.load_program(&asm.assemble().unwrap());
+        run_local(&mut p, 1000);
+        for row in 0..4 {
+            let expect = (0..4)
+                .map(|i| smooth[row * 4 + i] + theta[i])
+                .min()
+                .unwrap();
+            assert_eq!(
+                alu::read_lane(p.scratchpad().slice(192, 8), row, ty),
+                expect,
+                "row {row}"
+            );
+        }
+        // 2 ops per matrix element: add + min.
+        assert_eq!(p.stats().lane_ops, 32);
+    }
+
+    #[test]
+    fn vector_busy_stalls_issue() {
+        let mut p = pe();
+        let mut asm = Asm::new();
+        // vl = 512 i16 = 1 KiB = 128 beats: the second op must wait.
+        asm.mov_imm(r(1), 512)
+            .set_vl(r(1))
+            .mov_imm(r(2), 0)
+            .mov_imm(r(3), 1024)
+            .mov_imm(r(4), 2048)
+            .vec_vec(VerticalOp::Add, ElemType::I16, r(4), r(2), r(3))
+            .vec_vec(VerticalOp::Add, ElemType::I16, r(4), r(2), r(3))
+            .halt();
+        p.load_program(&asm.assemble().unwrap());
+        run_local(&mut p, 2000);
+        assert!(
+            p.stats().stalls_for(StallReason::VectorBusy) >= 127,
+            "second vector op should wait out the first's 128 beats; stalled {}",
+            p.stats().stalls_for(StallReason::VectorBusy)
+        );
+    }
+
+    #[test]
+    fn falls_off_end_halts() {
+        let mut p = pe();
+        let mut asm = Asm::new();
+        asm.nop();
+        p.load_program(&asm.assemble().unwrap());
+        run_local(&mut p, 10);
+        assert!(p.is_halted());
+    }
+
+    #[test]
+    fn empty_program_is_halted() {
+        let mut p = pe();
+        p.load_program(&Program::default());
+        assert!(p.is_halted());
+    }
+
+    use vip_isa::Program;
+}

@@ -1,0 +1,118 @@
+//! The PE's 4 KiB SRAM scratchpad.
+
+/// The scratchpad that replaces a vector register file in VIP's vector
+/// memory-memory paradigm (§III-A/B).
+///
+/// Hardware-wise it is eight 512×8-bit banks whose 3R/2W ports are
+/// swizzled into 64-bit ports — two read and one write port dedicated to
+/// the vector pipeline and one read plus one write port to the load-store
+/// unit, so the two never conflict and any byte alignment is legal. The
+/// model therefore exposes plain byte-addressed storage with bounds
+/// checks; port *counts* never throttle (that is the microarchitectural
+/// point of the banked design) while port *width* shows up as the vector
+/// unit's beat rate.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    data: Vec<u8>,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratchpad of `bytes` bytes (4,096 for VIP).
+    #[must_use]
+    pub fn new(bytes: usize) -> Self {
+        Scratchpad { data: vec![0; bytes] }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the scratchpad has zero capacity (never true in practice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows `len` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad — generated code is
+    /// expected to stay in bounds, so this is a codegen bug.
+    #[must_use]
+    pub fn slice(&self, addr: usize, len: usize) -> &[u8] {
+        assert!(
+            addr + len <= self.data.len(),
+            "scratchpad access [{addr}, {}) exceeds {} bytes",
+            addr + len,
+            self.data.len()
+        );
+        &self.data[addr..addr + len]
+    }
+
+    /// Mutably borrows `len` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    #[must_use]
+    pub fn slice_mut(&mut self, addr: usize, len: usize) -> &mut [u8] {
+        assert!(
+            addr + len <= self.data.len(),
+            "scratchpad access [{addr}, {}) exceeds {} bytes",
+            addr + len,
+            self.data.len()
+        );
+        &mut self.data[addr..addr + len]
+    }
+
+    /// Copies bytes in, for load completions and host preloading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) {
+        self.slice_mut(addr, bytes.len()).copy_from_slice(bytes);
+    }
+
+    /// Copies bytes out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the scratchpad.
+    #[must_use]
+    pub fn read(&self, addr: usize, len: usize) -> Vec<u8> {
+        self.slice(addr, len).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_zero_init() {
+        let mut sp = Scratchpad::new(4096);
+        assert_eq!(sp.len(), 4096);
+        assert_eq!(sp.read(100, 4), vec![0; 4]);
+        sp.write(100, &[1, 2, 3]);
+        assert_eq!(sp.read(99, 5), vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn arbitrary_alignment_is_legal() {
+        // The banked+swizzled design means any byte offset works.
+        let mut sp = Scratchpad::new(4096);
+        sp.write(4093, &[9, 9, 9]);
+        assert_eq!(sp.read(4093, 3), vec![9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_bounds_panics() {
+        let sp = Scratchpad::new(4096);
+        let _ = sp.slice(4090, 8);
+    }
+}

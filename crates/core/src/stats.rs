@@ -1,0 +1,238 @@
+//! Simulation statistics and roofline accounting.
+
+use vip_mem::MemStats;
+use vip_noc::NocStats;
+
+use crate::pe::StallReason;
+use crate::Cycle;
+
+/// Per-PE execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PeStats {
+    /// Cycles before the PE halted.
+    pub active_cycles: Cycle,
+    /// Instructions issued, total.
+    pub instructions: u64,
+    /// Vector-group instructions issued.
+    pub vector_instructions: u64,
+    /// Scalar-group instructions issued.
+    pub scalar_instructions: u64,
+    /// Load-store-group instructions issued.
+    pub ldst_instructions: u64,
+    /// Vector-lane ALU operations performed (vertical + horizontal),
+    /// the paper's performance metric (§VI-A).
+    pub lane_ops: u64,
+    /// The subset of [`lane_ops`](Self::lane_ops) that used the
+    /// multiplier array (drives the CNN-vs-BP power difference, §VII).
+    pub lane_mul_ops: u64,
+    /// 64-bit scratchpad beats moved by the vector pipes (2R+1W per
+    /// streamed beat) — an input to the energy model.
+    pub sp_beats: u64,
+    /// Issue-stall cycles by cause.
+    pub stalls: [u64; StallReason::COUNT],
+}
+
+impl PeStats {
+    /// Total issue-stall cycles.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stalls.iter().sum()
+    }
+
+    /// Stall cycles attributed to `reason`.
+    #[must_use]
+    pub fn stalls_for(&self, reason: StallReason) -> u64 {
+        self.stalls[reason as usize]
+    }
+
+    /// Accumulates another PE's counters.
+    pub fn merge(&mut self, other: &PeStats) {
+        self.active_cycles = self.active_cycles.max(other.active_cycles);
+        self.instructions += other.instructions;
+        self.vector_instructions += other.vector_instructions;
+        self.scalar_instructions += other.scalar_instructions;
+        self.ldst_instructions += other.ldst_instructions;
+        self.lane_ops += other.lane_ops;
+        self.lane_mul_ops += other.lane_mul_ops;
+        self.sp_beats += other.sp_beats;
+        for (a, b) in self.stalls.iter_mut().zip(other.stalls.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// A point under the performance roofline (Figure 3): work done, bytes
+/// moved, time taken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflinePoint {
+    /// 16-bit vector ALU operations performed.
+    pub ops: u64,
+    /// DRAM bytes moved (reads + writes, including scalar accesses).
+    pub dram_bytes: u64,
+    /// Elapsed cycles.
+    pub cycles: Cycle,
+}
+
+impl RooflinePoint {
+    /// Achieved performance in GOp/s.
+    #[must_use]
+    pub fn gops(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.cycles as f64 / crate::CLOCK_HZ) / 1e9
+        }
+    }
+
+    /// Arithmetic intensity in operations per byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.ops as f64 / self.dram_bytes as f64
+        }
+    }
+
+    /// The roofline bound for this point's intensity given peak compute
+    /// (GOp/s) and bandwidth (GB/s): `min(peak, ai × bw)`.
+    #[must_use]
+    pub fn roofline_bound(&self, peak_gops: f64, peak_gbs: f64) -> f64 {
+        peak_gops.min(self.arithmetic_intensity() * peak_gbs)
+    }
+}
+
+/// Whole-system statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct SystemStats {
+    /// Elapsed cycles.
+    pub cycles: Cycle,
+    /// Aggregated PE counters.
+    pub pe: PeStats,
+    /// Aggregated memory counters.
+    pub mem: MemStats,
+    /// Network counters.
+    pub noc: NocStats,
+}
+
+impl SystemStats {
+    /// The roofline point this run produced.
+    #[must_use]
+    pub fn roofline(&self) -> RooflinePoint {
+        RooflinePoint {
+            ops: self.pe.lane_ops,
+            dram_bytes: self.mem.bytes_total(),
+            cycles: self.cycles,
+        }
+    }
+
+    /// Simulated wall-clock milliseconds.
+    #[must_use]
+    pub fn time_ms(&self) -> f64 {
+        crate::cycles_to_ms(self.cycles)
+    }
+
+    /// Achieved DRAM bandwidth in GB/s.
+    #[must_use]
+    pub fn bandwidth_gbs(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.mem.bytes_total() as f64 / (self.cycles as f64 / crate::CLOCK_HZ) / 1e9
+        }
+    }
+
+    /// A human-readable multi-line summary (cycles, time, issue mix,
+    /// roofline point, memory and network behaviour) for examples and
+    /// debugging sessions.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let p = self.roofline();
+        let _ = writeln!(s, "cycles:        {} ({:.3} ms at 1.25 GHz)", self.cycles, self.time_ms());
+        let _ = writeln!(
+            s,
+            "instructions:  {} ({} vector, {} scalar, {} load-store)",
+            self.pe.instructions,
+            self.pe.vector_instructions,
+            self.pe.scalar_instructions,
+            self.pe.ldst_instructions
+        );
+        let _ = writeln!(
+            s,
+            "vector ops:    {} ({} on the multiplier array)",
+            self.pe.lane_ops, self.pe.lane_mul_ops
+        );
+        let _ = writeln!(
+            s,
+            "roofline:      {:.2} Op/B at {:.1} GOp/s",
+            p.arithmetic_intensity(),
+            p.gops()
+        );
+        let _ = writeln!(
+            s,
+            "DRAM:          {:.2} MB moved, {:.1} GB/s, {:.0}% row hits, {} refreshes",
+            self.mem.bytes_total() as f64 / 1e6,
+            self.bandwidth_gbs(),
+            self.mem.row_hit_rate() * 100.0,
+            self.mem.refreshes
+        );
+        let _ = writeln!(
+            s,
+            "network:       {} packets, mean {:.1} hops, mean latency {:.1} cycles",
+            self.noc.packets,
+            self.noc.mean_hops(),
+            self.noc.mean_latency()
+        );
+        let _ = writeln!(s, "issue stalls:  {} cycles total", self.pe.stall_cycles());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_math() {
+        let p = RooflinePoint { ops: 1_250_000, dram_bytes: 125_000, cycles: 1_250_000 };
+        // 1.25M ops in 1ms = 1.25 GOp/ms? No: 1.25e6 ops / (1e-3 s) = 1.25e9 op/s.
+        assert!((p.gops() - 1.25).abs() < 1e-9);
+        assert!((p.arithmetic_intensity() - 10.0).abs() < 1e-12);
+        // Compute-bound at AI 10 with knee at 4.
+        assert!((p.roofline_bound(1280.0, 320.0) - 1280.0).abs() < 1e-9);
+        let memory_bound = RooflinePoint { ops: 100, dram_bytes: 1000, cycles: 1 };
+        assert!((memory_bound.roofline_bound(1280.0, 320.0) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PeStats { instructions: 5, lane_ops: 10, active_cycles: 100, ..PeStats::default() };
+        let b = PeStats { instructions: 3, lane_ops: 20, active_cycles: 50, ..PeStats::default() };
+        a.merge(&b);
+        assert_eq!(a.instructions, 8);
+        assert_eq!(a.lane_ops, 30);
+        assert_eq!(a.active_cycles, 100, "active time is the max, not the sum");
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let stats = SystemStats {
+            cycles: 1250,
+            pe: PeStats { instructions: 10, lane_ops: 64, ..PeStats::default() },
+            mem: vip_mem::MemStats::default(),
+            noc: vip_noc::NocStats::default(),
+        };
+        let s = stats.summary();
+        assert!(s.contains("cycles:        1250"));
+        assert!(s.contains("vector ops:    64"));
+        assert!(s.contains("roofline:"));
+    }
+
+    #[test]
+    fn infinite_intensity_without_traffic() {
+        let p = RooflinePoint { ops: 10, dram_bytes: 0, cycles: 10 };
+        assert!(p.arithmetic_intensity().is_infinite());
+    }
+}

@@ -1,0 +1,339 @@
+//! The full VIP system: PEs + vault controllers + torus, clocked
+//! together.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use vip_isa::{Program, Reg};
+use vip_mem::{Hmc, MemRequest, MemResponse, RequestKind};
+use vip_noc::Torus;
+
+use crate::config::SystemConfig;
+use crate::pe::Pe;
+use crate::stats::{PeStats, SystemStats};
+use crate::Cycle;
+
+/// Traffic carried on the torus between vaults.
+#[derive(Debug)]
+enum SysMsg {
+    /// A PE's memory request heading to a remote vault controller.
+    Req(MemRequest),
+    /// A completion heading back to PE `pe`'s vault.
+    Resp { pe: usize, resp: MemResponse },
+}
+
+/// Error returned by [`System::run`] when the cycle limit is reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// The limit that was hit.
+    pub limit: Cycle,
+    /// PEs that had halted by then.
+    pub halted_pes: usize,
+    /// Total PEs.
+    pub total_pes: usize,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation did not quiesce within {} cycles ({}/{} PEs halted)",
+            self.limit, self.halted_pes, self.total_pes
+        )
+    }
+}
+
+impl std::error::Error for RunError {}
+
+fn req_bytes(req: &MemRequest) -> usize {
+    match req.kind {
+        RequestKind::Read | RequestKind::FeLoad => 16,
+        RequestKind::Write | RequestKind::FeStore => 16 + req.data.len(),
+    }
+}
+
+fn resp_bytes(resp: &MemResponse) -> usize {
+    8 + resp.data.len()
+}
+
+/// The complete system simulator (Figure 1's left half).
+///
+/// Holds `vaults × pes_per_vault` [`Pe`]s, the [`Hmc`] memory stack, and
+/// the [`Torus`]. PEs reach their local vault controller over a star link
+/// (configurable latency, 8 B/cycle serialization) and remote vaults over
+/// the torus; completions retrace the path. Everything advances in
+/// lock-step, one 0.8 ns cycle per [`step`](System::step).
+///
+/// See the crate docs for a runnable example.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    now: Cycle,
+    pes: Vec<Pe>,
+    hmc: Hmc,
+    net: Torus<SysMsg>,
+    /// Requests a PE has emitted but not yet pushed onto a link.
+    pe_egress: Vec<VecDeque<MemRequest>>,
+    /// Serialization state of each PE's star uplink.
+    uplink_busy: Vec<Cycle>,
+    /// Serialization state of each PE's star downlink.
+    downlink_busy: Vec<Cycle>,
+    /// In-flight on local star links toward each vault: (ready, request).
+    to_vault_local: Vec<VecDeque<(Cycle, MemRequest)>>,
+    /// Requests at a vault waiting for transaction-queue space.
+    vault_ingress: Vec<VecDeque<MemRequest>>,
+    /// Completions at a vault waiting to inject onto the torus.
+    vault_egress: Vec<VecDeque<(usize, MemResponse)>>,
+    /// In-flight completions on each PE's downlink: (ready, response).
+    to_pe: Vec<VecDeque<(Cycle, MemResponse)>>,
+}
+
+impl System {
+    /// Builds an idle system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent (see [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let total = cfg.total_pes();
+        let vaults = cfg.mem.vaults;
+        let pes = (0..total)
+            .map(|id| Pe::new(id, id / cfg.pes_per_vault, &cfg))
+            .collect();
+        System {
+            hmc: Hmc::new(cfg.mem.clone()),
+            net: Torus::new(cfg.torus),
+            pes,
+            now: 0,
+            pe_egress: vec![VecDeque::new(); total].into_iter().collect(),
+            uplink_busy: vec![0; total],
+            downlink_busy: vec![0; total],
+            to_vault_local: (0..vaults).map(|_| VecDeque::new()).collect(),
+            vault_ingress: (0..vaults).map(|_| VecDeque::new()).collect(),
+            vault_egress: (0..vaults).map(|_| VecDeque::new()).collect(),
+            to_pe: (0..total).map(|_| VecDeque::new()).collect(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Total PE count.
+    #[must_use]
+    pub fn total_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Immutable access to PE `pe`.
+    #[must_use]
+    pub fn pe(&self, pe: usize) -> &Pe {
+        &self.pes[pe]
+    }
+
+    /// Mutable access to PE `pe` (host setup: scratchpad preloading).
+    pub fn pe_mut(&mut self, pe: usize) -> &mut Pe {
+        &mut self.pes[pe]
+    }
+
+    /// The memory stack (host reads of results).
+    #[must_use]
+    pub fn hmc(&self) -> &Hmc {
+        &self.hmc
+    }
+
+    /// Mutable memory stack (host loading of inputs).
+    pub fn hmc_mut(&mut self) -> &mut Hmc {
+        &mut self.hmc
+    }
+
+    /// Loads `program` into one PE.
+    pub fn load_program(&mut self, pe: usize, program: &Program) {
+        self.pes[pe].load_program(program);
+    }
+
+    /// Loads the same program into every PE (SPMD style; PEs diverge via
+    /// their id registers).
+    pub fn load_program_all(&mut self, program: &Program) {
+        for pe in &mut self.pes {
+            pe.load_program(program);
+        }
+    }
+
+    /// Sets a scalar register in one PE before the run.
+    pub fn set_reg(&mut self, pe: usize, r: Reg, value: u64) {
+        self.pes[pe].set_reg(r, value);
+    }
+
+    /// Advances the whole system one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        let local_lat = self.cfg.local_link_latency;
+        let pes_per_vault = self.cfg.pes_per_vault;
+
+        // 1. Memory stack: tick and route completions toward PEs.
+        {
+            let hmc = &mut self.hmc;
+            let to_pe = &mut self.to_pe;
+            let downlink_busy = &mut self.downlink_busy;
+            let vault_egress = &mut self.vault_egress;
+            hmc.tick_with(|vault, resp| {
+                let pe = (resp.id >> 32) as usize;
+                if pe / pes_per_vault == vault {
+                    let flits = 1 + resp_bytes(&resp).div_ceil(8) as u64;
+                    let start = now.max(downlink_busy[pe]);
+                    downlink_busy[pe] = start + flits;
+                    to_pe[pe].push_back((start + flits + local_lat, resp));
+                } else {
+                    vault_egress[vault].push_back((pe, resp));
+                }
+            });
+        }
+
+        // 2. Network: advance and drain deliveries.
+        self.net.tick();
+        while let Some((node, pkt)) = self.net.pop_delivered() {
+            match pkt.payload {
+                SysMsg::Req(req) => self.vault_ingress[node].push_back(req),
+                SysMsg::Resp { pe, resp } => {
+                    debug_assert_eq!(pe / pes_per_vault, node);
+                    let flits = 1 + resp_bytes(&resp).div_ceil(8) as u64;
+                    let start = now.max(self.downlink_busy[pe]);
+                    self.downlink_busy[pe] = start + flits;
+                    self.to_pe[pe].push_back((start + flits + local_lat, resp));
+                }
+            }
+        }
+
+        // 3. Local star links arriving at vault controllers.
+        for vault in 0..self.cfg.mem.vaults {
+            while let Some(&(ready, _)) = self.to_vault_local[vault].front() {
+                if ready > now {
+                    break;
+                }
+                let (_, req) = self.to_vault_local[vault].pop_front().expect("front exists");
+                self.vault_ingress[vault].push_back(req);
+            }
+            // Drain ingress into the transaction queue.
+            while self.hmc.can_accept(vault) {
+                let Some(req) = self.vault_ingress[vault].pop_front() else { break };
+                self.hmc.enqueue(vault, req).expect("checked can_accept");
+            }
+            // Inject queued completions onto the torus.
+            while let Some((pe, resp)) = self.vault_egress[vault].front() {
+                let dst = pe / pes_per_vault;
+                let bytes = resp_bytes(resp);
+                let (pe, resp) = (*pe, resp.clone());
+                match self.net.inject(vault, dst, bytes, SysMsg::Resp { pe, resp }) {
+                    Ok(()) => {
+                        self.vault_egress[vault].pop_front();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 4. PEs: deliver completions, tick, emit and dispatch requests.
+        for pe_id in 0..self.pes.len() {
+            while let Some(&(ready, _)) = self.to_pe[pe_id].front() {
+                if ready > now {
+                    break;
+                }
+                let (_, resp) = self.to_pe[pe_id].pop_front().expect("front exists");
+                self.pes[pe_id].receive(&resp);
+            }
+
+            self.pes[pe_id].tick(now);
+
+            if self.pe_egress[pe_id].len() < 8 {
+                if let Some(req) = self.pes[pe_id].emit_request() {
+                    self.pe_egress[pe_id].push_back(req);
+                }
+            }
+
+            if let Some(req) = self.pe_egress[pe_id].front() {
+                let vault = pe_id / pes_per_vault;
+                let dst = self.cfg.mem.vault_of(req.addr);
+                if dst == vault {
+                    if self.uplink_busy[pe_id] <= now {
+                        let req = self.pe_egress[pe_id].pop_front().expect("front exists");
+                        let flits = 1 + req_bytes(&req).div_ceil(8) as u64;
+                        self.uplink_busy[pe_id] = now + flits;
+                        self.to_vault_local[vault].push_back((now + flits + local_lat, req));
+                    }
+                } else if self.net.can_inject(vault) {
+                    let req = self.pe_egress[pe_id].pop_front().expect("front exists");
+                    let bytes = req_bytes(&req);
+                    self.net
+                        .inject(vault, dst, bytes, SysMsg::Req(req))
+                        .expect("checked can_inject");
+                }
+            }
+        }
+    }
+
+    /// Whether every PE has halted and all memory traffic has drained.
+    #[must_use]
+    pub fn is_quiesced(&self) -> bool {
+        self.pes
+            .iter()
+            .all(|pe| pe.is_halted() && pe.is_quiesced(self.now))
+            && self.hmc.is_idle()
+            && self.net.is_idle()
+            && self.pe_egress.iter().all(VecDeque::is_empty)
+            && self.to_vault_local.iter().all(VecDeque::is_empty)
+            && self.vault_ingress.iter().all(VecDeque::is_empty)
+            && self.vault_egress.iter().all(VecDeque::is_empty)
+            && self.to_pe.iter().all(VecDeque::is_empty)
+    }
+
+    /// Runs until every PE halts and the machine drains.
+    ///
+    /// Returns the cycle count at quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the system has not quiesced within
+    /// `max_cycles` — a hang (e.g. a full-empty deadlock) or simply too
+    /// small a limit.
+    pub fn run(&mut self, max_cycles: Cycle) -> Result<Cycle, RunError> {
+        while self.now < max_cycles {
+            self.step();
+            if self.is_quiesced() {
+                return Ok(self.now);
+            }
+        }
+        Err(RunError {
+            limit: max_cycles,
+            halted_pes: self.pes.iter().filter(|p| p.is_halted()).count(),
+            total_pes: self.pes.len(),
+        })
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> SystemStats {
+        let mut pe = PeStats::default();
+        for p in &self.pes {
+            pe.merge(p.stats());
+        }
+        SystemStats {
+            cycles: self.now,
+            pe,
+            mem: self.hmc.stats(),
+            noc: self.net.stats(),
+        }
+    }
+}

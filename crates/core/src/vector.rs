@@ -1,0 +1,129 @@
+//! Vector-unit configuration and timing state.
+
+use vip_isa::ElemType;
+
+use crate::Cycle;
+
+/// Timing state of the vector pipelines (vertical + horizontal).
+///
+/// Functionally, vector instructions execute at issue (perfect operand
+/// chaining — see the crate docs); this struct tracks the *time* those
+/// instructions occupy the datapath. A vector whose footprint exceeds the
+/// 64-bit datapath streams over multiple beats, occupying the unit one
+/// beat per cycle, as in the temporal vector machines the paper cites
+/// (CDC STAR-100, Cray-1). `complete_at` tracks pipeline drain for
+/// `v.drain`.
+#[derive(Debug, Clone)]
+pub struct VectorUnit {
+    vl: usize,
+    mr: usize,
+    busy_until: Cycle,
+    complete_at: Cycle,
+}
+
+impl VectorUnit {
+    /// An idle unit with `vl = 1`, `mr = 1`.
+    #[must_use]
+    pub fn new() -> Self {
+        VectorUnit { vl: 1, mr: 1, busy_until: 0, complete_at: 0 }
+    }
+
+    /// Current vector length in elements (`set.vl`).
+    #[must_use]
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Current matrix row count for `m.v` instructions (`set.mr`).
+    #[must_use]
+    pub fn mr(&self) -> usize {
+        self.mr
+    }
+
+    /// Sets the vector length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl` is zero (programs must configure a positive
+    /// length).
+    pub fn set_vl(&mut self, vl: usize) {
+        assert!(vl > 0, "set.vl of 0");
+        self.vl = vl;
+    }
+
+    /// Sets the matrix row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mr` is zero.
+    pub fn set_mr(&mut self, mr: usize) {
+        assert!(mr > 0, "set.mr of 0");
+        self.mr = mr;
+    }
+
+    /// Datapath beats to stream `elems` lanes of `ty` (64-bit datapath).
+    #[must_use]
+    pub fn beats(elems: usize, ty: ElemType) -> u64 {
+        ((elems * ty.size_bytes()).div_ceil(8) as u64).max(1)
+    }
+
+    /// Whether a new vector instruction may issue at `now`.
+    #[must_use]
+    pub fn ready(&self, now: Cycle) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Whether every issued instruction has fully drained at `now`
+    /// (`v.drain`'s condition).
+    #[must_use]
+    pub fn drained(&self, now: Cycle) -> bool {
+        now >= self.complete_at
+    }
+
+    /// Records the issue of an instruction streaming `beats` beats with
+    /// `latency` extra cycles of pipeline depth.
+    pub fn issue(&mut self, now: Cycle, beats: u64, latency: u64) {
+        debug_assert!(self.ready(now));
+        self.busy_until = now + beats;
+        self.complete_at = self.complete_at.max(now + beats + latency);
+    }
+}
+
+impl Default for VectorUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_counts() {
+        assert_eq!(VectorUnit::beats(16, ElemType::I16), 4); // 32 B / 8
+        assert_eq!(VectorUnit::beats(1, ElemType::I8), 1);
+        assert_eq!(VectorUnit::beats(9, ElemType::I8), 2);
+        assert_eq!(VectorUnit::beats(2, ElemType::I64), 2);
+    }
+
+    #[test]
+    fn occupancy_and_drain() {
+        let mut v = VectorUnit::new();
+        assert!(v.ready(0));
+        v.issue(0, 4, 2);
+        assert!(!v.ready(3));
+        assert!(v.ready(4));
+        assert!(!v.drained(5));
+        assert!(v.drained(6));
+        // Back-to-back issue extends the drain horizon.
+        v.issue(4, 4, 2);
+        assert!(v.drained(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "set.vl of 0")]
+    fn zero_vl_panics() {
+        VectorUnit::new().set_vl(0);
+    }
+}

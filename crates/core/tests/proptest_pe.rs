@@ -1,0 +1,230 @@
+//! Property-based differential tests: the cycle-level PE against simple
+//! reference semantics — random scalar programs vs. a fold interpreter,
+//! random vector operations vs. `vip_isa::alu`, and random load/store
+//! sequences vs. a sequential shadow memory.
+
+use proptest::prelude::*;
+use vip_core::{System, SystemConfig};
+use vip_isa::alu;
+use vip_isa::{Asm, ElemType, HorizontalOp, Instruction, Program, Reg, ScalarAluOp, VerticalOp};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+const NREGS: u8 = 8;
+
+#[derive(Debug, Clone)]
+enum ScalarOp {
+    Rr(ScalarAluOp, u8, u8, u8),
+    Ri(ScalarAluOp, u8, u8, i32),
+    Mov(u8, u8),
+    MovImm(u8, i64),
+}
+
+fn scalar_op() -> impl Strategy<Value = ScalarOp> {
+    let alu = proptest::sample::select(ScalarAluOp::all().to_vec());
+    prop_oneof![
+        (alu.clone(), 0..NREGS, 0..NREGS, 0..NREGS).prop_map(|(op, d, a, b)| ScalarOp::Rr(op, d, a, b)),
+        (alu, 0..NREGS, 0..NREGS, -(1i32 << 23)..(1i32 << 23))
+            .prop_map(|(op, d, a, i)| ScalarOp::Ri(op, d, a, i)),
+        (0..NREGS, 0..NREGS).prop_map(|(d, a)| ScalarOp::Mov(d, a)),
+        (0..NREGS, -(1i64 << 39)..(1i64 << 39)).prop_map(|(d, i)| ScalarOp::MovImm(d, i)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Straight-line scalar programs produce the same register file as a
+    /// direct fold over `ScalarAluOp::eval`.
+    #[test]
+    fn scalar_programs_match_interpreter(
+        ops in proptest::collection::vec(scalar_op(), 1..100),
+        init in proptest::collection::vec(any::<u64>(), NREGS as usize),
+    ) {
+        // Reference interpreter.
+        let mut regs = init.clone();
+        for op in &ops {
+            match *op {
+                ScalarOp::Rr(op, d, a, b) => {
+                    regs[d as usize] = op.eval(regs[a as usize], regs[b as usize]);
+                }
+                ScalarOp::Ri(op, d, a, i) => {
+                    regs[d as usize] = op.eval(regs[a as usize], i as i64 as u64);
+                }
+                ScalarOp::Mov(d, a) => regs[d as usize] = regs[a as usize],
+                ScalarOp::MovImm(d, i) => regs[d as usize] = i as u64,
+            }
+        }
+
+        // Simulated PE.
+        let mut insts: Vec<Instruction> = ops
+            .iter()
+            .map(|op| match *op {
+                ScalarOp::Rr(op, d, a, b) =>
+                    Instruction::Scalar { op, rd: r(d), rs1: r(a), rs2: r(b) },
+                ScalarOp::Ri(op, d, a, imm) =>
+                    Instruction::ScalarImm { op, rd: r(d), rs1: r(a), imm },
+                ScalarOp::Mov(d, a) => Instruction::Mov { rd: r(d), rs: r(a) },
+                ScalarOp::MovImm(d, imm) => Instruction::MovImm { rd: r(d), imm },
+            })
+            .collect();
+        insts.push(Instruction::Halt);
+        let mut sys = System::new(SystemConfig::small_test());
+        sys.load_program(0, &Program::new(insts));
+        for (i, v) in init.iter().enumerate() {
+            sys.set_reg(0, r(i as u8), *v);
+        }
+        sys.run(100_000).expect("straight-line program halts");
+        for i in 0..NREGS {
+            prop_assert_eq!(sys.pe(0).reg(r(i)), regs[i as usize], "r{}", i);
+        }
+    }
+
+    /// A random `v.v` operation on random scratchpad contents matches
+    /// `alu::vec_vec` lane-for-lane, for every element width.
+    #[test]
+    fn vec_vec_matches_alu(
+        op_idx in 0usize..5,
+        ty_idx in 0usize..4,
+        vl in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let op = [VerticalOp::Mul, VerticalOp::Add, VerticalOp::Sub, VerticalOp::Min, VerticalOp::Max][op_idx];
+        let ty = ElemType::all()[ty_idx];
+        let len = vl * ty.size_bytes();
+
+        // Deterministic pseudo-random buffers.
+        let mut state = seed | 1;
+        let mut bytes = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) as u8
+                })
+                .collect()
+        };
+        let a = bytes(len);
+        let b = bytes(len);
+
+        let mut sys = System::new(SystemConfig::small_test());
+        {
+            let pe = sys.pe_mut(0);
+            pe.scratchpad_mut().write(0, &a);
+            pe.scratchpad_mut().write(1024, &b);
+        }
+        let mut asm = Asm::new();
+        asm.mov_imm(r(1), vl as i64)
+            .set_vl(r(1))
+            .mov_imm(r(2), 0)
+            .mov_imm(r(3), 1024)
+            .mov_imm(r(4), 2048)
+            .vec_vec(op, ty, r(4), r(2), r(3))
+            .v_drain()
+            .halt();
+        sys.load_program(0, &asm.assemble().unwrap());
+        sys.run(100_000).expect("vector op completes");
+
+        let mut expect = vec![0u8; len];
+        alu::vec_vec(op, ty, &mut expect, &a, &b, vl);
+        prop_assert_eq!(sys.pe(0).scratchpad().read(2048, len), expect);
+    }
+
+    /// A random `m.v` matches `alu::mat_vec`.
+    #[test]
+    fn mat_vec_matches_alu(
+        vop_idx in 0usize..6,
+        hop_idx in 0usize..3,
+        mr in 1usize..8,
+        vl in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let vop = VerticalOp::all()[vop_idx];
+        let hop = HorizontalOp::all()[hop_idx];
+        let ty = ElemType::I16;
+        let (mat_len, vec_len, dst_len) = (mr * vl * 2, vl * 2, mr * 2);
+
+        let mut state = seed | 1;
+        let mut bytes = |n: usize| -> Vec<u8> {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 33) as u8
+                })
+                .collect()
+        };
+        let mat = bytes(mat_len);
+        let vec_ = bytes(vec_len);
+
+        let mut sys = System::new(SystemConfig::small_test());
+        {
+            let pe = sys.pe_mut(0);
+            pe.scratchpad_mut().write(0, &mat);
+            pe.scratchpad_mut().write(2048, &vec_);
+        }
+        let mut asm = Asm::new();
+        asm.mov_imm(r(1), vl as i64)
+            .set_vl(r(1))
+            .mov_imm(r(2), mr as i64)
+            .set_mr(r(2))
+            .mov_imm(r(3), 0)
+            .mov_imm(r(4), 2048)
+            .mov_imm(r(5), 3072)
+            .mat_vec(vop, hop, ty, r(5), r(3), r(4))
+            .v_drain()
+            .halt();
+        sys.load_program(0, &asm.assemble().unwrap());
+        sys.run(100_000).expect("m.v completes");
+
+        let mut expect = vec![0u8; dst_len];
+        alu::mat_vec(vop, hop, ty, &mut expect, &mat, &vec_, mr, vl);
+        prop_assert_eq!(sys.pe(0).scratchpad().read(3072, dst_len), expect);
+    }
+
+    /// Random interleavings of `ld.sram`/`st.sram` behave like a
+    /// sequential shadow memory — the ARC plus the controller's
+    /// overlap ordering make the asynchronous LSU look sequential.
+    #[test]
+    fn ldst_sequences_match_shadow(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0usize..96, 0usize..96, 1usize..33),
+            1..40,
+        ),
+    ) {
+        const SPAN: usize = 4096;
+        let mut shadow_dram: Vec<u8> = (0..SPAN).map(|i| (i * 13 % 251) as u8).collect();
+        let mut shadow_sp = vec![0u8; 4096];
+
+        let mut sys = System::new(SystemConfig::small_test());
+        sys.hmc_mut().host_write(0, &shadow_dram);
+        let mut asm = Asm::new();
+        asm.mov_imm(r(5), 0); // placeholder
+        for (is_load, sp_slot, dram_slot, elems) in &ops {
+            let sp = sp_slot * 32;
+            let dram = dram_slot * 32;
+            let len = *elems;
+            asm.mov_imm(r(1), sp as i64)
+                .mov_imm(r(2), dram as i64)
+                .mov_imm(r(3), len as i64);
+            if *is_load {
+                asm.ld_sram(ElemType::I16, r(1), r(2), r(3));
+                shadow_sp.copy_within(0..0, 0); // no-op, clarity
+                let n = len * 2;
+                let src = shadow_dram[dram..dram + n].to_vec();
+                shadow_sp[sp..sp + n].copy_from_slice(&src);
+            } else {
+                asm.st_sram(ElemType::I16, r(1), r(2), r(3));
+                let n = len * 2;
+                let src = shadow_sp[sp..sp + n].to_vec();
+                shadow_dram[dram..dram + n].copy_from_slice(&src);
+            }
+        }
+        asm.memfence().halt();
+        sys.load_program(0, &asm.assemble().unwrap());
+        sys.run(5_000_000).expect("ld/st sequence completes");
+
+        prop_assert_eq!(sys.hmc().host_read(0, SPAN), shadow_dram);
+        prop_assert_eq!(sys.pe(0).scratchpad().read(0, 4096), shadow_sp);
+    }
+}

@@ -1,0 +1,331 @@
+//! Arithmetic semantics of the VIP vector datapath.
+//!
+//! Both vertical and horizontal vector units operate on 64-bit beats of
+//! one, two, four, or eight sign-extended lanes (§III-B). Lane arithmetic
+//! **saturates** to the lane's representable range — the fixed-point
+//! behaviour assumed by the paper's "16-bit dynamic fixed point"
+//! workloads (§IV) — while scalar-unit arithmetic wraps.
+//!
+//! This module is the *single source of truth* for datapath arithmetic:
+//! the cycle-level PE model in `vip-core` and the golden reference kernels
+//! in `vip-kernels` both call into it, which is what makes simulated
+//! scratchpad contents bit-identical to the reference outputs.
+
+use crate::ops::{HorizontalOp, VerticalOp};
+use crate::types::ElemType;
+
+/// Smallest representable lane value for `ty`.
+#[must_use]
+pub fn lane_min(ty: ElemType) -> i64 {
+    match ty {
+        ElemType::I8 => i64::from(i8::MIN),
+        ElemType::I16 => i64::from(i16::MIN),
+        ElemType::I32 => i64::from(i32::MIN),
+        ElemType::I64 => i64::MIN,
+    }
+}
+
+/// Largest representable lane value for `ty`.
+#[must_use]
+pub fn lane_max(ty: ElemType) -> i64 {
+    match ty {
+        ElemType::I8 => i64::from(i8::MAX),
+        ElemType::I16 => i64::from(i16::MAX),
+        ElemType::I32 => i64::from(i32::MAX),
+        ElemType::I64 => i64::MAX,
+    }
+}
+
+/// Clamps `value` to the representable range of `ty`.
+#[must_use]
+pub fn saturate(ty: ElemType, value: i64) -> i64 {
+    value.clamp(lane_min(ty), lane_max(ty))
+}
+
+/// Applies a vertical (element-wise) operator to one lane.
+///
+/// `Add`, `Sub`, and `Mul` saturate; `Min`/`Max` select; `Nop` passes the
+/// first operand through (used by `m.v.nop.*` pure reductions).
+///
+/// 64-bit lanes use `i128` intermediates so saturation is still exact.
+#[must_use]
+pub fn vertical(op: VerticalOp, ty: ElemType, a: i64, b: i64) -> i64 {
+    let wide = |x: i64| i128::from(x);
+    let sat = |v: i128| {
+        let lo = i128::from(lane_min(ty));
+        let hi = i128::from(lane_max(ty));
+        v.clamp(lo, hi) as i64
+    };
+    match op {
+        VerticalOp::Add => sat(wide(a) + wide(b)),
+        VerticalOp::Sub => sat(wide(a) - wide(b)),
+        VerticalOp::Mul => sat(wide(a) * wide(b)),
+        VerticalOp::Min => a.min(b),
+        VerticalOp::Max => a.max(b),
+        VerticalOp::Nop => a,
+    }
+}
+
+/// The identity element of a horizontal (reduction) operator.
+#[must_use]
+pub fn reduce_identity(op: HorizontalOp, ty: ElemType) -> i64 {
+    match op {
+        HorizontalOp::Add => 0,
+        HorizontalOp::Min => lane_max(ty),
+        HorizontalOp::Max => lane_min(ty),
+    }
+}
+
+/// Folds one lane into a running reduction.
+#[must_use]
+pub fn reduce(op: HorizontalOp, ty: ElemType, acc: i64, x: i64) -> i64 {
+    match op {
+        HorizontalOp::Add => vertical(VerticalOp::Add, ty, acc, x),
+        HorizontalOp::Min => acc.min(x),
+        HorizontalOp::Max => acc.max(x),
+    }
+}
+
+/// Reads the sign-extended lane at element index `idx` from a
+/// little-endian byte buffer.
+///
+/// # Panics
+///
+/// Panics if the lane extends past the end of `bytes`.
+#[must_use]
+pub fn read_lane(bytes: &[u8], idx: usize, ty: ElemType) -> i64 {
+    let size = ty.size_bytes();
+    let at = idx * size;
+    let lane = &bytes[at..at + size];
+    match ty {
+        ElemType::I8 => i64::from(lane[0] as i8),
+        ElemType::I16 => i64::from(i16::from_le_bytes([lane[0], lane[1]])),
+        ElemType::I32 => i64::from(i32::from_le_bytes([lane[0], lane[1], lane[2], lane[3]])),
+        ElemType::I64 => i64::from_le_bytes(lane.try_into().expect("8 bytes")),
+    }
+}
+
+/// Writes lane `idx` of a little-endian byte buffer. The value is
+/// truncated to the lane width (callers saturate first).
+///
+/// # Panics
+///
+/// Panics if the lane extends past the end of `bytes`.
+pub fn write_lane(bytes: &mut [u8], idx: usize, ty: ElemType, value: i64) {
+    let size = ty.size_bytes();
+    let at = idx * size;
+    let lane = &mut bytes[at..at + size];
+    match ty {
+        ElemType::I8 => lane[0] = value as u8,
+        ElemType::I16 => lane.copy_from_slice(&(value as i16).to_le_bytes()),
+        ElemType::I32 => lane.copy_from_slice(&(value as i32).to_le_bytes()),
+        ElemType::I64 => lane.copy_from_slice(&value.to_le_bytes()),
+    }
+}
+
+/// Element-wise `dst[i] = op(a[i], b[i])` over `len` lanes of byte
+/// buffers — the semantics of `v.v` instructions.
+///
+/// # Panics
+///
+/// Panics if any buffer is shorter than `len` lanes.
+pub fn vec_vec(op: VerticalOp, ty: ElemType, dst: &mut [u8], a: &[u8], b: &[u8], len: usize) {
+    for i in 0..len {
+        let r = vertical(op, ty, read_lane(a, i, ty), read_lane(b, i, ty));
+        write_lane(dst, i, ty, r);
+    }
+}
+
+/// Element-wise `dst[i] = op(a[i], scalar)` over `len` lanes — the
+/// semantics of `v.s` instructions. The scalar register value is
+/// truncated to the lane width before broadcasting.
+///
+/// # Panics
+///
+/// Panics if a buffer is shorter than `len` lanes.
+pub fn vec_scalar(op: VerticalOp, ty: ElemType, dst: &mut [u8], a: &[u8], scalar: u64, len: usize) {
+    let b = truncate_scalar(ty, scalar);
+    for i in 0..len {
+        let r = vertical(op, ty, read_lane(a, i, ty), b);
+        write_lane(dst, i, ty, r);
+    }
+}
+
+/// `result[r] = reduce_hop over i of vop(mat[r][i], vec[i])` for `rows`
+/// rows of `len` lanes each — the semantics of `m.v` instructions. Matrix
+/// rows are contiguous in `mat`; the `rows` results are written to
+/// contiguous lanes of `dst`.
+///
+/// # Panics
+///
+/// Panics if a buffer is shorter than implied by `rows`/`len`.
+pub fn mat_vec(
+    vop: VerticalOp,
+    hop: HorizontalOp,
+    ty: ElemType,
+    dst: &mut [u8],
+    mat: &[u8],
+    vec: &[u8],
+    rows: usize,
+    len: usize,
+) {
+    for r in 0..rows {
+        let mut acc = reduce_identity(hop, ty);
+        for i in 0..len {
+            let m = read_lane(mat, r * len + i, ty);
+            let v = read_lane(vec, i, ty);
+            acc = reduce(hop, ty, acc, vertical(vop, ty, m, v));
+        }
+        write_lane(dst, r, ty, acc);
+    }
+}
+
+/// Truncates a 64-bit scalar register value to a sign-extended lane of
+/// type `ty` (how `v.s` instructions interpret the scalar operand).
+#[must_use]
+pub fn truncate_scalar(ty: ElemType, value: u64) -> i64 {
+    match ty {
+        ElemType::I8 => i64::from(value as u8 as i8),
+        ElemType::I16 => i64::from(value as u16 as i16),
+        ElemType::I32 => i64::from(value as u32 as i32),
+        ElemType::I64 => value as i64,
+    }
+}
+
+/// Saturating 16-bit addition — convenience for golden kernels.
+#[must_use]
+pub fn sat_add16(a: i16, b: i16) -> i16 {
+    a.saturating_add(b)
+}
+
+/// Saturating 16-bit subtraction — convenience for golden kernels.
+#[must_use]
+pub fn sat_sub16(a: i16, b: i16) -> i16 {
+    a.saturating_sub(b)
+}
+
+/// Saturating 16-bit multiplication — convenience for golden kernels.
+#[must_use]
+pub fn sat_mul16(a: i16, b: i16) -> i16 {
+    i32::from(a)
+        .checked_mul(i32::from(b))
+        .map_or(i16::MAX, |p| p.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_at_lane_bounds() {
+        assert_eq!(vertical(VerticalOp::Add, ElemType::I16, 32000, 1000), 32767);
+        assert_eq!(vertical(VerticalOp::Sub, ElemType::I16, -32000, 1000), -32768);
+        assert_eq!(vertical(VerticalOp::Mul, ElemType::I8, 100, 100), 127);
+        assert_eq!(vertical(VerticalOp::Mul, ElemType::I8, -100, 100), -128);
+        assert_eq!(
+            vertical(VerticalOp::Add, ElemType::I64, i64::MAX, i64::MAX),
+            i64::MAX
+        );
+        assert_eq!(
+            vertical(VerticalOp::Mul, ElemType::I64, i64::MIN, -1),
+            i64::MAX
+        );
+    }
+
+    #[test]
+    fn min_max_and_nop() {
+        assert_eq!(vertical(VerticalOp::Min, ElemType::I16, 3, -5), -5);
+        assert_eq!(vertical(VerticalOp::Max, ElemType::I16, 3, -5), 3);
+        assert_eq!(vertical(VerticalOp::Nop, ElemType::I16, 42, -5), 42);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        for ty in ElemType::all() {
+            assert_eq!(reduce_identity(HorizontalOp::Add, ty), 0);
+            assert_eq!(reduce_identity(HorizontalOp::Min, ty), lane_max(ty));
+            assert_eq!(reduce_identity(HorizontalOp::Max, ty), lane_min(ty));
+        }
+    }
+
+    #[test]
+    fn lane_io_roundtrip() {
+        let mut buf = vec![0u8; 32];
+        for ty in ElemType::all() {
+            for (i, v) in [-1i64, 0, 1, lane_min(ty), lane_max(ty)].iter().enumerate() {
+                if i * ty.size_bytes() + ty.size_bytes() > buf.len() {
+                    continue;
+                }
+                write_lane(&mut buf, i, ty, *v);
+                assert_eq!(read_lane(&buf, i, ty), *v, "{ty:?} lane {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mat_vec_min_sum_matches_manual() {
+        // 2x3 matrix, min-sum: result[r] = min_i(mat[r][i] + vec[i]).
+        let ty = ElemType::I16;
+        let mut mat = vec![0u8; 12];
+        let mut vec_ = vec![0u8; 6];
+        let mut dst = vec![0u8; 4];
+        for (i, v) in [1i64, 5, 9, 2, 0, 7].iter().enumerate() {
+            write_lane(&mut mat, i, ty, *v);
+        }
+        for (i, v) in [10i64, 1, 3].iter().enumerate() {
+            write_lane(&mut vec_, i, ty, *v);
+        }
+        mat_vec(VerticalOp::Add, HorizontalOp::Min, ty, &mut dst, &mat, &vec_, 2, 3);
+        assert_eq!(read_lane(&dst, 0, ty), 6); // min(11, 6, 12)
+        assert_eq!(read_lane(&dst, 1, ty), 1); // min(12, 1, 10)
+    }
+
+    #[test]
+    fn mat_vec_dot_product() {
+        let ty = ElemType::I32;
+        let mut mat = vec![0u8; 16];
+        let mut v = vec![0u8; 16];
+        let mut dst = vec![0u8; 4];
+        for i in 0..4 {
+            write_lane(&mut mat, i, ty, (i + 1) as i64);
+            write_lane(&mut v, i, ty, 2);
+        }
+        mat_vec(VerticalOp::Mul, HorizontalOp::Add, ty, &mut dst, &mat, &v, 1, 4);
+        assert_eq!(read_lane(&dst, 0, ty), 20);
+    }
+
+    #[test]
+    fn vec_scalar_broadcast_truncates() {
+        let ty = ElemType::I16;
+        let a = {
+            let mut b = vec![0u8; 4];
+            write_lane(&mut b, 0, ty, 5);
+            write_lane(&mut b, 1, ty, -5);
+            b
+        };
+        let mut dst = vec![0u8; 4];
+        // 0x1_0000 truncates to 0 for 16-bit lanes.
+        vec_scalar(VerticalOp::Add, ty, &mut dst, &a, 0x1_0000, 2);
+        assert_eq!(read_lane(&dst, 0, ty), 5);
+        assert_eq!(read_lane(&dst, 1, ty), -5);
+    }
+
+    #[test]
+    fn sat16_helpers_match_vertical() {
+        let cases = [(32000i16, 1000i16), (-32000, -1000), (181, 181), (-182, 181)];
+        for (a, b) in cases {
+            assert_eq!(
+                i64::from(sat_add16(a, b)),
+                vertical(VerticalOp::Add, ElemType::I16, a.into(), b.into())
+            );
+            assert_eq!(
+                i64::from(sat_sub16(a, b)),
+                vertical(VerticalOp::Sub, ElemType::I16, a.into(), b.into())
+            );
+            assert_eq!(
+                i64::from(sat_mul16(a, b)),
+                vertical(VerticalOp::Mul, ElemType::I16, a.into(), b.into())
+            );
+        }
+    }
+}

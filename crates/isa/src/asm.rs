@@ -1,0 +1,491 @@
+//! Two-pass text assembler for VIP assembly.
+//!
+//! The accepted syntax follows the paper's Figure 2 with explicit element
+//! type suffixes:
+//!
+//! ```text
+//! ; min-sum BP message update (Figure 2)
+//!         ld.sram.i16 r11, r7, r61      ; load messages
+//!         v.v.add.i16 r11, r11, r12     ; update message
+//!         m.v.add.min.i16 r10, r15, r11 ; r15 = smoothness cost
+//!         st.sram.i16 r10, r14, r61
+//!         halt
+//! ```
+//!
+//! Labels are `name:` definitions; branch/jump operands may be a label or a
+//! literal instruction index. Comments start with `;` or `#`.
+
+use std::fmt;
+
+use crate::inst::Instruction;
+use crate::ops::{BranchCond, HorizontalOp, ScalarAluOp, VerticalOp};
+use crate::program::Program;
+use crate::types::{ElemType, Reg};
+use crate::INST_BUFFER_ENTRIES;
+
+/// Errors produced by the text assembler and the [`Asm`](crate::Asm)
+/// builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A line failed to parse.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+    /// A branch or jump referenced an undefined label.
+    UnknownLabel {
+        /// The unresolved label.
+        label: String,
+    },
+    /// The program does not fit the 1,024-entry instruction buffer.
+    ProgramTooLong {
+        /// Number of instructions in the over-long program.
+        len: usize,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            AsmError::DuplicateLabel { label } => write!(f, "label `{label}` defined twice"),
+            AsmError::UnknownLabel { label } => write!(f, "unknown label `{label}`"),
+            AsmError::ProgramTooLong { len } => write!(
+                f,
+                "program has {len} instructions; the instruction buffer holds {INST_BUFFER_ENTRIES}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A statement recognized by the first pass.
+#[derive(Debug)]
+enum Stmt {
+    Inst { line: usize, mnemonic: String, operands: Vec<String> },
+    Label { name: String },
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn tokenize(source: &str) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        // Allow `label: inst ...` on one line.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break;
+            }
+            stmts.push(Stmt::Label { name: name.to_owned() });
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let mnemonic = parts.next().expect("non-empty").to_owned();
+        let rest: String = parts.collect::<Vec<_>>().join(" ");
+        let operands = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        stmts.push(Stmt::Inst { line, mnemonic, operands });
+    }
+    stmts
+}
+
+struct Parser<'a> {
+    line: usize,
+    mnemonic: &'a str,
+    operands: &'a [String],
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::Parse { line: self.line, msg: msg.into() }
+    }
+
+    fn expect_operands(&self, n: usize) -> Result<(), AsmError> {
+        if self.operands.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "`{}` expects {n} operand(s), found {}",
+                self.mnemonic,
+                self.operands.len()
+            )))
+        }
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg, AsmError> {
+        self.operands[i]
+            .parse()
+            .map_err(|e: crate::types::RegParseError| self.err(e.to_string()))
+    }
+
+    fn imm(&self, i: usize) -> Result<i64, AsmError> {
+        let s = &self.operands[i];
+        let parsed = if let Some(hex) = s.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16)
+        } else if let Some(hex) = s.strip_prefix("-0x") {
+            i64::from_str_radix(hex, 16).map(|v| -v)
+        } else {
+            s.parse()
+        };
+        parsed.map_err(|_| self.err(format!("invalid immediate `{s}`")))
+    }
+}
+
+/// A branch target: either already numeric or a label for pass two.
+#[derive(Debug)]
+enum PendingTarget {
+    Index(u32),
+    Label(String),
+}
+
+#[derive(Debug)]
+enum PendingInst {
+    Done(Instruction),
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: PendingTarget, line: usize },
+    Jmp { target: PendingTarget, line: usize },
+}
+
+fn parse_target(p: &Parser<'_>, i: usize) -> PendingTarget {
+    let s = &p.operands[i];
+    match s.parse::<u32>() {
+        Ok(idx) => PendingTarget::Index(idx),
+        Err(_) => PendingTarget::Label(s.clone()),
+    }
+}
+
+fn parse_inst(p: &Parser<'_>) -> Result<PendingInst, AsmError> {
+    let pieces: Vec<&str> = p.mnemonic.split('.').collect();
+    let inst = match pieces.as_slice() {
+        ["set", "vl"] => {
+            p.expect_operands(1)?;
+            Instruction::SetVl { rs: p.reg(0)? }
+        }
+        ["set", "mr"] => {
+            p.expect_operands(1)?;
+            Instruction::SetMr { rs: p.reg(0)? }
+        }
+        ["v", "drain"] => {
+            p.expect_operands(0)?;
+            Instruction::VDrain
+        }
+        ["m", "v", vop, hop, ty] => {
+            p.expect_operands(3)?;
+            let vop = VerticalOp::from_mnemonic(vop)
+                .ok_or_else(|| p.err(format!("unknown vertical op `{vop}`")))?;
+            let hop = HorizontalOp::from_mnemonic(hop)
+                .ok_or_else(|| p.err(format!("unknown horizontal op `{hop}`")))?;
+            let ty = ElemType::from_suffix(ty)
+                .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
+            Instruction::MatVec { vop, hop, ty, rd: p.reg(0)?, rs_mat: p.reg(1)?, rs_vec: p.reg(2)? }
+        }
+        ["v", kind @ ("v" | "s"), op, ty] => {
+            p.expect_operands(3)?;
+            let op = VerticalOp::from_mnemonic(op)
+                .filter(|&op| op != VerticalOp::Nop)
+                .ok_or_else(|| p.err(format!("unknown vector op `{op}`")))?;
+            let ty = ElemType::from_suffix(ty)
+                .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
+            if *kind == "v" {
+                Instruction::VecVec { op, ty, rd: p.reg(0)?, rs1: p.reg(1)?, rs2: p.reg(2)? }
+            } else {
+                Instruction::VecScalar {
+                    op,
+                    ty,
+                    rd: p.reg(0)?,
+                    rs_vec: p.reg(1)?,
+                    rs_scalar: p.reg(2)?,
+                }
+            }
+        }
+        ["mov"] => {
+            p.expect_operands(2)?;
+            Instruction::Mov { rd: p.reg(0)?, rs: p.reg(1)? }
+        }
+        ["mov", "imm"] => {
+            p.expect_operands(2)?;
+            Instruction::MovImm { rd: p.reg(0)?, imm: p.imm(1)? }
+        }
+        ["jmp"] => {
+            p.expect_operands(1)?;
+            return Ok(PendingInst::Jmp { target: parse_target(p, 0), line: p.line });
+        }
+        ["ld", "sram", ty] => {
+            p.expect_operands(3)?;
+            let ty = ElemType::from_suffix(ty)
+                .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
+            Instruction::LdSram { ty, rd_sp: p.reg(0)?, rs_addr: p.reg(1)?, rs_len: p.reg(2)? }
+        }
+        ["st", "sram", ty] => {
+            p.expect_operands(3)?;
+            let ty = ElemType::from_suffix(ty)
+                .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
+            Instruction::StSram { ty, rs_sp: p.reg(0)?, rs_addr: p.reg(1)?, rs_len: p.reg(2)? }
+        }
+        ["ld", "reg"] => {
+            p.expect_operands(2)?;
+            Instruction::LdReg { rd: p.reg(0)?, rs_addr: p.reg(1)? }
+        }
+        ["st", "reg"] => {
+            p.expect_operands(2)?;
+            Instruction::StReg { rs: p.reg(0)?, rs_addr: p.reg(1)? }
+        }
+        ["ld", "reg", "fe"] => {
+            p.expect_operands(2)?;
+            Instruction::LdRegFe { rd: p.reg(0)?, rs_addr: p.reg(1)? }
+        }
+        ["st", "reg", "ff"] => {
+            p.expect_operands(2)?;
+            Instruction::StRegFf { rs: p.reg(0)?, rs_addr: p.reg(1)? }
+        }
+        ["memfence"] => {
+            p.expect_operands(0)?;
+            Instruction::MemFence
+        }
+        ["nop"] => {
+            p.expect_operands(0)?;
+            Instruction::Nop
+        }
+        ["halt"] => {
+            p.expect_operands(0)?;
+            Instruction::Halt
+        }
+        [one] => {
+            // Scalar ALU (`add r1, r2, r3`), immediate form (`addi`), or a
+            // branch (`blt r1, r2, target`).
+            if let Some(cond) = BranchCond::from_mnemonic(one) {
+                p.expect_operands(3)?;
+                return Ok(PendingInst::Branch {
+                    cond,
+                    rs1: p.reg(0)?,
+                    rs2: p.reg(1)?,
+                    target: parse_target(p, 2),
+                    line: p.line,
+                });
+            }
+            if let Some(base) = one.strip_suffix('i') {
+                if let Some(op) = ScalarAluOp::from_mnemonic(base) {
+                    p.expect_operands(3)?;
+                    let imm = p.imm(2)?;
+                    let imm = i32::try_from(imm)
+                        .map_err(|_| p.err(format!("immediate `{imm}` out of i32 range")))?;
+                    return Ok(PendingInst::Done(Instruction::ScalarImm {
+                        op,
+                        rd: p.reg(0)?,
+                        rs1: p.reg(1)?,
+                        imm,
+                    }));
+                }
+            }
+            if let Some(op) = ScalarAluOp::from_mnemonic(one) {
+                p.expect_operands(3)?;
+                Instruction::Scalar { op, rd: p.reg(0)?, rs1: p.reg(1)?, rs2: p.reg(2)? }
+            } else {
+                return Err(p.err(format!("unknown mnemonic `{one}`")));
+            }
+        }
+        _ => return Err(p.err(format!("unknown mnemonic `{}`", p.mnemonic))),
+    };
+    Ok(PendingInst::Done(inst))
+}
+
+/// Assembles VIP assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first problem found: a parse
+/// error with its line number, a duplicate or unknown label, or a program
+/// that exceeds the instruction buffer.
+///
+/// ```
+/// let p = vip_isa::assemble("mov.imm r1, 7\nhalt")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), vip_isa::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let stmts = tokenize(source);
+
+    // Pass 1: compute label positions and parse instructions.
+    let mut labels = std::collections::HashMap::new();
+    let mut pending = Vec::new();
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Label { name } => {
+                if labels.insert(name.clone(), pending.len() as u32).is_some() {
+                    return Err(AsmError::DuplicateLabel { label: name.clone() });
+                }
+            }
+            Stmt::Inst { line, mnemonic, operands } => {
+                let parser = Parser { line: *line, mnemonic, operands };
+                pending.push(parse_inst(&parser)?);
+            }
+        }
+    }
+    if pending.len() > INST_BUFFER_ENTRIES {
+        return Err(AsmError::ProgramTooLong { len: pending.len() });
+    }
+
+    // Pass 2: resolve targets.
+    let len = pending.len() as u32;
+    let resolve = |target: &PendingTarget, line: usize| -> Result<u32, AsmError> {
+        let idx = match target {
+            PendingTarget::Index(i) => *i,
+            PendingTarget::Label(l) => *labels
+                .get(l)
+                .ok_or_else(|| AsmError::UnknownLabel { label: l.clone() })?,
+        };
+        if idx >= len {
+            return Err(AsmError::Parse {
+                line,
+                msg: format!("branch target {idx} is past the end of the program"),
+            });
+        }
+        Ok(idx)
+    };
+    let insts = pending
+        .iter()
+        .map(|pi| {
+            Ok(match pi {
+                PendingInst::Done(i) => *i,
+                PendingInst::Branch { cond, rs1, rs2, target, line } => Instruction::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(target, *line)?,
+                },
+                PendingInst::Jmp { target, line } => {
+                    Instruction::Jmp { target: resolve(target, *line)? }
+                }
+            })
+        })
+        .collect::<Result<Vec<_>, AsmError>>()?;
+    Ok(Program::new(insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_fragment_assembles() {
+        let p = assemble(
+            "; Figure 2: min-sum BP message update
+             ld.sram.i16 r11, r7, r61   ; load messages
+             ld.sram.i16 r12, r8, r61
+             ld.sram.i16 r13, r9, r61
+             v.v.add.i16 r11, r11, r12  ; update message
+             v.v.add.i16 r11, r11, r13
+             m.v.add.min.i16 r10, r15, r11
+             st.sram.i16 r10, r14, r61
+             halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p[5].to_string(), "m.v.add.min.i16 r10, r15, r11");
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        let p = assemble(
+            "mov.imm r1, 0
+             mov.imm r2, 4
+             loop: addi r1, r1, 1
+             blt r1, r2, loop
+             halt",
+        )
+        .unwrap();
+        assert_eq!(p[3], Instruction::Branch {
+            cond: BranchCond::Lt,
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+            target: 2,
+        });
+    }
+
+    #[test]
+    fn label_on_own_line_and_numeric_target() {
+        let p = assemble("start:\nnop\njmp 0\nhalt").unwrap();
+        assert_eq!(p[1], Instruction::Jmp { target: 0 });
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn display_roundtrips_through_assembler() {
+        let src = "set.vl r61
+            m.v.mul.add.i16 r1, r2, r3
+            v.s.max.i16 r4, r5, r6
+            sra r7, r8, r9
+            addi r1, r1, -4
+            mov.imm r3, 0x10
+            ld.reg.fe r1, r2
+            st.reg.ff r1, r2
+            memfence
+            v.drain
+            halt";
+        let p1 = assemble(src).unwrap();
+        let listing: String = p1.iter().map(|i| format!("{i}\n")).collect();
+        let p2 = assemble(&listing).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1, r2").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { line: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_and_unknown_labels() {
+        assert!(matches!(
+            assemble("a:\na:\nnop").unwrap_err(),
+            AsmError::DuplicateLabel { .. }
+        ));
+        assert!(matches!(
+            assemble("jmp nowhere").unwrap_err(),
+            AsmError::UnknownLabel { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_target() {
+        let err = assemble("jmp 9").unwrap_err();
+        assert!(matches!(err, AsmError::Parse { .. }));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(assemble("add r1, r2").is_err());
+        assert!(assemble("v.drain r1").is_err());
+        assert!(assemble("mov r1").is_err());
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("mov.imm r1, 0xff\nmov.imm r2, -0x10\nhalt").unwrap();
+        assert_eq!(p[0], Instruction::MovImm { rd: Reg::new(1), imm: 255 });
+        assert_eq!(p[1], Instruction::MovImm { rd: Reg::new(2), imm: -16 });
+    }
+}

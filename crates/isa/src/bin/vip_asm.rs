@@ -1,0 +1,94 @@
+//! `vip-asm` — a command-line assembler/disassembler for VIP programs.
+//!
+//! ```sh
+//! # Assemble a source file to 64-bit instruction words (hex, one per line):
+//! cargo run -p vip-isa --bin vip_asm -- assemble kernel.s
+//!
+//! # Disassemble hex words back to a listing:
+//! cargo run -p vip-isa --bin vip_asm -- disassemble kernel.hex
+//!
+//! # Check a source file and print its listing:
+//! cargo run -p vip-isa --bin vip_asm -- check kernel.s
+//! ```
+
+use std::process::ExitCode;
+
+use vip_isa::{assemble, Instruction};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: vip_asm <assemble|disassemble|check> <file>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, path] = args.as_slice() else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vip_asm: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode.as_str() {
+        "assemble" => match assemble(&source) {
+            Ok(program) => {
+                for inst in &program {
+                    match inst.encode() {
+                        Ok(word) => println!("{word:016x}"),
+                        Err(e) => {
+                            eprintln!("vip_asm: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vip_asm: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "disassemble" => {
+            for (i, line) in source.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let word = match u64::from_str_radix(line, 16) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        eprintln!("vip_asm: {path}:{}: bad hex `{line}`: {e}", i + 1);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match Instruction::decode(word) {
+                    Ok(inst) => println!("{inst}"),
+                    Err(e) => {
+                        eprintln!("vip_asm: {path}:{}: {e}", i + 1);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => match assemble(&source) {
+            Ok(program) => {
+                print!("{program}");
+                eprintln!(
+                    "{path}: {} instructions ({} buffer slots free)",
+                    program.len(),
+                    vip_isa::INST_BUFFER_ENTRIES - program.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("vip_asm: {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

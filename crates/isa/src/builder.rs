@@ -1,0 +1,354 @@
+//! A label-aware program builder for generating VIP code from Rust.
+
+use std::collections::HashMap;
+
+use crate::asm::AsmError;
+use crate::inst::Instruction;
+use crate::ops::{BranchCond, HorizontalOp, ScalarAluOp, VerticalOp};
+use crate::program::Program;
+use crate::types::{ElemType, Reg};
+use crate::INST_BUFFER_ENTRIES;
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Resolved(Instruction),
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
+    Jmp { label: String },
+}
+
+/// Builder that assembles VIP programs with symbolic labels.
+///
+/// The kernel code generators in `vip-kernels` use this interface; it is
+/// also convenient for hand-writing small programs in tests and examples.
+/// All emit methods return `&mut Self` so instructions can be chained.
+///
+/// ```
+/// use vip_isa::{Asm, BranchCond, Reg, ScalarAluOp};
+///
+/// let (i, n) = (Reg::new(1), Reg::new(2));
+/// let mut asm = Asm::new();
+/// asm.mov_imm(i, 0)
+///     .mov_imm(n, 10)
+///     .label("loop")
+///     .addi(i, i, 1)
+///     .branch(BranchCond::Lt, i, n, "loop")
+///     .halt();
+/// let program = asm.assemble().unwrap();
+/// assert_eq!(program.len(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    insts: Vec<Pending>,
+    labels: HashMap<String, u32>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far (also the index of the next
+    /// instruction).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Defines `name` as a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (labels are unique).
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let prev = self.labels.insert(name.to_owned(), self.here());
+        assert!(prev.is_none(), "label `{name}` defined twice");
+        self
+    }
+
+    fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.insts.push(Pending::Resolved(inst));
+        self
+    }
+
+    // ---- vector configuration ----
+
+    /// Emits `set.vl rs`.
+    pub fn set_vl(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::SetVl { rs })
+    }
+
+    /// Emits `set.mr rs`.
+    pub fn set_mr(&mut self, rs: Reg) -> &mut Self {
+        self.push(Instruction::SetMr { rs })
+    }
+
+    /// Emits `v.drain`.
+    pub fn v_drain(&mut self) -> &mut Self {
+        self.push(Instruction::VDrain)
+    }
+
+    // ---- vector operations ----
+
+    /// Emits `m.v.<vop>.<hop>.<ty> rd, rs_mat, rs_vec`.
+    pub fn mat_vec(
+        &mut self,
+        vop: VerticalOp,
+        hop: HorizontalOp,
+        ty: ElemType,
+        rd: Reg,
+        rs_mat: Reg,
+        rs_vec: Reg,
+    ) -> &mut Self {
+        self.push(Instruction::MatVec { vop, hop, ty, rd, rs_mat, rs_vec })
+    }
+
+    /// Emits `v.v.<op>.<ty> rd, rs1, rs2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is [`VerticalOp::Nop`], which is only meaningful in
+    /// `m.v` instructions.
+    pub fn vec_vec(
+        &mut self,
+        op: VerticalOp,
+        ty: ElemType,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    ) -> &mut Self {
+        assert!(op != VerticalOp::Nop, "v.v.nop is not a valid instruction");
+        self.push(Instruction::VecVec { op, ty, rd, rs1, rs2 })
+    }
+
+    /// Emits `v.s.<op>.<ty> rd, rs_vec, rs_scalar`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is [`VerticalOp::Nop`].
+    pub fn vec_scalar(
+        &mut self,
+        op: VerticalOp,
+        ty: ElemType,
+        rd: Reg,
+        rs_vec: Reg,
+        rs_scalar: Reg,
+    ) -> &mut Self {
+        assert!(op != VerticalOp::Nop, "v.s.nop is not a valid instruction");
+        self.push(Instruction::VecScalar { op, ty, rd, rs_vec, rs_scalar })
+    }
+
+    // ---- scalar ----
+
+    /// Emits a register-register scalar ALU operation.
+    pub fn scalar(&mut self, op: ScalarAluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instruction::Scalar { op, rd, rs1, rs2 })
+    }
+
+    /// Emits a register-immediate scalar ALU operation.
+    pub fn scalar_imm(&mut self, op: ScalarAluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Instruction::ScalarImm { op, rd, rs1, imm })
+    }
+
+    /// Emits `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.scalar(ScalarAluOp::Add, rd, rs1, rs2)
+    }
+
+    /// Emits `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.scalar(ScalarAluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// Emits `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.scalar_imm(ScalarAluOp::Add, rd, rs1, imm)
+    }
+
+    /// Emits `slli rd, rs1, imm` (shift left logical by an immediate).
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.scalar_imm(ScalarAluOp::Sll, rd, rs1, imm)
+    }
+
+    /// Emits `mov rd, rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Instruction::Mov { rd, rs })
+    }
+
+    /// Emits `mov.imm rd, imm`.
+    pub fn mov_imm(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Instruction::MovImm { rd, imm })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.insts.push(Pending::Branch { cond, rs1, rs2, label: label.to_owned() });
+        self
+    }
+
+    /// Emits `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Emits `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Emits `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Emits `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Emits `jmp label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.insts.push(Pending::Jmp { label: label.to_owned() });
+        self
+    }
+
+    // ---- load-store ----
+
+    /// Emits `ld.sram.<ty> rd_sp, rs_addr, rs_len`.
+    pub fn ld_sram(&mut self, ty: ElemType, rd_sp: Reg, rs_addr: Reg, rs_len: Reg) -> &mut Self {
+        self.push(Instruction::LdSram { ty, rd_sp, rs_addr, rs_len })
+    }
+
+    /// Emits `st.sram.<ty> rs_sp, rs_addr, rs_len`.
+    pub fn st_sram(&mut self, ty: ElemType, rs_sp: Reg, rs_addr: Reg, rs_len: Reg) -> &mut Self {
+        self.push(Instruction::StSram { ty, rs_sp, rs_addr, rs_len })
+    }
+
+    /// Emits `ld.reg rd, rs_addr`.
+    pub fn ld_reg(&mut self, rd: Reg, rs_addr: Reg) -> &mut Self {
+        self.push(Instruction::LdReg { rd, rs_addr })
+    }
+
+    /// Emits `st.reg rs, rs_addr`.
+    pub fn st_reg(&mut self, rs: Reg, rs_addr: Reg) -> &mut Self {
+        self.push(Instruction::StReg { rs, rs_addr })
+    }
+
+    /// Emits `ld.reg.fe rd, rs_addr` (full-empty acquire).
+    pub fn ld_reg_fe(&mut self, rd: Reg, rs_addr: Reg) -> &mut Self {
+        self.push(Instruction::LdRegFe { rd, rs_addr })
+    }
+
+    /// Emits `st.reg.ff rs, rs_addr` (full-empty release).
+    pub fn st_reg_ff(&mut self, rs: Reg, rs_addr: Reg) -> &mut Self {
+        self.push(Instruction::StRegFf { rs, rs_addr })
+    }
+
+    /// Emits `memfence`.
+    pub fn memfence(&mut self) -> &mut Self {
+        self.push(Instruction::MemFence)
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::Nop)
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instruction::Halt)
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnknownLabel`] for a branch to an undefined
+    /// label and [`AsmError::ProgramTooLong`] if the program exceeds the
+    /// instruction buffer.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if self.insts.len() > INST_BUFFER_ENTRIES {
+            return Err(AsmError::ProgramTooLong { len: self.insts.len() });
+        }
+        let resolve = |label: &str| {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UnknownLabel { label: label.to_owned() })
+        };
+        let insts = self
+            .insts
+            .iter()
+            .map(|p| {
+                Ok(match p {
+                    Pending::Resolved(inst) => *inst,
+                    Pending::Branch { cond, rs1, rs2, label } => Instruction::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        target: resolve(label)?,
+                    },
+                    Pending::Jmp { label } => Instruction::Jmp { target: resolve(label)? },
+                })
+            })
+            .collect::<Result<Vec<_>, AsmError>>()?;
+        Ok(Program::new(insts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut asm = Asm::new();
+        asm.jmp("end")
+            .label("loop")
+            .addi(r(1), r(1), 1)
+            .blt(r(1), r(2), "loop")
+            .label("end")
+            .halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p[0], Instruction::Jmp { target: 3 });
+        assert_eq!(
+            p[2],
+            Instruction::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: 1 }
+        );
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut asm = Asm::new();
+        asm.jmp("nowhere").halt();
+        assert!(matches!(asm.assemble(), Err(AsmError::UnknownLabel { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut asm = Asm::new();
+        asm.label("a").label("a");
+    }
+
+    #[test]
+    fn too_long_program() {
+        let mut asm = Asm::new();
+        for _ in 0..=INST_BUFFER_ENTRIES {
+            asm.nop();
+        }
+        assert!(matches!(asm.assemble(), Err(AsmError::ProgramTooLong { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "v.v.nop")]
+    fn vv_nop_rejected() {
+        let mut asm = Asm::new();
+        asm.vec_vec(VerticalOp::Nop, ElemType::I16, r(0), r(1), r(2));
+    }
+}

@@ -1,0 +1,433 @@
+//! Fixed-width 64-bit binary instruction encoding.
+//!
+//! Each PE holds its program in a 1,024-entry instruction buffer (§III-B);
+//! this module defines the word format those entries use. The layout is
+//!
+//! ```text
+//!  63      56 55      48 47      40 39      32 31      24 23         0
+//! ┌──────────┬──────────┬──────────┬──────────┬──────────┬────────────┐
+//! │  opcode  │  subop   │    rd    │   rs1    │   rs2    │ imm24      │
+//! └──────────┴──────────┴──────────┴──────────┴──────────┴────────────┘
+//! ```
+//!
+//! `subop` packs the vertical/horizontal operator and element type for
+//! vector instructions (`vop << 4 | hop << 2 | ty`), the ALU operator for
+//! scalar instructions, or the branch condition. `mov.imm` repurposes the
+//! `rs1`/`rs2`/`imm24` fields as a 40-bit sign-extended immediate so that
+//! full DRAM addresses can be materialized in one instruction.
+
+use std::fmt;
+
+use crate::inst::Instruction;
+use crate::ops::{BranchCond, HorizontalOp, ScalarAluOp, VerticalOp};
+use crate::types::{ElemType, Reg};
+
+/// Error produced when an instruction's immediate does not fit its
+/// encoding field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The instruction that failed to encode.
+    pub instruction: String,
+    /// The out-of-range immediate.
+    pub imm: i64,
+    /// Width of the destination field in bits.
+    pub field_bits: u32,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "immediate {} does not fit in {} bits for `{}`",
+            self.imm, self.field_bits, self.instruction
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced when decoding an instruction word fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u64,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#018x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod opcode {
+    pub const SET_VL: u8 = 0x01;
+    pub const SET_MR: u8 = 0x02;
+    pub const V_DRAIN: u8 = 0x03;
+    pub const MAT_VEC: u8 = 0x04;
+    pub const VEC_VEC: u8 = 0x05;
+    pub const VEC_SCALAR: u8 = 0x06;
+    pub const SCALAR: u8 = 0x10;
+    pub const SCALAR_IMM: u8 = 0x11;
+    pub const MOV: u8 = 0x12;
+    pub const MOV_IMM: u8 = 0x13;
+    pub const BRANCH: u8 = 0x14;
+    pub const JMP: u8 = 0x15;
+    pub const LD_SRAM: u8 = 0x20;
+    pub const ST_SRAM: u8 = 0x21;
+    pub const LD_REG: u8 = 0x22;
+    pub const ST_REG: u8 = 0x23;
+    pub const LD_REG_FE: u8 = 0x24;
+    pub const ST_REG_FF: u8 = 0x25;
+    pub const MEM_FENCE: u8 = 0x26;
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0xff;
+}
+
+fn pack(op: u8, sub: u8, rd: u8, rs1: u8, rs2: u8, imm24: u32) -> u64 {
+    debug_assert!(imm24 < (1 << 24));
+    (u64::from(op) << 56)
+        | (u64::from(sub) << 48)
+        | (u64::from(rd) << 40)
+        | (u64::from(rs1) << 32)
+        | (u64::from(rs2) << 24)
+        | u64::from(imm24)
+}
+
+fn fits_signed(value: i64, bits: u32) -> bool {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (min..=max).contains(&value)
+}
+
+fn vec_sub(vop: VerticalOp, hop: HorizontalOp, ty: ElemType) -> u8 {
+    (vop.code() << 4) | (hop.code() << 2) | ty.code()
+}
+
+impl Instruction {
+    /// Encodes the instruction into a 64-bit instruction-buffer word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if an immediate is too wide for its field
+    /// (24 bits for `addi`-style immediates and branch targets, 40 bits for
+    /// `mov.imm`).
+    pub fn encode(&self) -> Result<u64, EncodeError> {
+        use Instruction::*;
+        let word = match *self {
+            SetVl { rs } => pack(opcode::SET_VL, 0, 0, rs.index() as u8, 0, 0),
+            SetMr { rs } => pack(opcode::SET_MR, 0, 0, rs.index() as u8, 0, 0),
+            VDrain => pack(opcode::V_DRAIN, 0, 0, 0, 0, 0),
+            MatVec { vop, hop, ty, rd, rs_mat, rs_vec } => pack(
+                opcode::MAT_VEC,
+                vec_sub(vop, hop, ty),
+                rd.index() as u8,
+                rs_mat.index() as u8,
+                rs_vec.index() as u8,
+                0,
+            ),
+            VecVec { op, ty, rd, rs1, rs2 } => pack(
+                opcode::VEC_VEC,
+                vec_sub(op, HorizontalOp::Add, ty),
+                rd.index() as u8,
+                rs1.index() as u8,
+                rs2.index() as u8,
+                0,
+            ),
+            VecScalar { op, ty, rd, rs_vec, rs_scalar } => pack(
+                opcode::VEC_SCALAR,
+                vec_sub(op, HorizontalOp::Add, ty),
+                rd.index() as u8,
+                rs_vec.index() as u8,
+                rs_scalar.index() as u8,
+                0,
+            ),
+            Scalar { op, rd, rs1, rs2 } => pack(
+                opcode::SCALAR,
+                op.code(),
+                rd.index() as u8,
+                rs1.index() as u8,
+                rs2.index() as u8,
+                0,
+            ),
+            ScalarImm { op, rd, rs1, imm } => {
+                if !fits_signed(i64::from(imm), 24) {
+                    return Err(EncodeError {
+                        instruction: self.to_string(),
+                        imm: i64::from(imm),
+                        field_bits: 24,
+                    });
+                }
+                pack(
+                    opcode::SCALAR_IMM,
+                    op.code(),
+                    rd.index() as u8,
+                    rs1.index() as u8,
+                    0,
+                    (imm as u32) & 0x00ff_ffff,
+                )
+            }
+            Mov { rd, rs } => pack(opcode::MOV, 0, rd.index() as u8, rs.index() as u8, 0, 0),
+            MovImm { rd, imm } => {
+                if !fits_signed(imm, 40) {
+                    return Err(EncodeError {
+                        instruction: self.to_string(),
+                        imm,
+                        field_bits: 40,
+                    });
+                }
+                let uimm = (imm as u64) & 0xff_ffff_ffff;
+                (u64::from(opcode::MOV_IMM) << 56)
+                    | ((rd.index() as u64) << 40)
+                    | uimm
+            }
+            Branch { cond, rs1, rs2, target } => pack(
+                opcode::BRANCH,
+                cond.code(),
+                0,
+                rs1.index() as u8,
+                rs2.index() as u8,
+                target & 0x00ff_ffff,
+            ),
+            Jmp { target } => pack(opcode::JMP, 0, 0, 0, 0, target & 0x00ff_ffff),
+            LdSram { ty, rd_sp, rs_addr, rs_len } => pack(
+                opcode::LD_SRAM,
+                ty.code(),
+                rd_sp.index() as u8,
+                rs_addr.index() as u8,
+                rs_len.index() as u8,
+                0,
+            ),
+            StSram { ty, rs_sp, rs_addr, rs_len } => pack(
+                opcode::ST_SRAM,
+                ty.code(),
+                rs_sp.index() as u8,
+                rs_addr.index() as u8,
+                rs_len.index() as u8,
+                0,
+            ),
+            LdReg { rd, rs_addr } => {
+                pack(opcode::LD_REG, 0, rd.index() as u8, rs_addr.index() as u8, 0, 0)
+            }
+            StReg { rs, rs_addr } => {
+                pack(opcode::ST_REG, 0, 0, rs.index() as u8, rs_addr.index() as u8, 0)
+            }
+            LdRegFe { rd, rs_addr } => {
+                pack(opcode::LD_REG_FE, 0, rd.index() as u8, rs_addr.index() as u8, 0, 0)
+            }
+            StRegFf { rs, rs_addr } => {
+                pack(opcode::ST_REG_FF, 0, 0, rs.index() as u8, rs_addr.index() as u8, 0)
+            }
+            MemFence => pack(opcode::MEM_FENCE, 0, 0, 0, 0, 0),
+            Nop => pack(opcode::NOP, 0, 0, 0, 0, 0),
+            Halt => pack(opcode::HALT, 0, 0, 0, 0, 0),
+        };
+        Ok(word)
+    }
+
+    /// Decodes a 64-bit instruction-buffer word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode or any operand field is
+    /// invalid.
+    pub fn decode(word: u64) -> Result<Self, DecodeError> {
+        let err = || DecodeError { word };
+        let op = (word >> 56) as u8;
+        let sub = (word >> 48) as u8;
+        let rd = Reg::try_new(((word >> 40) & 0xff) as u8);
+        let rs1 = Reg::try_new(((word >> 32) & 0xff) as u8);
+        let rs2 = Reg::try_new(((word >> 24) & 0xff) as u8);
+        let imm24 = (word & 0x00ff_ffff) as u32;
+        let simm24 = ((imm24 << 8) as i32) >> 8;
+
+        let vop = || VerticalOp::from_code(sub >> 4).ok_or_else(err);
+        let hop = || HorizontalOp::from_code((sub >> 2) & 0b11).ok_or_else(err);
+        let vty = || ElemType::from_code(sub & 0b11).ok_or_else(err);
+        let rd = move || rd.ok_or_else(err);
+        let rs1 = move || rs1.ok_or_else(err);
+        let rs2 = move || rs2.ok_or_else(err);
+
+        use Instruction::*;
+        Ok(match op {
+            opcode::SET_VL => SetVl { rs: rs1()? },
+            opcode::SET_MR => SetMr { rs: rs1()? },
+            opcode::V_DRAIN => VDrain,
+            opcode::MAT_VEC => MatVec {
+                vop: vop()?,
+                hop: hop()?,
+                ty: vty()?,
+                rd: rd()?,
+                rs_mat: rs1()?,
+                rs_vec: rs2()?,
+            },
+            opcode::VEC_VEC => {
+                let op = vop()?;
+                if op == VerticalOp::Nop {
+                    return Err(err());
+                }
+                VecVec { op, ty: vty()?, rd: rd()?, rs1: rs1()?, rs2: rs2()? }
+            }
+            opcode::VEC_SCALAR => {
+                let op = vop()?;
+                if op == VerticalOp::Nop {
+                    return Err(err());
+                }
+                VecScalar { op, ty: vty()?, rd: rd()?, rs_vec: rs1()?, rs_scalar: rs2()? }
+            }
+            opcode::SCALAR => Scalar {
+                op: ScalarAluOp::from_code(sub).ok_or_else(err)?,
+                rd: rd()?,
+                rs1: rs1()?,
+                rs2: rs2()?,
+            },
+            opcode::SCALAR_IMM => ScalarImm {
+                op: ScalarAluOp::from_code(sub).ok_or_else(err)?,
+                rd: rd()?,
+                rs1: rs1()?,
+                imm: simm24,
+            },
+            opcode::MOV => Mov { rd: rd()?, rs: rs1()? },
+            opcode::MOV_IMM => {
+                let uimm = word & 0xff_ffff_ffff;
+                let imm = ((uimm << 24) as i64) >> 24;
+                MovImm { rd: rd()?, imm }
+            }
+            opcode::BRANCH => Branch {
+                cond: BranchCond::from_code(sub).ok_or_else(err)?,
+                rs1: rs1()?,
+                rs2: rs2()?,
+                target: imm24,
+            },
+            opcode::JMP => Jmp { target: imm24 },
+            opcode::LD_SRAM => LdSram {
+                ty: ElemType::from_code(sub).ok_or_else(err)?,
+                rd_sp: rd()?,
+                rs_addr: rs1()?,
+                rs_len: rs2()?,
+            },
+            opcode::ST_SRAM => StSram {
+                ty: ElemType::from_code(sub).ok_or_else(err)?,
+                rs_sp: rd()?,
+                rs_addr: rs1()?,
+                rs_len: rs2()?,
+            },
+            opcode::LD_REG => LdReg { rd: rd()?, rs_addr: rs1()? },
+            opcode::ST_REG => StReg { rs: rs1()?, rs_addr: rs2()? },
+            opcode::LD_REG_FE => LdRegFe { rd: rd()?, rs_addr: rs1()? },
+            opcode::ST_REG_FF => StRegFf { rs: rs1()?, rs_addr: rs2()? },
+            opcode::MEM_FENCE => MemFence,
+            opcode::NOP => Nop,
+            opcode::HALT => Halt,
+            _ => return Err(err()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn sample_instructions() -> Vec<Instruction> {
+        use Instruction::*;
+        vec![
+            SetVl { rs: r(61) },
+            SetMr { rs: r(60) },
+            VDrain,
+            MatVec {
+                vop: VerticalOp::Add,
+                hop: HorizontalOp::Min,
+                ty: ElemType::I16,
+                rd: r(10),
+                rs_mat: r(15),
+                rs_vec: r(11),
+            },
+            VecVec {
+                op: VerticalOp::Mul,
+                ty: ElemType::I8,
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            },
+            VecScalar {
+                op: VerticalOp::Max,
+                ty: ElemType::I32,
+                rd: r(4),
+                rs_vec: r(5),
+                rs_scalar: r(6),
+            },
+            Scalar { op: ScalarAluOp::Xor, rd: r(7), rs1: r(8), rs2: r(9) },
+            ScalarImm { op: ScalarAluOp::Add, rd: r(1), rs1: r(1), imm: -32 },
+            Mov { rd: r(2), rs: r(3) },
+            MovImm { rd: r(2), imm: -1 },
+            MovImm { rd: r(2), imm: (1 << 39) - 1 },
+            Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: 42 },
+            Jmp { target: 1023 },
+            LdSram { ty: ElemType::I16, rd_sp: r(11), rs_addr: r(7), rs_len: r(61) },
+            StSram { ty: ElemType::I64, rs_sp: r(10), rs_addr: r(14), rs_len: r(61) },
+            LdReg { rd: r(1), rs_addr: r(2) },
+            StReg { rs: r(1), rs_addr: r(2) },
+            LdRegFe { rd: r(1), rs_addr: r(2) },
+            StRegFf { rs: r(1), rs_addr: r(2) },
+            MemFence,
+            Nop,
+            Halt,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_forms() {
+        for inst in sample_instructions() {
+            let word = inst.encode().unwrap();
+            let back = Instruction::decode(word).unwrap();
+            assert_eq!(back, inst, "word {word:#018x}");
+        }
+    }
+
+    #[test]
+    fn imm_range_checks() {
+        let too_big = Instruction::ScalarImm {
+            op: ScalarAluOp::Add,
+            rd: r(0),
+            rs1: r(0),
+            imm: 1 << 23,
+        };
+        assert!(too_big.encode().is_err());
+
+        let ok = Instruction::ScalarImm {
+            op: ScalarAluOp::Add,
+            rd: r(0),
+            rs1: r(0),
+            imm: (1 << 23) - 1,
+        };
+        assert!(ok.encode().is_ok());
+
+        let mov_too_big = Instruction::MovImm { rd: r(0), imm: 1 << 39 };
+        assert!(mov_too_big.encode().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        assert!(Instruction::decode(0x7f00_0000_0000_0000).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // MOV with rd = 200.
+        let word = (u64::from(0x12u8) << 56) | (200u64 << 40);
+        assert!(Instruction::decode(word).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_nop_vertical_on_vv() {
+        // VEC_VEC with vop = Nop is not a valid instruction.
+        let sub = (VerticalOp::Nop.code() << 4) | ElemType::I16.code();
+        let word = (u64::from(0x05u8) << 56) | (u64::from(sub) << 48);
+        assert!(Instruction::decode(word).is_err());
+    }
+}

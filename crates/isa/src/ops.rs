@@ -1,0 +1,353 @@
+//! Operator enumerations for the vector and scalar pipelines.
+
+use std::fmt;
+
+/// Vertical (element-wise) vector operators (Table II).
+///
+/// The vertical unit combines corresponding lanes of its two inputs. In
+/// `m.v` (matrix-vector) instructions the programmer composes a vertical
+/// operator with a [`HorizontalOp`]; `Nop` passes the matrix row through
+/// unchanged so that the horizontal unit performs a pure reduction (used,
+/// e.g., for max-pooling windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerticalOp {
+    /// Lane-wise saturating multiply (4-stage pipeline in hardware).
+    Mul,
+    /// Lane-wise saturating add.
+    Add,
+    /// Lane-wise saturating subtract.
+    Sub,
+    /// Lane-wise minimum.
+    Min,
+    /// Lane-wise maximum.
+    Max,
+    /// Pass the first operand through (only valid in `m.v` instructions).
+    Nop,
+}
+
+impl VerticalOp {
+    /// The assembler mnemonic fragment.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            VerticalOp::Mul => "mul",
+            VerticalOp::Add => "add",
+            VerticalOp::Sub => "sub",
+            VerticalOp::Min => "min",
+            VerticalOp::Max => "max",
+            VerticalOp::Nop => "nop",
+        }
+    }
+
+    /// Whether this operator uses the multiplier array (4-cycle latency,
+    /// and the dominant datapath power term — §VII).
+    #[must_use]
+    pub fn is_multiply(self) -> bool {
+        matches!(self, VerticalOp::Mul)
+    }
+
+    /// All vertical operators.
+    #[must_use]
+    pub fn all() -> [VerticalOp; 6] {
+        [
+            VerticalOp::Mul,
+            VerticalOp::Add,
+            VerticalOp::Sub,
+            VerticalOp::Min,
+            VerticalOp::Max,
+            VerticalOp::Nop,
+        ]
+    }
+
+    #[must_use]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            VerticalOp::Mul => 0,
+            VerticalOp::Add => 1,
+            VerticalOp::Sub => 2,
+            VerticalOp::Min => 3,
+            VerticalOp::Max => 4,
+            VerticalOp::Nop => 5,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Self::all().into_iter().find(|op| op.code() == code)
+    }
+
+    pub(crate) fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::all().into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for VerticalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Horizontal (reduction) vector operators (Table II).
+///
+/// The horizontal unit folds the vertical unit's output into a single
+/// scalar per matrix row. `Add` composed with `Mul` yields a dot product
+/// (sum-product matrix-vector multiply); `Min` composed with `Add` yields
+/// the min-sum belief-propagation message update of Equation (1b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HorizontalOp {
+    /// Saturating sum reduction.
+    Add,
+    /// Minimum reduction.
+    Min,
+    /// Maximum reduction.
+    Max,
+}
+
+impl HorizontalOp {
+    /// The assembler mnemonic fragment.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            HorizontalOp::Add => "add",
+            HorizontalOp::Min => "min",
+            HorizontalOp::Max => "max",
+        }
+    }
+
+    /// All horizontal operators.
+    #[must_use]
+    pub fn all() -> [HorizontalOp; 3] {
+        [HorizontalOp::Add, HorizontalOp::Min, HorizontalOp::Max]
+    }
+
+    #[must_use]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            HorizontalOp::Add => 0,
+            HorizontalOp::Min => 1,
+            HorizontalOp::Max => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Self::all().into_iter().find(|op| op.code() == code)
+    }
+
+    pub(crate) fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::all().into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for HorizontalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Scalar ALU operators (Table II, reg-reg / reg-imm group).
+///
+/// The scalar unit has a 64-bit datapath and exists to run control flow and
+/// address arithmetic in the shadow of long-running vector operations
+/// (§III-A). Scalar arithmetic wraps (two's complement), unlike the
+/// saturating vector lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarAluOp {
+    Add,
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    And,
+    Or,
+    Xor,
+}
+
+impl ScalarAluOp {
+    /// The assembler mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ScalarAluOp::Add => "add",
+            ScalarAluOp::Sub => "sub",
+            ScalarAluOp::Sll => "sll",
+            ScalarAluOp::Srl => "srl",
+            ScalarAluOp::Sra => "sra",
+            ScalarAluOp::And => "and",
+            ScalarAluOp::Or => "or",
+            ScalarAluOp::Xor => "xor",
+        }
+    }
+
+    /// Evaluates the operator on 64-bit operands (wrapping semantics;
+    /// shifts use the low 6 bits of the second operand).
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        let sh = (b & 63) as u32;
+        match self {
+            ScalarAluOp::Add => a.wrapping_add(b),
+            ScalarAluOp::Sub => a.wrapping_sub(b),
+            ScalarAluOp::Sll => a << sh,
+            ScalarAluOp::Srl => a >> sh,
+            ScalarAluOp::Sra => ((a as i64) >> sh) as u64,
+            ScalarAluOp::And => a & b,
+            ScalarAluOp::Or => a | b,
+            ScalarAluOp::Xor => a ^ b,
+        }
+    }
+
+    /// All scalar ALU operators.
+    #[must_use]
+    pub fn all() -> [ScalarAluOp; 8] {
+        [
+            ScalarAluOp::Add,
+            ScalarAluOp::Sub,
+            ScalarAluOp::Sll,
+            ScalarAluOp::Srl,
+            ScalarAluOp::Sra,
+            ScalarAluOp::And,
+            ScalarAluOp::Or,
+            ScalarAluOp::Xor,
+        ]
+    }
+
+    #[must_use]
+    pub(crate) fn code(self) -> u8 {
+        self.all_index()
+    }
+
+    fn all_index(self) -> u8 {
+        Self::all().iter().position(|&op| op == self).unwrap() as u8
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Self::all().get(code as usize).copied()
+    }
+
+    pub(crate) fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::all().into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for ScalarAluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Conditional-branch comparisons (Table II). Comparisons are signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater than or equal (signed).
+    Ge,
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+}
+
+impl BranchCond {
+    /// The assembler mnemonic (`blt`, `bge`, `beq`, `bne`).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+        }
+    }
+
+    /// Evaluates the comparison on two register values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (a, b) = (a as i64, b as i64);
+        match self {
+            BranchCond::Lt => a < b,
+            BranchCond::Ge => a >= b,
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+        }
+    }
+
+    /// All branch conditions.
+    #[must_use]
+    pub fn all() -> [BranchCond; 4] {
+        [BranchCond::Lt, BranchCond::Ge, BranchCond::Eq, BranchCond::Ne]
+    }
+
+    #[must_use]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            BranchCond::Lt => 0,
+            BranchCond::Ge => 1,
+            BranchCond::Eq => 2,
+            BranchCond::Ne => 3,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        Self::all().into_iter().find(|c| c.code() == code)
+    }
+
+    pub(crate) fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::all().into_iter().find(|c| c.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_alu_semantics() {
+        assert_eq!(ScalarAluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(ScalarAluOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(ScalarAluOp::Sll.eval(1, 8), 256);
+        assert_eq!(ScalarAluOp::Srl.eval(u64::MAX, 63), 1);
+        assert_eq!(ScalarAluOp::Sra.eval(u64::MAX, 63), u64::MAX);
+        assert_eq!(ScalarAluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(ScalarAluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(ScalarAluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        // Shift amounts use only the low six bits.
+        assert_eq!(ScalarAluOp::Sll.eval(1, 64), 1);
+    }
+
+    #[test]
+    fn branch_cond_is_signed() {
+        let minus_one = (-1i64) as u64;
+        assert!(BranchCond::Lt.eval(minus_one, 0));
+        assert!(!BranchCond::Ge.eval(minus_one, 0));
+        assert!(BranchCond::Eq.eval(7, 7));
+        assert!(BranchCond::Ne.eval(7, 8));
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for op in VerticalOp::all() {
+            assert_eq!(VerticalOp::from_mnemonic(op.mnemonic()), Some(op));
+            assert_eq!(VerticalOp::from_code(op.code()), Some(op));
+        }
+        for op in HorizontalOp::all() {
+            assert_eq!(HorizontalOp::from_mnemonic(op.mnemonic()), Some(op));
+            assert_eq!(HorizontalOp::from_code(op.code()), Some(op));
+        }
+        for op in ScalarAluOp::all() {
+            assert_eq!(ScalarAluOp::from_mnemonic(op.mnemonic()), Some(op));
+            assert_eq!(ScalarAluOp::from_code(op.code()), Some(op));
+        }
+        for c in BranchCond::all() {
+            assert_eq!(BranchCond::from_mnemonic(c.mnemonic()), Some(c));
+            assert_eq!(BranchCond::from_code(c.code()), Some(c));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Assembled VIP programs.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::inst::Instruction;
+use crate::INST_BUFFER_ENTRIES;
+
+/// An assembled, label-resolved VIP program.
+///
+/// A `Program` is an immutable sequence of [`Instruction`]s ready to be
+/// loaded into a PE's 1,024-entry instruction buffer. Construct one with
+/// [`Program::new`], the [`Asm`](crate::Asm) builder, or the text
+/// [`assemble`](crate::assemble)r.
+///
+/// ```
+/// use vip_isa::{Asm, Instruction, Reg};
+///
+/// let mut asm = Asm::new();
+/// asm.mov_imm(Reg::new(1), 5).halt();
+/// let program: vip_isa::Program = asm.assemble().unwrap();
+/// assert_eq!(program.len(), 2);
+/// assert_eq!(program[1], Instruction::Halt);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    insts: Vec<Instruction>,
+}
+
+impl Program {
+    /// Wraps a list of resolved instructions as a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program exceeds the instruction buffer capacity
+    /// ([`INST_BUFFER_ENTRIES`]) or if a branch target points past the end
+    /// of the program.
+    #[must_use]
+    pub fn new(insts: Vec<Instruction>) -> Self {
+        assert!(
+            insts.len() <= INST_BUFFER_ENTRIES,
+            "program has {} instructions; the instruction buffer holds {}",
+            insts.len(),
+            INST_BUFFER_ENTRIES
+        );
+        for (pc, inst) in insts.iter().enumerate() {
+            let target = match *inst {
+                Instruction::Branch { target, .. } | Instruction::Jmp { target } => target,
+                _ => continue,
+            };
+            assert!(
+                (target as usize) < insts.len(),
+                "instruction {pc} (`{inst}`) targets {target}, past the end of the program"
+            );
+        }
+        Program { insts }
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, pc: usize) -> Option<&Instruction> {
+        self.insts.get(pc)
+    }
+
+    /// Iterates over the instructions in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.insts.iter()
+    }
+
+    /// The instructions as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// Encodes the whole program into instruction-buffer words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EncodeError`](crate::encode::EncodeError).
+    pub fn encode(&self) -> Result<Vec<u64>, crate::encode::EncodeError> {
+        self.insts.iter().map(Instruction::encode).collect()
+    }
+}
+
+impl Index<usize> for Program {
+    type Output = Instruction;
+
+    fn index(&self, pc: usize) -> &Instruction {
+        &self.insts[pc]
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{pc:4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Reg;
+
+    #[test]
+    fn listing_format() {
+        let p = Program::new(vec![
+            Instruction::MovImm { rd: Reg::new(1), imm: 3 },
+            Instruction::Halt,
+        ]);
+        let listing = p.to_string();
+        assert!(listing.contains("0: mov.imm r1, 3"));
+        assert!(listing.contains("1: halt"));
+    }
+
+    #[test]
+    #[should_panic(expected = "targets")]
+    fn rejects_dangling_branch() {
+        let _ = Program::new(vec![Instruction::Jmp { target: 5 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction buffer")]
+    fn rejects_oversize_program() {
+        let _ = Program::new(vec![Instruction::Nop; INST_BUFFER_ENTRIES + 1]);
+    }
+
+    #[test]
+    fn encode_whole_program() {
+        let p = Program::new(vec![Instruction::Nop, Instruction::Halt]);
+        let words = p.encode().unwrap();
+        assert_eq!(words.len(), 2);
+        assert_eq!(Instruction::decode(words[1]).unwrap(), Instruction::Halt);
+    }
+}

@@ -1,0 +1,220 @@
+//! Fundamental ISA types: registers and element types.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of scalar registers in a PE (§III-B: "the scalar register file
+/// contains 64 elements").
+pub const NUM_REGS: usize = 64;
+
+/// A scalar register name, `r0` through `r63`.
+///
+/// All registers are general purpose; VIP has no architecturally-zero
+/// register. Registers are 64 bits wide.
+///
+/// ```
+/// use vip_isa::Reg;
+/// let r: Reg = "r61".parse()?;
+/// assert_eq!(r.index(), 61);
+/// assert_eq!(r.to_string(), "r61");
+/// # Ok::<(), vip_isa::RegParseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (0..{NUM_REGS})"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register, returning `None` if the index is out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index, in `0..64`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all 64 registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegParseError(pub String);
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for RegParseError {}
+
+impl FromStr for Reg {
+    type Err = RegParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || RegParseError(s.to_owned());
+        let digits = s.strip_prefix('r').ok_or_else(err)?;
+        let index: u8 = digits.parse().map_err(|_| err())?;
+        Reg::try_new(index).ok_or_else(err)
+    }
+}
+
+/// Vector element width. The 64-bit datapath performs one 64-bit, two
+/// 32-bit, four 16-bit, or eight 8-bit operations per cycle (§III-B).
+///
+/// All element types are signed fixed-point integers; the evaluated
+/// workloads use [`ElemType::I16`] ("16-bit dynamic fixed point", §IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ElemType {
+    /// 8-bit lanes, eight per beat.
+    I8,
+    /// 16-bit lanes, four per beat (the workloads' default).
+    #[default]
+    I16,
+    /// 32-bit lanes, two per beat.
+    I32,
+    /// 64-bit lanes, one per beat.
+    I64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    #[must_use]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ElemType::I8 => 1,
+            ElemType::I16 => 2,
+            ElemType::I32 => 4,
+            ElemType::I64 => 8,
+        }
+    }
+
+    /// Number of lanes processed per 64-bit datapath beat.
+    #[must_use]
+    pub fn lanes_per_beat(self) -> usize {
+        8 / self.size_bytes()
+    }
+
+    /// The mnemonic suffix used by the assembler (`i8`, `i16`, …).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ElemType::I8 => "i8",
+            ElemType::I16 => "i16",
+            ElemType::I32 => "i32",
+            ElemType::I64 => "i64",
+        }
+    }
+
+    /// All element types, narrowest first.
+    #[must_use]
+    pub fn all() -> [ElemType; 4] {
+        [ElemType::I8, ElemType::I16, ElemType::I32, ElemType::I64]
+    }
+
+    /// Parses an assembler suffix (`i8`/`i16`/`i32`/`i64`).
+    #[must_use]
+    pub fn from_suffix(s: &str) -> Option<Self> {
+        match s {
+            "i8" => Some(ElemType::I8),
+            "i16" => Some(ElemType::I16),
+            "i32" => Some(ElemType::I32),
+            "i64" => Some(ElemType::I64),
+            _ => None,
+        }
+    }
+
+    /// Encoding tag used by the binary instruction format.
+    #[must_use]
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            ElemType::I8 => 0,
+            ElemType::I16 => 1,
+            ElemType::I32 => 2,
+            ElemType::I64 => 3,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ElemType::I8),
+            1 => Some(ElemType::I16),
+            2 => Some(ElemType::I32),
+            3 => Some(ElemType::I64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for r in Reg::all() {
+            let parsed: Reg = r.to_string().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn reg_rejects_out_of_range() {
+        assert!("r64".parse::<Reg>().is_err());
+        assert!("r999".parse::<Reg>().is_err());
+        assert!("x3".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+        assert!("r-1".parse::<Reg>().is_err());
+        assert!(Reg::try_new(64).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_panics() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn elem_type_geometry() {
+        assert_eq!(ElemType::I8.lanes_per_beat(), 8);
+        assert_eq!(ElemType::I16.lanes_per_beat(), 4);
+        assert_eq!(ElemType::I32.lanes_per_beat(), 2);
+        assert_eq!(ElemType::I64.lanes_per_beat(), 1);
+        for ty in ElemType::all() {
+            assert_eq!(ty.size_bytes() * ty.lanes_per_beat(), 8);
+            assert_eq!(ElemType::from_suffix(ty.suffix()), Some(ty));
+            assert_eq!(ElemType::from_code(ty.code()), Some(ty));
+        }
+    }
+}

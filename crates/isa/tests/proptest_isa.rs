@@ -1,0 +1,207 @@
+//! Property-based tests for the VIP ISA: encode/decode and
+//! display/assemble round-trips, and algebraic laws of the datapath
+//! arithmetic.
+
+use proptest::prelude::*;
+use vip_isa::alu;
+use vip_isa::{
+    assemble, BranchCond, ElemType, HorizontalOp, Instruction, Reg, ScalarAluOp, VerticalOp,
+};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..64).prop_map(Reg::new)
+}
+
+fn elem_ty() -> impl Strategy<Value = ElemType> {
+    prop_oneof![
+        Just(ElemType::I8),
+        Just(ElemType::I16),
+        Just(ElemType::I32),
+        Just(ElemType::I64),
+    ]
+}
+
+fn vop() -> impl Strategy<Value = VerticalOp> {
+    proptest::sample::select(VerticalOp::all().to_vec())
+}
+
+fn vop_no_nop() -> impl Strategy<Value = VerticalOp> {
+    vop().prop_filter("nop only valid in m.v", |&op| op != VerticalOp::Nop)
+}
+
+fn hop() -> impl Strategy<Value = HorizontalOp> {
+    proptest::sample::select(HorizontalOp::all().to_vec())
+}
+
+fn scalar_op() -> impl Strategy<Value = ScalarAluOp> {
+    proptest::sample::select(ScalarAluOp::all().to_vec())
+}
+
+fn cond() -> impl Strategy<Value = BranchCond> {
+    proptest::sample::select(BranchCond::all().to_vec())
+}
+
+fn inst_strategy() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        reg_strategy().prop_map(|rs| Instruction::SetVl { rs }),
+        reg_strategy().prop_map(|rs| Instruction::SetMr { rs }),
+        Just(Instruction::VDrain),
+        (vop(), hop(), elem_ty(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(vop, hop, ty, rd, rs_mat, rs_vec)| Instruction::MatVec {
+                vop,
+                hop,
+                ty,
+                rd,
+                rs_mat,
+                rs_vec
+            }
+        ),
+        (vop_no_nop(), elem_ty(), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, ty, rd, rs1, rs2)| Instruction::VecVec { op, ty, rd, rs1, rs2 }),
+        (vop_no_nop(), elem_ty(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(op, ty, rd, rs_vec, rs_scalar)| Instruction::VecScalar {
+                op,
+                ty,
+                rd,
+                rs_vec,
+                rs_scalar
+            }
+        ),
+        (scalar_op(), reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Scalar { op, rd, rs1, rs2 }),
+        (scalar_op(), reg_strategy(), reg_strategy(), -(1i32 << 23)..(1i32 << 23))
+            .prop_map(|(op, rd, rs1, imm)| Instruction::ScalarImm { op, rd, rs1, imm }),
+        (reg_strategy(), reg_strategy()).prop_map(|(rd, rs)| Instruction::Mov { rd, rs }),
+        (reg_strategy(), -(1i64 << 39)..(1i64 << 39))
+            .prop_map(|(rd, imm)| Instruction::MovImm { rd, imm }),
+        (cond(), reg_strategy(), reg_strategy(), 0u32..1024)
+            .prop_map(|(cond, rs1, rs2, target)| Instruction::Branch { cond, rs1, rs2, target }),
+        (0u32..1024).prop_map(|target| Instruction::Jmp { target }),
+        (elem_ty(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(ty, rd_sp, rs_addr, rs_len)| Instruction::LdSram { ty, rd_sp, rs_addr, rs_len }
+        ),
+        (elem_ty(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+            |(ty, rs_sp, rs_addr, rs_len)| Instruction::StSram { ty, rs_sp, rs_addr, rs_len }
+        ),
+        (reg_strategy(), reg_strategy()).prop_map(|(rd, rs_addr)| Instruction::LdReg {
+            rd,
+            rs_addr
+        }),
+        (reg_strategy(), reg_strategy()).prop_map(|(rs, rs_addr)| Instruction::StReg {
+            rs,
+            rs_addr
+        }),
+        (reg_strategy(), reg_strategy()).prop_map(|(rd, rs_addr)| Instruction::LdRegFe {
+            rd,
+            rs_addr
+        }),
+        (reg_strategy(), reg_strategy()).prop_map(|(rs, rs_addr)| Instruction::StRegFf {
+            rs,
+            rs_addr
+        }),
+        Just(Instruction::MemFence),
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(inst in inst_strategy()) {
+        let word = inst.encode().unwrap();
+        prop_assert_eq!(Instruction::decode(word).unwrap(), inst);
+    }
+
+    /// Any non-control-flow instruction's Display form re-assembles to
+    /// itself (branch targets print as raw indices, which the assembler
+    /// accepts too, so control flow also round-trips when in range).
+    #[test]
+    fn display_assemble_roundtrip(inst in inst_strategy()) {
+        // Give branches a valid target by padding with nops.
+        let mut src = String::new();
+        for _ in 0..1023 {
+            src.push_str("nop\n");
+        }
+        src.push_str(&inst.to_string());
+        let p = assemble(&src).unwrap();
+        prop_assert_eq!(p[1023], inst);
+    }
+
+    #[test]
+    fn vertical_saturates_into_range(
+        op in vop(),
+        ty in elem_ty(),
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let a = alu::saturate(ty, a);
+        let b = alu::saturate(ty, b);
+        let r = alu::vertical(op, ty, a, b);
+        prop_assert!(r >= alu::lane_min(ty) && r <= alu::lane_max(ty));
+    }
+
+    #[test]
+    fn add_is_commutative(ty in elem_ty(), a in any::<i64>(), b in any::<i64>()) {
+        let a = alu::saturate(ty, a);
+        let b = alu::saturate(ty, b);
+        prop_assert_eq!(
+            alu::vertical(VerticalOp::Add, ty, a, b),
+            alu::vertical(VerticalOp::Add, ty, b, a)
+        );
+        prop_assert_eq!(
+            alu::vertical(VerticalOp::Mul, ty, a, b),
+            alu::vertical(VerticalOp::Mul, ty, b, a)
+        );
+    }
+
+    #[test]
+    fn reductions_are_order_insensitive_for_min_max(
+        hop in prop_oneof![Just(HorizontalOp::Min), Just(HorizontalOp::Max)],
+        mut vals in proptest::collection::vec(-1000i64..1000, 1..32),
+    ) {
+        let ty = ElemType::I16;
+        let fwd = vals.iter().fold(alu::reduce_identity(hop, ty), |acc, &x| {
+            alu::reduce(hop, ty, acc, x)
+        });
+        vals.reverse();
+        let rev = vals.iter().fold(alu::reduce_identity(hop, ty), |acc, &x| {
+            alu::reduce(hop, ty, acc, x)
+        });
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn mat_vec_matches_scalar_loop(
+        rows in 1usize..6,
+        len in 1usize..12,
+        seed in any::<u64>(),
+        vop in vop(),
+        hop in hop(),
+    ) {
+        let ty = ElemType::I16;
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % 200) - 100
+        };
+        let mut mat = vec![0u8; rows * len * 2];
+        let mut v = vec![0u8; len * 2];
+        for i in 0..rows * len {
+            alu::write_lane(&mut mat, i, ty, next());
+        }
+        for i in 0..len {
+            alu::write_lane(&mut v, i, ty, next());
+        }
+        let mut dst = vec![0u8; rows * 2];
+        alu::mat_vec(vop, hop, ty, &mut dst, &mat, &v, rows, len);
+        for r in 0..rows {
+            let mut acc = alu::reduce_identity(hop, ty);
+            for i in 0..len {
+                let m = alu::read_lane(&mat, r * len + i, ty);
+                let x = alu::read_lane(&v, i, ty);
+                acc = alu::reduce(hop, ty, acc, alu::vertical(vop, ty, m, x));
+            }
+            prop_assert_eq!(alu::read_lane(&dst, r, ty), acc);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Hierarchical BP-M's construct and copy phases as VIP programs
+//! (§VI-A).
+//!
+//! *Construct* pools each 2×2 block of fine-grid data costs into one
+//! coarse vertex (three `v.v.add`s per coarse vertex — the memory-bound
+//! "cons" kernel of Figure 3a). *Copy* initializes the fine grid's four
+//! message planes from the converged coarse messages (each fine vertex
+//! inherits its coarse parent's vector). Both stream whole row segments
+//! through the scratchpad; both are verified bit-for-bit against
+//! [`coarse_mrf`](super::coarse_mrf) and
+//! [`refine_messages`](super::refine_messages).
+
+use vip_isa::{Asm, ElemType, Program, Reg, VerticalOp};
+
+use super::BpLayout;
+
+const TY: ElemType = ElemType::I16;
+
+/// Which plane a [`copy_messages_programs`] run duplicates. The four
+/// planes are independent; the generated program handles all four in
+/// sequence.
+const PLANE_COUNT: usize = 4;
+
+fn reg_alloc() -> impl FnMut() -> Reg {
+    let mut next = 0u8;
+    move || {
+        let r = Reg::new(next);
+        next += 1;
+        r
+    }
+}
+
+/// Generates per-PE programs for the construct phase: coarse data costs
+/// from fine data costs. Coarse rows are split across `pes`.
+///
+/// # Panics
+///
+/// Panics if geometries mismatch (coarse must be exactly half the fine
+/// grid), rows don't divide across PEs, or the chunk doesn't divide the
+/// coarse width.
+#[must_use]
+pub fn construct_programs(fine: &BpLayout, coarse: &BpLayout, pes: usize) -> Vec<Program> {
+    assert_eq!(fine.width, 2 * coarse.width);
+    assert_eq!(fine.height, 2 * coarse.height);
+    assert_eq!(fine.labels, coarse.labels);
+    let l = fine.labels;
+    let lb = (l * 2) as i64;
+    assert_eq!(coarse.height % pes, 0, "coarse rows must divide across PEs");
+    let rows_per_pe = coarse.height / pes;
+
+    // G coarse pixels per chunk: two fine-row buffers of 2G×L plus the
+    // G×L output.
+    let g = (4096 / (5 * l * 2)).clamp(1, 8).min(coarse.width);
+    assert_eq!(coarse.width % g, 0, "coarse width {} % chunk {g} != 0", coarse.width);
+    let in_elems = 2 * g * l;
+    let sp_a = 0i64;
+    let sp_b = (in_elems * 2) as i64;
+    let sp_out = 2 * sp_b;
+    assert!(sp_out + (g * l * 2) as i64 <= 4096);
+
+    (0..pes)
+        .map(|pe| {
+            let mut r = reg_alloc();
+            let (r_in_len, r_out_len, r_a, r_b, r_o, r_t, r_t2) =
+                (r(), r(), r(), r(), r(), r(), r());
+            let (r_pa, r_pb, r_po, r_y, r_yn, r_x, r_xn) = (r(), r(), r(), r(), r(), r(), r());
+
+            let cy0 = pe * rows_per_pe;
+            let fine_theta = fine.base; // theta is plane 0
+            let coarse_theta = coarse.base;
+
+            let mut asm = Asm::new();
+            asm.mov_imm(r_in_len, in_elems as i64)
+                .mov_imm(r_out_len, (g * l) as i64)
+                .mov_imm(r_a, sp_a)
+                .mov_imm(r_b, sp_b)
+                .mov_imm(r_o, sp_out)
+                .mov_imm(r_pa, (fine_theta + 2 * cy0 as u64 * fine.row_stride()) as i64)
+                .mov_imm(r_po, (coarse_theta + cy0 as u64 * coarse.row_stride()) as i64)
+                .mov_imm(r_y, 0)
+                .mov_imm(r_yn, rows_per_pe as i64)
+                .label("row")
+                .mov_imm(r_x, 0)
+                .mov_imm(r_xn, (coarse.width / g) as i64)
+                .label("xl");
+            // Load 2G fine vectors from each of the two fine rows.
+            asm.mov(r_pb, r_pa)
+                .mov_imm(r_t, fine.row_stride() as i64)
+                .add(r_pb, r_pb, r_t)
+                .ld_sram(TY, r_a, r_pa, r_in_len)
+                .ld_sram(TY, r_b, r_pb, r_in_len)
+                .set_vl(r_in_len)
+                .vec_vec(VerticalOp::Add, TY, r_a, r_a, r_b)
+                .set_vl(r_out_len);
+            // Horizontal pairs: out[g] = A'[2g] + A'[2g+1], L lanes each
+            // (done as one G·L-long add of the even and odd halves would
+            // interleave wrongly, so pair per coarse pixel).
+            asm.mov_imm(r_t2, l as i64).set_vl(r_t2);
+            for gi in 0..g {
+                asm.addi(r_t, r_a, (2 * gi) as i32 * lb as i32)
+                    .addi(r_t2, r_t, lb as i32)
+                    .mov_imm(r_o, sp_out + (gi as i64) * lb)
+                    .vec_vec(VerticalOp::Add, TY, r_o, r_t, r_t2);
+            }
+            asm.mov_imm(r_o, sp_out)
+                .st_sram(TY, r_o, r_po, r_out_len)
+                .mov_imm(r_t, (in_elems * 2) as i64)
+                .add(r_pa, r_pa, r_t)
+                .mov_imm(r_t, (g * l * 2) as i64)
+                .add(r_po, r_po, r_t)
+                .addi(r_x, r_x, 1)
+                .blt(r_x, r_xn, "xl");
+            // Row epilogue: fine pointer advances two rows, coarse one.
+            let fine_consumed = (coarse.width / g) as i64 * (in_elems * 2) as i64;
+            let coarse_consumed = (coarse.width * l * 2) as i64;
+            asm.mov_imm(r_t, 2 * fine.row_stride() as i64 - fine_consumed)
+                .add(r_pa, r_pa, r_t)
+                .mov_imm(r_t, coarse.row_stride() as i64 - coarse_consumed)
+                .add(r_po, r_po, r_t)
+                .addi(r_y, r_y, 1)
+                .blt(r_y, r_yn, "row")
+                .memfence()
+                .halt();
+            // Restore vl register use: r_out_len for the stores above is
+            // element count G*L; set_vl toggling used r_t2 = L.
+            asm.assemble().expect("construct program assembles")
+        })
+        .collect()
+}
+
+/// Generates per-PE programs for the copy phase: fine message planes
+/// initialized from the coarse grid's converged messages. Fine rows are
+/// split across `pes`.
+///
+/// # Panics
+///
+/// Panics on geometry mismatches, indivisible rows, or chunking that
+/// does not divide the coarse width.
+#[must_use]
+pub fn copy_messages_programs(coarse: &BpLayout, fine: &BpLayout, pes: usize) -> Vec<Program> {
+    assert_eq!(fine.width, 2 * coarse.width);
+    assert_eq!(fine.height, 2 * coarse.height);
+    assert_eq!(fine.labels, coarse.labels);
+    let l = fine.labels;
+    let lb = (l * 2) as i64;
+    assert_eq!(fine.height % pes, 0);
+    let rows_per_pe = fine.height / pes;
+
+    // G coarse vectors in, 2G fine vectors out per chunk.
+    let g = (4096 / (3 * 2 * l * 2)).clamp(1, 8).min(coarse.width);
+    assert_eq!(coarse.width % g, 0);
+    let sp_in = 0i64;
+    let sp_out = (g * l * 2) as i64;
+    assert!(sp_out + (2 * g * l * 2) as i64 <= 4096);
+
+    (0..pes)
+        .map(|pe| {
+            let mut r = reg_alloc();
+            let (r_in_len, r_out_len, r_i, r_o, r_t, r_t2, r_zero) =
+                (r(), r(), r(), r(), r(), r(), r());
+            let (r_pi, r_po, r_y, r_yn, r_x, r_xn, r_plane, r_plane_n) =
+                (r(), r(), r(), r(), r(), r(), r(), r());
+            let (r_pi_base, r_po_base) = (r(), r());
+
+            let y0 = pe * rows_per_pe;
+            let mut asm = Asm::new();
+            asm.mov_imm(r_in_len, (g * l) as i64)
+                .mov_imm(r_out_len, (2 * g * l) as i64)
+                .mov_imm(r_i, sp_in)
+                .mov_imm(r_zero, 0)
+                .mov_imm(r_plane, 0)
+                .mov_imm(r_plane_n, PLANE_COUNT as i64)
+                // Plane bases for plane 0 (from_above = plane index 1 in
+                // the layout; planes 1..=4 are the messages).
+                .mov_imm(
+                    r_pi_base,
+                    (coarse.base + coarse.plane_stride()) as i64,
+                )
+                .mov_imm(r_po_base, (fine.base + fine.plane_stride()) as i64)
+                .label("plane")
+                .mov(r_pi, r_pi_base)
+                .mov(r_po, r_po_base);
+            // Advance to this PE's first fine row.
+            asm.mov_imm(r_t, (y0 as u64 / 2 * coarse.row_stride()) as i64)
+                .add(r_pi, r_pi, r_t)
+                .mov_imm(r_t, (y0 as u64 * fine.row_stride()) as i64)
+                .add(r_po, r_po, r_t)
+                .mov_imm(r_y, 0)
+                .mov_imm(r_yn, rows_per_pe as i64)
+                .label("row")
+                .mov_imm(r_x, 0)
+                .mov_imm(r_xn, (coarse.width / g) as i64)
+                .label("xl");
+            // Load G coarse vectors; duplicate each into two fine slots.
+            asm.set_vl(r_in_len).ld_sram(TY, r_i, r_pi, r_in_len);
+            asm.mov_imm(r_t2, l as i64).set_vl(r_t2);
+            for gi in 0..g {
+                let src = sp_in + gi as i64 * lb;
+                for dup in 0..2 {
+                    let dst = sp_out + (2 * gi + dup) as i64 * lb;
+                    asm.mov_imm(r_t, src)
+                        .mov_imm(r_o, dst)
+                        .vec_scalar(VerticalOp::Add, TY, r_o, r_t, r_zero);
+                }
+            }
+            asm.mov_imm(r_o, sp_out)
+                .set_vl(r_out_len)
+                .st_sram(TY, r_o, r_po, r_out_len)
+                .mov_imm(r_t, (g * l * 2) as i64)
+                .add(r_pi, r_pi, r_t)
+                .mov_imm(r_t, (2 * g * l * 2) as i64)
+                .add(r_po, r_po, r_t)
+                .addi(r_x, r_x, 1)
+                .blt(r_x, r_xn, "xl");
+            // Row epilogue: the fine row advances one; the coarse row
+            // advances only on odd fine rows (y + y0 parity is static
+            // per trip, so rewind the coarse pointer on even rows
+            // instead: net effect = row_stride every two rows).
+            let coarse_consumed = (coarse.width * l * 2) as i64;
+            let fine_consumed = 2 * coarse_consumed;
+            // After each fine row, rewind coarse by what was consumed,
+            // then every second row advance it a full stride. Implement
+            // with parity arithmetic: r_t2 = (y ^ y0_parity) & 1.
+            asm.mov_imm(r_t, -coarse_consumed).add(r_pi, r_pi, r_t);
+            // parity = (y + y0) & 1 — advance coarse after odd rows.
+            asm.addi(r_t2, r_y, y0 as i32)
+                .scalar_imm(vip_isa::ScalarAluOp::And, r_t2, r_t2, 1)
+                .mov_imm(r_t, coarse.row_stride() as i64);
+            // r_pi += parity * row_stride, via multiply-free select:
+            // shift the stride by 63 requires mul; instead branch.
+            let skip = format!("skip_{pe}");
+            asm.beq(r_t2, r_zero, &skip).add(r_pi, r_pi, r_t).label(&skip);
+            asm.mov_imm(r_t, fine.row_stride() as i64 - fine_consumed)
+                .add(r_po, r_po, r_t)
+                .addi(r_y, r_y, 1)
+                .blt(r_y, r_yn, "row");
+            // Next plane.
+            asm.mov_imm(r_t, coarse.plane_stride() as i64)
+                .add(r_pi_base, r_pi_base, r_t)
+                .mov_imm(r_t, fine.plane_stride() as i64)
+                .add(r_po_base, r_po_base, r_t)
+                .addi(r_plane, r_plane, 1)
+                .blt(r_plane, r_plane_n, "plane")
+                .memfence()
+                .halt();
+            asm.assemble().expect("copy program assembles")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_fit_the_instruction_buffer() {
+        let fine = BpLayout::new(0, 64, 32, 16);
+        let coarse = BpLayout::new(1 << 22, 32, 16, 16);
+        for p in construct_programs(&fine, &coarse, 4) {
+            assert!(p.len() <= 1024);
+        }
+        for p in copy_messages_programs(&coarse, &fine, 4) {
+            assert!(p.len() <= 1024);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coarse rows must divide")]
+    fn indivisible_rows_panic() {
+        let fine = BpLayout::new(0, 64, 6, 16);
+        let coarse = BpLayout::new(1 << 22, 32, 3, 16);
+        let _ = construct_programs(&fine, &coarse, 4);
+    }
+}

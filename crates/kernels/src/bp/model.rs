@@ -1,0 +1,145 @@
+//! Analytical cost model for BP-M (§II-A) and the independent-tile
+//! extrapolation of §V-A.
+
+/// Operation and traffic counts for BP-M on a grid (the paper's §II-A
+/// arithmetic: each message update costs `3L + 2L²` operations and moves
+/// `4L` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpCosts {
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+    /// Labels.
+    pub labels: usize,
+    /// Bytes per element (2 for i16).
+    pub elem_bytes: usize,
+}
+
+impl BpCosts {
+    /// Full-HD stereo with 16 labels — the paper's headline workload.
+    #[must_use]
+    pub fn full_hd() -> Self {
+        BpCosts { width: 1920, height: 1080, labels: 16, elem_bytes: 2 }
+    }
+
+    /// Quarter-HD (the hierarchical variant's coarse level).
+    #[must_use]
+    pub fn quarter_hd() -> Self {
+        BpCosts { width: 960, height: 540, labels: 16, elem_bytes: 2 }
+    }
+
+    /// Message updates per iteration (4 per vertex; §II-A).
+    #[must_use]
+    pub fn updates_per_iteration(&self) -> u64 {
+        4 * (self.width * self.height) as u64
+    }
+
+    /// ALU operations per message update: `3L + 2L²`.
+    #[must_use]
+    pub fn ops_per_update(&self) -> u64 {
+        let l = self.labels as u64;
+        3 * l + 2 * l * l
+    }
+
+    /// ALU operations per iteration.
+    #[must_use]
+    pub fn ops_per_iteration(&self) -> u64 {
+        self.updates_per_iteration() * self.ops_per_update()
+    }
+
+    /// Data elements read or written per update: `4L` (§II-A).
+    #[must_use]
+    pub fn elems_per_update(&self) -> u64 {
+        4 * self.labels as u64
+    }
+
+    /// Bytes moved per iteration.
+    #[must_use]
+    pub fn bytes_per_iteration(&self) -> u64 {
+        self.updates_per_iteration() * self.elems_per_update() * self.elem_bytes as u64
+    }
+
+    /// Total storage: `(4+1) × L × W × H` values (§II-A).
+    #[must_use]
+    pub fn storage_bytes(&self) -> u64 {
+        5 * (self.labels * self.width * self.height * self.elem_bytes) as u64
+    }
+
+    /// Required compute throughput in GOp/s for `fps` frames of `iters`
+    /// iterations each.
+    #[must_use]
+    pub fn required_gops(&self, iters: u64, fps: f64) -> f64 {
+        self.ops_per_iteration() as f64 * iters as f64 * fps / 1e9
+    }
+
+    /// Required memory bandwidth in GiB/s.
+    #[must_use]
+    pub fn required_gibs(&self, iters: u64, fps: f64) -> f64 {
+        self.bytes_per_iteration() as f64 * iters as f64 * fps / (1u64 << 30) as f64
+    }
+}
+
+/// Extrapolates full-frame time from a simulated tile (§V-A: "simulating
+/// a single independent tile greatly reduces the simulation time without
+/// affecting simulation accuracy").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpExtrapolation {
+    /// Pixels in the simulated tile.
+    pub tile_pixels: u64,
+    /// Cycles one iteration over the tile took (per vault).
+    pub tile_cycles: u64,
+    /// Vaults working in parallel on the full frame.
+    pub vaults: u64,
+}
+
+impl BpExtrapolation {
+    /// Cycles for one iteration over a full `frame_pixels` frame: each of
+    /// the `vaults` vaults processes `frame_pixels / vaults` pixels at
+    /// the tile's measured cycles-per-pixel rate.
+    #[must_use]
+    pub fn frame_cycles(&self, frame_pixels: u64) -> u64 {
+        let per_pixel = self.tile_cycles as f64 / self.tile_pixels as f64;
+        (per_pixel * frame_pixels as f64 / self.vaults as f64).ceil() as u64
+    }
+
+    /// Milliseconds for `iters` iterations over a full frame at 1.25 GHz.
+    #[must_use]
+    pub fn frame_ms(&self, frame_pixels: u64, iters: u64) -> f64 {
+        vip_core::cycles_to_ms(self.frame_cycles(frame_pixels) * iters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_requirements() {
+        // §II-A: full-HD, 16 labels, 24 fps, 8 iterations requires
+        // 316 MiB storage, ~190 GiB/s bandwidth, ~892 GOp/s.
+        let c = BpCosts::full_hd();
+        let storage_mib = c.storage_bytes() as f64 / (1 << 20) as f64;
+        assert!((storage_mib - 316.4).abs() < 1.0, "storage {storage_mib} MiB");
+        let gibs = c.required_gibs(8, 24.0);
+        assert!((gibs - 190.0).abs() < 10.0, "bandwidth {gibs} GiB/s");
+        let gops = c.required_gops(8, 24.0);
+        assert!((gops - 892.0).abs() < 15.0, "compute {gops} GOp/s");
+    }
+
+    #[test]
+    fn ops_per_update_formula() {
+        let c = BpCosts { width: 1, height: 1, labels: 16, elem_bytes: 2 };
+        assert_eq!(c.ops_per_update(), 3 * 16 + 2 * 256);
+        assert_eq!(c.elems_per_update(), 64);
+    }
+
+    #[test]
+    fn extrapolation_scales_linearly() {
+        let e = BpExtrapolation { tile_pixels: 2048, tile_cycles: 20_480, vaults: 32 };
+        // 10 cycles/pixel, 2M pixels over 32 vaults = 648k cycles/iter.
+        let frame = e.frame_cycles(1920 * 1080);
+        assert_eq!(frame, (10.0_f64 * 1920.0 * 1080.0 / 32.0).ceil() as u64);
+        assert!(e.frame_ms(1920 * 1080, 8) > 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Synthetic stereo input (DESIGN.md substitution #4).
+//!
+//! The paper runs depth-from-stereo on full-HD video. No camera footage
+//! is available here, so we synthesize a stereo pair with a known
+//! disparity field and derive data costs the standard way (truncated
+//! absolute difference of matching intensities). BP-M's execution is
+//! dense and data-independent, so any input with realistic cost
+//! statistics exercises the identical code path and memory traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a deterministic synthetic stereo pair: a textured scene of
+/// rectangles at different depths. Returns `(left, right, true_disparity)`
+/// as `height × width` row-major intensity/label images.
+#[must_use]
+pub fn synthetic_stereo_pair(
+    width: usize,
+    height: usize,
+    max_disparity: usize,
+    seed: u64,
+) -> (Vec<i16>, Vec<i16>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Depth layout: background plus a few foreground rectangles.
+    let mut disparity = vec![(max_disparity / 8) as u8; width * height];
+    for _ in 0..4 {
+        let d = rng.gen_range(max_disparity / 2..max_disparity) as u8;
+        let rw = rng.gen_range(width / 8..width / 2);
+        let rh = rng.gen_range(height / 8..height / 2);
+        let x0 = rng.gen_range(0..width.saturating_sub(rw).max(1));
+        let y0 = rng.gen_range(0..height.saturating_sub(rh).max(1));
+        for y in y0..(y0 + rh).min(height) {
+            for x in x0..(x0 + rw).min(width) {
+                disparity[y * width + x] = d;
+            }
+        }
+    }
+
+    // Texture: smooth noise so matching is informative.
+    let mut left = vec![0i16; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let base = ((x * 13 + y * 7) % 97) as i16;
+            left[y * width + x] = base + rng.gen_range(-8..=8);
+        }
+    }
+
+    // Right image: left shifted by the disparity.
+    let mut right = vec![0i16; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let d = disparity[y * width + x] as usize;
+            let sx = x.saturating_sub(d);
+            right[y * width + sx] = left[y * width + x];
+        }
+    }
+
+    (left, right, disparity)
+}
+
+/// Data costs for stereo matching: for each pixel and candidate
+/// disparity `d`, the truncated absolute intensity difference between
+/// `left(x, y)` and `right(x-d, y)`. Layout matches
+/// [`Mrf::data_costs`](super::Mrf): `height × width × labels`,
+/// label-fastest.
+#[must_use]
+pub fn stereo_data_costs(width: usize, height: usize, labels: usize, seed: u64) -> Vec<i16> {
+    let (left, right, _) = synthetic_stereo_pair(width, height, labels, seed);
+    let trunc = 40i16;
+    let mut costs = vec![0i16; width * height * labels];
+    for y in 0..height {
+        for x in 0..width {
+            for d in 0..labels {
+                let r = if x >= d { right[y * width + (x - d)] } else { trunc };
+                let c = (left[y * width + x] - r).abs().min(trunc);
+                costs[(y * width + x) * labels + d] = c;
+            }
+        }
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = stereo_data_costs(16, 8, 8, 7);
+        let b = stereo_data_costs(16, 8, 8, 7);
+        assert_eq!(a, b);
+        let c = stereo_data_costs(16, 8, 8, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn costs_are_bounded_and_informative() {
+        let costs = stereo_data_costs(32, 16, 16, 1);
+        assert!(costs.iter().all(|&c| (0..=40).contains(&c)));
+        // Informative: at an interior pixel, not all labels tie.
+        let at = (8 * 32 + 20) * 16;
+        let some_vertex = &costs[at..at + 16];
+        assert!(some_vertex.iter().any(|&c| c != some_vertex[0]));
+    }
+
+    #[test]
+    fn true_disparity_has_low_cost() {
+        // At the true disparity, the matching cost should usually be
+        // smaller than at a random wrong disparity.
+        let (w, h, l) = (64, 32, 16);
+        let (_, _, truth) = synthetic_stereo_pair(w, h, l, 3);
+        let costs = stereo_data_costs(w, h, l, 3);
+        let mut wins = 0;
+        let mut total = 0;
+        for y in 0..h {
+            for x in l..w {
+                let d = truth[y * w + x] as usize;
+                let at = (y * w + x) * l;
+                let true_cost = costs[at + d];
+                let wrong = costs[at + (d + l / 2) % l];
+                total += 1;
+                if true_cost <= wrong {
+                    wins += 1;
+                }
+            }
+        }
+        assert!(wins * 10 >= total * 6, "true disparity wins {wins}/{total}");
+    }
+}

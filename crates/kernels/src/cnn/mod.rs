@@ -1,0 +1,249 @@
+//! Convolutional neural networks: VGG-16/VGG-19 layer geometry, golden
+//! references, VIP code generation, and the analytical model (§II-B,
+//! §IV-B).
+
+mod codegen;
+mod golden;
+mod model;
+
+pub use codegen::{
+    accumulate_program, conv_tile_programs, pack_filters, pool_tile_programs, replicate_bias,
+    AccumulateLayout, ConvLayout, ConvMode, PoolLayout,
+};
+pub use golden::{
+    conv_forward, conv_partial, max_pool, pad_input, padded_at, padded_len, relu_bias_sum,
+    unpad_output,
+};
+pub use model::LayerCosts;
+
+/// A convolution layer's geometry (stride 1, square kernels — all VGG
+/// convolutions are 3×3/s1/p1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Layer name as the paper labels it (`c1_1` … `c5_3`).
+    pub name: &'static str,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (filters).
+    pub out_channels: usize,
+    /// Input width = output width (padded convolution).
+    pub width: usize,
+    /// Input height = output height.
+    pub height: usize,
+    /// Kernel size (3 for VGG).
+    pub kernel: usize,
+    /// Zero padding (1 for VGG).
+    pub pad: usize,
+}
+
+impl ConvLayer {
+    /// Multiply-accumulates in this layer.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.width * self.height * self.out_channels) as u64
+            * (self.kernel * self.kernel * self.in_channels) as u64
+    }
+
+    /// Weight count.
+    #[must_use]
+    pub fn weights(&self) -> usize {
+        self.out_channels * self.kernel * self.kernel * self.in_channels
+    }
+}
+
+/// A max-pooling layer (VGG: 2×2, stride 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLayer {
+    /// Name (`p1` … `p5`).
+    pub name: &'static str,
+    /// Channels.
+    pub channels: usize,
+    /// Input width (output is half).
+    pub width: usize,
+    /// Input height.
+    pub height: usize,
+}
+
+impl PoolLayer {
+    /// Output width.
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.width / 2
+    }
+
+    /// Output height.
+    #[must_use]
+    pub fn out_height(&self) -> usize {
+        self.height / 2
+    }
+
+    /// Comparison operations (one max per input element).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        (self.width * self.height * self.channels) as u64
+    }
+}
+
+/// A fully-connected layer (see [`crate::mlp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FcLayer {
+    /// Name (`fc6` … `fc8`).
+    pub name: &'static str,
+    /// Input length.
+    pub inputs: usize,
+    /// Output length.
+    pub outputs: usize,
+}
+
+impl FcLayer {
+    /// Multiply-accumulates.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.inputs * self.outputs) as u64
+    }
+}
+
+/// One layer of a VGG network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggLayer {
+    /// Convolution (+ ReLU).
+    Conv(ConvLayer),
+    /// 2×2 max pooling.
+    Pool(PoolLayer),
+    /// Fully connected (+ ReLU except the last).
+    Fc(FcLayer),
+}
+
+impl VggLayer {
+    /// The layer's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            VggLayer::Conv(c) => c.name,
+            VggLayer::Pool(p) => p.name,
+            VggLayer::Fc(f) => f.name,
+        }
+    }
+}
+
+fn conv(name: &'static str, in_c: usize, out_c: usize, side: usize) -> VggLayer {
+    VggLayer::Conv(ConvLayer {
+        name,
+        in_channels: in_c,
+        out_channels: out_c,
+        width: side,
+        height: side,
+        kernel: 3,
+        pad: 1,
+    })
+}
+
+fn pool(name: &'static str, c: usize, side: usize) -> VggLayer {
+    VggLayer::Pool(PoolLayer { name, channels: c, width: side, height: side })
+}
+
+fn fc(name: &'static str, i: usize, o: usize) -> VggLayer {
+    VggLayer::Fc(FcLayer { name, inputs: i, outputs: o })
+}
+
+/// The VGG-16 network (Simonyan & Zisserman configuration D): 13
+/// convolutions, 5 pools, 3 fully-connected layers.
+#[must_use]
+pub fn vgg16() -> Vec<VggLayer> {
+    vec![
+        conv("c1_1", 3, 64, 224),
+        conv("c1_2", 64, 64, 224),
+        pool("p1", 64, 224),
+        conv("c2_1", 64, 128, 112),
+        conv("c2_2", 128, 128, 112),
+        pool("p2", 128, 112),
+        conv("c3_1", 128, 256, 56),
+        conv("c3_2", 256, 256, 56),
+        conv("c3_3", 256, 256, 56),
+        pool("p3", 256, 56),
+        conv("c4_1", 256, 512, 28),
+        conv("c4_2", 512, 512, 28),
+        conv("c4_3", 512, 512, 28),
+        pool("p4", 512, 28),
+        conv("c5_1", 512, 512, 14),
+        conv("c5_2", 512, 512, 14),
+        conv("c5_3", 512, 512, 14),
+        pool("p5", 512, 14),
+        fc("fc6", 25_088, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+    ]
+}
+
+/// The VGG-19 network (configuration E): 16 convolutions.
+#[must_use]
+pub fn vgg19() -> Vec<VggLayer> {
+    vec![
+        conv("c1_1", 3, 64, 224),
+        conv("c1_2", 64, 64, 224),
+        pool("p1", 64, 224),
+        conv("c2_1", 64, 128, 112),
+        conv("c2_2", 128, 128, 112),
+        pool("p2", 128, 112),
+        conv("c3_1", 128, 256, 56),
+        conv("c3_2", 256, 256, 56),
+        conv("c3_3", 256, 256, 56),
+        conv("c3_4", 256, 256, 56),
+        pool("p3", 256, 56),
+        conv("c4_1", 256, 512, 28),
+        conv("c4_2", 512, 512, 28),
+        conv("c4_3", 512, 512, 28),
+        conv("c4_4", 512, 512, 28),
+        pool("p4", 512, 28),
+        conv("c5_1", 512, 512, 14),
+        conv("c5_2", 512, 512, 14),
+        conv("c5_3", 512, 512, 14),
+        conv("c5_4", 512, 512, 14),
+        pool("p5", 512, 14),
+        fc("fc6", 25_088, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_totals_match_paper() {
+        let layers = vgg16();
+        assert_eq!(layers.len(), 21);
+        let conv_macs: u64 = layers
+            .iter()
+            .filter_map(|l| match l {
+                VggLayer::Conv(c) => Some(c.macs()),
+                _ => None,
+            })
+            .sum();
+        // §II-B: "the thirteen convolution layers in VGG-16 require 15.3
+        // billion MAC operations".
+        assert!((conv_macs as f64 / 1e9 - 15.3).abs() < 0.2, "{conv_macs} MACs");
+        // fc6: 25,088 inputs x 4,096 outputs ~ 100M MACs (SS II-C).
+        let fc6 = layers.iter().find(|l| l.name() == "fc6").unwrap();
+        if let VggLayer::Fc(f) = fc6 {
+            assert!((f.macs() as f64 / 1e6 - 102.8).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn vgg19_has_sixteen_convs() {
+        let convs = vgg19()
+            .iter()
+            .filter(|l| matches!(l, VggLayer::Conv(_)))
+            .count();
+        assert_eq!(convs, 16);
+    }
+
+    #[test]
+    fn pool_geometry() {
+        let p = PoolLayer { name: "p1", channels: 64, width: 224, height: 224 };
+        assert_eq!(p.out_width(), 112);
+        assert_eq!(p.ops(), 224 * 224 * 64);
+    }
+}

@@ -1,0 +1,142 @@
+//! Analytical per-layer cost model (ops, traffic, tile extrapolation).
+
+use super::{ConvLayer, FcLayer, PoolLayer, VggLayer};
+
+/// Operation and traffic estimates for one layer at a given batch size —
+/// the inputs to the Figure 3 roofline placement and the §V-A
+/// independent-tile extrapolation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerCosts {
+    /// 16-bit ALU operations (2 per MAC, 1 per pooling comparison).
+    pub ops: u64,
+    /// DRAM bytes for activations in.
+    pub input_bytes: u64,
+    /// DRAM bytes for weights (re-reads from filter-group passes
+    /// included via `weight_passes`).
+    pub weight_bytes: u64,
+    /// DRAM bytes for activations out.
+    pub output_bytes: u64,
+}
+
+impl LayerCosts {
+    /// Costs of a convolution at `batch` images. Inputs are re-read once
+    /// per resident filter group (§IV-B's template), captured by
+    /// `input_passes`.
+    #[must_use]
+    pub fn conv(layer: &ConvLayer, batch: u64, input_passes: u64) -> Self {
+        let act_in = (layer.width * layer.height * layer.in_channels * 2) as u64;
+        let act_out = (layer.width * layer.height * layer.out_channels * 2) as u64;
+        LayerCosts {
+            ops: 2 * layer.macs() * batch,
+            input_bytes: act_in * input_passes * batch,
+            weight_bytes: (layer.weights() * 2) as u64,
+            output_bytes: act_out * batch,
+        }
+    }
+
+    /// Costs of a 2×2 max pool.
+    #[must_use]
+    pub fn pool(layer: &PoolLayer, batch: u64) -> Self {
+        let act_in = (layer.width * layer.height * layer.channels * 2) as u64;
+        LayerCosts {
+            ops: layer.ops() * batch,
+            input_bytes: act_in * batch,
+            weight_bytes: 0,
+            output_bytes: act_in / 4 * batch,
+        }
+    }
+
+    /// Costs of a fully-connected layer. Weights dominate and are read
+    /// once regardless of batch; activations scale with batch.
+    #[must_use]
+    pub fn fc(layer: &FcLayer, batch: u64) -> Self {
+        LayerCosts {
+            ops: 2 * layer.macs() * batch,
+            input_bytes: (layer.inputs * 2) as u64 * batch,
+            weight_bytes: 2 * layer.macs(),
+            output_bytes: (layer.outputs * 2) as u64 * batch,
+        }
+    }
+
+    /// Costs for any layer with default pass counts.
+    #[must_use]
+    pub fn of(layer: &VggLayer, batch: u64) -> Self {
+        match layer {
+            VggLayer::Conv(c) => {
+                // One input pass per filter group of 2 (64-channel
+                // shards), except c1_1 where all filters are resident.
+                let groups = if c.in_channels <= 8 {
+                    1
+                } else {
+                    (c.out_channels.min(64) / 2) as u64
+                };
+                Self::conv(c, batch, groups)
+            }
+            VggLayer::Pool(p) => Self::pool(p, batch),
+            VggLayer::Fc(f) => Self::fc(f, batch),
+        }
+    }
+
+    /// Total DRAM traffic.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.input_bytes + self.weight_bytes + self.output_bytes
+    }
+
+    /// Arithmetic intensity in ops per byte.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.ops as f64 / self.bytes() as f64
+    }
+
+    /// Scales a measured tile to the full layer: the tile computed
+    /// `tile_ops` of this layer's `ops` in `tile_cycles` on one vault;
+    /// the full layer spreads across `vaults`.
+    #[must_use]
+    pub fn extrapolate_cycles(&self, tile_ops: u64, tile_cycles: u64, vaults: u64) -> u64 {
+        assert!(tile_ops > 0);
+        let scale = self.ops as f64 / tile_ops as f64 / vaults as f64;
+        (tile_cycles as f64 * scale).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::vgg16;
+    use super::*;
+
+    #[test]
+    fn conv_layer_gop_counts() {
+        let layers = vgg16();
+        let VggLayer::Conv(c1_1) = layers[0] else { panic!() };
+        // c1_1: 224*224*64 outputs x 27 MACs = ~86.7M MACs.
+        assert_eq!(c1_1.macs(), 224 * 224 * 64 * 27);
+        let costs = LayerCosts::of(&layers[0], 1);
+        assert_eq!(costs.ops, 2 * c1_1.macs());
+    }
+
+    #[test]
+    fn pooling_is_memory_bound() {
+        let layers = vgg16();
+        let p1 = layers.iter().find(|l| l.name() == "p1").unwrap();
+        let ai = LayerCosts::of(p1, 1).arithmetic_intensity();
+        assert!(ai < 1.0, "pool AI {ai} should be well below the knee");
+    }
+
+    #[test]
+    fn fc_intensity_rises_with_batch() {
+        let layers = vgg16();
+        let fc6 = layers.iter().find(|l| l.name() == "fc6").unwrap();
+        let b1 = LayerCosts::of(fc6, 1).arithmetic_intensity();
+        let b16 = LayerCosts::of(fc6, 16).arithmetic_intensity();
+        assert!(b16 > 5.0 * b1, "batching amortizes weights: {b1} -> {b16}");
+    }
+
+    #[test]
+    fn extrapolation_scales() {
+        let layers = vgg16();
+        let c = LayerCosts::of(&layers[1], 1);
+        let cycles = c.extrapolate_cycles(c.ops / 320, 1000, 32);
+        assert!((cycles as i64 - 10_000).abs() <= 2, "{cycles}");
+    }
+}

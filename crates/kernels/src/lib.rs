@@ -1,0 +1,39 @@
+//! # vip-kernels — the paper's workloads on VIP
+//!
+//! Implements the three workload families the VIP paper evaluates (§II,
+//! §IV), each in three forms:
+//!
+//! 1. a **golden reference** in plain Rust using the exact saturating
+//!    16-bit fixed-point semantics of the VIP datapath
+//!    ([`vip_isa::alu`]), against which simulated outputs are verified
+//!    bit-for-bit;
+//! 2. a **VIP code generator** emitting real VIP assembly — tiled,
+//!    software-pipelined, and synchronized with full-empty variables the
+//!    way §IV describes;
+//! 3. an **analytical model** of operations and bytes per kernel, used
+//!    for roofline placement (Figure 3) and for the paper's own
+//!    independent-tile extrapolation methodology (§V-A).
+//!
+//! Modules:
+//!
+//! * [`bp`] — min-sum belief propagation (BP-M) on 2D grid Markov random
+//!   fields: depth-from-stereo data costs, directional message sweeps,
+//!   the hierarchical variant, and per-strip/per-tile VIP programs;
+//! * [`cnn`] — convolution / ReLU / max-pool layers with the VGG-16 and
+//!   VGG-19 geometries, plus the scratchpad-tiled VIP convolution
+//!   template of §IV-B;
+//! * [`mlp`] — fully-connected layers (tiled GEMV) per §IV-C;
+//! * [`sync`] — the full-empty barrier and producer-consumer flag
+//!   snippets shared by the generated programs.
+
+pub mod bp;
+pub mod cnn;
+pub mod mlp;
+pub mod sync;
+
+/// Fixed-point element type used by every evaluated workload ("16-bit
+/// dynamic fixed point", §IV).
+pub const ELEM: vip_isa::ElemType = vip_isa::ElemType::I16;
+
+/// Bytes per element.
+pub const ELEM_BYTES: usize = 2;

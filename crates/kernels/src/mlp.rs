@@ -1,0 +1,466 @@
+//! Multi-layer perceptrons / fully-connected layers (§II-C, §IV-C).
+//!
+//! A fully-connected layer is a tiled GEMV: the generated code streams
+//! `MR × KC` weight chunks through the scratchpad, multiplies each
+//! against the resident input segment with `m.v.mul.add` (the f₆
+//! operation), and accumulates partials with `v.v.add`, starting the
+//! accumulator at the bias so Equation (4)'s bias add costs nothing
+//! extra. The golden reference reproduces the chunked accumulation
+//! order exactly, so saturation behaviour matches bit-for-bit.
+
+use vip_isa::alu::{sat_add16, sat_mul16};
+use vip_isa::{Asm, ElemType, HorizontalOp, Program, Reg, VerticalOp};
+use vip_mem::Hmc;
+
+use crate::cnn::FcLayer;
+use crate::sync::{bytes_to_i16s, i16s_to_bytes};
+
+const TY: ElemType = ElemType::I16;
+
+/// Rows per `m.v` (the matrix-rows configuration).
+pub const MR: usize = 4;
+/// Input columns per chunk.
+pub const KC: usize = 256;
+
+/// Golden fully-connected forward pass with the generated code's
+/// chunked accumulation order: `acc = bias; for each KC chunk: acc +=
+/// (chunk partial computed from zero)`, then optional ReLU.
+///
+/// `weights` are row-major `[outputs][inputs]`.
+///
+/// # Panics
+///
+/// Panics on length mismatches or if `inputs` is not a multiple of
+/// [`KC`].
+#[must_use]
+pub fn fc_forward(
+    layer: &FcLayer,
+    input: &[i16],
+    weights: &[i16],
+    bias: &[i16],
+    relu: bool,
+) -> Vec<i16> {
+    assert_eq!(input.len(), layer.inputs);
+    assert_eq!(weights.len(), layer.inputs * layer.outputs);
+    assert_eq!(bias.len(), layer.outputs);
+    assert_eq!(layer.inputs % KC, 0, "inputs must be a multiple of KC");
+    (0..layer.outputs)
+        .map(|m| {
+            let mut acc = bias[m];
+            for chunk in 0..layer.inputs / KC {
+                let mut partial = 0i16;
+                for j in 0..KC {
+                    let col = chunk * KC + j;
+                    partial = sat_add16(partial, sat_mul16(weights[m * layer.inputs + col], input[col]));
+                }
+                acc = sat_add16(acc, partial);
+            }
+            if relu {
+                acc.max(0)
+            } else {
+                acc
+            }
+        })
+        .collect()
+}
+
+/// Batched golden forward pass: `inputs` holds `batch` concatenated
+/// input vectors; the result concatenates `batch` output vectors. The
+/// accumulation order matches [`fc_batch_tile_programs`]: per row chunk
+/// and column chunk, the weight chunk is applied to every batch element
+/// before moving on (weights stream once — the §II-C batching
+/// economics), using `kc`-column chunks.
+///
+/// # Panics
+///
+/// Panics on length mismatches or if `inputs_len % kc != 0`.
+#[must_use]
+pub fn fc_forward_batch(
+    layer: &FcLayer,
+    inputs: &[i16],
+    weights: &[i16],
+    bias: &[i16],
+    relu: bool,
+    batch: usize,
+    kc: usize,
+) -> Vec<i16> {
+    assert_eq!(inputs.len(), layer.inputs * batch);
+    assert_eq!(weights.len(), layer.inputs * layer.outputs);
+    assert_eq!(layer.inputs % kc, 0);
+    let mut out = vec![0i16; layer.outputs * batch];
+    for m in 0..layer.outputs {
+        for b in 0..batch {
+            let x = &inputs[b * layer.inputs..][..layer.inputs];
+            let mut acc = bias[m];
+            for chunk in 0..layer.inputs / kc {
+                let mut partial = 0i16;
+                for j in 0..kc {
+                    let col = chunk * kc + j;
+                    partial =
+                        sat_add16(partial, sat_mul16(weights[m * layer.inputs + col], x[col]));
+                }
+                acc = sat_add16(acc, partial);
+            }
+            out[b * layer.outputs + m] = if relu { acc.max(0) } else { acc };
+        }
+    }
+    out
+}
+
+/// Packs row-major weights into the `[row_chunk][col_chunk][mr][kc]`
+/// stream the generated code loads contiguously.
+///
+/// # Panics
+///
+/// Panics unless `outputs % MR == 0` and `inputs % KC == 0`.
+#[must_use]
+pub fn pack_weights(layer: &FcLayer, weights: &[i16]) -> Vec<i16> {
+    pack_weights_kc(layer, weights, KC)
+}
+
+/// [`pack_weights`] with an explicit column-chunk width (the batched
+/// tile uses a narrower `kc` so `batch` input segments fit beside the
+/// weight chunk).
+///
+/// # Panics
+///
+/// Panics unless `outputs % MR == 0` and `inputs % kc == 0`.
+#[must_use]
+pub fn pack_weights_kc(layer: &FcLayer, weights: &[i16], kc: usize) -> Vec<i16> {
+    assert_eq!(weights.len(), layer.inputs * layer.outputs);
+    assert_eq!(layer.outputs % MR, 0);
+    assert_eq!(layer.inputs % kc, 0);
+    let mut out = Vec::with_capacity(weights.len());
+    for rc in 0..layer.outputs / MR {
+        for cc in 0..layer.inputs / kc {
+            for mr in 0..MR {
+                let row = rc * MR + mr;
+                let col0 = cc * kc;
+                out.extend_from_slice(&weights[row * layer.inputs + col0..][..kc]);
+            }
+        }
+    }
+    out
+}
+
+/// DRAM layout of one fully-connected tile.
+#[derive(Debug, Clone, Copy)]
+pub struct FcLayout {
+    /// Layer geometry.
+    pub layer: FcLayer,
+    /// Input vector, `[inputs]`.
+    pub input_base: u64,
+    /// Packed weights (see [`pack_weights`]).
+    pub weights_base: u64,
+    /// Bias vector, `[outputs]`.
+    pub bias_base: u64,
+    /// Output vector, `[outputs]`.
+    pub output_base: u64,
+    /// Apply ReLU (all VGG fully-connected layers except fc8).
+    pub relu: bool,
+}
+
+impl FcLayout {
+    /// Stages inputs, packed weights, and biases (host side).
+    pub fn load_into(&self, hmc: &mut Hmc, input: &[i16], weights: &[i16], bias: &[i16]) {
+        hmc.host_write(self.input_base, &i16s_to_bytes(input));
+        hmc.host_write(self.weights_base, &i16s_to_bytes(&pack_weights(&self.layer, weights)));
+        hmc.host_write(self.bias_base, &i16s_to_bytes(bias));
+    }
+
+    /// Reads the output vector (host side).
+    #[must_use]
+    pub fn read_output(&self, hmc: &Hmc) -> Vec<i16> {
+        bytes_to_i16s(&hmc.host_read(self.output_base, self.layer.outputs * 2))
+    }
+}
+
+/// Generates per-PE programs for one fully-connected tile, splitting
+/// output-row chunks across `pes` PEs.
+///
+/// # Panics
+///
+/// Panics unless `outputs / MR` divides across PEs and `inputs % KC ==
+/// 0`.
+#[must_use]
+pub fn fc_tile_programs(layout: &FcLayout, pes: usize) -> Vec<Program> {
+    let l = layout.layer;
+    assert_eq!(l.inputs % KC, 0);
+    assert_eq!(l.outputs % MR, 0);
+    let row_chunks = l.outputs / MR;
+    assert_eq!(row_chunks % pes, 0, "row chunks must divide across PEs");
+    let chunks_per_pe = row_chunks / pes;
+    let col_chunks = l.inputs / KC;
+    // Scratchpad: weight chunk | input chunk | acc | partial.
+    let sp_w = 0usize;
+    let sp_x = sp_w + MR * KC * 2;
+    let sp_acc = sp_x + KC * 2;
+    let sp_p = sp_acc + MR * 2;
+    assert!(sp_p + MR * 2 <= 4096);
+    let w_chunk_bytes = (MR * KC * 2) as i32;
+
+    (0..pes)
+        .map(|pe| {
+            let mut next = 0u8;
+            let mut reg = || {
+                let r = Reg::new(next);
+                next += 1;
+                r
+            };
+            let (r_kc, r_mr, r_w, r_x, r_acc, r_p, r_zero) =
+                (reg(), reg(), reg(), reg(), reg(), reg(), reg());
+            let (r_pw, r_px, r_pb, r_po, r_rc, r_rcn, r_cc, r_ccn, r_t) =
+                (reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg());
+
+            let first_chunk = pe * chunks_per_pe;
+            let w_start = layout.weights_base
+                + (first_chunk * col_chunks * MR * KC * 2) as u64;
+            let b_start = layout.bias_base + (first_chunk * MR * 2) as u64;
+            let o_start = layout.output_base + (first_chunk * MR * 2) as u64;
+
+            let mut asm = Asm::new();
+            asm.mov_imm(r_kc, KC as i64)
+                .mov_imm(r_mr, MR as i64)
+                .mov_imm(r_w, sp_w as i64)
+                .mov_imm(r_x, sp_x as i64)
+                .mov_imm(r_acc, sp_acc as i64)
+                .mov_imm(r_p, sp_p as i64)
+                .mov_imm(r_zero, 0)
+                .mov_imm(r_pw, w_start as i64)
+                .mov_imm(r_pb, b_start as i64)
+                .mov_imm(r_po, o_start as i64)
+                .set_mr(r_mr)
+                .mov_imm(r_rc, 0)
+                .mov_imm(r_rcn, chunks_per_pe as i64)
+                .label("rc");
+            // acc = bias chunk.
+            asm.set_vl(r_mr)
+                .ld_sram(TY, r_acc, r_pb, r_mr)
+                .addi(r_pb, r_pb, (MR * 2) as i32)
+                .mov_imm(r_px, layout.input_base as i64)
+                .mov_imm(r_cc, 0)
+                .mov_imm(r_ccn, col_chunks as i64)
+                .label("cc");
+            // Load the weight chunk and input segment, multiply, fold.
+            asm.mov_imm(r_t, (MR * KC) as i64)
+                .ld_sram(TY, r_w, r_pw, r_t)
+                .addi(r_pw, r_pw, w_chunk_bytes)
+                .ld_sram(TY, r_x, r_px, r_kc)
+                .addi(r_px, r_px, (KC * 2) as i32)
+                .set_vl(r_kc)
+                .mat_vec(VerticalOp::Mul, HorizontalOp::Add, TY, r_p, r_w, r_x)
+                .set_vl(r_mr)
+                .vec_vec(VerticalOp::Add, TY, r_acc, r_acc, r_p)
+                .addi(r_cc, r_cc, 1)
+                .blt(r_cc, r_ccn, "cc");
+            if layout.relu {
+                asm.vec_scalar(VerticalOp::Max, TY, r_acc, r_acc, r_zero);
+            }
+            asm.st_sram(TY, r_acc, r_po, r_mr)
+                .addi(r_po, r_po, (MR * 2) as i32)
+                .addi(r_rc, r_rc, 1)
+                .blt(r_rc, r_rcn, "rc")
+                .memfence()
+                .halt();
+            asm.assemble().expect("fc program assembles")
+        })
+        .collect()
+}
+
+/// DRAM layout of a *batched* fully-connected tile: `batch` input
+/// vectors share each streamed weight chunk (§II-C's batching
+/// economics, Figure 3c's AI shift).
+#[derive(Debug, Clone, Copy)]
+pub struct FcBatchLayout {
+    /// Layer geometry.
+    pub layer: FcLayer,
+    /// Images per batch (16 in the paper's batched experiments).
+    pub batch: usize,
+    /// Column-chunk width; narrower than [`KC`] so the batch's input
+    /// segments fit beside the weight chunk (64 works for batch 16).
+    pub kc: usize,
+    /// Input matrix, `[batch][inputs]`.
+    pub input_base: u64,
+    /// Weights packed by [`pack_weights_kc`] with this layout's `kc`.
+    pub weights_base: u64,
+    /// Bias vector, `[outputs]`.
+    pub bias_base: u64,
+    /// Output matrix, `[batch][outputs]`.
+    pub output_base: u64,
+    /// Apply ReLU.
+    pub relu: bool,
+}
+
+impl FcBatchLayout {
+    /// Stages inputs (concatenated batch), packed weights, and biases.
+    pub fn load_into(&self, hmc: &mut Hmc, inputs: &[i16], weights: &[i16], bias: &[i16]) {
+        assert_eq!(inputs.len(), self.layer.inputs * self.batch);
+        hmc.host_write(self.input_base, &i16s_to_bytes(inputs));
+        hmc.host_write(
+            self.weights_base,
+            &i16s_to_bytes(&pack_weights_kc(&self.layer, weights, self.kc)),
+        );
+        hmc.host_write(self.bias_base, &i16s_to_bytes(bias));
+    }
+
+    /// Reads the `[batch][outputs]` result (host side).
+    #[must_use]
+    pub fn read_output(&self, hmc: &Hmc) -> Vec<i16> {
+        bytes_to_i16s(&hmc.host_read(self.output_base, self.layer.outputs * self.batch * 2))
+    }
+}
+
+/// Generates per-PE programs for a batched fully-connected tile. Each
+/// weight chunk is loaded once and applied to every batch element —
+/// the data reuse that moves the fc layers toward the compute roof at
+/// batch 16 (Figure 3c).
+///
+/// # Panics
+///
+/// Panics unless the row chunks divide across PEs, `inputs % kc == 0`,
+/// and the scratchpad fits `batch` input segments plus a weight chunk.
+#[must_use]
+pub fn fc_batch_tile_programs(layout: &FcBatchLayout, pes: usize) -> Vec<Program> {
+    let l = layout.layer;
+    let (batch, kc) = (layout.batch, layout.kc);
+    assert_eq!(l.inputs % kc, 0);
+    assert_eq!(l.outputs % MR, 0);
+    let row_chunks = l.outputs / MR;
+    assert_eq!(row_chunks % pes, 0, "row chunks must divide across PEs");
+    let chunks_per_pe = row_chunks / pes;
+    let col_chunks = l.inputs / kc;
+
+    // Scratchpad: weight chunk | batch x-segments | batch accumulators |
+    // partial | bias chunk.
+    let sp_w = 0usize;
+    let sp_x = sp_w + MR * kc * 2;
+    let sp_acc = sp_x + batch * kc * 2;
+    let sp_p = sp_acc + batch * MR * 2;
+    let sp_bias = sp_p + MR * 2;
+    assert!(sp_bias + MR * 2 <= 4096, "batched fc tile overflows the scratchpad");
+
+    (0..pes)
+        .map(|pe| {
+            let mut next = 0u8;
+            let mut reg = || {
+                let r = Reg::new(next);
+                next += 1;
+                r
+            };
+            let (r_kc, r_mr, r_w, r_p, r_bias, r_zero, r_t, r_t2) =
+                (reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg());
+            let (r_pw, r_pb, r_ccoff, r_rcoff, r_rc, r_rcn, r_cc, r_ccn) =
+                (reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg());
+
+            let first_chunk = pe * chunks_per_pe;
+            let w_start =
+                layout.weights_base + (first_chunk * col_chunks * MR * kc * 2) as u64;
+            let b_start = layout.bias_base + (first_chunk * MR * 2) as u64;
+
+            let mut asm = Asm::new();
+            asm.mov_imm(r_kc, kc as i64)
+                .mov_imm(r_mr, MR as i64)
+                .mov_imm(r_w, sp_w as i64)
+                .mov_imm(r_p, sp_p as i64)
+                .mov_imm(r_bias, sp_bias as i64)
+                .mov_imm(r_zero, 0)
+                .mov_imm(r_pw, w_start as i64)
+                .mov_imm(r_pb, b_start as i64)
+                .mov_imm(r_rcoff, (first_chunk * MR * 2) as i64)
+                .set_mr(r_mr)
+                .mov_imm(r_rc, 0)
+                .mov_imm(r_rcn, chunks_per_pe as i64)
+                .label("rc");
+            // Bias chunk -> every batch accumulator.
+            asm.set_vl(r_mr).ld_sram(TY, r_bias, r_pb, r_mr).addi(r_pb, r_pb, (MR * 2) as i32);
+            for b in 0..batch {
+                asm.mov_imm(r_t, (sp_acc + b * MR * 2) as i64)
+                    .vec_scalar(VerticalOp::Add, TY, r_t, r_bias, r_zero);
+            }
+            asm.mov_imm(r_ccoff, 0)
+                .mov_imm(r_cc, 0)
+                .mov_imm(r_ccn, col_chunks as i64)
+                .label("cc");
+            // One weight chunk, applied to all batch elements.
+            asm.mov_imm(r_t, (MR * kc) as i64)
+                .ld_sram(TY, r_w, r_pw, r_t)
+                .addi(r_pw, r_pw, (MR * kc * 2) as i32);
+            for b in 0..batch {
+                // Load x_b's kc-segment: input_base + b*inputs*2 + ccoff.
+                asm.mov_imm(r_t, (layout.input_base + (b * l.inputs * 2) as u64) as i64)
+                    .add(r_t, r_t, r_ccoff)
+                    .mov_imm(r_t2, (sp_x + b * kc * 2) as i64)
+                    .ld_sram(TY, r_t2, r_t, r_kc);
+            }
+            for b in 0..batch {
+                asm.mov_imm(r_t2, (sp_x + b * kc * 2) as i64)
+                    .set_vl(r_kc)
+                    .mat_vec(VerticalOp::Mul, HorizontalOp::Add, TY, r_p, r_w, r_t2)
+                    .set_vl(r_mr)
+                    .mov_imm(r_t, (sp_acc + b * MR * 2) as i64)
+                    .vec_vec(VerticalOp::Add, TY, r_t, r_t, r_p);
+            }
+            asm.addi(r_ccoff, r_ccoff, (kc * 2) as i32)
+                .addi(r_cc, r_cc, 1)
+                .blt(r_cc, r_ccn, "cc");
+            // Finish the row chunk: ReLU + store per batch element.
+            for b in 0..batch {
+                asm.mov_imm(r_t, (sp_acc + b * MR * 2) as i64);
+                if layout.relu {
+                    asm.vec_scalar(VerticalOp::Max, TY, r_t, r_t, r_zero);
+                }
+                asm.mov_imm(r_t2, (layout.output_base + (b * l.outputs * 2) as u64) as i64)
+                    .add(r_t2, r_t2, r_rcoff)
+                    .st_sram(TY, r_t, r_t2, r_mr);
+            }
+            asm.addi(r_rcoff, r_rcoff, (MR * 2) as i32)
+                .addi(r_rc, r_rc, 1)
+                .blt(r_rc, r_rcn, "rc")
+                .memfence()
+                .halt();
+            asm.assemble().expect("batched fc program assembles")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_weights_layout() {
+        let layer = FcLayer { name: "t", inputs: KC * 2, outputs: MR * 2 };
+        let weights: Vec<i16> = (0..layer.inputs * layer.outputs).map(|i| i as i16).collect();
+        let packed = pack_weights(&layer, &weights);
+        assert_eq!(packed.len(), weights.len());
+        // First packed row is row 0's first KC columns.
+        assert_eq!(&packed[..KC], &weights[..KC]);
+        // Second packed row is row 1's first KC columns.
+        assert_eq!(&packed[KC..2 * KC], &weights[layer.inputs..layer.inputs + KC]);
+    }
+
+    #[test]
+    fn golden_matches_naive_when_unsaturated() {
+        let layer = FcLayer { name: "t", inputs: KC, outputs: 4 };
+        let input: Vec<i16> = (0..KC).map(|i| (i % 5) as i16 - 2).collect();
+        let weights: Vec<i16> = (0..KC * 4).map(|i| (i % 7) as i16 - 3).collect();
+        let bias = [1i16, -1, 0, 5];
+        let out = fc_forward(&layer, &input, &weights, &bias, false);
+        for m in 0..4 {
+            let naive: i32 = (0..KC)
+                .map(|j| i32::from(weights[m * KC + j]) * i32::from(input[j]))
+                .sum::<i32>()
+                + i32::from(bias[m]);
+            assert_eq!(i32::from(out[m]), naive, "row {m}");
+        }
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let layer = FcLayer { name: "t", inputs: KC, outputs: 4 };
+        let input = vec![0i16; KC];
+        let weights = vec![0i16; KC * 4];
+        let out = fc_forward(&layer, &input, &weights, &[-3, 3, -1, 0], true);
+        assert_eq!(out, vec![0, 3, 0, 0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Synchronization snippets shared by generated programs (§IV-A).
+//!
+//! The paper synchronizes producer-consumer PEs with full-empty
+//! variables in DRAM and uses a barrier between message-update phases.
+//! [`emit_barrier`] emits a counter/generation barrier built from
+//! `ld.reg.fe` / `st.reg.ff` (the atomic full-empty accesses the vault
+//! controllers provide) plus a polling loop on the generation word.
+
+use vip_isa::{Asm, Reg};
+
+/// DRAM addresses of one barrier instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierAddrs {
+    /// Counter word. The host must initialize it to 0 **with its full
+    /// bit set** before the run.
+    pub counter: u64,
+    /// Generation word, initialized to 0.
+    pub generation: u64,
+}
+
+impl BarrierAddrs {
+    /// Places the barrier at `base` (8-byte aligned).
+    #[must_use]
+    pub fn at(base: u64) -> Self {
+        assert_eq!(base % 8, 0);
+        BarrierAddrs { counter: base, generation: base + 8 }
+    }
+
+    /// Initializes the barrier words in memory (host side).
+    pub fn init(&self, hmc: &mut vip_mem::Hmc) {
+        hmc.host_write_u64(self.counter, 0);
+        hmc.host_set_full(self.counter, true);
+        hmc.host_write_u64(self.generation, 0);
+    }
+}
+
+/// Registers a barrier needs. `my_gen` must be a register the program
+/// reserves for the barrier and initializes to 0 once at program start;
+/// it persists across barrier episodes. The others are scratch.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierRegs {
+    /// Persistent per-PE generation count.
+    pub my_gen: Reg,
+    /// Scratch: counter value / polling target.
+    pub tmp: Reg,
+    /// Scratch: holds the counter address.
+    pub addr_cnt: Reg,
+    /// Scratch: holds the generation address.
+    pub addr_gen: Reg,
+    /// Scratch: holds the participant count.
+    pub n: Reg,
+    /// Scratch: holds zero for the counter reset.
+    pub zero: Reg,
+}
+
+/// Emits one barrier episode. `label_prefix` must be unique per episode
+/// in the program (labels are global).
+///
+/// Protocol: grab the counter with `ld.reg.fe` (full-empty doubles as a
+/// lock), increment; the last arriver resets the counter and publishes a
+/// new generation; everyone else releases the counter and polls the
+/// generation word until it reaches their own incremented count.
+pub fn emit_barrier(
+    asm: &mut Asm,
+    regs: &BarrierRegs,
+    addrs: BarrierAddrs,
+    participants: u64,
+    label_prefix: &str,
+) {
+    let done = format!("{label_prefix}_done");
+    let not_last = format!("{label_prefix}_notlast");
+    let spin = format!("{label_prefix}_spin");
+
+    asm.mov_imm(regs.addr_cnt, addrs.counter as i64)
+        .mov_imm(regs.addr_gen, addrs.generation as i64)
+        .mov_imm(regs.n, participants as i64)
+        .addi(regs.my_gen, regs.my_gen, 1)
+        .ld_reg_fe(regs.tmp, regs.addr_cnt)
+        .addi(regs.tmp, regs.tmp, 1)
+        .blt(regs.tmp, regs.n, &not_last)
+        // Last arriver: reset the counter, publish the generation.
+        .mov_imm(regs.zero, 0)
+        .st_reg_ff(regs.zero, regs.addr_cnt)
+        .st_reg(regs.my_gen, regs.addr_gen)
+        .jmp(&done)
+        .label(&not_last)
+        .st_reg_ff(regs.tmp, regs.addr_cnt)
+        .label(&spin)
+        .ld_reg(regs.tmp, regs.addr_gen)
+        .blt(regs.tmp, regs.my_gen, &spin)
+        .label(&done);
+}
+
+/// Converts an i16 slice to little-endian bytes (host data staging).
+#[must_use]
+pub fn i16s_to_bytes(values: &[i16]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Converts little-endian bytes back to i16s.
+///
+/// # Panics
+///
+/// Panics if the byte length is odd.
+#[must_use]
+pub fn bytes_to_i16s(bytes: &[u8]) -> Vec<i16> {
+    assert_eq!(bytes.len() % 2, 0);
+    bytes
+        .chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = vec![-1i16, 0, 1, i16::MIN, i16::MAX, 12345];
+        assert_eq!(bytes_to_i16s(&i16s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn barrier_emits_unique_labels() {
+        let mut asm = Asm::new();
+        let regs = BarrierRegs {
+            my_gen: Reg::new(1),
+            tmp: Reg::new(2),
+            addr_cnt: Reg::new(3),
+            addr_gen: Reg::new(4),
+            n: Reg::new(5),
+            zero: Reg::new(6),
+        };
+        let addrs = BarrierAddrs::at(0x1000);
+        emit_barrier(&mut asm, &regs, addrs, 4, "b0");
+        emit_barrier(&mut asm, &regs, addrs, 4, "b1");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert!(p.len() > 20);
+    }
+}

@@ -1,0 +1,185 @@
+//! Physical address interleaving schemes (§III-C).
+
+use crate::config::MemConfig;
+
+/// A physical address decomposed into DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// Vault index.
+    pub vault: usize,
+    /// Bank index within the vault.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column index within the row.
+    pub col: u64,
+    /// Byte offset within the column.
+    pub offset: u64,
+}
+
+/// Address-interleaving scheme.
+///
+/// The default HMC scheme indexes vaults with *low* address bits, which
+/// maximizes parallelism for an external host streaming through memory.
+/// VIP instead puts the vault index in the *most significant* bits so
+/// that each PE can allocate data wholly inside its local vault and keep
+/// traffic off the on-chip network (§III-C). The paper notes this is a
+/// static bit shuffle, simpler than virtual memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressMapping {
+    /// `vault : row : bank : col : offset` — VIP's scheme (Table III
+    /// "vault-row-bank-col"): vault in the high bits, so each vault owns
+    /// a contiguous region; consecutive columns stay in one row (good for
+    /// open-page streaming), and consecutive rows rotate banks.
+    #[default]
+    VaultRowBankCol,
+    /// `row : bank : col : vault : offset` — the HMC-default scheme with
+    /// the vault index in the low bits just above the column offset.
+    LowInterleave,
+}
+
+impl AddressMapping {
+    /// Decomposes `addr` into DRAM coordinates under `cfg`'s geometry.
+    ///
+    /// Addresses wrap modulo total capacity (high bits beyond the
+    /// configured geometry are ignored).
+    #[must_use]
+    pub fn decode(self, cfg: &MemConfig, addr: u64) -> DecodedAddr {
+        let cols_per_row = (cfg.row_bytes / cfg.col_bytes) as u64;
+        let col_bits = cols_per_row.trailing_zeros();
+        let bank_bits = (cfg.banks_per_vault as u64).trailing_zeros();
+        let row_bits = (cfg.rows_per_bank as u64).trailing_zeros();
+        let vault_bits = (cfg.vaults as u64).trailing_zeros();
+        let offset = addr % cfg.col_bytes as u64;
+        let block = addr / cfg.col_bytes as u64;
+        match self {
+            AddressMapping::VaultRowBankCol => {
+                // low → high: col, bank, row, vault
+                let col = block & (cols_per_row - 1);
+                let bank = (block >> col_bits) & (cfg.banks_per_vault as u64 - 1);
+                let row = (block >> (col_bits + bank_bits)) & (cfg.rows_per_bank as u64 - 1);
+                let vault =
+                    (block >> (col_bits + bank_bits + row_bits)) & (cfg.vaults as u64 - 1);
+                DecodedAddr {
+                    vault: vault as usize,
+                    bank: bank as usize,
+                    row,
+                    col,
+                    offset,
+                }
+            }
+            AddressMapping::LowInterleave => {
+                // low → high: vault, col, bank, row
+                let vault = block & (cfg.vaults as u64 - 1);
+                let col = (block >> vault_bits) & (cols_per_row - 1);
+                let bank = (block >> (vault_bits + col_bits)) & (cfg.banks_per_vault as u64 - 1);
+                let row =
+                    (block >> (vault_bits + col_bits + bank_bits)) & (cfg.rows_per_bank as u64 - 1);
+                DecodedAddr {
+                    vault: vault as usize,
+                    bank: bank as usize,
+                    row,
+                    col,
+                    offset,
+                }
+            }
+        }
+    }
+
+    /// Recomposes DRAM coordinates into a physical address (the inverse
+    /// of [`decode`](Self::decode)).
+    #[must_use]
+    pub fn encode(self, cfg: &MemConfig, d: DecodedAddr) -> u64 {
+        let cols_per_row = (cfg.row_bytes / cfg.col_bytes) as u64;
+        let col_bits = cols_per_row.trailing_zeros();
+        let bank_bits = (cfg.banks_per_vault as u64).trailing_zeros();
+        let row_bits = (cfg.rows_per_bank as u64).trailing_zeros();
+        let vault_bits = (cfg.vaults as u64).trailing_zeros();
+        let block = match self {
+            AddressMapping::VaultRowBankCol => {
+                d.col
+                    | ((d.bank as u64) << col_bits)
+                    | (d.row << (col_bits + bank_bits))
+                    | ((d.vault as u64) << (col_bits + bank_bits + row_bits))
+            }
+            AddressMapping::LowInterleave => {
+                (d.vault as u64)
+                    | (d.col << vault_bits)
+                    | ((d.bank as u64) << (vault_bits + col_bits))
+                    | (d.row << (vault_bits + col_bits + bank_bits))
+            }
+        };
+        block * cfg.col_bytes as u64 + d.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vault_high_keeps_vault_regions_contiguous() {
+        let cfg = MemConfig::baseline();
+        let m = AddressMapping::VaultRowBankCol;
+        let vault_bytes = cfg.vault_bytes();
+        for v in [0u64, 1, 7, 31] {
+            let lo = m.decode(&cfg, v * vault_bytes);
+            let hi = m.decode(&cfg, (v + 1) * vault_bytes - 1);
+            assert_eq!(lo.vault as u64, v);
+            assert_eq!(hi.vault as u64, v);
+        }
+    }
+
+    #[test]
+    fn low_interleave_rotates_vaults_per_column() {
+        let cfg = MemConfig {
+            mapping: AddressMapping::LowInterleave,
+            ..MemConfig::baseline()
+        };
+        let m = AddressMapping::LowInterleave;
+        assert_eq!(m.decode(&cfg, 0).vault, 0);
+        assert_eq!(m.decode(&cfg, 32).vault, 1);
+        assert_eq!(m.decode(&cfg, 32 * 31).vault, 31);
+        assert_eq!(m.decode(&cfg, 32 * 32).vault, 0);
+    }
+
+    #[test]
+    fn sequential_columns_share_a_row_under_vault_high() {
+        let cfg = MemConfig::baseline();
+        let m = AddressMapping::VaultRowBankCol;
+        let a = m.decode(&cfg, 0);
+        let b = m.decode(&cfg, 32);
+        let c = m.decode(&cfg, 224);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(b.col, 1);
+        assert_eq!(c.col, 7);
+        // The next column rolls into the next bank (bank rotation).
+        let d = m.decode(&cfg, 256);
+        assert_eq!(d.bank, a.bank + 1);
+        assert_eq!(d.row, a.row);
+    }
+
+    #[test]
+    fn encode_is_inverse_of_decode() {
+        for cfg in [
+            MemConfig::baseline(),
+            MemConfig::wide_row(),
+            MemConfig::narrow_row(),
+            MemConfig::more_ranks(),
+            MemConfig::fewer_ranks(),
+        ] {
+            for mapping in [AddressMapping::VaultRowBankCol, AddressMapping::LowInterleave] {
+                for addr in [0u64, 31, 32, 1000, 123_456_789, cfg.total_bytes() - 1] {
+                    let d = mapping.decode(&cfg, addr);
+                    assert_eq!(
+                        mapping.encode(&cfg, d),
+                        addr,
+                        "{mapping:?} {} addr {addr}",
+                        cfg.name
+                    );
+                }
+            }
+        }
+    }
+}

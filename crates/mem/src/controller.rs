@@ -1,0 +1,626 @@
+//! The vault controller: transaction queueing, FR-FCFS command
+//! scheduling, refresh, and full-empty atomics.
+
+use std::collections::VecDeque;
+
+use crate::addr::DecodedAddr;
+use crate::bank::Bank;
+use crate::config::{MemConfig, RowPolicy};
+use crate::req::{MemRequest, MemResponse, QueueFullError, RequestKind};
+use crate::stats::MemStats;
+use crate::storage::Storage;
+use crate::Cycle;
+
+#[derive(Debug)]
+struct Txn {
+    req: MemRequest,
+    decoded: DecodedAddr,
+    enqueued: Cycle,
+    caused_act: bool,
+}
+
+#[derive(Debug)]
+struct PendingCompletion {
+    at: Cycle,
+    response: MemResponse,
+    latency: Cycle,
+}
+
+/// Cycle-level model of one HMC vault: a transaction queue in front of 16
+/// independently-controlled banks sharing one 10 GB/s data path.
+///
+/// Scheduling is first-ready, first-come-first-served (FR-FCFS): the
+/// oldest transaction whose row is open issues first; otherwise the
+/// controller works on opening the oldest transaction's row, precharging
+/// a conflicting row if necessary. One command issues per cycle. Refresh
+/// fires every tREFI and stalls the whole vault for tRFC (all-bank
+/// refresh, as in the HMC). Under the closed-page policy every column
+/// command carries auto-precharge.
+///
+/// Full-empty transactions ([`RequestKind::FeLoad`]/[`RequestKind::FeStore`]) wait in
+/// the queue until the word's full bit permits, then issue like a normal
+/// column access; because command issue is serialized per vault the
+/// test-and-update is atomic (§IV-A's synchronization variables).
+#[derive(Debug)]
+pub struct VaultController {
+    vault: usize,
+    cfg: MemConfig,
+    banks: Vec<Bank>,
+    queue: VecDeque<Txn>,
+    completions: Vec<PendingCompletion>,
+    now: Cycle,
+    next_refresh: Cycle,
+    refresh_pending: bool,
+    refresh_until: Cycle,
+    bus_free_at: Cycle,
+    stats: MemStats,
+}
+
+impl VaultController {
+    /// Creates the controller for `vault` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MemConfig::validate`].
+    #[must_use]
+    pub fn new(vault: usize, cfg: MemConfig) -> Self {
+        cfg.validate().expect("valid memory configuration");
+        let banks = vec![Bank::new(); cfg.banks_per_vault];
+        let next_refresh = cfg.timing.t_refi();
+        VaultController {
+            vault,
+            cfg,
+            banks,
+            queue: VecDeque::new(),
+            completions: Vec::new(),
+            now: 0,
+            next_refresh,
+            refresh_pending: false,
+            refresh_until: 0,
+            bus_free_at: 0,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The vault index.
+    #[must_use]
+    pub fn vault(&self) -> usize {
+        self.vault
+    }
+
+    /// Number of queued (unissued) transactions.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the transaction queue can accept another request.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.cfg.trans_queue_depth
+    }
+
+    /// Whether no work is queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.completions.is_empty()
+    }
+
+    /// Statistics snapshot (with `elapsed_cycles` set to the current
+    /// cycle).
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        MemStats { elapsed_cycles: self.now, ..self.stats }
+    }
+
+    /// Enqueues a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if the transaction queue is full (the
+    /// caller retries next cycle — this is the back-pressure the NoC
+    /// sees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request crosses a column boundary or targets a
+    /// different vault (the load-store unit splits requests into columns
+    /// and the network routes them, so either is a simulator bug).
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(), QueueFullError> {
+        if !self.can_accept() {
+            return Err(QueueFullError { vault: self.vault });
+        }
+        let len = if req.kind == RequestKind::Write { req.data.len() } else { req.len };
+        let granule = self.cfg.request_granule() as u64;
+        assert!(
+            (req.addr % granule) + len as u64 <= granule,
+            "request at {:#x} len {} crosses a {}-byte request granule (HMC packets \
+             carry at most 128 B and never cross a DRAM row)",
+            req.addr,
+            len,
+            granule
+        );
+        let decoded = self.cfg.mapping.decode(&self.cfg, req.addr);
+        assert_eq!(
+            decoded.vault, self.vault,
+            "request at {:#x} routed to vault {} but maps to vault {}",
+            req.addr, self.vault, decoded.vault
+        );
+        self.queue.push_back(Txn { req, decoded, enqueued: self.now, caused_act: false });
+        Ok(())
+    }
+
+    /// Advances one cycle: retires matured completions into `out`, then
+    /// issues at most one DRAM command.
+    pub fn tick(&mut self, storage: &mut Storage, out: &mut Vec<MemResponse>) {
+        self.now += 1;
+        if !self.queue.is_empty() || !self.completions.is_empty() {
+            self.stats.busy_cycles += 1;
+        }
+
+        // Retire matured completions.
+        let now = self.now;
+        let mut i = 0;
+        while i < self.completions.len() {
+            if self.completions[i].at <= now {
+                let done = self.completions.swap_remove(i);
+                self.stats.total_latency_cycles += done.latency;
+                match done.response.kind {
+                    RequestKind::Read | RequestKind::FeLoad => {
+                        self.stats.reads += 1;
+                        self.stats.bytes_read += done.response.data.len() as u64;
+                    }
+                    RequestKind::Write | RequestKind::FeStore => {
+                        self.stats.writes += 1;
+                    }
+                }
+                out.push(done.response);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Refresh in progress: the whole vault is blocked.
+        if self.now < self.refresh_until {
+            return;
+        }
+        if self.now >= self.next_refresh {
+            self.refresh_pending = true;
+        }
+        if self.refresh_pending {
+            if self.try_start_refresh() {
+                return;
+            }
+            // Work toward refresh: precharge one open bank if possible.
+            if self.issue_precharge_for_refresh() {
+                return;
+            }
+            // Fall through: banks are draining tRAS/tWR; nothing else may
+            // issue so the refresh starts promptly.
+            return;
+        }
+
+        self.schedule(storage);
+    }
+
+    fn try_start_refresh(&mut self) -> bool {
+        let now = self.now;
+        if self.banks.iter().all(|b| b.refresh_ready(now)) {
+            let until = now + self.cfg.timing.t_rfc();
+            for bank in &mut self.banks {
+                bank.block_until(until);
+            }
+            self.refresh_until = until;
+            self.next_refresh += self.cfg.timing.t_refi();
+            self.refresh_pending = false;
+            self.stats.refreshes += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn issue_precharge_for_refresh(&mut self) -> bool {
+        let now = self.now;
+        let timing = self.cfg.timing;
+        for bank in &mut self.banks {
+            if bank.can_precharge(now) {
+                bank.precharge(now, &timing);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether an older queued transaction touches an overlapping
+    /// address range. Plain transactions must not reorder around each
+    /// other when they overlap (RAW/WAR/WAW through DRAM); full-empty
+    /// transactions are exempt — their ordering comes from the full bit
+    /// itself, and blocking on them would deadlock producer-consumer
+    /// pairs that share a word by design.
+    fn has_older_conflict(&self, idx: usize) -> bool {
+        let txn = &self.queue[idx];
+        if txn.req.is_full_empty() {
+            return false;
+        }
+        let len = if txn.req.kind == RequestKind::Write {
+            txn.req.data.len()
+        } else {
+            txn.req.len
+        } as u64;
+        let (start, end) = (txn.req.addr, txn.req.addr + len);
+        self.queue.iter().take(idx).any(|older| {
+            if older.req.is_full_empty() {
+                return false;
+            }
+            let olen = if older.req.kind == RequestKind::Write {
+                older.req.data.len()
+            } else {
+                older.req.len
+            } as u64;
+            start < older.req.addr + olen && older.req.addr < end
+        })
+    }
+
+    /// FR-FCFS: issue a ready column command, else open the oldest
+    /// transaction's row.
+    fn schedule(&mut self, storage: &mut Storage) {
+        // Pass 1: oldest row-hit transaction whose bank and bus are ready.
+        let now = self.now;
+        let hit_idx = (0..self.queue.len()).find(|&i| {
+            let txn = &self.queue[i];
+            self.banks[txn.decoded.bank].can_access(now, txn.decoded.row)
+                && self.fe_permits(storage, &txn.req)
+                && !self.has_older_conflict(i)
+        });
+        if let Some(idx) = hit_idx {
+            self.issue_column(idx, storage);
+            return;
+        }
+
+        // Pass 2: oldest transaction needing row work. Skip full-empty
+        // transactions whose bit does not permit — opening their row
+        // would be wasted work and can livelock conflicting rows.
+        for idx in 0..self.queue.len() {
+            let (bank_idx, row, permitted) = {
+                let txn = &self.queue[idx];
+                (
+                    txn.decoded.bank,
+                    txn.decoded.row,
+                    self.fe_permits(storage, &txn.req),
+                )
+            };
+            if !permitted || self.has_older_conflict(idx) {
+                continue;
+            }
+            let bank = &mut self.banks[bank_idx];
+            match bank.open_row() {
+                Some(open) if open == row => continue, // waiting on tRCD/bus
+                Some(_) => {
+                    if bank.can_precharge(now) {
+                        let timing = self.cfg.timing;
+                        bank.precharge(now, &timing);
+                        self.stats.row_conflicts += 1;
+                        return;
+                    }
+                }
+                None => {
+                    if bank.can_activate(now) {
+                        let timing = self.cfg.timing;
+                        bank.activate(now, row, &timing);
+                        self.queue[idx].caused_act = true;
+                        self.stats.row_misses += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn fe_permits(&self, storage: &Storage, req: &MemRequest) -> bool {
+        match req.kind {
+            RequestKind::FeLoad => storage.is_full(req.addr),
+            RequestKind::FeStore => !storage.is_full(req.addr),
+            _ => true,
+        }
+    }
+
+    fn issue_column(&mut self, idx: usize, storage: &mut Storage) {
+        let mut txn = self.queue.remove(idx).expect("index in range");
+        let now = self.now;
+        let timing = self.cfg.timing;
+        // A request spanning several columns of one row issues its
+        // column commands tCCD apart (same bank); the data occupies the
+        // shared bus for one burst per column.
+        let len = if txn.req.kind == RequestKind::Write {
+            txn.req.data.len()
+        } else {
+            txn.req.len
+        } as u64;
+        let col = self.cfg.col_bytes as u64;
+        let cols = ((txn.req.addr % col) + len).div_ceil(col).max(1);
+        let last_cmd = now + (cols - 1) * timing.t_ccd();
+        let data_start = (last_cmd + timing.t_cl())
+            .max(self.bus_free_at + (cols - 1) * self.cfg.burst_cycles);
+        let burst_end = data_start + self.cfg.burst_cycles;
+        self.bus_free_at = burst_end;
+        self.banks[txn.decoded.bank].column_issued(last_cmd, &timing);
+
+        if !txn.caused_act {
+            self.stats.row_hits += 1;
+        }
+
+        let bank = &mut self.banks[txn.decoded.bank];
+        let response = match txn.req.kind {
+            RequestKind::Read => {
+                bank.access_read(burst_end, &timing);
+                MemResponse {
+                    id: txn.req.id,
+                    kind: RequestKind::Read,
+                    addr: txn.req.addr,
+                    data: storage.read_vec(txn.req.addr, txn.req.len),
+                }
+            }
+            RequestKind::Write => {
+                bank.access_write(burst_end, &timing);
+                self.stats.bytes_written += txn.req.data.len() as u64;
+                storage.write(txn.req.addr, &txn.req.data);
+                MemResponse {
+                    id: txn.req.id,
+                    kind: RequestKind::Write,
+                    addr: txn.req.addr,
+                    data: Vec::new(),
+                }
+            }
+            RequestKind::FeLoad => {
+                bank.access_read(burst_end, &timing);
+                let data = storage.read_vec(txn.req.addr, 8);
+                storage.set_full(txn.req.addr, false);
+                MemResponse {
+                    id: txn.req.id,
+                    kind: RequestKind::FeLoad,
+                    addr: txn.req.addr,
+                    data,
+                }
+            }
+            RequestKind::FeStore => {
+                bank.access_write(burst_end, &timing);
+                self.stats.bytes_written += txn.req.data.len() as u64;
+                storage.write(txn.req.addr, &txn.req.data);
+                storage.set_full(txn.req.addr, true);
+                MemResponse {
+                    id: txn.req.id,
+                    kind: RequestKind::FeStore,
+                    addr: txn.req.addr,
+                    data: Vec::new(),
+                }
+            }
+        };
+
+        if self.cfg.policy == RowPolicy::ClosedPage {
+            let pre_at = match txn.req.kind {
+                RequestKind::Write | RequestKind::FeStore => burst_end + timing.t_wr(),
+                _ => burst_end,
+            };
+            bank.auto_precharge_at(pre_at, &timing);
+        }
+
+        txn.caused_act = false;
+        self.completions.push(PendingCompletion {
+            at: burst_end,
+            response,
+            latency: burst_end - txn.enqueued,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_idle(
+        vc: &mut VaultController,
+        storage: &mut Storage,
+        limit: Cycle,
+    ) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            vc.tick(storage, &mut out);
+            if vc.is_idle() {
+                break;
+            }
+        }
+        assert!(vc.is_idle(), "controller did not drain within {limit} cycles");
+        out
+    }
+
+    #[test]
+    fn read_returns_written_data() {
+        let mut storage = Storage::new();
+        storage.write(64, &[7; 32]);
+        let mut vc = VaultController::new(0, MemConfig::baseline());
+        vc.enqueue(MemRequest::read(1, 64, 32)).unwrap();
+        let out = run_until_idle(&mut vc, &mut storage, 500);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].data, vec![7; 32]);
+        let s = vc.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_hits, 0);
+    }
+
+    #[test]
+    fn cold_read_latency_is_trcd_plus_tcl_plus_burst() {
+        let mut storage = Storage::new();
+        let cfg = MemConfig::baseline();
+        let expect = cfg.timing.t_rcd() + cfg.timing.t_cl() + cfg.burst_cycles;
+        let mut vc = VaultController::new(0, cfg);
+        vc.enqueue(MemRequest::read(1, 0, 32)).unwrap();
+        let out = run_until_idle(&mut vc, &mut storage, 500);
+        assert_eq!(out.len(), 1);
+        // +2: one cycle for the enqueue tick to see it, one for ACT itself.
+        let measured = vc.stats().total_latency_cycles;
+        assert!(
+            (expect..=expect + 2).contains(&measured),
+            "latency {measured}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn open_page_hits_same_row() {
+        let mut storage = Storage::new();
+        let mut vc = VaultController::new(0, MemConfig::baseline());
+        // Two columns of the same row.
+        vc.enqueue(MemRequest::read(1, 0, 32)).unwrap();
+        vc.enqueue(MemRequest::read(2, 32, 32)).unwrap();
+        run_until_idle(&mut vc, &mut storage, 500);
+        let s = vc.stats();
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_hits, 1);
+    }
+
+    #[test]
+    fn closed_page_never_hits() {
+        let mut storage = Storage::new();
+        let mut vc = VaultController::new(0, MemConfig::closed_page());
+        vc.enqueue(MemRequest::read(1, 0, 32)).unwrap();
+        vc.enqueue(MemRequest::read(2, 32, 32)).unwrap();
+        run_until_idle(&mut vc, &mut storage, 800);
+        let s = vc.stats();
+        assert_eq!(s.row_misses, 2);
+        assert_eq!(s.row_hits, 0);
+    }
+
+    #[test]
+    fn row_conflict_precharges() {
+        let mut storage = Storage::new();
+        let cfg = MemConfig::baseline();
+        // Same bank, different rows: rows advance every
+        // banks*row_bytes bytes under vault-row-bank-col.
+        let stride = (cfg.banks_per_vault * cfg.row_bytes) as u64;
+        let mut vc = VaultController::new(0, cfg);
+        vc.enqueue(MemRequest::read(1, 0, 32)).unwrap();
+        vc.enqueue(MemRequest::read(2, stride, 32)).unwrap();
+        run_until_idle(&mut vc, &mut storage, 1000);
+        let s = vc.stats();
+        assert_eq!(s.row_conflicts, 1);
+        assert_eq!(s.row_misses, 2);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        // Reads to N different banks should take far less than N x the
+        // single-read latency thanks to bank-level parallelism.
+        let mut storage = Storage::new();
+        let cfg = MemConfig::baseline();
+        let row_stride = cfg.row_bytes as u64; // next bank
+        let mut vc = VaultController::new(0, cfg.clone());
+        for b in 0..8u64 {
+            vc.enqueue(MemRequest::read(b, b * row_stride, 32)).unwrap();
+        }
+        let mut out = Vec::new();
+        let mut cycles = 0;
+        while !vc.is_idle() {
+            vc.tick(&mut storage, &mut out);
+            cycles += 1;
+            assert!(cycles < 5000);
+        }
+        assert_eq!(out.len(), 8);
+        let single = cfg.timing.t_rcd() + cfg.timing.t_cl() + cfg.burst_cycles + 2;
+        assert!(
+            cycles < 8 * single / 2,
+            "8 bank-parallel reads took {cycles} cycles (single ~{single})"
+        );
+    }
+
+    #[test]
+    fn refresh_blocks_and_counts() {
+        let mut storage = Storage::new();
+        let cfg = MemConfig::baseline();
+        let refi = cfg.timing.t_refi();
+        let mut vc = VaultController::new(0, cfg);
+        let mut out = Vec::new();
+        for _ in 0..(refi * 3 + 10) {
+            vc.tick(&mut storage, &mut out);
+        }
+        assert_eq!(vc.stats().refreshes, 3);
+    }
+
+    #[test]
+    fn fe_store_then_load_pair() {
+        let mut storage = Storage::new();
+        let mut vc = VaultController::new(0, MemConfig::baseline());
+        // The load is queued first but cannot proceed until the store
+        // sets the full bit.
+        vc.enqueue(MemRequest::fe_load(1, 128)).unwrap();
+        vc.enqueue(MemRequest::fe_store(2, 128, 0xabcd)).unwrap();
+        let out = run_until_idle(&mut vc, &mut storage, 2000);
+        assert_eq!(out.len(), 2);
+        let load = out.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(u64::from_le_bytes(load.data.clone().try_into().unwrap()), 0xabcd);
+        assert!(!storage.is_full(128), "load consumed the full bit");
+    }
+
+    #[test]
+    fn fe_load_waits_indefinitely_without_producer() {
+        let mut storage = Storage::new();
+        let mut vc = VaultController::new(0, MemConfig::baseline());
+        vc.enqueue(MemRequest::fe_load(1, 128)).unwrap();
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            vc.tick(&mut storage, &mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(vc.pending(), 1);
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let cfg = MemConfig::baseline();
+        let depth = cfg.trans_queue_depth;
+        let mut vc = VaultController::new(0, cfg);
+        for i in 0..depth {
+            vc.enqueue(MemRequest::read(i as u64, (i * 32) as u64, 32)).unwrap();
+        }
+        assert!(vc.enqueue(MemRequest::read(99, 0, 32)).is_err());
+    }
+
+    #[test]
+    fn multi_column_packets_within_a_row_are_legal() {
+        // With the 128 B packet option, requests span up to 128 B of one
+        // row.
+        let mut storage = Storage::new();
+        storage.write(16, &[9; 32]);
+        let mut vc = VaultController::new(0, MemConfig::with_hmc_packets());
+        vc.enqueue(MemRequest::read(1, 16, 32)).unwrap();
+        vc.enqueue(MemRequest::read(2, 0, 128)).unwrap();
+        let out = run_until_idle(&mut vc, &mut storage, 1000);
+        assert_eq!(out.iter().find(|r| r.id == 1).unwrap().data, vec![9; 32]);
+        assert_eq!(out.iter().find(|r| r.id == 2).unwrap().data.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "request granule")]
+    fn crossing_the_request_granule_panics() {
+        // Default packets are one column; 32 B starting mid-column
+        // crosses the granule.
+        let mut vc = VaultController::new(0, MemConfig::baseline());
+        let _ = vc.enqueue(MemRequest::read(1, 16, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "request granule")]
+    fn crossing_a_row_panics_even_with_big_packets() {
+        let mut vc = VaultController::new(0, MemConfig::with_hmc_packets());
+        let _ = vc.enqueue(MemRequest::read(1, 64, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "routed to vault")]
+    fn wrong_vault_panics() {
+        let cfg = MemConfig::baseline();
+        let other_vault_addr = cfg.vault_base(1);
+        let mut vc = VaultController::new(0, cfg);
+        let _ = vc.enqueue(MemRequest::read(1, other_vault_addr, 32));
+    }
+}

@@ -1,0 +1,90 @@
+//! # vip-mem — cycle-level HMC-style 3D-stacked DRAM model
+//!
+//! The VIP paper couples its 128 processing engines to a Hybrid Memory
+//! Cube-like 3D-stacked memory (§III-C) and evaluates it with DRAMSim2.
+//! This crate is the from-scratch Rust equivalent of that substrate:
+//!
+//! * 32 vertical partitions (*vaults*), each with 16 DRAM banks, 65,536
+//!   rows of 256 B per bank, and a 10 GB/s data path (320 GB/s aggregate);
+//! * the timing parameters of Table III ([`DramTiming`]), expressed in the
+//!   shared 0.8 ns clock;
+//! * per-bank state machines honouring tRCD/tRP/tRAS/tWR/tCCD/tCL with
+//!   FR-FCFS scheduling, [`RowPolicy::OpenPage`] or
+//!   [`RowPolicy::ClosedPage`] row-buffer policies, and periodic refresh
+//!   (tREFI/tRFC, including the DDR4 refresh-4x mode VIP uses);
+//! * both address-mapping schemes the paper discusses
+//!   ([`AddressMapping::VaultRowBankCol`] with the vault index in the high
+//!   bits so PEs access their local vaults, and the HMC-default
+//!   [`AddressMapping::LowInterleave`]);
+//! * **execution-driven** data storage: reads return the bytes writes put
+//!   there, and full-empty bits (§IV-A's synchronization variables) are
+//!   honoured atomically at the vault controller;
+//! * the configuration presets of the Figure 5 sensitivity study
+//!   ([`MemConfig::closed_page`], `more_ranks`, `fewer_ranks`, `wide_row`,
+//!   `narrow_row`, `refresh_2x`, `refresh_1x`).
+//!
+//! The top-level type is [`Hmc`]; callers enqueue [`MemRequest`]s per
+//! vault and call [`Hmc::tick`] once per 0.8 ns cycle, collecting
+//! [`MemResponse`]s.
+//!
+//! ```
+//! use vip_mem::{Hmc, MemConfig, MemRequest};
+//!
+//! let mut hmc = Hmc::new(MemConfig::baseline());
+//! hmc.host_write(0x40, &[1, 2, 3, 4]);
+//! let vault = hmc.config().vault_of(0x40);
+//! hmc.enqueue(vault, MemRequest::read(7, 0x40, 4)).unwrap();
+//! let mut responses = Vec::new();
+//! for _ in 0..200 {
+//!     hmc.tick(&mut responses);
+//! }
+//! assert_eq!(responses.len(), 1);
+//! assert_eq!(responses[0].data, vec![1, 2, 3, 4]);
+//! ```
+
+mod addr;
+mod bank;
+mod config;
+mod controller;
+mod hmc;
+mod remap;
+mod req;
+mod stats;
+mod storage;
+mod timing;
+
+pub use addr::{AddressMapping, DecodedAddr};
+pub use config::{ConfigError, MemConfig, RowPolicy};
+pub use controller::VaultController;
+pub use hmc::Hmc;
+pub use remap::BitShuffle;
+pub use req::{MemRequest, MemResponse, QueueFullError, ReqId, RequestKind};
+pub use stats::MemStats;
+pub use storage::Storage;
+pub use timing::DramTiming;
+
+/// One clock cycle of the shared 1.25 GHz clock (0.8 ns), the simulator's
+/// unit of time.
+pub type Cycle = u64;
+
+/// Picoseconds per clock cycle (0.8 ns at 1.25 GHz; Table III's tCK).
+pub const CYCLE_PS: u64 = 800;
+
+/// Converts a duration in picoseconds to cycles, rounding up.
+#[must_use]
+pub fn ps_to_cycles(ps: u64) -> Cycle {
+    ps.div_ceil(CYCLE_PS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_conversion_rounds_up() {
+        assert_eq!(ps_to_cycles(800), 1);
+        assert_eq!(ps_to_cycles(801), 2);
+        assert_eq!(ps_to_cycles(13_750), 18); // tCL = 13.75 ns
+        assert_eq!(ps_to_cycles(0), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Logical-to-physical address remapping (§III-C).
+//!
+//! The paper notes that if VIP sits *outside* the memory stack, its
+//! vault-high interleaving "may be changed using a logical to physical
+//! address translation. This is simpler than virtual memory, as the
+//! mapping is known statically and involves shuffling some bits in
+//! memory requests." [`BitShuffle`] is that mechanism: a static
+//! permutation of address bits applied to every request, able to turn
+//! the HMC's default low-order vault interleave into VIP's vault-high
+//! view (and back).
+
+/// A static permutation of the low `width` address bits.
+///
+/// `perm[i]` gives the *logical* bit index that supplies *physical* bit
+/// `i`. Bits above `width` pass through unchanged.
+///
+/// ```
+/// use vip_mem::BitShuffle;
+///
+/// // Swap bits 0 and 1 of the block index (bits 5 and 6 of the byte
+/// // address, above a 32-byte offset).
+/// let shuffle = BitShuffle::new(vec![1, 0], 5);
+/// assert_eq!(shuffle.apply(0b01_00000), 0b10_00000);
+/// assert_eq!(shuffle.apply(0b10_00000), 0b01_00000);
+/// assert_eq!(shuffle.invert().apply(shuffle.apply(12345)), 12345);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitShuffle {
+    perm: Vec<u32>,
+    low_bits: u32,
+}
+
+impl BitShuffle {
+    /// A permutation of `perm.len()` bits starting at bit `low_bits`
+    /// (bits below `low_bits` — the intra-column offset — never move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    #[must_use]
+    pub fn new(perm: Vec<u32>, low_bits: u32) -> Self {
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(
+                (p as usize) < perm.len() && !seen[p as usize],
+                "perm must be a permutation of 0..{}",
+                perm.len()
+            );
+            seen[p as usize] = true;
+        }
+        BitShuffle { perm, low_bits }
+    }
+
+    /// The identity shuffle.
+    #[must_use]
+    pub fn identity() -> Self {
+        BitShuffle { perm: Vec::new(), low_bits: 0 }
+    }
+
+    /// The shuffle that converts VIP's logical vault-high addresses into
+    /// physical low-interleaved HMC addresses: the top `vault_bits` of a
+    /// `total_bits`-wide block index move to the bottom.
+    ///
+    /// With this remap installed, software laid out for contiguous
+    /// per-vault regions runs unchanged on a stock low-interleaved HMC.
+    #[must_use]
+    pub fn vault_high_to_low(vault_bits: u32, total_bits: u32, offset_bits: u32) -> Self {
+        assert!(vault_bits <= total_bits);
+        // Physical bit i takes logical bit perm[i]:
+        // low vault_bits     <- logical top bits (the vault index)
+        // remaining          <- logical low bits, shifted up
+        let mut perm = Vec::with_capacity(total_bits as usize);
+        for i in 0..vault_bits {
+            perm.push(total_bits - vault_bits + i);
+        }
+        for i in 0..total_bits - vault_bits {
+            perm.push(i);
+        }
+        BitShuffle::new(perm, offset_bits)
+    }
+
+    /// Applies the shuffle to a byte address.
+    #[must_use]
+    pub fn apply(&self, addr: u64) -> u64 {
+        if self.perm.is_empty() {
+            return addr;
+        }
+        let width = self.perm.len() as u32;
+        let low_mask = (1u64 << self.low_bits) - 1;
+        let field_mask = ((1u64 << width) - 1) << self.low_bits;
+        let field = (addr & field_mask) >> self.low_bits;
+        let mut out = 0u64;
+        for (i, &src) in self.perm.iter().enumerate() {
+            out |= ((field >> src) & 1) << i;
+        }
+        (addr & !(field_mask | low_mask)) | (out << self.low_bits) | (addr & low_mask)
+    }
+
+    /// The inverse permutation.
+    #[must_use]
+    pub fn invert(&self) -> Self {
+        let mut inv = vec![0u32; self.perm.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv[p as usize] = i as u32;
+        }
+        BitShuffle { perm: inv, low_bits: self.low_bits }
+    }
+}
+
+impl Default for BitShuffle {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddressMapping, MemConfig};
+
+    #[test]
+    fn identity_is_a_no_op() {
+        let id = BitShuffle::identity();
+        for a in [0u64, 1, 12345, u64::MAX] {
+            assert_eq!(id.apply(a), a);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let s = BitShuffle::new(vec![2, 0, 3, 1], 5);
+        let inv = s.invert();
+        for a in 0..4096u64 {
+            assert_eq!(inv.apply(s.apply(a)), a);
+            assert_eq!(s.apply(inv.apply(a)), a);
+        }
+    }
+
+    #[test]
+    fn offset_bits_never_move() {
+        let s = BitShuffle::new(vec![1, 0], 5);
+        for a in 0..32u64 {
+            assert_eq!(s.apply(a), a, "intra-column offsets are stable");
+        }
+    }
+
+    #[test]
+    fn vault_high_remap_matches_the_two_mappings() {
+        // Remapping a vault-high logical address must land it on the
+        // same (vault, bank, row, col) that the low-interleave mapping
+        // assigns — the §III-C translation between VIP's view and the
+        // stock HMC's.
+        let cfg = MemConfig::baseline();
+        let total_bits = (cfg.total_bytes() / cfg.col_bytes as u64).trailing_zeros();
+        let vault_bits = (cfg.vaults as u64).trailing_zeros();
+        let offset_bits = (cfg.col_bytes as u64).trailing_zeros();
+        let shuffle = BitShuffle::vault_high_to_low(vault_bits, total_bits, offset_bits);
+
+        for logical in [0u64, 32, 4096, 256 << 20, (256 << 20) + 64, 5 * (256 << 20) + 997 * 32] {
+            let high = AddressMapping::VaultRowBankCol.decode(&cfg, logical);
+            let low = AddressMapping::LowInterleave.decode(&cfg, shuffle.apply(logical));
+            assert_eq!(high.vault, low.vault, "addr {logical:#x}");
+            assert_eq!(high.offset, low.offset);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Sparse execution-driven backing store with full-empty bits.
+
+use std::collections::{HashMap, HashSet};
+
+const PAGE_BYTES: u64 = 4096;
+
+/// Sparse byte-addressable storage for the whole memory stack.
+///
+/// The simulator is execution-driven (§V-A): loads return the data stores
+/// actually put there, which is how simulated kernel outputs are verified
+/// against the golden references. Untouched memory reads as zero. A
+/// sidecar set tracks the full-empty bit of each 8-byte word (§IV-A);
+/// words start *empty*.
+#[derive(Debug, Default)]
+pub struct Storage {
+    pages: HashMap<u64, Box<[u8]>>,
+    full_bits: HashSet<u64>,
+}
+
+impl Storage {
+    /// Creates empty (all-zero, all-empty) storage.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut at = addr;
+        let mut done = 0;
+        while done < buf.len() {
+            let page = at / PAGE_BYTES;
+            let off = (at % PAGE_BYTES) as usize;
+            let chunk = ((PAGE_BYTES as usize) - off).min(buf.len() - done);
+            match self.pages.get(&page) {
+                Some(data) => buf[done..done + chunk].copy_from_slice(&data[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            at += chunk as u64;
+            done += chunk;
+        }
+    }
+
+    /// Convenience: reads `len` bytes into a fresh vector.
+    #[must_use]
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0; len];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut at = addr;
+        let mut done = 0;
+        while done < data.len() {
+            let page = at / PAGE_BYTES;
+            let off = (at % PAGE_BYTES) as usize;
+            let chunk = ((PAGE_BYTES as usize) - off).min(data.len() - done);
+            let page_data = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0; PAGE_BYTES as usize].into_boxed_slice());
+            page_data[off..off + chunk].copy_from_slice(&data[done..done + chunk]);
+            at += chunk as u64;
+            done += chunk;
+        }
+    }
+
+    /// Reads the little-endian 64-bit word at `addr`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut buf = [0; 8];
+        self.read(addr, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Writes a little-endian 64-bit word at `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// The full-empty bit of the word containing `addr`.
+    #[must_use]
+    pub fn is_full(&self, addr: u64) -> bool {
+        self.full_bits.contains(&(addr & !7))
+    }
+
+    /// Sets or clears the full-empty bit of the word containing `addr`.
+    pub fn set_full(&mut self, addr: u64, full: bool) {
+        let word = addr & !7;
+        if full {
+            self.full_bits.insert(word);
+        } else {
+            self.full_bits.remove(&word);
+        }
+    }
+
+    /// Bytes of storage actually materialized (diagnostics).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_roundtrip() {
+        let mut s = Storage::new();
+        assert_eq!(s.read_vec(1234, 16), vec![0; 16]);
+        s.write(1234, &[1, 2, 3]);
+        assert_eq!(s.read_vec(1233, 5), vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut s = Storage::new();
+        let addr = PAGE_BYTES - 2;
+        s.write(addr, &[9, 8, 7, 6]);
+        assert_eq!(s.read_vec(addr, 4), vec![9, 8, 7, 6]);
+        assert_eq!(s.resident_bytes(), 2 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut s = Storage::new();
+        s.write_u64(64, 0x1122_3344_5566_7788);
+        assert_eq!(s.read_u64(64), 0x1122_3344_5566_7788);
+        assert_eq!(s.read_vec(64, 1)[0], 0x88); // little endian
+    }
+
+    #[test]
+    fn full_empty_bits() {
+        let mut s = Storage::new();
+        assert!(!s.is_full(128));
+        s.set_full(128, true);
+        assert!(s.is_full(128));
+        assert!(s.is_full(135)); // same word
+        assert!(!s.is_full(136)); // next word
+        s.set_full(130, false);
+        assert!(!s.is_full(128));
+    }
+}

@@ -1,0 +1,141 @@
+//! DRAM timing parameters (Table III).
+
+use crate::{ps_to_cycles, Cycle};
+
+/// DRAM timing parameters, stored in picoseconds.
+///
+/// Defaults come from the paper's Table III (derived from Kim et al.'s
+/// HMC parameters with VIP's modifications: open page, vault-high address
+/// mapping, refresh-4x). The refresh parameters tREFI/tRFC scale together
+/// in the Figure 5 sensitivity study ([`DramTiming::with_refresh_scale`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Column access strobe latency (read data delay after a column
+    /// command), ps. Table III: 13.75 ns.
+    pub t_cl_ps: u64,
+    /// Row-to-column delay (data access after ACTIVATE), ps. 13.75 ns.
+    pub t_rcd_ps: u64,
+    /// Row precharge time, ps. 13.75 ns.
+    pub t_rp_ps: u64,
+    /// Minimum row-active time (ACTIVATE to PRECHARGE), ps. 27.5 ns.
+    pub t_ras_ps: u64,
+    /// Write recovery time (end of write burst to PRECHARGE), ps. 15 ns.
+    pub t_wr_ps: u64,
+    /// Column-to-column command delay, ps. 5 ns.
+    pub t_ccd_ps: u64,
+    /// Refresh cycle time (duration of one refresh), ps. 81.5 ns in the
+    /// refresh-4x mode VIP uses.
+    pub t_rfc_ps: u64,
+    /// Refresh interval, ps. 1.95 µs (refresh-4x; JEDEC DDR4 normal mode
+    /// is 7.8 µs).
+    pub t_refi_ps: u64,
+}
+
+impl DramTiming {
+    /// The paper's Table III values (refresh-4x mode).
+    #[must_use]
+    pub fn table_iii() -> Self {
+        DramTiming {
+            t_cl_ps: 13_750,
+            t_rcd_ps: 13_750,
+            t_rp_ps: 13_750,
+            t_ras_ps: 27_500,
+            t_wr_ps: 15_000,
+            t_ccd_ps: 5_000,
+            t_rfc_ps: 81_500,
+            t_refi_ps: 1_950_000,
+        }
+    }
+
+    /// Scales both tRFC and tREFI by `factor` — the paper's "refresh 2x"
+    /// (`factor = 2`) and "refresh 1x" (`factor = 4`) configurations,
+    /// which move from DDR4 refresh-4x back toward the standard rate
+    /// (§VI-C).
+    #[must_use]
+    pub fn with_refresh_scale(mut self, factor: u64) -> Self {
+        self.t_rfc_ps *= factor;
+        self.t_refi_ps *= factor;
+        self
+    }
+
+    /// tCL in cycles.
+    #[must_use]
+    pub fn t_cl(&self) -> Cycle {
+        ps_to_cycles(self.t_cl_ps)
+    }
+
+    /// tRCD in cycles.
+    #[must_use]
+    pub fn t_rcd(&self) -> Cycle {
+        ps_to_cycles(self.t_rcd_ps)
+    }
+
+    /// tRP in cycles.
+    #[must_use]
+    pub fn t_rp(&self) -> Cycle {
+        ps_to_cycles(self.t_rp_ps)
+    }
+
+    /// tRAS in cycles.
+    #[must_use]
+    pub fn t_ras(&self) -> Cycle {
+        ps_to_cycles(self.t_ras_ps)
+    }
+
+    /// tWR in cycles.
+    #[must_use]
+    pub fn t_wr(&self) -> Cycle {
+        ps_to_cycles(self.t_wr_ps)
+    }
+
+    /// tCCD in cycles.
+    #[must_use]
+    pub fn t_ccd(&self) -> Cycle {
+        ps_to_cycles(self.t_ccd_ps)
+    }
+
+    /// tRFC in cycles.
+    #[must_use]
+    pub fn t_rfc(&self) -> Cycle {
+        ps_to_cycles(self.t_rfc_ps)
+    }
+
+    /// tREFI in cycles (rounded down: refreshing slightly early is safe).
+    #[must_use]
+    pub fn t_refi(&self) -> Cycle {
+        self.t_refi_ps / crate::CYCLE_PS
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::table_iii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_cycle_values() {
+        let t = DramTiming::table_iii();
+        assert_eq!(t.t_cl(), 18);
+        assert_eq!(t.t_rcd(), 18);
+        assert_eq!(t.t_rp(), 18);
+        assert_eq!(t.t_ras(), 35);
+        assert_eq!(t.t_wr(), 19);
+        assert_eq!(t.t_ccd(), 7);
+        assert_eq!(t.t_rfc(), 102);
+        assert_eq!(t.t_refi(), 2437);
+    }
+
+    #[test]
+    fn refresh_scaling() {
+        let t2 = DramTiming::table_iii().with_refresh_scale(2);
+        assert_eq!(t2.t_rfc_ps, 163_000);
+        assert_eq!(t2.t_refi_ps, 3_900_000);
+        let t4 = DramTiming::table_iii().with_refresh_scale(4);
+        assert_eq!(t4.t_refi_ps, 7_800_000); // back to JEDEC 7.8 us
+    }
+}

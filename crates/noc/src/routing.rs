@@ -1,0 +1,147 @@
+//! Dimension-order routing on a 2D torus.
+
+/// A link direction out of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward increasing X (wrapping).
+    XPlus,
+    /// Toward decreasing X (wrapping).
+    XMinus,
+    /// Toward increasing Y (wrapping).
+    YPlus,
+    /// Toward decreasing Y (wrapping).
+    YMinus,
+}
+
+impl Direction {
+    /// All four directions.
+    #[must_use]
+    pub fn all() -> [Direction; 4] {
+        [Direction::XPlus, Direction::XMinus, Direction::YPlus, Direction::YMinus]
+    }
+
+    /// Index 0..4, for dense per-router link arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::XPlus => 0,
+            Direction::XMinus => 1,
+            Direction::YPlus => 2,
+            Direction::YMinus => 3,
+        }
+    }
+}
+
+/// Shortest signed displacement from `from` to `to` on a ring of size
+/// `len` (positive = move in the + direction). Ties (exactly half-way)
+/// break toward +.
+fn ring_delta(from: usize, to: usize, len: usize) -> isize {
+    let fwd = (to + len - from) % len;
+    if fwd * 2 <= len {
+        fwd as isize
+    } else {
+        fwd as isize - len as isize
+    }
+}
+
+/// Computes the next hop from router `(x, y)` toward `(dx, dy)` under
+/// X-then-Y dimension-order routing, or `None` if already there.
+#[must_use]
+pub fn next_hop(
+    (x, y): (usize, usize),
+    (dx, dy): (usize, usize),
+    (w, h): (usize, usize),
+) -> Option<(Direction, (usize, usize))> {
+    let ddx = ring_delta(x, dx, w);
+    if ddx > 0 {
+        return Some((Direction::XPlus, ((x + 1) % w, y)));
+    }
+    if ddx < 0 {
+        return Some((Direction::XMinus, ((x + w - 1) % w, y)));
+    }
+    let ddy = ring_delta(y, dy, h);
+    if ddy > 0 {
+        return Some((Direction::YPlus, (x, (y + 1) % h)));
+    }
+    if ddy < 0 {
+        return Some((Direction::YMinus, (x, (y + h - 1) % h)));
+    }
+    None
+}
+
+/// Number of router-to-router hops between two nodes under dimension-
+/// order routing.
+#[must_use]
+pub fn hop_count(src: (usize, usize), dst: (usize, usize), dims: (usize, usize)) -> usize {
+    let mut at = src;
+    let mut hops = 0;
+    while let Some((_, next)) = next_hop(at, dst, dims) {
+        at = next;
+        hops += 1;
+        debug_assert!(hops <= dims.0 + dims.1, "routing loop");
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: (usize, usize) = (8, 4);
+
+    #[test]
+    fn zero_hops_to_self() {
+        assert_eq!(hop_count((3, 2), (3, 2), DIMS), 0);
+        assert!(next_hop((3, 2), (3, 2), DIMS).is_none());
+    }
+
+    #[test]
+    fn wraps_the_short_way() {
+        // 0 -> 7 on an 8-ring is one hop in -X.
+        let (dir, next) = next_hop((0, 0), (7, 0), DIMS).unwrap();
+        assert_eq!(dir, Direction::XMinus);
+        assert_eq!(next, (7, 0));
+        assert_eq!(hop_count((0, 0), (7, 0), DIMS), 1);
+    }
+
+    #[test]
+    fn x_before_y() {
+        let (dir, _) = next_hop((0, 0), (2, 2), DIMS).unwrap();
+        assert_eq!(dir, Direction::XPlus);
+    }
+
+    #[test]
+    fn max_distance_is_half_perimeter() {
+        // On an 8x4 torus the farthest node is 4 + 2 = 6 hops away.
+        let mut max = 0;
+        for sx in 0..8 {
+            for sy in 0..4 {
+                for dx in 0..8 {
+                    for dy in 0..4 {
+                        max = max.max(hop_count((sx, sy), (dx, dy), DIMS));
+                    }
+                }
+            }
+        }
+        assert_eq!(max, 6);
+    }
+
+    #[test]
+    fn tie_breaks_positive() {
+        // Exactly half-way (4 on an 8-ring) goes +X.
+        let (dir, _) = next_hop((0, 0), (4, 0), DIMS).unwrap();
+        assert_eq!(dir, Direction::XPlus);
+    }
+
+    #[test]
+    fn routes_terminate_everywhere() {
+        for s in 0..32 {
+            for d in 0..32 {
+                let src = (s % 8, s / 8);
+                let dst = (d % 8, d / 8);
+                let hops = hop_count(src, dst, DIMS);
+                assert!(hops <= 6);
+            }
+        }
+    }
+}

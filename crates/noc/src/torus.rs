@@ -1,0 +1,384 @@
+//! The flit-level torus network model.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::routing::{hop_count, next_hop};
+use crate::stats::NocStats;
+use crate::Cycle;
+
+/// Torus geometry and link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TorusConfig {
+    /// Routers in X. VIP: 8.
+    pub width: usize,
+    /// Routers in Y. VIP: 4.
+    pub height: usize,
+    /// Cycles per router+link hop (§V-A: 3).
+    pub hop_latency: Cycle,
+    /// Bytes per flit (64-bit links: 8).
+    pub flit_bytes: usize,
+    /// Header flits prepended to every packet.
+    pub header_flits: u64,
+}
+
+impl TorusConfig {
+    /// The paper's configuration: an 8×4 torus of 64-bit links with
+    /// 3-cycle hops.
+    #[must_use]
+    pub fn vip() -> Self {
+        TorusConfig { width: 8, height: 4, hop_latency: 3, flit_bytes: 8, header_flits: 1 }
+    }
+
+    /// Number of router nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Number of directed inter-router links (4 per node).
+    #[must_use]
+    pub fn links(&self) -> usize {
+        self.nodes() * 4
+    }
+
+    /// Flits occupied by a packet with `payload_bytes` of payload.
+    #[must_use]
+    pub fn flits(&self, payload_bytes: usize) -> u64 {
+        self.header_flits + payload_bytes.div_ceil(self.flit_bytes) as u64
+    }
+
+    fn coords(&self, node: usize) -> (usize, usize) {
+        (node % self.width, node / self.width)
+    }
+}
+
+/// A packet in flight or delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T> {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Payload size in bytes (determines flit count).
+    pub payload_bytes: usize,
+    /// The carried value.
+    pub payload: T,
+    /// Cycle at which [`Torus::inject`] accepted the packet.
+    pub injected_at: Cycle,
+}
+
+/// Error returned when a router's injection port is busy serializing a
+/// previous packet; retry next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectError {
+    /// The node whose injection port was busy.
+    pub node: usize,
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injection port at node {} is busy", self.node)
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+#[derive(Debug)]
+struct Flight<T> {
+    packet: Packet<T>,
+    at: (usize, usize),
+    ready_at: Cycle,
+    flits: u64,
+}
+
+/// A cycle-driven 2D-torus network with virtual cut-through switching.
+///
+/// Packets serialize onto their source router's injection port, traverse
+/// links under X-then-Y dimension-order routing with shortest-way
+/// wrap-around (each hop: [`TorusConfig::hop_latency`] cycles of pipeline
+/// latency, with the link occupied for the packet's flit count), contend
+/// for the destination's ejection port, and appear in the delivered
+/// queue. See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Torus<T> {
+    cfg: TorusConfig,
+    now: Cycle,
+    link_busy: Vec<Cycle>,
+    inject_busy: Vec<Cycle>,
+    eject_busy: Vec<Cycle>,
+    flights: Vec<Flight<T>>,
+    delivered: VecDeque<(usize, Packet<T>)>,
+    stats: NocStats,
+}
+
+impl<T> Torus<T> {
+    /// Creates an idle network.
+    #[must_use]
+    pub fn new(cfg: TorusConfig) -> Self {
+        Torus {
+            cfg,
+            now: 0,
+            link_busy: vec![0; cfg.links()],
+            inject_busy: vec![0; cfg.nodes()],
+            eject_busy: vec![0; cfg.nodes()],
+            flights: Vec::new(),
+            delivered: VecDeque::new(),
+            stats: NocStats::default(),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TorusConfig {
+        &self.cfg
+    }
+
+    /// The current cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether `node`'s injection port is free this cycle (a successful
+    /// [`inject`](Self::inject) is guaranteed while this returns `true`).
+    #[must_use]
+    pub fn can_inject(&self, node: usize) -> bool {
+        self.inject_busy[node] <= self.now
+    }
+
+    /// Injects a packet at `src` bound for `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError`] if `src`'s injection port is still
+    /// serializing an earlier packet; the caller retries next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn inject(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload_bytes: usize,
+        payload: T,
+    ) -> Result<(), InjectError> {
+        assert!(src < self.cfg.nodes(), "src {src} out of range");
+        assert!(dst < self.cfg.nodes(), "dst {dst} out of range");
+        if self.inject_busy[src] > self.now {
+            return Err(InjectError { node: src });
+        }
+        let flits = self.cfg.flits(payload_bytes);
+        self.inject_busy[src] = self.now + flits;
+        self.stats.packets += 1;
+        self.stats.flits += flits;
+        self.flights.push(Flight {
+            packet: Packet { src, dst, payload_bytes, payload, injected_at: self.now },
+            at: self.cfg.coords(src),
+            ready_at: self.now + flits,
+            flits,
+        });
+        Ok(())
+    }
+
+    /// Advances the network one cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.stats.elapsed_cycles = self.now;
+        let dims = (self.cfg.width, self.cfg.height);
+        let mut i = 0;
+        while i < self.flights.len() {
+            if self.flights[i].ready_at > self.now {
+                i += 1;
+                continue;
+            }
+            let at = self.flights[i].at;
+            let dst = self.cfg.coords(self.flights[i].packet.dst);
+            match next_hop(at, dst, dims) {
+                None => {
+                    // Arrived: contend for the ejection port.
+                    let node = self.flights[i].packet.dst;
+                    if self.eject_busy[node] <= self.now {
+                        self.eject_busy[node] = self.now + self.flights[i].flits;
+                        let flight = self.flights.swap_remove(i);
+                        self.stats.delivered += 1;
+                        self.stats.total_latency_cycles +=
+                            self.now - flight.packet.injected_at;
+                        self.delivered.push_back((node, flight.packet));
+                        continue; // do not advance i: swap_remove
+                    }
+                    i += 1;
+                }
+                Some((dir, next)) => {
+                    let node = at.1 * self.cfg.width + at.0;
+                    let link = node * 4 + dir.index();
+                    if self.link_busy[link] <= self.now {
+                        let flits = self.flights[i].flits;
+                        self.link_busy[link] = self.now + flits;
+                        self.stats.link_busy_cycles += flits;
+                        self.stats.hops += 1;
+                        self.flights[i].at = next;
+                        self.flights[i].ready_at = self.now + self.cfg.hop_latency;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest delivered packet, with the node it arrived at.
+    pub fn pop_delivered(&mut self) -> Option<(usize, Packet<T>)> {
+        self.delivered.pop_front()
+    }
+
+    /// Whether no packets are in flight (delivered-but-unpopped packets
+    /// do not count).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.flights.is_empty()
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Hop distance between two nodes under this geometry.
+    #[must_use]
+    pub fn hops_between(&self, a: usize, b: usize) -> usize {
+        hop_count(self.cfg.coords(a), self.cfg.coords(b), (self.cfg.width, self.cfg.height))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(net: &mut Torus<u32>, limit: u64) -> Vec<(usize, Packet<u32>)> {
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            net.tick();
+            while let Some(d) = net.pop_delivered() {
+                out.push(d);
+            }
+            if net.is_idle() {
+                break;
+            }
+        }
+        assert!(net.is_idle(), "network did not drain in {limit} cycles");
+        out
+    }
+
+    #[test]
+    fn single_packet_latency_matches_hops() {
+        let cfg = TorusConfig::vip();
+        let mut net: Torus<u32> = Torus::new(cfg);
+        // 0 -> 3 is 3 hops in +X.
+        net.inject(0, 3, 32, 7).unwrap();
+        let out = drain(&mut net, 100);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 3);
+        let s = net.stats();
+        assert_eq!(s.hops, 3);
+        // serialization (1 header + 4 payload flits = 5) + 3 hops x 3 cycles.
+        assert_eq!(s.total_latency_cycles, 5 + 9);
+    }
+
+    #[test]
+    fn local_packet_skips_links() {
+        let mut net: Torus<u32> = Torus::new(TorusConfig::vip());
+        net.inject(5, 5, 8, 1).unwrap();
+        let out = drain(&mut net, 50);
+        assert_eq!(out[0].0, 5);
+        assert_eq!(net.stats().hops, 0);
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        let cfg = TorusConfig::vip();
+        // Two big packets from 0 and 1 both crossing link 1->2.
+        let mut net: Torus<u32> = Torus::new(cfg);
+        net.inject(0, 2, 64, 0).unwrap();
+        net.inject(1, 2, 64, 1).unwrap();
+        drain(&mut net, 200);
+        let s = net.stats();
+        assert_eq!(s.delivered, 2);
+        // With contention, combined latency exceeds two isolated
+        // transfers' latencies summed minus overlap: just check the link
+        // busy accounting saw both packets on the shared segment.
+        assert!(s.link_busy_cycles >= 2 * cfg.flits(64));
+    }
+
+    #[test]
+    fn injection_port_backpressure() {
+        let mut net: Torus<u32> = Torus::new(TorusConfig::vip());
+        net.inject(0, 1, 256, 0).unwrap();
+        assert!(net.inject(0, 2, 8, 1).is_err());
+        // After the serialization window the port frees up.
+        for _ in 0..40 {
+            net.tick();
+        }
+        assert!(net.inject(0, 2, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn all_pairs_deliver() {
+        let cfg = TorusConfig::vip();
+        let mut net: Torus<u32> = Torus::new(cfg);
+        let mut expected = 0;
+        for src in 0..cfg.nodes() {
+            for dst in 0..cfg.nodes() {
+                // Stagger injections so ports are free.
+                loop {
+                    if net.inject(src, dst, 16, (src * 100 + dst) as u32).is_ok() {
+                        break;
+                    }
+                    net.tick();
+                }
+                expected += 1;
+            }
+        }
+        let out = drain(&mut net, 100_000);
+        assert_eq!(out.len(), expected);
+        for (node, pkt) in out {
+            assert_eq!(node, pkt.dst);
+            assert_eq!(pkt.payload, (pkt.src * 100 + pkt.dst) as u32);
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_bounded_by_link_rate() {
+        // Saturate one link: 0 -> 1, many packets. Each 32 B packet is 5
+        // flits, so throughput <= 1 packet / 5 cycles.
+        let mut net: Torus<u32> = Torus::new(TorusConfig::vip());
+        let mut sent = 0;
+        let mut received = 0;
+        for _ in 0..1000 {
+            if net.inject(0, 1, 32, sent).is_ok() {
+                sent += 1;
+            }
+            net.tick();
+            while net.pop_delivered().is_some() {
+                received += 1;
+            }
+        }
+        assert!(received > 100, "saturated link moved {received} packets");
+        assert!(
+            received <= 1000 / 5 + 1,
+            "received {received} exceeds link capacity"
+        );
+    }
+
+    #[test]
+    fn neighbor_traffic_is_one_hop() {
+        let net: Torus<u32> = Torus::new(TorusConfig::vip());
+        assert_eq!(net.hops_between(0, 1), 1);
+        assert_eq!(net.hops_between(0, 8), 1);
+        assert_eq!(net.hops_between(0, 7), 1); // wrap in X
+        assert_eq!(net.hops_between(0, 24), 1); // wrap in Y
+        assert_eq!(net.hops_between(0, 12), 5); // (4,1): 4 hops in X + 1 in Y
+        assert_eq!(net.hops_between(0, 20), 6); // (4,2): the farthest node
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the torus: delivery, conservation, latency
+//! bounds, and routing invariants under random traffic.
+
+use proptest::prelude::*;
+use vip_noc::{Torus, TorusConfig};
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    bytes: usize,
+    tag: u64,
+}
+
+fn msg_strategy(nodes: usize) -> impl Strategy<Value = Msg> {
+    (0..nodes, 0..nodes, 1usize..64, any::<u64>())
+        .prop_map(|(src, dst, bytes, tag)| Msg { src, dst, bytes, tag })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every injected packet is delivered exactly once, at its
+    /// destination, payload intact.
+    #[test]
+    fn all_packets_delivered_once(msgs in proptest::collection::vec(msg_strategy(32), 1..60)) {
+        let mut net: Torus<u64> = Torus::new(TorusConfig::vip());
+        let mut pending = msgs.clone();
+        let mut delivered = Vec::new();
+        let mut cycles = 0u64;
+        while !pending.is_empty() || !net.is_idle() {
+            if let Some(m) = pending.first().copied() {
+                if net.inject(m.src, m.dst, m.bytes, m.tag).is_ok() {
+                    pending.remove(0);
+                }
+            }
+            net.tick();
+            while let Some((node, pkt)) = net.pop_delivered() {
+                delivered.push((node, pkt));
+            }
+            cycles += 1;
+            prop_assert!(cycles < 1_000_000, "network wedged");
+        }
+        prop_assert_eq!(delivered.len(), msgs.len());
+        // Multiset match on (dst, tag).
+        let mut got: Vec<(usize, u64)> =
+            delivered.iter().map(|(n, p)| (*n, p.payload)).collect();
+        let mut want: Vec<(usize, u64)> = msgs.iter().map(|m| (m.dst, m.tag)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        for (node, pkt) in &delivered {
+            prop_assert_eq!(*node, pkt.dst, "delivered at the destination");
+        }
+    }
+
+    /// An uncontended packet's latency is exactly serialization +
+    /// hop_latency × hops (the analytical model the paper's 3-cycle-hop
+    /// claim implies).
+    #[test]
+    fn uncontended_latency_is_analytic(src in 0usize..32, dst in 0usize..32, bytes in 1usize..128) {
+        let cfg = TorusConfig::vip();
+        let mut net: Torus<u64> = Torus::new(cfg);
+        net.inject(src, dst, bytes, 1).unwrap();
+        let mut cycles = 0;
+        while !net.is_idle() {
+            net.tick();
+            cycles += 1;
+            prop_assert!(cycles < 10_000);
+        }
+        let s = net.stats();
+        let hops = net.hops_between(src, dst) as u64;
+        let expect = cfg.flits(bytes) + cfg.hop_latency * hops;
+        prop_assert_eq!(s.total_latency_cycles, expect);
+        prop_assert_eq!(s.hops, hops);
+    }
+
+    /// Dimension-order routes never exceed the half-perimeter bound and
+    /// link-busy accounting matches flits × hops.
+    #[test]
+    fn hop_and_flit_accounting(msgs in proptest::collection::vec(msg_strategy(32), 1..20)) {
+        let cfg = TorusConfig::vip();
+        let mut net: Torus<u64> = Torus::new(cfg);
+        let mut expected_busy = 0u64;
+        for m in &msgs {
+            loop {
+                if net.inject(m.src, m.dst, m.bytes, m.tag).is_ok() {
+                    break;
+                }
+                net.tick();
+            }
+            let hops = net.hops_between(m.src, m.dst) as u64;
+            prop_assert!(hops <= 6, "8x4 torus half-perimeter");
+            expected_busy += hops * cfg.flits(m.bytes);
+        }
+        let mut guard = 0;
+        while !net.is_idle() {
+            net.tick();
+            while net.pop_delivered().is_some() {}
+            guard += 1;
+            prop_assert!(guard < 1_000_000);
+        }
+        prop_assert_eq!(net.stats().link_busy_cycles, expected_busy);
+    }
+}

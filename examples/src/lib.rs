@@ -1,0 +1,6 @@
+//! Host crate for the runnable examples in the repository's `examples/`
+//! directory. Run one with, e.g.:
+//!
+//! ```sh
+//! cargo run --release -p vip-examples --example quickstart
+//! ```

@@ -1,0 +1,3 @@
+//! Host crate for the repository-level integration tests (see the
+//! sibling `tests/` directory). The interesting code is in the test
+//! files; this library is intentionally empty.
