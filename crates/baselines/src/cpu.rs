@@ -60,7 +60,7 @@ pub fn parallel_sweep(mrf: &Mrf, msgs: &mut Messages, dir: Sweep, threads: usize
     // To stay in safe Rust we give each worker its own output buffer
     // for its band and splice afterwards.
     let band = ortho.div_ceil(threads);
-    let results: Vec<(usize, usize, Vec<i16>)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(usize, usize, Vec<i16>)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let o0 = t * band;
@@ -70,7 +70,7 @@ pub fn parallel_sweep(mrf: &Mrf, msgs: &mut Messages, dir: Sweep, threads: usize
             }
             let written_ro: &Vec<i16> = written;
             let (fa, fb, fl, fr) = (&from_above, &from_below, &from_left, &from_right);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = written_ro.clone();
                 let at = |x: usize, y: usize| (y * w + x) * l;
                 let seq_positions: Vec<(usize, usize, usize, usize)> = match dir {
@@ -126,16 +126,22 @@ pub fn parallel_sweep(mrf: &Mrf, msgs: &mut Messages, dir: Sweep, threads: usize
                 (o0, o1, out)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     // Splice each worker's band back (bands are disjoint in the ortho
     // axis; copy only positions the worker owned).
     for (o0, o1, out) in results {
         for y in 0..h {
             for x in 0..w {
-                let owned = if vertical { (o0..o1).contains(&x) } else { (o0..o1).contains(&y) };
+                let owned = if vertical {
+                    (o0..o1).contains(&x)
+                } else {
+                    (o0..o1).contains(&y)
+                };
                 if owned {
                     let a = (y * w + x) * l;
                     written[a..a + l].copy_from_slice(&out[a..a + l]);

@@ -73,7 +73,10 @@ mod tests {
         let one = gpu.run_ms(&BpCosts::full_hd(), 1);
         assert!((one - 11.5).abs() / 11.5 < 0.1, "one iteration {one:.2} ms");
         let eight = gpu.run_ms(&BpCosts::full_hd(), 8);
-        assert!((eight - 92.2).abs() / 92.2 < 0.1, "eight iterations {eight:.1} ms");
+        assert!(
+            (eight - 92.2).abs() / 92.2 < 0.1,
+            "eight iterations {eight:.1} ms"
+        );
     }
 
     #[test]

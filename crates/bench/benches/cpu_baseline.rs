@@ -2,23 +2,19 @@
 //! throughput of the multithreaded reference implementation, reported
 //! next to the simulated VIP numbers in EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vip_baselines::cpu;
+use vip_bench::harness;
 use vip_kernels::bp::{self, Mrf, MrfParams};
 
-fn bench_cpu(c: &mut Criterion) {
+fn main() {
     let (w, h, l) = (128, 64, 16);
     let costs = bp::stereo_data_costs(w, h, l, 3);
     let mrf = Mrf::new(MrfParams::truncated_linear(w, h, l, 2, 12), costs);
-    let mut g = c.benchmark_group("cpu_baseline_bp");
-    g.sample_size(10);
     for threads in [1usize, 4] {
-        g.bench_function(format!("{w}x{h}x{l}_t{threads}"), |b| {
-            b.iter(|| std::hint::black_box(cpu::run_parallel(&mrf, 1, threads)));
-        });
+        harness::time(
+            &format!("cpu_baseline_bp/{w}x{h}x{l}_t{threads}"),
+            10,
+            || cpu::run_parallel(&mrf, 1, threads),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_cpu);
-criterion_main!(benches);

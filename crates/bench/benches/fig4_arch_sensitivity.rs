@@ -1,26 +1,18 @@
-//! Criterion bench behind Figure 4: the vertical BP-M strip kernel under
-//! the four machine styles (SP+R / SP-R / RF+R / RF-R). The measured
-//! quantity for the figure itself is *simulated* milliseconds (printed
-//! by `report-fig4`); this bench exercises the full simulation path per
+//! Bench behind Figure 4: the vertical BP-M strip kernel under the four
+//! machine styles (SP+R / SP-R / RF+R / RF-R). The measured quantity
+//! for the figure itself is *simulated* milliseconds (printed by
+//! `report-fig4`); this bench exercises the full simulation path per
 //! style so regressions in any of them show up in `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vip_bench::experiments;
+use vip_bench::{experiments, harness};
 use vip_kernels::bp::VectorMachineStyle;
 
-fn bench_styles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_arch_sensitivity");
-    g.sample_size(10);
+fn main() {
     for style in VectorMachineStyle::all() {
-        g.bench_function(style.label(), |b| {
-            b.iter(|| {
-                let rows = experiments::figure4_style(style);
-                std::hint::black_box(rows)
-            });
-        });
+        harness::time(
+            &format!("fig4_arch_sensitivity/{}", style.label()),
+            5,
+            || experiments::figure4_style(style),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_styles);
-criterion_main!(benches);

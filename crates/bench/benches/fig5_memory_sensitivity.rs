@@ -1,21 +1,14 @@
-//! Criterion bench behind Figure 5a: one BP-M tile iteration under each
-//! of the eight memory configurations.
+//! Bench behind Figure 5a: one BP-M tile iteration under each of the
+//! eight memory configurations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vip_bench::experiments;
+use vip_bench::{experiments, harness};
 use vip_mem::MemConfig;
 
-fn bench_configs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_memory_sensitivity");
-    g.sample_size(10);
+fn main() {
     for cfg in MemConfig::figure5_sweep() {
         let name = cfg.name;
-        g.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(experiments::bp_tile_run(cfg.clone(), 1).cycles));
+        harness::time(&format!("fig5_memory_sensitivity/{name}"), 5, || {
+            experiments::bp_tile_run(cfg.clone(), 1).cycles
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_configs);
-criterion_main!(benches);

@@ -2,36 +2,25 @@
 //! Table IV and Figure 3 (BP iteration, convolution, pooling,
 //! fully-connected).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vip_bench::experiments;
+use vip_bench::{experiments, harness};
 use vip_mem::MemConfig;
 
-fn bench_tiles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tile_simulations");
-    g.sample_size(10);
-    g.bench_function("bp_tile_iteration", |b| {
-        b.iter(|| std::hint::black_box(experiments::bp_tile_run(MemConfig::baseline(), 1).cycles));
+fn main() {
+    harness::time("tile_simulations/bp_tile_iteration", 5, || {
+        experiments::bp_tile_run(MemConfig::baseline(), 1).cycles
     });
-    g.bench_function("conv_tile_c64", |b| {
-        b.iter(|| {
-            let layer = experiments::conv_sim_layer(64, 8);
-            std::hint::black_box(experiments::conv_tile_run(MemConfig::baseline(), &layer, 2).cycles)
-        });
+    harness::time("tile_simulations/conv_tile_c64", 5, || {
+        let layer = experiments::conv_sim_layer(64, 8);
+        experiments::conv_tile_run(MemConfig::baseline(), &layer, 2).cycles
     });
-    g.bench_function("conv_tile_c1_1_regime", |b| {
-        b.iter(|| {
-            let layer = experiments::conv_sim_layer(4, 8);
-            std::hint::black_box(experiments::conv_tile_run(MemConfig::baseline(), &layer, 8).cycles)
-        });
+    harness::time("tile_simulations/conv_tile_c1_1_regime", 5, || {
+        let layer = experiments::conv_sim_layer(4, 8);
+        experiments::conv_tile_run(MemConfig::baseline(), &layer, 8).cycles
     });
-    g.bench_function("pool_tile", |b| {
-        b.iter(|| std::hint::black_box(experiments::pool_tile_run(MemConfig::baseline()).cycles));
+    harness::time("tile_simulations/pool_tile", 5, || {
+        experiments::pool_tile_run(MemConfig::baseline()).cycles
     });
-    g.bench_function("fc_tile", |b| {
-        b.iter(|| std::hint::black_box(experiments::fc_tile_run(MemConfig::baseline()).cycles));
+    harness::time("tile_simulations/fc_tile", 5, || {
+        experiments::fc_tile_run(MemConfig::baseline()).cycles
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tiles);
-criterion_main!(benches);

@@ -20,16 +20,26 @@ fn main() {
             let n = if sweep == Sweep::Down { w } else { h };
             for pe in 0..4 {
                 let p = strip_program(&StripParams {
-                    layout, sweep, ortho_range: (pe * n / 4, (pe + 1) * n / 4),
-                    normalize: norm, style: VectorMachineStyle::SpReduce,
+                    layout,
+                    sweep,
+                    ortho_range: (pe * n / 4, (pe + 1) * n / 4),
+                    normalize: norm,
+                    style: VectorMachineStyle::SpReduce,
                 });
                 sys.load_program(pe, &p);
             }
             let cycles = sys.run(80_000_000).unwrap();
             let st = sys.stats();
-            let updates = if sweep == Sweep::Down { w * (h-1) } else { h * (w-1) };
-            println!("norm={norm} {sweep:?}: {cycles} cyc, {:.0} cyc/update/pe, bw {:.1} GB/s",
-                cycles as f64 / (updates as f64 / 4.0), st.bandwidth_gbs());
+            let updates = if sweep == Sweep::Down {
+                w * (h - 1)
+            } else {
+                h * (w - 1)
+            };
+            println!(
+                "norm={norm} {sweep:?}: {cycles} cyc, {:.0} cyc/update/pe, bw {:.1} GB/s",
+                cycles as f64 / (updates as f64 / 4.0),
+                st.bandwidth_gbs()
+            );
             let pe0 = sys.pe(0).stats();
             for r in StallReason::all() {
                 if pe0.stalls_for(r) > 0 {
@@ -40,10 +50,20 @@ fn main() {
     }
     // full iteration with barriers
     let mut sys = System::new(vip_bench::vault_system_config(MemConfig::baseline()));
-    layout.load_into(sys.hmc_mut(), &mrf, &Messages::new_unnormalized(&mrf.params));
-    for (pe, p) in bp_iteration_programs(&layout, 4, 1, false, VectorMachineStyle::SpReduce).iter().enumerate() {
+    layout.load_into(
+        sys.hmc_mut(),
+        &mrf,
+        &Messages::new_unnormalized(&mrf.params),
+    );
+    for (pe, p) in bp_iteration_programs(&layout, 4, 1, false, VectorMachineStyle::SpReduce)
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     let cycles = sys.run(80_000_000).unwrap();
-    println!("full iteration (no norm): {cycles} cyc  -> {:.0} cyc/update/pe", cycles as f64 / (4.0*64.0*31.0/4.0));
+    println!(
+        "full iteration (no norm): {cycles} cyc  -> {:.0} cyc/update/pe",
+        cycles as f64 / (4.0 * 64.0 * 31.0 / 4.0)
+    );
 }

@@ -3,7 +3,10 @@
 //! renormalization overhead). Run with --release.
 fn main() {
     println!("Ablations (one BP-M tile iteration, 64x32, 4 PEs):");
-    println!("{:<26} {:>12} {:>12} {:>10}", "choice", "with (cyc)", "without", "slowdown");
+    println!(
+        "{:<26} {:>12} {:>12} {:>10}",
+        "choice", "with (cyc)", "without", "slowdown"
+    );
     for a in vip_bench::experiments::ablations() {
         println!(
             "{:<26} {:>12} {:>12} {:>9.2}x",

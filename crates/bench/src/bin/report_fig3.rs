@@ -4,10 +4,19 @@ use vip_bench::{experiments, report};
 
 fn main() {
     let bp = experiments::roofline_bp();
-    println!("{}", report::roofline_table("Figure 3a: belief propagation", &bp));
+    println!(
+        "{}",
+        report::roofline_table("Figure 3a: belief propagation", &bp)
+    );
     let v16 = vip_kernels::cnn::vgg16();
     let b1 = experiments::roofline(&v16, 1);
-    println!("{}", report::roofline_table("Figure 3b: VGG-16, batch 1", &b1));
+    println!(
+        "{}",
+        report::roofline_table("Figure 3b: VGG-16, batch 1", &b1)
+    );
     let b16 = experiments::roofline(&v16, 16);
-    println!("{}", report::roofline_table("Figure 3c: VGG-16, batch 16", &b16));
+    println!(
+        "{}",
+        report::roofline_table("Figure 3c: VGG-16, batch 16", &b16)
+    );
 }

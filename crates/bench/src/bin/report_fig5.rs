@@ -4,7 +4,13 @@ use vip_bench::{experiments, report};
 
 fn main() {
     let bp = experiments::figure5_bp();
-    println!("{}", report::figure5_table("Figure 5a: BP, one full-HD iteration", &bp));
+    println!(
+        "{}",
+        report::figure5_table("Figure 5a: BP, one full-HD iteration", &bp)
+    );
     let cnn = experiments::figure5_cnn();
-    println!("{}", report::figure5_table("Figure 5b: VGG-16 end-to-end", &cnn));
+    println!(
+        "{}",
+        report::figure5_table("Figure 5b: VGG-16 end-to-end", &cnn)
+    );
 }

@@ -1,0 +1,66 @@
+//! Host-throughput benchmark for the stepping engine: runs the BP, CNN,
+//! and MLP tile simulations plus a latency-bound pointer chase once
+//! under naive cycle-by-cycle stepping and once under the event-driven
+//! fast-forward engine, checks they agree on the quiesce cycle, and
+//! prints a JSON report to stdout (host seconds, speedup, and simulated
+//! Mcycles/s per workload).
+//!
+//! Regenerate the checked-in baseline with:
+//!
+//! ```text
+//! cargo run --release --bin sim_throughput > BENCH_sim_throughput.json
+//! ```
+
+use std::time::Instant;
+
+use vip_bench::experiments::{
+    bp_tile_sim, conv_sim_layer, conv_tile_sim, fc_tile_sim, mem_latency_tile_sim, PreparedTile,
+};
+use vip_mem::MemConfig;
+
+fn timed(tile: PreparedTile, naive: bool) -> (u64, f64) {
+    let start = Instant::now();
+    let run = if naive { tile.run_naive() } else { tile.run() };
+    (run.cycles, start.elapsed().as_secs_f64())
+}
+
+type Case = (&'static str, fn() -> PreparedTile);
+
+fn main() {
+    let cases: &[Case] = &[
+        ("bp_tile", || bp_tile_sim(MemConfig::baseline(), 1)),
+        ("cnn_conv_tile", || {
+            conv_tile_sim(MemConfig::baseline(), &conv_sim_layer(64, 8), 2)
+        }),
+        ("mlp_fc_tile", || fc_tile_sim(MemConfig::baseline())),
+        ("mem_latency_chase", || {
+            mem_latency_tile_sim(MemConfig::baseline(), 16_384)
+        }),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, make) in cases {
+        let (naive_cycles, naive_s) = timed(make(), true);
+        let (fast_cycles, fast_s) = timed(make(), false);
+        assert_eq!(
+            naive_cycles, fast_cycles,
+            "{name}: engines disagree on the quiesce cycle"
+        );
+        let speedup = naive_s / fast_s;
+        let fast_mcps = fast_cycles as f64 / fast_s / 1e6;
+        eprintln!(
+            "{name:<16} {fast_cycles:>10} cycles  naive {:>8.3} s  fast {:>8.3} s  {speedup:>6.2}x  {fast_mcps:>8.2} Mcyc/s",
+            naive_s, fast_s
+        );
+        entries.push(format!(
+            "    {{\"name\": \"{name}\", \"sim_cycles\": {fast_cycles}, \"naive_s\": {naive_s:.6}, \
+             \"fast_s\": {fast_s:.6}, \"speedup\": {speedup:.2}, \"fast_mcycles_per_s\": {fast_mcps:.2}}}"
+        ));
+    }
+
+    println!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"unit_note\": \"host wall-clock seconds; \
+         speedup = naive_s / fast_s on identical simulations\",\n  \"results\": [\n{}\n  ]\n}}",
+        entries.join(",\n")
+    );
+}

@@ -2,8 +2,8 @@
 
 use vip_core::{cycles_to_ms, power, System, SystemStats, CLOCK_HZ};
 use vip_kernels::bp::{
-    self, bp_iteration_programs, strip_program, BpExtrapolation, BpLayout, Messages,
-    Mrf, MrfParams, StripParams, Sweep, VectorMachineStyle,
+    self, bp_iteration_programs, strip_program, BpExtrapolation, BpLayout, Messages, Mrf,
+    MrfParams, StripParams, Sweep, VectorMachineStyle,
 };
 use vip_kernels::cnn::{
     self, conv_tile_programs, pool_tile_programs, ConvLayer, ConvLayout, ConvMode, FcLayer,
@@ -31,18 +31,92 @@ pub struct TileRun {
 }
 
 impl TileRun {
-    fn run(mut sys: System, programs: &[vip_isa::Program], limit: u64) -> TileRun {
-        for (pe, p) in programs.iter().enumerate() {
-            sys.load_program(pe, p);
-        }
-        let cycles = sys.run(limit).expect("tile simulation completes");
-        TileRun { cycles, stats: sys.stats() }
+    fn run(sys: System, programs: &[vip_isa::Program], limit: u64) -> TileRun {
+        PreparedTile::new(sys, programs.to_vec(), limit).run()
     }
 
     /// Achieved DRAM bandwidth scaled to the 32-vault machine, GB/s.
     #[must_use]
     pub fn machine_bandwidth_gbs(&self) -> f64 {
         self.stats.bandwidth_gbs() * VAULTS as f64
+    }
+}
+
+/// A tile simulation staged and ready to run: system built, memory
+/// loaded, per-PE programs generated. Lets callers pick the stepping
+/// engine ([`run`](PreparedTile::run) vs
+/// [`run_naive`](PreparedTile::run_naive)) over identical initial state
+/// — the vehicle for the determinism regression tests and the
+/// `sim_throughput` benchmark.
+#[derive(Debug)]
+pub struct PreparedTile {
+    sys: System,
+    programs: Vec<vip_isa::Program>,
+    limit: u64,
+}
+
+impl PreparedTile {
+    fn new(sys: System, programs: Vec<vip_isa::Program>, limit: u64) -> Self {
+        PreparedTile {
+            sys,
+            programs,
+            limit,
+        }
+    }
+
+    /// Overrides the host-thread count for the per-PE step phase (see
+    /// [`System::set_step_shards`]); simulated behaviour is identical
+    /// for every value.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.sys.set_step_shards(shards);
+        self
+    }
+
+    /// Simulated-cycle budget before the tile counts as hung.
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    fn load(&mut self) {
+        for (pe, p) in self.programs.iter().enumerate() {
+            self.sys.load_program(pe, p);
+        }
+    }
+
+    /// Runs with the event-driven fast-forward engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation does not quiesce within its limit.
+    #[must_use]
+    pub fn run(mut self) -> TileRun {
+        self.load();
+        let cycles = self.sys.run(self.limit).expect("tile simulation completes");
+        TileRun {
+            cycles,
+            stats: self.sys.stats(),
+        }
+    }
+
+    /// Runs cycle-by-cycle (the reference engine the fast path must
+    /// match bit-for-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation does not quiesce within its limit.
+    #[must_use]
+    pub fn run_naive(mut self) -> TileRun {
+        self.load();
+        let cycles = self
+            .sys
+            .run_naive(self.limit)
+            .expect("tile simulation completes");
+        TileRun {
+            cycles,
+            stats: self.sys.stats(),
+        }
     }
 }
 
@@ -58,11 +132,10 @@ fn bp_tile_mrf(w: usize, h: usize, l: usize) -> Mrf {
     Mrf::new(MrfParams::truncated_linear(w, h, l, 2, 12), costs)
 }
 
-/// Simulates `iters` BP-M iterations over a 64×32 tile on one vault
-/// (4 PEs) under `mem` — the timing kernel behind Table IV's BP rows,
-/// Figure 3a, and Figure 5a.
+/// Stages `iters` BP-M iterations over a 64×32 tile on one vault
+/// (4 PEs) under `mem` without running them.
 #[must_use]
-pub fn bp_tile_run(mem: MemConfig, iters: usize) -> TileRun {
+pub fn bp_tile_sim(mem: MemConfig, iters: usize) -> PreparedTile {
     let (w, h, l) = BP_TILE;
     let mrf = bp_tile_mrf(w, h, l);
     let layout = BpLayout::new(0, w, h, l);
@@ -70,9 +143,21 @@ pub fn bp_tile_run(mem: MemConfig, iters: usize) -> TileRun {
     // Timing runs use the paper's exact Figure 2 instruction sequence
     // (unnormalized: 3L + 2L² ops per update); the normalized variant is
     // exercised by the correctness tests and examples.
-    layout.load_into(sys.hmc_mut(), &mrf, &Messages::new_unnormalized(&mrf.params));
+    layout.load_into(
+        sys.hmc_mut(),
+        &mrf,
+        &Messages::new_unnormalized(&mrf.params),
+    );
     let programs = bp_iteration_programs(&layout, 4, iters, false, VectorMachineStyle::SpReduce);
-    TileRun::run(sys, &programs, 80_000_000)
+    PreparedTile::new(sys, programs, 80_000_000)
+}
+
+/// Simulates `iters` BP-M iterations over a 64×32 tile on one vault
+/// (4 PEs) under `mem` — the timing kernel behind Table IV's BP rows,
+/// Figure 3a, and Figure 5a.
+#[must_use]
+pub fn bp_tile_run(mem: MemConfig, iters: usize) -> TileRun {
+    bp_tile_sim(mem, iters).run()
 }
 
 /// One ablation-study row: a design choice toggled off against the
@@ -105,7 +190,11 @@ pub fn ablations() -> Vec<AblationPoint> {
     let run_layout = |layout: BpLayout, normalize: bool| -> u64 {
         let mrf = bp_tile_mrf(w, h, l);
         let mut sys = System::new(vault_system_config(MemConfig::baseline()));
-        layout.load_into(sys.hmc_mut(), &mrf, &Messages::new_unnormalized(&mrf.params));
+        layout.load_into(
+            sys.hmc_mut(),
+            &mrf,
+            &Messages::new_unnormalized(&mrf.params),
+        );
         let programs =
             bp_iteration_programs(&layout, 4, 1, normalize, VectorMachineStyle::SpReduce);
         TileRun::run(sys, &programs, 80_000_000).cycles
@@ -146,7 +235,11 @@ pub fn construct_tile_run() -> TileRun {
     let fine = BpLayout::new(0, w, h, l);
     let coarse = BpLayout::new(1 << 22, w / 2, h / 2, l);
     let mut sys = System::new(vault_system_config(MemConfig::baseline()));
-    fine.load_into(sys.hmc_mut(), &mrf, &Messages::new_unnormalized(&mrf.params));
+    fine.load_into(
+        sys.hmc_mut(),
+        &mrf,
+        &Messages::new_unnormalized(&mrf.params),
+    );
     let programs = bp::construct_programs(&fine, &coarse, 4);
     TileRun::run(sys, &programs, 20_000_000)
 }
@@ -163,7 +256,11 @@ pub fn copy_tile_run() -> TileRun {
     let fine = BpLayout::new(0, w, h, l);
     let coarse = BpLayout::new(1 << 22, w / 2, h / 2, l);
     let mut sys = System::new(vault_system_config(MemConfig::baseline()));
-    fine.load_into(sys.hmc_mut(), &mrf, &Messages::new_unnormalized(&mrf.params));
+    fine.load_into(
+        sys.hmc_mut(),
+        &mrf,
+        &Messages::new_unnormalized(&mrf.params),
+    );
     coarse.load_into(sys.hmc_mut(), &coarse_mrf, &cmsgs);
     let programs = bp::copy_messages_programs(&coarse, &fine, 4);
     TileRun::run(sys, &programs, 40_000_000)
@@ -190,7 +287,11 @@ pub fn figure4_style(style: VectorMachineStyle) -> f64 {
     let mrf = bp_tile_mrf(w, h, l);
     let layout = BpLayout::new(0, w, h, l);
     let mut sys = System::new(vault_system_config(MemConfig::baseline()));
-    layout.load_into(sys.hmc_mut(), &mrf, &Messages::new_unnormalized(&mrf.params));
+    layout.load_into(
+        sys.hmc_mut(),
+        &mrf,
+        &Messages::new_unnormalized(&mrf.params),
+    );
     let programs: Vec<_> = (0..4)
         .map(|pe| {
             strip_program(&StripParams {
@@ -336,9 +437,9 @@ pub fn conv_sim_layer(ci: usize, co: usize) -> ConvLayer {
     }
 }
 
-/// Simulates one conv tile on one vault.
+/// Stages one conv tile on one vault without running it.
 #[must_use]
-pub fn conv_tile_run(mem: MemConfig, layer: &ConvLayer, filters_per_group: usize) -> TileRun {
+pub fn conv_tile_sim(mem: MemConfig, layer: &ConvLayer, filters_per_group: usize) -> PreparedTile {
     let input = cnn::pad_input(
         layer.width,
         layer.height,
@@ -359,24 +460,44 @@ pub fn conv_tile_run(mem: MemConfig, layer: &ConvLayer, filters_per_group: usize
     };
     let mut sys = System::new(vault_system_config(mem));
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    TileRun::run(sys, &conv_tile_programs(&layout, 4), 80_000_000)
+    PreparedTile::new(sys, conv_tile_programs(&layout, 4), 80_000_000)
+}
+
+/// Simulates one conv tile on one vault.
+#[must_use]
+pub fn conv_tile_run(mem: MemConfig, layer: &ConvLayer, filters_per_group: usize) -> TileRun {
+    conv_tile_sim(mem, layer, filters_per_group).run()
 }
 
 /// Simulates one 2×2 max-pool tile (64-channel shard).
 #[must_use]
 pub fn pool_tile_run(mem: MemConfig) -> TileRun {
-    let layer = PoolLayer { name: "tile", channels: 64, width: 16, height: 8 };
+    let layer = PoolLayer {
+        name: "tile",
+        channels: 64,
+        width: 16,
+        height: 8,
+    };
     let input = cnn::pad_input(16, 8, 64, 1, &pattern(16 * 8 * 64, 1, 5));
-    let layout = PoolLayout { layer, input_base: 0, output_base: 0x40_0100 };
+    let layout = PoolLayout {
+        layer,
+        input_base: 0,
+        output_base: 0x40_0100,
+    };
     let mut sys = System::new(vault_system_config(mem));
     layout.load_into(sys.hmc_mut(), &input);
     TileRun::run(sys, &pool_tile_programs(&layout, 4), 80_000_000)
 }
 
-/// Simulates one fully-connected tile (2048 inputs × 64 outputs).
+/// Stages one fully-connected tile (2048 inputs × 64 outputs) without
+/// running it.
 #[must_use]
-pub fn fc_tile_run(mem: MemConfig) -> TileRun {
-    let layer = FcLayer { name: "tile", inputs: 2048, outputs: 64 };
+pub fn fc_tile_sim(mem: MemConfig) -> PreparedTile {
+    let layer = FcLayer {
+        name: "tile",
+        inputs: 2048,
+        outputs: 64,
+    };
     let layout = FcLayout {
         layer,
         input_base: 0,
@@ -392,14 +513,66 @@ pub fn fc_tile_run(mem: MemConfig) -> TileRun {
         &pattern(layer.inputs * layer.outputs, 1, 5),
         &pattern(layer.outputs, 1, 2),
     );
-    TileRun::run(sys, &mlp::fc_tile_programs(&layout, 4), 80_000_000)
+    PreparedTile::new(sys, mlp::fc_tile_programs(&layout, 4), 80_000_000)
+}
+
+/// Simulates one fully-connected tile (2048 inputs × 64 outputs).
+#[must_use]
+pub fn fc_tile_run(mem: MemConfig) -> TileRun {
+    fc_tile_sim(mem).run()
+}
+
+/// Stages a latency-bound pointer chase on one PE of a single-vault
+/// system: a chain of 64-bit pointers strides one full bank rotation
+/// (`row_bytes × banks_per_vault`) per link, so every `ld.reg` lands in
+/// bank 0 on a fresh row (a guaranteed row miss), and each load's
+/// result is the next load's address — no memory-level parallelism,
+/// tens of idle cycles per link. The other three PEs run a bare `halt`.
+/// Where the streaming tiles keep the vault busy nearly every cycle,
+/// this is the workload the event-driven fast-forward engine targets.
+#[must_use]
+pub fn mem_latency_tile_sim(mem: MemConfig, chain: u64) -> PreparedTile {
+    use vip_isa::{Asm, Reg};
+    assert!(chain > 0, "pointer chase needs at least one link");
+    let stride = (mem.row_bytes * mem.banks_per_vault) as u64;
+    let base = stride; // clear of address 0 so a null link is loud
+    let mut sys = System::new(vault_system_config(mem));
+    for i in 0..chain {
+        // The last link wraps to the base; the loop counter ends the run.
+        let next = base + (i + 1) % chain * stride;
+        sys.hmc_mut().host_write_u64(base + i * stride, next);
+    }
+    // Unroll 8 links per loop iteration so the chase is almost pure
+    // memory latency rather than scalar loop overhead.
+    let unroll = if chain.is_multiple_of(8) { 8 } else { 1 };
+    let r = Reg::new;
+    let mut asm = Asm::new();
+    asm.mov_imm(r(1), base as i64) // cursor
+        .mov_imm(r(2), 0) // iterations done
+        .mov_imm(r(3), (chain / unroll) as i64)
+        .label("chase");
+    for _ in 0..unroll {
+        asm.ld_reg(r(4), r(1)).mov(r(1), r(4));
+    }
+    asm.addi(r(2), r(2), 1).blt(r(2), r(3), "chase").halt();
+    let chase = asm.assemble().expect("pointer-chase program assembles");
+    let mut idle = Asm::new();
+    idle.halt();
+    let idle = idle.assemble().expect("halt program assembles");
+    let mut programs = vec![idle; sys.config().total_pes()];
+    programs[0] = chase;
+    PreparedTile::new(sys, programs, 80_000_000)
 }
 
 /// Simulates a batched fully-connected tile (2048×64, batch 16, kc 64):
 /// each weight chunk streams once and serves all 16 inputs.
 #[must_use]
 pub fn fc_batch_tile_run(mem: MemConfig, batch: usize) -> TileRun {
-    let layer = FcLayer { name: "tile", inputs: 2048, outputs: 64 };
+    let layer = FcLayer {
+        name: "tile",
+        inputs: 2048,
+        outputs: 64,
+    };
     let layout = FcBatchLayout {
         layer,
         batch,
@@ -466,11 +639,13 @@ impl TileCache {
     }
 
     fn pool(&mut self) -> &TileRun {
-        self.pool.get_or_insert_with(|| pool_tile_run(MemConfig::baseline()))
+        self.pool
+            .get_or_insert_with(|| pool_tile_run(MemConfig::baseline()))
     }
 
     fn fc(&mut self) -> &TileRun {
-        self.fc.get_or_insert_with(|| fc_tile_run(MemConfig::baseline()))
+        self.fc
+            .get_or_insert_with(|| fc_tile_run(MemConfig::baseline()))
     }
 
     fn fc_b16(&mut self) -> &TileRun {
@@ -494,7 +669,11 @@ pub fn layer_time(layer: &VggLayer, batch: u64, cache: &mut TileCache) -> LayerT
             } else {
                 tile.macs()
             };
-            let vaults = if c.width <= 14 { VAULTS_SMALL_LAYER } else { VAULTS };
+            let vaults = if c.width <= 14 {
+                VAULTS_SMALL_LAYER
+            } else {
+                VAULTS
+            };
             let mut cycles =
                 run.cycles as f64 * (c.macs() as f64 / tile_macs as f64) / vaults as f64;
             // Channel shards add an accumulation pass: one read per
@@ -523,9 +702,8 @@ pub fn layer_time(layer: &VggLayer, batch: u64, cache: &mut TileCache) -> LayerT
                 // inputs; scale by the batched MAC ratio.
                 let run = cache.fc_b16().clone();
                 let tile_macs = (2048 * 64 * 16) as f64;
-                let cycles = run.cycles as f64
-                    * ((f.macs() * batch) as f64 / tile_macs)
-                    / VAULTS as f64;
+                let cycles =
+                    run.cycles as f64 * ((f.macs() * batch) as f64 / tile_macs) / VAULTS as f64;
                 cycles_to_ms(cycles as u64)
             } else {
                 // Weight streaming dominates at small batch; compute
@@ -534,8 +712,7 @@ pub fn layer_time(layer: &VggLayer, batch: u64, cache: &mut TileCache) -> LayerT
                 let tile_macs = (2048 * 64) as f64;
                 let weight_bound =
                     run.cycles as f64 * (f.macs() as f64 / tile_macs) / VAULTS as f64;
-                let compute_bound =
-                    (2 * f.macs() * batch) as f64 / (1280e9 * 0.65) * CLOCK_HZ;
+                let compute_bound = (2 * f.macs() * batch) as f64 / (1280e9 * 0.65) * CLOCK_HZ;
                 cycles_to_ms(weight_bound.max(compute_bound) as u64)
             }
         }
@@ -552,14 +729,18 @@ pub fn layer_time(layer: &VggLayer, batch: u64, cache: &mut TileCache) -> LayerT
 #[must_use]
 pub fn vgg_network_ms(net: &[VggLayer], batch: u64) -> f64 {
     let mut cache = TileCache::new();
-    net.iter().map(|l| layer_time(l, batch, &mut cache).ms).sum()
+    net.iter()
+        .map(|l| layer_time(l, batch, &mut cache).ms)
+        .sum()
 }
 
 /// Per-layer breakdown of a network at a batch size.
 #[must_use]
 pub fn vgg_layer_times(net: &[VggLayer], batch: u64) -> Vec<LayerTime> {
     let mut cache = TileCache::new();
-    net.iter().map(|l| layer_time(l, batch, &mut cache)).collect()
+    net.iter()
+        .map(|l| layer_time(l, batch, &mut cache))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -586,7 +767,11 @@ pub fn roofline_bp() -> Vec<RooflineEntry> {
     let cons = construct_tile_run();
     let cons_point = cons.stats.roofline();
     vec![
-        RooflineEntry { name: "fhd".into(), ai: point.arithmetic_intensity(), gops: machine_gops },
+        RooflineEntry {
+            name: "fhd".into(),
+            ai: point.arithmetic_intensity(),
+            gops: machine_gops,
+        },
         RooflineEntry {
             name: "qhd".into(),
             ai: point.arithmetic_intensity(),
@@ -605,7 +790,11 @@ pub fn roofline_bp() -> Vec<RooflineEntry> {
 pub fn roofline(net: &[VggLayer], batch: u64) -> Vec<RooflineEntry> {
     vgg_layer_times(net, batch)
         .into_iter()
-        .map(|lt| RooflineEntry { name: lt.name.to_owned(), ai: lt.ai, gops: lt.gops })
+        .map(|lt| RooflineEntry {
+            name: lt.name.to_owned(),
+            ai: lt.ai,
+            gops: lt.gops,
+        })
         .collect()
 }
 

@@ -1,0 +1,22 @@
+//! Minimal timing harness for the `cargo bench` targets.
+//!
+//! The environment builds offline with no external crates, so the bench
+//! targets (declared with `harness = false`) time their workloads with
+//! `std::time::Instant` directly and print one line per case:
+//! `name  mean_ms  (iters)`.
+
+use std::time::Instant;
+
+/// Times `f` over `iters` runs (after one untimed warm-up) and prints
+/// the mean wall-clock milliseconds. Returns the mean in seconds.
+pub fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0);
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mean = start.elapsed().as_secs_f64() / f64::from(iters);
+    println!("{name:<40} {:>10.3} ms  ({iters} iters)", mean * 1e3);
+    mean
+}

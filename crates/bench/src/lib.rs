@@ -1,7 +1,7 @@
 //! # vip-bench — regenerating the paper's evaluation
 //!
 //! A shared experiment library used by the `report-*` binaries (one per
-//! table/figure of the paper) and the Criterion benches. Experiments
+//! table/figure of the paper) and the bench targets. Experiments
 //! follow the paper's §V-A methodology: cycle-level simulation of the
 //! largest *independent tile* of each workload on one vault (4 PEs),
 //! extrapolated to the 32-vault machine, with outputs verified against
@@ -19,6 +19,7 @@
 //! | §VII / Fig. 6 | [`experiments::rtl_report`] |
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 
 use vip_core::SystemConfig;
@@ -32,7 +33,11 @@ pub fn vault_system_config(mut mem: MemConfig) -> SystemConfig {
     mem.vaults = 1;
     SystemConfig {
         mem,
-        torus: TorusConfig { width: 1, height: 1, ..TorusConfig::vip() },
+        torus: TorusConfig {
+            width: 1,
+            height: 1,
+            ..TorusConfig::vip()
+        },
         ..SystemConfig::vip()
     }
 }
@@ -40,5 +45,7 @@ pub fn vault_system_config(mut mem: MemConfig) -> SystemConfig {
 /// Deterministic small-magnitude test values (weights/activations).
 #[must_use]
 pub fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
-    (0..n).map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset).collect()
+    (0..n)
+        .map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset)
+        .collect()
 }

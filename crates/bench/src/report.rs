@@ -17,13 +17,18 @@ pub fn table1() -> String {
         ("CPU", "Med/High", "Low", "Low", "Very High", "Very High"),
         ("GPU", "High", "Med/High", "High*", "Very High", "Very High"),
         ("FPGA", "Med", "Med", "Med*", "Med", "Med"),
-        ("Tile-BP", "Very Low", "Med/High", "N/A", "Very Low", "Very Low"),
+        (
+            "Tile-BP", "Very Low", "Med/High", "N/A", "Very Low", "Very Low",
+        ),
         ("Eyeriss", "Very Low", "N/A", "Low", "Very Low", "Very Low"),
         ("TPU", "Med", "N/A", "Very High*", "Low", "Low"),
         ("VIP", "Low/Med", "Very High*", "Med*", "High", "High"),
     ];
     let mut s = String::new();
-    let _ = writeln!(s, "Table I: qualitative overview (lighter is better; * = 24+ fps)");
+    let _ = writeln!(
+        s,
+        "Table I: qualitative overview (lighter is better; * = 24+ fps)"
+    );
     let _ = writeln!(
         s,
         "{:<10} {:<10} {:<12} {:<12} {:<12} {:<12}",
@@ -47,12 +52,20 @@ pub fn table2() -> String {
     let sops: Vec<_> = ScalarAluOp::all().iter().map(|o| o.mnemonic()).collect();
     let bops: Vec<_> = BranchCond::all().iter().map(|o| o.mnemonic()).collect();
     let _ = writeln!(s, "Vector:     set.{{vl,mr}}, v.drain");
-    let _ = writeln!(s, "            m.v.{{{}}}.{{{}}}", vops.join(","), hops.join(","));
+    let _ = writeln!(
+        s,
+        "            m.v.{{{}}}.{{{}}}",
+        vops.join(","),
+        hops.join(",")
+    );
     let _ = writeln!(s, "            v.v.{{{}}}", vops[..5].join(","));
     let _ = writeln!(s, "            v.s.{{{}}}", vops[..5].join(","));
     let _ = writeln!(s, "Scalar:     {{{}}} (reg-reg / reg-imm)", sops.join(","));
     let _ = writeln!(s, "            mov, mov.imm; {{{}}}, jmp", bops.join(","));
-    let _ = writeln!(s, "Load-store: {{ld,st}}.sram, {{ld,st}}.reg, ld.reg.fe, st.reg.ff, memfence\n");
+    let _ = writeln!(
+        s,
+        "Load-store: {{ld,st}}.sram, {{ld,st}}.reg, ld.reg.fe, st.reg.ff, memfence\n"
+    );
     let _ = writeln!(s, "Figure 2 fragment, assembled and disassembled:");
     s.push_str(&experiments::figure2_listing());
     s
@@ -70,15 +83,42 @@ pub fn table3() -> String {
     let _ = writeln!(s, "Banks per vault       {}", c.banks_per_vault);
     let _ = writeln!(s, "Rows per bank         {}", c.rows_per_bank);
     let _ = writeln!(s, "Row size              {} B", c.row_bytes);
-    let _ = writeln!(s, "Vault data width      32 bit ({} B per {}-cycle burst)", c.col_bytes, c.burst_cycles);
+    let _ = writeln!(
+        s,
+        "Vault data width      32 bit ({} B per {}-cycle burst)",
+        c.col_bytes, c.burst_cycles
+    );
     let _ = writeln!(s, "Row buffer policy     {}", c.policy);
-    let _ = writeln!(s, "Address mapping       vault-row-bank-col (vault in high bits)");
+    let _ = writeln!(
+        s,
+        "Address mapping       vault-row-bank-col (vault in high bits)"
+    );
     let _ = writeln!(s, "Trans queue depth     {}", c.trans_queue_depth);
     let _ = writeln!(s, "tCK   0.80 ns");
-    let _ = writeln!(s, "tCL   {:5.2} ns   tRCD  {:5.2} ns", t.t_cl_ps as f64 / 1e3, t.t_rcd_ps as f64 / 1e3);
-    let _ = writeln!(s, "tRP   {:5.2} ns   tRAS  {:5.2} ns", t.t_rp_ps as f64 / 1e3, t.t_ras_ps as f64 / 1e3);
-    let _ = writeln!(s, "tWR   {:5.2} ns   tCCD  {:5.2} ns", t.t_wr_ps as f64 / 1e3, t.t_ccd_ps as f64 / 1e3);
-    let _ = writeln!(s, "tRFC  {:5.2} ns   tREFI {:5.2} us", t.t_rfc_ps as f64 / 1e3, t.t_refi_ps as f64 / 1e6);
+    let _ = writeln!(
+        s,
+        "tCL   {:5.2} ns   tRCD  {:5.2} ns",
+        t.t_cl_ps as f64 / 1e3,
+        t.t_rcd_ps as f64 / 1e3
+    );
+    let _ = writeln!(
+        s,
+        "tRP   {:5.2} ns   tRAS  {:5.2} ns",
+        t.t_rp_ps as f64 / 1e3,
+        t.t_ras_ps as f64 / 1e3
+    );
+    let _ = writeln!(
+        s,
+        "tWR   {:5.2} ns   tCCD  {:5.2} ns",
+        t.t_wr_ps as f64 / 1e3,
+        t.t_ccd_ps as f64 / 1e3
+    );
+    let _ = writeln!(
+        s,
+        "tRFC  {:5.2} ns   tREFI {:5.2} us",
+        t.t_rfc_ps as f64 / 1e3,
+        t.t_refi_ps as f64 / 1e6
+    );
     s
 }
 
@@ -107,13 +147,20 @@ pub fn table4(t: &Table4) -> String {
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1} {:>10.2}   (paper: {:.1} ms, {:.1} W)",
-        "VIP (baseline BP-M, ours)", "8", t.bp.baseline_ms, t.bp_power_w,
-        vip_paper::BP_BASELINE_MS, vip_paper::BP_POWER_W,
+        "VIP (baseline BP-M, ours)",
+        "8",
+        t.bp.baseline_ms,
+        t.bp_power_w,
+        vip_paper::BP_BASELINE_MS,
+        vip_paper::BP_POWER_W,
     );
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1} {:>10.2}   (paper: {:.1} ms)",
-        "VIP (hierarchical BP-M)", "5", t.bp.hierarchical_ms, t.bp_power_w,
+        "VIP (hierarchical BP-M)",
+        "5",
+        t.bp.hierarchical_ms,
+        t.bp_power_w,
         vip_paper::BP_HIER_MS,
     );
     let gpu_model = gpu::GpuModel::titan_x_pascal();
@@ -133,12 +180,17 @@ pub fn table4(t: &Table4) -> String {
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1}   (area x tech x clock normalized)",
-        "Eyeriss-scaled", "batch 3", eyeriss_scaled.scaled_ms()
+        "Eyeriss-scaled",
+        "batch 3",
+        eyeriss_scaled.scaled_ms()
     );
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1}   (paper: {:.1} ms)",
-        "VIP (ours)", "batch 3", t.vgg16_conv_b3_ms, vip_paper::VGG16_CONV_B3_MS
+        "VIP (ours)",
+        "batch 3",
+        t.vgg16_conv_b3_ms,
+        vip_paper::VGG16_CONV_B3_MS
     );
 
     let _ = writeln!(s, "\n-- Full networks --");
@@ -158,27 +210,42 @@ pub fn table4(t: &Table4) -> String {
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1}   (paper: {:.1} ms)",
-        "VIP VGG-16 (ours)", "batch 1", t.vgg16_full_b1_ms, vip_paper::VGG16_FULL_B1_MS
+        "VIP VGG-16 (ours)",
+        "batch 1",
+        t.vgg16_full_b1_ms,
+        vip_paper::VGG16_FULL_B1_MS
     );
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1}   (paper: {:.1} ms)",
-        "VIP VGG-16 (ours)", "batch 16", t.vgg16_full_b16_ms, vip_paper::VGG16_FULL_B16_MS
+        "VIP VGG-16 (ours)",
+        "batch 16",
+        t.vgg16_full_b16_ms,
+        vip_paper::VGG16_FULL_B16_MS
     );
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.1}   (paper: {:.1} ms)",
-        "VIP VGG-19 (ours)", "batch 1", t.vgg19_full_b1_ms, vip_paper::VGG19_FULL_B1_MS
+        "VIP VGG-19 (ours)",
+        "batch 1",
+        t.vgg19_full_b1_ms,
+        vip_paper::VGG19_FULL_B1_MS
     );
     let _ = writeln!(
         s,
         "{:<28} {:>10} {:>12.2}   (paper: {:.1} ms)",
-        "VIP fc layers (ours)", "batch 1", t.fc_b1_ms, vip_paper::FC_B1_MS
+        "VIP fc layers (ours)",
+        "batch 1",
+        t.fc_b1_ms,
+        vip_paper::FC_B1_MS
     );
     let _ = writeln!(
         s,
         "\nVIP power (modeled): BP {:.2} W, CNN {:.2} W  (paper: {:.1}-{:.1} W)",
-        t.bp_power_w, t.cnn_power_w, vip_paper::BP_POWER_W, vip_paper::CNN_POWER_W
+        t.bp_power_w,
+        t.cnn_power_w,
+        vip_paper::BP_POWER_W,
+        vip_paper::CNN_POWER_W
     );
     s
 }
@@ -188,11 +255,22 @@ pub fn table4(t: &Table4) -> String {
 pub fn roofline_table(title: &str, entries: &[RooflineEntry]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "(peak 1280 GOp/s at 16 bit; bandwidth 320 GB/s; knee at 4 Op/B)");
-    let _ = writeln!(s, "{:<8} {:>12} {:>12} {:>14}", "kernel", "AI (Op/B)", "GOp/s", "roofline bound");
+    let _ = writeln!(
+        s,
+        "(peak 1280 GOp/s at 16 bit; bandwidth 320 GB/s; knee at 4 Op/B)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:>12} {:>12} {:>14}",
+        "kernel", "AI (Op/B)", "GOp/s", "roofline bound"
+    );
     for e in entries {
         let bound = 1280.0f64.min(e.ai * 320.0);
-        let _ = writeln!(s, "{:<8} {:>12.2} {:>12.1} {:>14.1}", e.name, e.ai, e.gops, bound);
+        let _ = writeln!(
+            s,
+            "{:<8} {:>12.2} {:>12.1} {:>14.1}",
+            e.name, e.ai, e.gops, bound
+        );
     }
     s
 }
@@ -215,10 +293,18 @@ pub fn figure4_table(rows: &[(vip_kernels::bp::VectorMachineStyle, f64)]) -> Str
 pub fn figure5_table(title: &str, rows: &[Fig5Point]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "{:<14} {:>16} {:>12}", "config", "bandwidth (GB/s)", "time (ms)");
+    let _ = writeln!(
+        s,
+        "{:<14} {:>16} {:>12}",
+        "config", "bandwidth (GB/s)", "time (ms)"
+    );
     for p in rows {
         let bar = "#".repeat((p.bandwidth_gbs / 5.0) as usize);
-        let _ = writeln!(s, "{:<14} {:>16.1} {:>12.2}  {bar}", p.config, p.bandwidth_gbs, p.time_ms);
+        let _ = writeln!(
+            s,
+            "{:<14} {:>16.1} {:>12.2}  {bar}",
+            p.config, p.bandwidth_gbs, p.time_ms
+        );
     }
     s
 }
@@ -227,11 +313,30 @@ pub fn figure5_table(title: &str, rows: &[Fig5Point]) -> String {
 #[must_use]
 pub fn rtl_table(r: &experiments::RtlReport) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Section VII: area and power (calibrated analytical model)");
-    let _ = writeln!(s, "PE area:        {:>8.3} mm^2   (paper: 0.141 mm^2)", r.pe_area_mm2);
-    let _ = writeln!(s, "128-PE area:    {:>8.1} mm^2   (paper: 18 mm^2)", r.chip_area_mm2);
-    let _ = writeln!(s, "BP power / PE:  {:>8.1} mW     (paper: 27 mW)", r.bp_pe_mw);
-    let _ = writeln!(s, "CNN power / PE: {:>8.1} mW     (paper: 38 mW)", r.cnn_pe_mw);
+    let _ = writeln!(
+        s,
+        "Section VII: area and power (calibrated analytical model)"
+    );
+    let _ = writeln!(
+        s,
+        "PE area:        {:>8.3} mm^2   (paper: 0.141 mm^2)",
+        r.pe_area_mm2
+    );
+    let _ = writeln!(
+        s,
+        "128-PE area:    {:>8.1} mm^2   (paper: 18 mm^2)",
+        r.chip_area_mm2
+    );
+    let _ = writeln!(
+        s,
+        "BP power / PE:  {:>8.1} mW     (paper: 27 mW)",
+        r.bp_pe_mw
+    );
+    let _ = writeln!(
+        s,
+        "CNN power / PE: {:>8.1} mW     (paper: 38 mW)",
+        r.cnn_pe_mw
+    );
     let _ = writeln!(
         s,
         "128-PE power:   {:>5.2} W (BP) to {:.2} W (CNN)   (paper: 3.5-4.8 W)",
@@ -278,14 +383,25 @@ mod tests {
 
     #[test]
     fn roofline_table_formats_bounds() {
-        let entries = vec![RooflineEntry { name: "x".into(), ai: 2.0, gops: 100.0 }];
+        let entries = vec![RooflineEntry {
+            name: "x".into(),
+            ai: 2.0,
+            gops: 100.0,
+        }];
         let t = roofline_table("T", &entries);
-        assert!(t.contains("640.0"), "bandwidth-bound side: 2 Op/B x 320 GB/s");
+        assert!(
+            t.contains("640.0"),
+            "bandwidth-bound side: 2 Op/B x 320 GB/s"
+        );
     }
 
     #[test]
     fn figure5_table_scales_bars() {
-        let rows = vec![Fig5Point { config: "open page", bandwidth_gbs: 250.0, time_ms: 5.0 }];
+        let rows = vec![Fig5Point {
+            config: "open page",
+            bandwidth_gbs: 250.0,
+            time_ms: 5.0,
+        }];
         let t = figure5_table("T", &rows);
         assert!(t.contains("open page"));
         assert!(t.contains("250.0"));

@@ -1,0 +1,60 @@
+//! Regression tests for the stepping engine: the event-driven
+//! fast-forward path and the sharded per-PE phase must both be
+//! bit-identical to naive cycle-by-cycle stepping — same quiesce cycle
+//! and the same full `SystemStats` (every counter, including per-cause
+//! stall breakdowns, DRAM busy/refresh accounting, and NoC totals).
+
+use vip_bench::experiments::{
+    bp_tile_sim, conv_sim_layer, conv_tile_sim, fc_tile_sim, mem_latency_tile_sim, PreparedTile,
+};
+use vip_mem::MemConfig;
+
+fn assert_engines_identical(name: &str, make: &dyn Fn() -> PreparedTile) {
+    let naive = make().run_naive();
+    let fast = make().run();
+    assert_eq!(
+        naive.cycles, fast.cycles,
+        "{name}: fast-forward quiesced at a different cycle"
+    );
+    assert_eq!(
+        naive.stats, fast.stats,
+        "{name}: fast-forward produced different statistics"
+    );
+    // Explicit shard count: the machine may resolve auto-sharding to 1
+    // on small hosts, so force the threaded path. Two shards, not more:
+    // the tiles have 4 PEs and `step` falls back to serial below 2 PEs
+    // per shard.
+    let sharded = make().with_shards(2).run();
+    assert_eq!(
+        naive.cycles, sharded.cycles,
+        "{name}: sharded stepping quiesced at a different cycle"
+    );
+    assert_eq!(
+        naive.stats, sharded.stats,
+        "{name}: sharded stepping produced different statistics"
+    );
+}
+
+#[test]
+fn bp_tile_engines_agree() {
+    assert_engines_identical("bp_tile", &|| bp_tile_sim(MemConfig::baseline(), 1));
+}
+
+#[test]
+fn cnn_conv_tile_engines_agree() {
+    assert_engines_identical("cnn_conv_tile", &|| {
+        conv_tile_sim(MemConfig::baseline(), &conv_sim_layer(4, 8), 8)
+    });
+}
+
+#[test]
+fn mlp_fc_tile_engines_agree() {
+    assert_engines_identical("mlp_fc_tile", &|| fc_tile_sim(MemConfig::baseline()));
+}
+
+#[test]
+fn mem_latency_chase_engines_agree() {
+    assert_engines_identical("mem_latency_chase", &|| {
+        mem_latency_tile_sim(MemConfig::baseline(), 512)
+    });
+}

@@ -22,7 +22,11 @@ impl ArcTable {
     /// Creates a table with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        ArcTable { entries: vec![None; capacity], next_id: 0, live: 0 }
+        ArcTable {
+            entries: vec![None; capacity],
+            next_id: 0,
+            live: 0,
+        }
     }
 
     /// Number of live entries.
@@ -71,7 +75,10 @@ impl ArcTable {
     /// Panics if the entry was already cleared (a simulator bug).
     pub fn clear(&mut self, id: ArcId) {
         let slot = (id & 0xff) as usize;
-        assert!(self.entries[slot].is_some(), "ARC entry {id} already cleared");
+        assert!(
+            self.entries[slot].is_some(),
+            "ARC entry {id} already cleared"
+        );
         self.entries[slot] = None;
         self.live -= 1;
     }

@@ -32,6 +32,12 @@ pub struct SystemConfig {
     pub reduce_latency: u64,
     /// Latency of the PE ↔ local-vault star link, cycles.
     pub local_link_latency: u64,
+    /// Host threads for the per-PE phase of [`System::step`]
+    /// (simulation-host parallelism; no effect on simulated behaviour).
+    /// `0` picks a count from the machine's available parallelism.
+    ///
+    /// [`System::step`]: crate::System::step
+    pub step_shards: usize,
 }
 
 impl SystemConfig {
@@ -50,6 +56,7 @@ impl SystemConfig {
             multiply_latency: 4,
             reduce_latency: 2,
             local_link_latency: 1,
+            step_shards: 0,
         }
     }
 
@@ -69,7 +76,11 @@ impl SystemConfig {
         mem.vaults = 1;
         SystemConfig {
             mem,
-            torus: TorusConfig { width: 1, height: 1, ..TorusConfig::vip() },
+            torus: TorusConfig {
+                width: 1,
+                height: 1,
+                ..TorusConfig::vip()
+            },
             ..Self::vip()
         }
     }
@@ -83,7 +94,11 @@ impl SystemConfig {
         mem.vaults = vaults;
         SystemConfig {
             mem,
-            torus: TorusConfig { width: vaults, height: 1, ..TorusConfig::vip() },
+            torus: TorusConfig {
+                width: vaults,
+                height: 1,
+                ..TorusConfig::vip()
+            },
             ..Self::vip()
         }
     }

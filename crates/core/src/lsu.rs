@@ -100,6 +100,15 @@ impl LoadStoreUnit {
         self.ops.is_empty()
     }
 
+    /// Whether [`next_request`](Self::next_request) would emit something:
+    /// a chunk is waiting and the outstanding limit has room. Used by the
+    /// fast stepping engine to decide whether the owning PE has work next
+    /// cycle.
+    #[must_use]
+    pub fn can_emit(&self) -> bool {
+        !self.send_order.is_empty() && self.in_flight.len() < self.capacity
+    }
+
     /// Splits `[addr, addr+len)` at request-granule windows.
     fn split(&self, addr: u64, len: usize) -> Vec<(u64, usize)> {
         let col = self.granule as u64;
@@ -133,7 +142,11 @@ impl LoadStoreUnit {
                 Some(chunk)
             })
             .collect();
-        self.push_op(LsuOp { kind: OpKind::LoadSram { arc_id }, unsent, outstanding: 0 });
+        self.push_op(LsuOp {
+            kind: OpKind::LoadSram { arc_id },
+            unsent,
+            outstanding: 0,
+        });
     }
 
     /// Accepts an `st.sram` with the scratchpad bytes snapshotted at
@@ -155,7 +168,11 @@ impl LoadStoreUnit {
                 chunk
             })
             .collect();
-        self.push_op(LsuOp { kind: OpKind::Store, unsent, outstanding: 0 });
+        self.push_op(LsuOp {
+            kind: OpKind::Store,
+            unsent,
+            outstanding: 0,
+        });
     }
 
     /// Accepts an `ld.reg` (or `ld.reg.fe`): the caller has already
@@ -165,9 +182,23 @@ impl LoadStoreUnit {
     ///
     /// Panics if `dram` is not 8-byte aligned.
     pub fn push_load_reg(&mut self, dram: u64, rd: Reg, full_empty: bool) {
-        assert_eq!(dram % 8, 0, "ld.reg address {dram:#x} is not 8-byte aligned");
-        let kind = if full_empty { RequestKind::FeLoad } else { RequestKind::Read };
-        let chunk = Chunk { dram_addr: dram, sp_addr: 0, len: 8, data: Vec::new(), kind };
+        assert_eq!(
+            dram % 8,
+            0,
+            "ld.reg address {dram:#x} is not 8-byte aligned"
+        );
+        let kind = if full_empty {
+            RequestKind::FeLoad
+        } else {
+            RequestKind::Read
+        };
+        let chunk = Chunk {
+            dram_addr: dram,
+            sp_addr: 0,
+            len: 8,
+            data: Vec::new(),
+            kind,
+        };
         self.push_op(LsuOp {
             kind: OpKind::LoadReg { rd },
             unsent: VecDeque::from([chunk]),
@@ -181,8 +212,16 @@ impl LoadStoreUnit {
     ///
     /// Panics if `dram` is not 8-byte aligned.
     pub fn push_store_reg(&mut self, dram: u64, value: u64, full_empty: bool) {
-        assert_eq!(dram % 8, 0, "st.reg address {dram:#x} is not 8-byte aligned");
-        let kind = if full_empty { RequestKind::FeStore } else { RequestKind::Write };
+        assert_eq!(
+            dram % 8,
+            0,
+            "st.reg address {dram:#x} is not 8-byte aligned"
+        );
+        let kind = if full_empty {
+            RequestKind::FeStore
+        } else {
+            RequestKind::Write
+        };
         let chunk = Chunk {
             dram_addr: dram,
             sp_addr: 0,
@@ -190,7 +229,11 @@ impl LoadStoreUnit {
             data: value.to_le_bytes().to_vec(),
             kind,
         };
-        self.push_op(LsuOp { kind: OpKind::Store, unsent: VecDeque::from([chunk]), outstanding: 0 });
+        self.push_op(LsuOp {
+            kind: OpKind::Store,
+            unsent: VecDeque::from([chunk]),
+            outstanding: 0,
+        });
     }
 
     fn push_op(&mut self, op: LsuOp) {
@@ -215,7 +258,13 @@ impl LoadStoreUnit {
         op.outstanding += 1;
         let id: ReqId = (self.pe_id << 32) | self.next_req;
         self.next_req = (self.next_req + 1) & 0xffff_ffff;
-        self.in_flight.insert(id, InFlight { op: op_id, sp_addr: chunk.sp_addr });
+        self.in_flight.insert(
+            id,
+            InFlight {
+                op: op_id,
+                sp_addr: chunk.sp_addr,
+            },
+        );
         Some(match chunk.kind {
             RequestKind::Read => MemRequest::read(id, chunk.dram_addr, chunk.len),
             RequestKind::Write => MemRequest::write(id, chunk.dram_addr, chunk.data),
@@ -274,7 +323,12 @@ mod tests {
     use super::*;
 
     fn fixture() -> (LoadStoreUnit, Scratchpad, ScalarRegs, ArcTable) {
-        (LoadStoreUnit::new(3, 64, 32), Scratchpad::new(4096), ScalarRegs::new(), ArcTable::new(20))
+        (
+            LoadStoreUnit::new(3, 64, 32),
+            Scratchpad::new(4096),
+            ScalarRegs::new(),
+            ArcTable::new(20),
+        )
     }
 
     #[test]

@@ -56,6 +56,23 @@ impl StallReason {
     }
 }
 
+/// What the front end would do at a given cycle (see `Pe::issue_state`).
+///
+/// The two stalled variants split on *what lifts the stall*: a
+/// `StalledUntil` clears at a cycle the PE already knows (vector unit
+/// free, branch bubble over), while a plain `Stalled` clears only when
+/// external input arrives (a memory completion filling a register,
+/// draining the LSQ, or retiring an ARC entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueState {
+    /// An instruction issues (or the PE halts by falling off the end).
+    Ready,
+    /// Stalled; only an external event can unblock.
+    Stalled(StallReason),
+    /// Stalled until a locally-known cycle.
+    StalledUntil(StallReason, Cycle),
+}
+
 /// One retired-instruction trace record (see [`Pe::enable_trace`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -234,26 +251,213 @@ impl Pe {
             && inst.writes().is_none_or(|r| self.regs.is_valid(r))
     }
 
+    /// Probes what [`tick`](Self::tick) would do at `now` without doing
+    /// it — the single source of truth for issue gating. `tick` dispatches
+    /// only on [`IssueState::Ready`]; the fast stepping engine uses the
+    /// stall variants to bound how far it may jump.
+    ///
+    /// The checks run in exactly `tick`'s priority order, so the reported
+    /// stall reason matches the counter a cycle-by-cycle run would bump.
+    fn issue_state(&self, now: Cycle) -> IssueState {
+        debug_assert!(!self.halted);
+        if now < self.stall_until {
+            return IssueState::StalledUntil(StallReason::BranchBubble, self.stall_until);
+        }
+        let Some(inst) = self.program.get(self.pc) else {
+            // Falling off the end halts at dispatch; that is progress.
+            return IssueState::Ready;
+        };
+        if !self.regs_ready(inst) {
+            return IssueState::Stalled(StallReason::ScalarOperand);
+        }
+        use Instruction::*;
+        match *inst {
+            VDrain => {
+                if self.vec.drained(now) {
+                    IssueState::Ready
+                } else {
+                    IssueState::StalledUntil(StallReason::Drain, self.vec.complete_at())
+                }
+            }
+            MatVec {
+                ty,
+                rd,
+                rs_mat,
+                rs_vec,
+                ..
+            } => {
+                if !self.vec.ready(now) {
+                    return IssueState::StalledUntil(
+                        StallReason::VectorBusy,
+                        self.vec.busy_until(),
+                    );
+                }
+                let (vl, mr) = (self.vec.vl(), self.vec.mr());
+                let es = ty.size_bytes();
+                let d = self.regs.read(rd) as usize;
+                let m = self.regs.read(rs_mat) as usize;
+                let v = self.regs.read(rs_vec) as usize;
+                if self.arc.overlaps(m, mr * vl * es)
+                    || self.arc.overlaps(v, vl * es)
+                    || self.arc.overlaps(d, mr * es)
+                {
+                    return IssueState::Stalled(StallReason::ArcOverlap);
+                }
+                IssueState::Ready
+            }
+            VecVec {
+                ty, rd, rs1, rs2, ..
+            } => {
+                if !self.vec.ready(now) {
+                    return IssueState::StalledUntil(
+                        StallReason::VectorBusy,
+                        self.vec.busy_until(),
+                    );
+                }
+                let len = self.vec.vl() * ty.size_bytes();
+                let d = self.regs.read(rd) as usize;
+                let a = self.regs.read(rs1) as usize;
+                let b = self.regs.read(rs2) as usize;
+                if self.arc.overlaps(a, len)
+                    || self.arc.overlaps(b, len)
+                    || self.arc.overlaps(d, len)
+                {
+                    return IssueState::Stalled(StallReason::ArcOverlap);
+                }
+                IssueState::Ready
+            }
+            VecScalar { ty, rd, rs_vec, .. } => {
+                if !self.vec.ready(now) {
+                    return IssueState::StalledUntil(
+                        StallReason::VectorBusy,
+                        self.vec.busy_until(),
+                    );
+                }
+                let len = self.vec.vl() * ty.size_bytes();
+                let d = self.regs.read(rd) as usize;
+                let a = self.regs.read(rs_vec) as usize;
+                if self.arc.overlaps(a, len) || self.arc.overlaps(d, len) {
+                    return IssueState::Stalled(StallReason::ArcOverlap);
+                }
+                IssueState::Ready
+            }
+            LdSram {
+                ty, rd_sp, rs_len, ..
+            } => {
+                let sp = self.regs.read(rd_sp) as usize;
+                let len = self.regs.read(rs_len) as usize * ty.size_bytes();
+                if self.arc.overlaps(sp, len) {
+                    return IssueState::Stalled(StallReason::ArcOverlap);
+                }
+                if !self.lsq_has_room() {
+                    return IssueState::Stalled(StallReason::LsqBusy);
+                }
+                if !self.arc.has_free_entry() {
+                    return IssueState::Stalled(StallReason::ArcFull);
+                }
+                IssueState::Ready
+            }
+            StSram {
+                ty, rs_sp, rs_len, ..
+            } => {
+                let sp = self.regs.read(rs_sp) as usize;
+                let len = self.regs.read(rs_len) as usize * ty.size_bytes();
+                if self.arc.overlaps(sp, len) {
+                    return IssueState::Stalled(StallReason::ArcOverlap);
+                }
+                if !self.lsq_has_room() {
+                    return IssueState::Stalled(StallReason::LsqBusy);
+                }
+                IssueState::Ready
+            }
+            LdReg { .. } | LdRegFe { .. } | StReg { .. } | StRegFf { .. } => {
+                if !self.lsq_has_room() {
+                    return IssueState::Stalled(StallReason::LsqBusy);
+                }
+                IssueState::Ready
+            }
+            MemFence => {
+                if self.lsu.is_empty() {
+                    IssueState::Ready
+                } else {
+                    IssueState::Stalled(StallReason::Fence)
+                }
+            }
+            _ => IssueState::Ready,
+        }
+    }
+
+    /// A sound lower bound on the next cycle (strictly after `now`) at
+    /// which this PE can make progress on its own: issue an instruction,
+    /// emit a memory request, or finish draining the vector pipeline.
+    /// `None` means the PE only moves again on external input (a memory
+    /// completion), which the system tracks through its queues.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            debug_assert!(c > now);
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        };
+        if !self.halted {
+            match self.issue_state(now + 1) {
+                IssueState::Ready => consider(now + 1),
+                IssueState::StalledUntil(_, at) => consider(at),
+                // External-dependency stalls (scalar operand, ARC, LSQ,
+                // fence): lifted only by a completion arriving, which
+                // the system's queue events cover.
+                IssueState::Stalled(_) => {}
+            }
+        }
+        if self.lsu.can_emit() {
+            consider(now + 1);
+        }
+        if !self.vec.drained(now) {
+            // Quiescence (and `v.drain`) watches this even after halt.
+            consider(self.vec.complete_at());
+        }
+        next
+    }
+
+    /// Replays the cycles `(from, to]` as the no-op stall ticks they are
+    /// guaranteed to be (the caller established via
+    /// [`next_event`](Self::next_event) that nothing can issue in the
+    /// window), updating the per-cycle counters a cycle-by-cycle run
+    /// would have accumulated. With no external input, the stall reason
+    /// observed at `from + 1` holds for the whole window.
+    pub(crate) fn fast_forward(&mut self, from: Cycle, to: Cycle) {
+        if self.halted || to <= from {
+            return;
+        }
+        self.stats.active_cycles = to;
+        match self.issue_state(from + 1) {
+            IssueState::Ready => {
+                debug_assert!(false, "fast-forward across a ready-to-issue cycle");
+            }
+            IssueState::Stalled(reason) | IssueState::StalledUntil(reason, _) => {
+                self.stats.stalls[reason as usize] += to - from;
+            }
+        }
+    }
+
     /// Advances the front end one cycle, issuing at most one instruction.
     pub fn tick(&mut self, now: Cycle) {
         if self.halted {
             return;
         }
         self.stats.active_cycles = now;
-        if now < self.stall_until {
-            self.stall(StallReason::BranchBubble);
-            return;
+        match self.issue_state(now) {
+            IssueState::Ready => {}
+            IssueState::Stalled(reason) | IssueState::StalledUntil(reason, _) => {
+                self.stall(reason);
+                return;
+            }
         }
         let Some(inst) = self.program.get(self.pc).copied() else {
             // Fell off the end of the program: treat as halt.
             self.halted = true;
             return;
         };
-
-        if !self.regs_ready(&inst) {
-            self.stall(StallReason::ScalarOperand);
-            return;
-        }
 
         let issued_before = self.stats.instructions;
         let pc_before = self.pc;
@@ -268,20 +472,33 @@ impl Pe {
                 self.vec.set_mr(self.regs.read(rs) as usize);
                 self.retire_vector();
             }
-            VDrain => {
-                if self.vec.drained(now) {
-                    self.retire_front_end();
-                } else {
-                    self.stall(StallReason::Drain);
-                }
-            }
-            MatVec { vop, hop, ty, rd, rs_mat, rs_vec } => {
+            VDrain => self.retire_front_end(),
+            MatVec {
+                vop,
+                hop,
+                ty,
+                rd,
+                rs_mat,
+                rs_vec,
+            } => {
                 self.issue_mat_vec(now, vop, hop, ty, rd, rs_mat, rs_vec);
             }
-            VecVec { op, ty, rd, rs1, rs2 } => {
+            VecVec {
+                op,
+                ty,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 self.issue_vec_vec(now, op, ty, rd, rs1, rs2);
             }
-            VecScalar { op, ty, rd, rs_vec, rs_scalar } => {
+            VecScalar {
+                op,
+                ty,
+                rd,
+                rs_vec,
+                rs_scalar,
+            } => {
                 self.issue_vec_scalar(now, op, ty, rd, rs_vec, rs_scalar);
             }
             Scalar { op, rd, rs1, rs2 } => {
@@ -303,7 +520,12 @@ impl Pe {
                 self.regs.write(rd, imm as u64);
                 self.retire_scalar();
             }
-            Branch { cond, rs1, rs2, target } => {
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(self.regs.read(rs1), self.regs.read(rs2));
                 self.stats.instructions += 1;
                 self.stats.scalar_instructions += 1;
@@ -320,24 +542,27 @@ impl Pe {
                 self.pc = target as usize;
                 self.stall_until = now + 1 + self.branch_penalty;
             }
-            LdSram { ty, rd_sp, rs_addr, rs_len } => {
+            LdSram {
+                ty,
+                rd_sp,
+                rs_addr,
+                rs_len,
+            } => {
                 self.issue_ld_sram(ty, rd_sp, rs_addr, rs_len);
             }
-            StSram { ty, rs_sp, rs_addr, rs_len } => {
+            StSram {
+                ty,
+                rs_sp,
+                rs_addr,
+                rs_len,
+            } => {
                 self.issue_st_sram(ty, rs_sp, rs_addr, rs_len);
             }
             LdReg { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, false),
             LdRegFe { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, true),
             StReg { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, false),
             StRegFf { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, true),
-            MemFence => {
-                if self.lsu.is_empty() {
-                    self.retire_front_end();
-                } else {
-                    self.stall(StallReason::Fence);
-                }
-            }
-            Nop => self.retire_front_end(),
+            MemFence | Nop => self.retire_front_end(),
             Halt => {
                 self.stats.instructions += 1;
                 self.halted = true;
@@ -347,7 +572,11 @@ impl Pe {
         if self.stats.instructions > issued_before {
             if let Some(trace) = &mut self.trace {
                 if trace.len() < self.trace_limit {
-                    trace.push(TraceEvent { cycle: now, pc: pc_before, inst });
+                    trace.push(TraceEvent {
+                        cycle: now,
+                        pc: pc_before,
+                        inst,
+                    });
                 }
             }
         }
@@ -380,6 +609,7 @@ impl Pe {
         self.lsu.outstanding() < 64
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_mat_vec(
         &mut self,
         now: Cycle,
@@ -390,23 +620,13 @@ impl Pe {
         rs_mat: Reg,
         rs_vec: Reg,
     ) {
-        if !self.vec.ready(now) {
-            self.stall(StallReason::VectorBusy);
-            return;
-        }
+        debug_assert!(self.vec.ready(now));
         let (vl, mr) = (self.vec.vl(), self.vec.mr());
         let es = ty.size_bytes();
         let d = self.regs.read(rd) as usize;
         let m = self.regs.read(rs_mat) as usize;
         let v = self.regs.read(rs_vec) as usize;
         let (mat_len, vec_len, dst_len) = (mr * vl * es, vl * es, mr * es);
-        if self.arc.overlaps(m, mat_len)
-            || self.arc.overlaps(v, vec_len)
-            || self.arc.overlaps(d, dst_len)
-        {
-            self.stall(StallReason::ArcOverlap);
-            return;
-        }
         let mat = self.sp.read(m, mat_len);
         let vec = self.sp.read(v, vec_len);
         let mut dst = vec![0u8; dst_len];
@@ -414,7 +634,11 @@ impl Pe {
         self.sp.write(d, &dst);
 
         let beats = mr as u64 * VectorUnit::beats(vl, ty);
-        let vert = if vop.is_multiply() { self.multiply_latency } else { 1 };
+        let vert = if vop.is_multiply() {
+            self.multiply_latency
+        } else {
+            1
+        };
         self.vec.issue(now, beats, vert + self.reduce_latency);
         self.stats.lane_ops += 2 * (mr * vl) as u64; // vertical + horizontal
         if vop.is_multiply() {
@@ -433,19 +657,12 @@ impl Pe {
         rs1: Reg,
         rs2: Reg,
     ) {
-        if !self.vec.ready(now) {
-            self.stall(StallReason::VectorBusy);
-            return;
-        }
+        debug_assert!(self.vec.ready(now));
         let vl = self.vec.vl();
         let len = vl * ty.size_bytes();
         let d = self.regs.read(rd) as usize;
         let a = self.regs.read(rs1) as usize;
         let b = self.regs.read(rs2) as usize;
-        if self.arc.overlaps(a, len) || self.arc.overlaps(b, len) || self.arc.overlaps(d, len) {
-            self.stall(StallReason::ArcOverlap);
-            return;
-        }
         let av = self.sp.read(a, len);
         let bv = self.sp.read(b, len);
         let mut dst = vec![0u8; len];
@@ -453,7 +670,11 @@ impl Pe {
         self.sp.write(d, &dst);
 
         let beats = VectorUnit::beats(vl, ty);
-        let vert = if op.is_multiply() { self.multiply_latency } else { 1 };
+        let vert = if op.is_multiply() {
+            self.multiply_latency
+        } else {
+            1
+        };
         self.vec.issue(now, beats, vert);
         self.stats.lane_ops += vl as u64;
         if op.is_multiply() {
@@ -472,26 +693,23 @@ impl Pe {
         rs_vec: Reg,
         rs_scalar: Reg,
     ) {
-        if !self.vec.ready(now) {
-            self.stall(StallReason::VectorBusy);
-            return;
-        }
+        debug_assert!(self.vec.ready(now));
         let vl = self.vec.vl();
         let len = vl * ty.size_bytes();
         let d = self.regs.read(rd) as usize;
         let a = self.regs.read(rs_vec) as usize;
         let s = self.regs.read(rs_scalar);
-        if self.arc.overlaps(a, len) || self.arc.overlaps(d, len) {
-            self.stall(StallReason::ArcOverlap);
-            return;
-        }
         let av = self.sp.read(a, len);
         let mut dst = vec![0u8; len];
         alu::vec_scalar(op, ty, &mut dst, &av, s, vl);
         self.sp.write(d, &dst);
 
         let beats = VectorUnit::beats(vl, ty);
-        let vert = if op.is_multiply() { self.multiply_latency } else { 1 };
+        let vert = if op.is_multiply() {
+            self.multiply_latency
+        } else {
+            1
+        };
         self.vec.issue(now, beats, vert);
         self.stats.lane_ops += vl as u64;
         if op.is_multiply() {
@@ -505,19 +723,14 @@ impl Pe {
         let sp = self.regs.read(rd_sp) as usize;
         let dram = self.regs.read(rs_addr);
         let len = self.regs.read(rs_len) as usize * ty.size_bytes();
-        if self.arc.overlaps(sp, len) {
-            self.stall(StallReason::ArcOverlap);
-            return;
-        }
-        if !self.lsq_has_room() {
-            self.stall(StallReason::LsqBusy);
-            return;
-        }
-        let Some(arc_id) = self.arc.insert(sp, len) else {
-            self.stall(StallReason::ArcFull);
-            return;
-        };
-        assert!(sp + len <= self.sp.len(), "ld.sram destination out of scratchpad");
+        let arc_id = self
+            .arc
+            .insert(sp, len)
+            .expect("issue_state checked for a free ARC entry");
+        assert!(
+            sp + len <= self.sp.len(),
+            "ld.sram destination out of scratchpad"
+        );
         self.lsu.push_load_sram(dram, sp, len, arc_id);
         self.retire_ldst();
     }
@@ -526,24 +739,12 @@ impl Pe {
         let sp = self.regs.read(rs_sp) as usize;
         let dram = self.regs.read(rs_addr);
         let len = self.regs.read(rs_len) as usize * ty.size_bytes();
-        if self.arc.overlaps(sp, len) {
-            self.stall(StallReason::ArcOverlap);
-            return;
-        }
-        if !self.lsq_has_room() {
-            self.stall(StallReason::LsqBusy);
-            return;
-        }
         let data = self.sp.read(sp, len);
         self.lsu.push_store_sram(dram, data);
         self.retire_ldst();
     }
 
     fn issue_ld_reg(&mut self, rd: Reg, rs_addr: Reg, full_empty: bool) {
-        if !self.lsq_has_room() {
-            self.stall(StallReason::LsqBusy);
-            return;
-        }
         let dram = self.regs.read(rs_addr);
         self.regs.invalidate(rd);
         self.lsu.push_load_reg(dram, rd, full_empty);
@@ -551,10 +752,6 @@ impl Pe {
     }
 
     fn issue_st_reg(&mut self, rs: Reg, rs_addr: Reg, full_empty: bool) {
-        if !self.lsq_has_room() {
-            self.stall(StallReason::LsqBusy);
-            return;
-        }
         let dram = self.regs.read(rs_addr);
         let value = self.regs.read(rs);
         self.lsu.push_store_reg(dram, value, full_empty);
@@ -611,7 +808,12 @@ mod tests {
         let mut p = pe();
         // a at 0, b at 32, result at 64, vl=16 i16.
         for i in 0..16 {
-            alu::write_lane(p.scratchpad_mut().slice_mut(0, 32), i, ElemType::I16, i as i64);
+            alu::write_lane(
+                p.scratchpad_mut().slice_mut(0, 32),
+                i,
+                ElemType::I16,
+                i as i64,
+            );
             alu::write_lane(p.scratchpad_mut().slice_mut(32, 32), i, ElemType::I16, 100);
         }
         let mut asm = Asm::new();

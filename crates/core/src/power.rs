@@ -206,7 +206,11 @@ mod tests {
         let e = EnergyModel::tsmc28();
         let mw = e.pe_power_w(&bp_like(1_000_000), 1_000_000) * 1e3;
         let err = (mw - paper::BP_PE_MW).abs() / paper::BP_PE_MW;
-        assert!(err < 0.15, "BP power {mw:.1} mW vs paper {} mW", paper::BP_PE_MW);
+        assert!(
+            err < 0.15,
+            "BP power {mw:.1} mW vs paper {} mW",
+            paper::BP_PE_MW
+        );
     }
 
     #[test]
@@ -217,7 +221,11 @@ mod tests {
         let cnn = e.pe_power_w(&cnn_like(cycles), cycles) * 1e3;
         assert!(cnn > bp, "multipliers must cost energy");
         let err = (cnn - paper::CNN_PE_MW).abs() / paper::CNN_PE_MW;
-        assert!(err < 0.15, "CNN power {cnn:.1} mW vs paper {} mW", paper::CNN_PE_MW);
+        assert!(
+            err < 0.15,
+            "CNN power {cnn:.1} mW vs paper {} mW",
+            paper::CNN_PE_MW
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl ScalarRegs {
     /// All registers zero and valid.
     #[must_use]
     pub fn new() -> Self {
-        ScalarRegs { values: [0; NUM_REGS], valid: [true; NUM_REGS] }
+        ScalarRegs {
+            values: [0; NUM_REGS],
+            valid: [true; NUM_REGS],
+        }
     }
 
     /// Reads a register's value.

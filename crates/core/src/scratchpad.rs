@@ -20,7 +20,9 @@ impl Scratchpad {
     /// Creates a zeroed scratchpad of `bytes` bytes (4,096 for VIP).
     #[must_use]
     pub fn new(bytes: usize) -> Self {
-        Scratchpad { data: vec![0; bytes] }
+        Scratchpad {
+            data: vec![0; bytes],
+        }
     }
 
     /// Capacity in bytes.

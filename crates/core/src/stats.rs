@@ -103,7 +103,10 @@ impl RooflinePoint {
 }
 
 /// Whole-system statistics snapshot.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` so determinism tests can assert that two runs (e.g.
+/// naive vs. fast-forward stepping) produced bit-identical counters.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemStats {
     /// Elapsed cycles.
     pub cycles: Cycle,
@@ -150,7 +153,12 @@ impl SystemStats {
         use std::fmt::Write as _;
         let mut s = String::new();
         let p = self.roofline();
-        let _ = writeln!(s, "cycles:        {} ({:.3} ms at 1.25 GHz)", self.cycles, self.time_ms());
+        let _ = writeln!(
+            s,
+            "cycles:        {} ({:.3} ms at 1.25 GHz)",
+            self.cycles,
+            self.time_ms()
+        );
         let _ = writeln!(
             s,
             "instructions:  {} ({} vector, {} scalar, {} load-store)",
@@ -196,20 +204,38 @@ mod tests {
 
     #[test]
     fn roofline_math() {
-        let p = RooflinePoint { ops: 1_250_000, dram_bytes: 125_000, cycles: 1_250_000 };
+        let p = RooflinePoint {
+            ops: 1_250_000,
+            dram_bytes: 125_000,
+            cycles: 1_250_000,
+        };
         // 1.25M ops in 1ms = 1.25 GOp/ms? No: 1.25e6 ops / (1e-3 s) = 1.25e9 op/s.
         assert!((p.gops() - 1.25).abs() < 1e-9);
         assert!((p.arithmetic_intensity() - 10.0).abs() < 1e-12);
         // Compute-bound at AI 10 with knee at 4.
         assert!((p.roofline_bound(1280.0, 320.0) - 1280.0).abs() < 1e-9);
-        let memory_bound = RooflinePoint { ops: 100, dram_bytes: 1000, cycles: 1 };
+        let memory_bound = RooflinePoint {
+            ops: 100,
+            dram_bytes: 1000,
+            cycles: 1,
+        };
         assert!((memory_bound.roofline_bound(1280.0, 320.0) - 32.0).abs() < 1e-9);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = PeStats { instructions: 5, lane_ops: 10, active_cycles: 100, ..PeStats::default() };
-        let b = PeStats { instructions: 3, lane_ops: 20, active_cycles: 50, ..PeStats::default() };
+        let mut a = PeStats {
+            instructions: 5,
+            lane_ops: 10,
+            active_cycles: 100,
+            ..PeStats::default()
+        };
+        let b = PeStats {
+            instructions: 3,
+            lane_ops: 20,
+            active_cycles: 50,
+            ..PeStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 8);
         assert_eq!(a.lane_ops, 30);
@@ -220,7 +246,11 @@ mod tests {
     fn summary_mentions_key_counters() {
         let stats = SystemStats {
             cycles: 1250,
-            pe: PeStats { instructions: 10, lane_ops: 64, ..PeStats::default() },
+            pe: PeStats {
+                instructions: 10,
+                lane_ops: 64,
+                ..PeStats::default()
+            },
             mem: vip_mem::MemStats::default(),
             noc: vip_noc::NocStats::default(),
         };
@@ -232,7 +262,11 @@ mod tests {
 
     #[test]
     fn infinite_intensity_without_traffic() {
-        let p = RooflinePoint { ops: 10, dram_bytes: 0, cycles: 10 };
+        let p = RooflinePoint {
+            ops: 10,
+            dram_bytes: 0,
+            cycles: 10,
+        };
         assert!(p.arithmetic_intensity().is_infinite());
     }
 }

@@ -56,6 +56,65 @@ fn resp_bytes(resp: &MemResponse) -> usize {
     8 + resp.data.len()
 }
 
+/// Resolves a configured shard count to an actual one (`>= 1`).
+/// Auto (`0`) sizes to the host's parallelism but never slices finer
+/// than 16 PEs per shard — below that, thread overhead dominates.
+fn resolve_shards(requested: usize, total_pes: usize) -> usize {
+    let shards = if requested == 0 {
+        std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(total_pes / 16)
+    } else {
+        requested.min(total_pes)
+    };
+    shards.max(1)
+}
+
+/// The per-PE step phase for a contiguous slice of PEs starting at
+/// global id `base`: deliver matured completions, tick, and emit at most
+/// one request into the PE's private egress queue.
+///
+/// Every mutation is confined to the PE itself and its own `to_pe` /
+/// `egress` queues, so disjoint slices run on separate host threads
+/// without changing simulated behaviour. Returns `(completions
+/// delivered, requests emitted)` and appends the global ids of PEs that
+/// halted this cycle.
+fn step_pes(
+    pes: &mut [Pe],
+    to_pe: &mut [VecDeque<(Cycle, MemResponse)>],
+    egress: &mut [VecDeque<MemRequest>],
+    now: Cycle,
+    base: usize,
+    newly_halted: &mut Vec<usize>,
+) -> (usize, usize) {
+    let mut received = 0;
+    let mut emitted = 0;
+    for (i, ((pe, queue), egress)) in pes.iter_mut().zip(to_pe).zip(egress).enumerate() {
+        while let Some(&(ready, _)) = queue.front() {
+            if ready > now {
+                break;
+            }
+            let (_, resp) = queue.pop_front().expect("front exists");
+            pe.receive(&resp);
+            received += 1;
+        }
+
+        let was_halted = pe.is_halted();
+        pe.tick(now);
+        if !was_halted && pe.is_halted() {
+            newly_halted.push(base + i);
+        }
+
+        if egress.len() < 8 {
+            if let Some(req) = pe.emit_request() {
+                egress.push_back(req);
+                emitted += 1;
+            }
+        }
+    }
+    (received, emitted)
+}
+
 /// The complete system simulator (Figure 1's left half).
 ///
 /// Holds `vaults × pes_per_vault` [`Pe`]s, the [`Hmc`] memory stack, and
@@ -86,6 +145,20 @@ pub struct System {
     vault_egress: Vec<VecDeque<(usize, MemResponse)>>,
     /// In-flight completions on each PE's downlink: (ready, response).
     to_pe: Vec<VecDeque<(Cycle, MemResponse)>>,
+    /// Host threads for the per-PE step phase (resolved, `>= 1`).
+    step_shards: usize,
+    /// PEs that have not halted — an O(1) quiescence pre-gate,
+    /// recounted at [`run`](System::run) entry and maintained by `step`.
+    unhalted: usize,
+    /// Requests emitted by PEs whose completion has not yet been
+    /// delivered back (the other half of the quiescence pre-gate).
+    inflight_msgs: usize,
+    /// Merged statistics of PEs whose counters are frozen (halted PEs
+    /// never touch their stats again), so [`stats`](System::stats) only
+    /// re-merges live PEs.
+    halted_merged: PeStats,
+    /// Whether PE `i`'s statistics are already in `halted_merged`.
+    halted_cached: Vec<bool>,
 }
 
 impl System {
@@ -107,13 +180,18 @@ impl System {
             net: Torus::new(cfg.torus),
             pes,
             now: 0,
-            pe_egress: vec![VecDeque::new(); total].into_iter().collect(),
+            pe_egress: vec![VecDeque::new(); total],
             uplink_busy: vec![0; total],
             downlink_busy: vec![0; total],
-            to_vault_local: (0..vaults).map(|_| VecDeque::new()).collect(),
-            vault_ingress: (0..vaults).map(|_| VecDeque::new()).collect(),
-            vault_egress: (0..vaults).map(|_| VecDeque::new()).collect(),
-            to_pe: (0..total).map(|_| VecDeque::new()).collect(),
+            to_vault_local: vec![VecDeque::new(); vaults],
+            vault_ingress: vec![VecDeque::new(); vaults],
+            vault_egress: vec![VecDeque::new(); vaults],
+            to_pe: vec![VecDeque::new(); total],
+            step_shards: resolve_shards(cfg.step_shards, total),
+            unhalted: 0,
+            inflight_msgs: 0,
+            halted_merged: PeStats::default(),
+            halted_cached: vec![false; total],
             cfg,
         }
     }
@@ -144,6 +222,9 @@ impl System {
 
     /// Mutable access to PE `pe` (host setup: scratchpad preloading).
     pub fn pe_mut(&mut self, pe: usize) -> &mut Pe {
+        // The caller may load a program or otherwise revive the PE, so
+        // its frozen-stats cache entry can no longer be trusted.
+        self.invalidate_stats_cache();
         &mut self.pes[pe]
     }
 
@@ -160,14 +241,31 @@ impl System {
 
     /// Loads `program` into one PE.
     pub fn load_program(&mut self, pe: usize, program: &Program) {
+        self.invalidate_stats_cache();
         self.pes[pe].load_program(program);
     }
 
     /// Loads the same program into every PE (SPMD style; PEs diverge via
     /// their id registers).
     pub fn load_program_all(&mut self, program: &Program) {
+        self.invalidate_stats_cache();
         for pe in &mut self.pes {
             pe.load_program(program);
+        }
+    }
+
+    /// Overrides the host-thread count for the per-PE step phase (see
+    /// [`SystemConfig::step_shards`]); `0` re-selects from the host's
+    /// available parallelism. Simulation-host parallelism only:
+    /// simulated behaviour is identical for every value.
+    pub fn set_step_shards(&mut self, shards: usize) {
+        self.step_shards = resolve_shards(shards, self.pes.len());
+    }
+
+    fn invalidate_stats_cache(&mut self) {
+        self.halted_merged = PeStats::default();
+        for flag in &mut self.halted_cached {
+            *flag = false;
         }
     }
 
@@ -223,12 +321,16 @@ impl System {
                 if ready > now {
                     break;
                 }
-                let (_, req) = self.to_vault_local[vault].pop_front().expect("front exists");
+                let (_, req) = self.to_vault_local[vault]
+                    .pop_front()
+                    .expect("front exists");
                 self.vault_ingress[vault].push_back(req);
             }
             // Drain ingress into the transaction queue.
             while self.hmc.can_accept(vault) {
-                let Some(req) = self.vault_ingress[vault].pop_front() else { break };
+                let Some(req) = self.vault_ingress[vault].pop_front() else {
+                    break;
+                };
                 self.hmc.enqueue(vault, req).expect("checked can_accept");
             }
             // Inject queued completions onto the torus.
@@ -236,7 +338,10 @@ impl System {
                 let dst = pe / pes_per_vault;
                 let bytes = resp_bytes(resp);
                 let (pe, resp) = (*pe, resp.clone());
-                match self.net.inject(vault, dst, bytes, SysMsg::Resp { pe, resp }) {
+                match self
+                    .net
+                    .inject(vault, dst, bytes, SysMsg::Resp { pe, resp })
+                {
                     Ok(()) => {
                         self.vault_egress[vault].pop_front();
                     }
@@ -245,24 +350,65 @@ impl System {
             }
         }
 
-        // 4. PEs: deliver completions, tick, emit and dispatch requests.
+        // 4a. PEs: deliver completions, tick, emit into private egress
+        // queues. Each PE touches only its own state, so this phase
+        // shards across host threads without changing simulated
+        // behaviour; all shared-structure work stays in 4b.
+        let shards = self.step_shards;
+        let mut newly_halted: Vec<usize> = Vec::new();
+        let (received, emitted) = if shards <= 1 || self.pes.len() < 2 * shards {
+            step_pes(
+                &mut self.pes,
+                &mut self.to_pe,
+                &mut self.pe_egress,
+                now,
+                0,
+                &mut newly_halted,
+            )
+        } else {
+            let chunk = self.pes.len().div_ceil(shards);
+            let pes = self.pes.chunks_mut(chunk);
+            let to_pe = self.to_pe.chunks_mut(chunk);
+            let egress = self.pe_egress.chunks_mut(chunk);
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = pes
+                    .zip(to_pe.zip(egress))
+                    .enumerate()
+                    .map(|(i, (pes, (to_pe, egress)))| {
+                        s.spawn(move || {
+                            let mut halted = Vec::new();
+                            let counts = step_pes(pes, to_pe, egress, now, i * chunk, &mut halted);
+                            (counts, halted)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("PE shard panicked"))
+                    .collect::<Vec<_>>()
+            });
+            let mut received = 0;
+            let mut emitted = 0;
+            for ((r, e), halted) in results {
+                received += r;
+                emitted += e;
+                newly_halted.extend(halted);
+            }
+            (received, emitted)
+        };
+        self.inflight_msgs = self.inflight_msgs.saturating_sub(received) + emitted;
+        for pe_id in newly_halted {
+            self.unhalted = self.unhalted.saturating_sub(1);
+            if !self.halted_cached[pe_id] {
+                self.halted_cached[pe_id] = true;
+                self.halted_merged.merge(self.pes[pe_id].stats());
+            }
+        }
+
+        // 4b. Dispatch each PE's oldest pending request onto its uplink
+        // or the torus, in PE-id order — the order the pre-split loop
+        // used, so sharding 4a cannot reorder shared-structure traffic.
         for pe_id in 0..self.pes.len() {
-            while let Some(&(ready, _)) = self.to_pe[pe_id].front() {
-                if ready > now {
-                    break;
-                }
-                let (_, resp) = self.to_pe[pe_id].pop_front().expect("front exists");
-                self.pes[pe_id].receive(&resp);
-            }
-
-            self.pes[pe_id].tick(now);
-
-            if self.pe_egress[pe_id].len() < 8 {
-                if let Some(req) = self.pes[pe_id].emit_request() {
-                    self.pe_egress[pe_id].push_back(req);
-                }
-            }
-
             if let Some(req) = self.pe_egress[pe_id].front() {
                 let vault = pe_id / pes_per_vault;
                 let dst = self.cfg.mem.vault_of(req.addr);
@@ -299,7 +445,101 @@ impl System {
             && self.to_pe.iter().all(VecDeque::is_empty)
     }
 
-    /// Runs until every PE halts and the machine drains.
+    /// A sound lower bound on the next cycle (strictly after `now`) at
+    /// which any component can make observable progress: a PE issues or
+    /// emits, a queued message matures or unblocks, a vault schedules a
+    /// DRAM command or refreshes, or a packet moves on the torus.
+    ///
+    /// Sound means never *late*: stepping every cycle in `(now, bound)`
+    /// would change nothing but per-cycle counters (which
+    /// [`skip_to`](System::skip_to) replays). Waking early is merely a
+    /// missed shortcut. `vault_ingress` needs no candidate of its own: a
+    /// non-empty ingress queue implies the vault's transaction queue is
+    /// full (`step` drains ingress while space remains), so that vault's
+    /// own next event covers it.
+    fn next_event(&self) -> Option<Cycle> {
+        let floor = self.now + 1;
+        let mut next = Cycle::MAX;
+        // PEs first: during compute phases some PE is ready every cycle,
+        // and `floor` is an immediate exit.
+        for pe in &self.pes {
+            if let Some(c) = pe.next_event(self.now) {
+                next = next.min(c.max(floor));
+                if next == floor {
+                    return Some(floor);
+                }
+            }
+        }
+        if let Some(c) = self.hmc.next_event() {
+            next = next.min(c.max(floor));
+        }
+        if let Some(c) = self.net.next_event() {
+            next = next.min(c.max(floor));
+        }
+        for q in &self.to_vault_local {
+            if let Some(&(ready, _)) = q.front() {
+                next = next.min(ready.max(floor));
+            }
+        }
+        for q in &self.to_pe {
+            if let Some(&(ready, _)) = q.front() {
+                next = next.min(ready.max(floor));
+            }
+        }
+        for (vault, q) in self.vault_egress.iter().enumerate() {
+            if !q.is_empty() {
+                next = next.min(self.net.inject_ready_at(vault).max(floor));
+            }
+        }
+        for (pe_id, q) in self.pe_egress.iter().enumerate() {
+            if let Some(req) = q.front() {
+                let vault = pe_id / self.cfg.pes_per_vault;
+                let c = if self.cfg.mem.vault_of(req.addr) == vault {
+                    self.uplink_busy[pe_id]
+                } else {
+                    self.net.inject_ready_at(vault)
+                };
+                next = next.min(c.max(floor));
+            }
+        }
+        if next == Cycle::MAX {
+            None
+        } else {
+            Some(next)
+        }
+    }
+
+    /// Jumps the clock to `to`, replaying the per-cycle counters a
+    /// cycle-by-cycle run of the intervening (provably event-free)
+    /// cycles would have produced. Only valid when
+    /// [`next_event`](System::next_event) bounds the skip.
+    fn skip_to(&mut self, to: Cycle) {
+        debug_assert!(to >= self.now);
+        for pe in &mut self.pes {
+            pe.fast_forward(self.now, to);
+        }
+        self.hmc.skip_to(to);
+        self.net.skip_to(to);
+        self.now = to;
+    }
+
+    /// Rebuilds the O(1) quiescence pre-gate and the frozen-stats cache
+    /// from scratch (program loading happens outside `step`, which
+    /// otherwise maintains them incrementally).
+    fn recount_quiesce_counters(&mut self) {
+        self.unhalted = self.pes.iter().filter(|p| !p.is_halted()).count();
+        for (i, pe) in self.pes.iter().enumerate() {
+            if pe.is_halted() && !self.halted_cached[i] {
+                self.halted_cached[i] = true;
+                self.halted_merged.merge(pe.stats());
+            }
+        }
+    }
+
+    /// Runs until every PE halts and the machine drains, fast-forwarding
+    /// over cycles in which nothing can happen (stepping remains
+    /// bit-identical to [`run_naive`](System::run_naive): same quiesce
+    /// cycle, same statistics).
     ///
     /// Returns the cycle count at quiescence.
     ///
@@ -309,25 +549,77 @@ impl System {
     /// `max_cycles` — a hang (e.g. a full-empty deadlock) or simply too
     /// small a limit.
     pub fn run(&mut self, max_cycles: Cycle) -> Result<Cycle, RunError> {
+        self.recount_quiesce_counters();
+        // In dense phases (an event every cycle — e.g. a streaming LSU
+        // keeping its vault saturated) the O(system) `next_event` scan
+        // buys nothing, so poll it under exponential backoff: each
+        // fruitless scan doubles the plain steps taken before the next
+        // one (capped at 63), and any successful skip resets the
+        // backoff. Delaying a skip never changes behaviour — stepping
+        // through an event-free window is what the skip replays.
+        let mut quiet_streak: u32 = 0;
+        let mut backoff: u64 = 0;
+        while self.now < max_cycles {
+            self.step();
+            if self.unhalted == 0 && self.inflight_msgs == 0 && self.is_quiesced() {
+                return Ok(self.now);
+            }
+            if backoff > 0 {
+                backoff -= 1;
+                continue;
+            }
+            if let Some(next) = self.next_event() {
+                // Nothing can happen strictly before `next`: land one
+                // cycle short and let the next `step` take it.
+                let target = (next - 1).min(max_cycles);
+                if target > self.now {
+                    self.skip_to(target);
+                    quiet_streak = 0;
+                } else {
+                    quiet_streak = (quiet_streak + 1).min(6);
+                    backoff = (1 << quiet_streak) - 1;
+                }
+            }
+        }
+        Err(self.run_error(max_cycles))
+    }
+
+    /// [`run`](System::run) without the event-driven fast-forward: steps
+    /// every cycle and evaluates full quiescence each time. The
+    /// reference implementation the determinism tests and the
+    /// `sim_throughput` benchmark compare against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if the system has not quiesced within
+    /// `max_cycles`.
+    pub fn run_naive(&mut self, max_cycles: Cycle) -> Result<Cycle, RunError> {
         while self.now < max_cycles {
             self.step();
             if self.is_quiesced() {
                 return Ok(self.now);
             }
         }
-        Err(RunError {
-            limit: max_cycles,
-            halted_pes: self.pes.iter().filter(|p| p.is_halted()).count(),
-            total_pes: self.pes.len(),
-        })
+        Err(self.run_error(max_cycles))
     }
 
-    /// Statistics snapshot.
+    fn run_error(&self, limit: Cycle) -> RunError {
+        RunError {
+            limit,
+            halted_pes: self.pes.iter().filter(|p| p.is_halted()).count(),
+            total_pes: self.pes.len(),
+        }
+    }
+
+    /// Statistics snapshot. Halted PEs' counters are frozen, so only
+    /// still-live PEs are re-merged on each call.
     #[must_use]
     pub fn stats(&self) -> SystemStats {
-        let mut pe = PeStats::default();
-        for p in &self.pes {
-            pe.merge(p.stats());
+        let mut pe = self.halted_merged;
+        for (i, p) in self.pes.iter().enumerate() {
+            if !self.halted_cached[i] {
+                pe.merge(p.stats());
+            }
         }
         SystemStats {
             cycles: self.now,

@@ -25,7 +25,12 @@ impl VectorUnit {
     /// An idle unit with `vl = 1`, `mr = 1`.
     #[must_use]
     pub fn new() -> Self {
-        VectorUnit { vl: 1, mr: 1, busy_until: 0, complete_at: 0 }
+        VectorUnit {
+            vl: 1,
+            mr: 1,
+            busy_until: 0,
+            complete_at: 0,
+        }
     }
 
     /// Current vector length in elements (`set.vl`).
@@ -71,6 +76,18 @@ impl VectorUnit {
     #[must_use]
     pub fn ready(&self, now: Cycle) -> bool {
         now >= self.busy_until
+    }
+
+    /// First cycle at which [`ready`](Self::ready) becomes true.
+    #[must_use]
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// First cycle at which [`drained`](Self::drained) becomes true.
+    #[must_use]
+    pub fn complete_at(&self) -> Cycle {
+        self.complete_at
     }
 
     /// Whether every issued instruction has fully drained at `now`

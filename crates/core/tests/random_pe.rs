@@ -1,12 +1,14 @@
-//! Property-based differential tests: the cycle-level PE against simple
+//! Seeded-random differential tests: the cycle-level PE against simple
 //! reference semantics — random scalar programs vs. a fold interpreter,
 //! random vector operations vs. `vip_isa::alu`, and random load/store
-//! sequences vs. a sequential shadow memory.
+//! sequences vs. a sequential shadow memory. Each test sweeps a fixed
+//! set of seeds through a SplitMix64 generator, so failures reproduce
+//! exactly.
 
-use proptest::prelude::*;
 use vip_core::{System, SystemConfig};
 use vip_isa::alu;
 use vip_isa::{Asm, ElemType, HorizontalOp, Instruction, Program, Reg, ScalarAluOp, VerticalOp};
+use vip_rng::SplitMix64;
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -22,27 +24,29 @@ enum ScalarOp {
     MovImm(u8, i64),
 }
 
-fn scalar_op() -> impl Strategy<Value = ScalarOp> {
-    let alu = proptest::sample::select(ScalarAluOp::all().to_vec());
-    prop_oneof![
-        (alu.clone(), 0..NREGS, 0..NREGS, 0..NREGS).prop_map(|(op, d, a, b)| ScalarOp::Rr(op, d, a, b)),
-        (alu, 0..NREGS, 0..NREGS, -(1i32 << 23)..(1i32 << 23))
-            .prop_map(|(op, d, a, i)| ScalarOp::Ri(op, d, a, i)),
-        (0..NREGS, 0..NREGS).prop_map(|(d, a)| ScalarOp::Mov(d, a)),
-        (0..NREGS, -(1i64 << 39)..(1i64 << 39)).prop_map(|(d, i)| ScalarOp::MovImm(d, i)),
-    ]
+fn random_scalar_op(rng: &mut SplitMix64) -> ScalarOp {
+    let ops = ScalarAluOp::all();
+    let op = ops[rng.usize_in(0..ops.len())];
+    let d = rng.below(u64::from(NREGS)) as u8;
+    let a = rng.below(u64::from(NREGS)) as u8;
+    match rng.below(4) {
+        0 => ScalarOp::Rr(op, d, a, rng.below(u64::from(NREGS)) as u8),
+        1 => ScalarOp::Ri(op, d, a, rng.i64_in(-(1 << 23)..(1 << 23)) as i32),
+        2 => ScalarOp::Mov(d, a),
+        _ => ScalarOp::MovImm(d, rng.i64_in(-(1i64 << 39)..(1i64 << 39))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Straight-line scalar programs produce the same register file as a
+/// direct fold over `ScalarAluOp::eval`.
+#[test]
+fn scalar_programs_match_interpreter() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x5ca1a0 + case);
+        let n = rng.usize_in(1..100);
+        let ops: Vec<ScalarOp> = (0..n).map(|_| random_scalar_op(&mut rng)).collect();
+        let init: Vec<u64> = (0..NREGS).map(|_| rng.next_u64()).collect();
 
-    /// Straight-line scalar programs produce the same register file as a
-    /// direct fold over `ScalarAluOp::eval`.
-    #[test]
-    fn scalar_programs_match_interpreter(
-        ops in proptest::collection::vec(scalar_op(), 1..100),
-        init in proptest::collection::vec(any::<u64>(), NREGS as usize),
-    ) {
         // Reference interpreter.
         let mut regs = init.clone();
         for op in &ops {
@@ -62,10 +66,18 @@ proptest! {
         let mut insts: Vec<Instruction> = ops
             .iter()
             .map(|op| match *op {
-                ScalarOp::Rr(op, d, a, b) =>
-                    Instruction::Scalar { op, rd: r(d), rs1: r(a), rs2: r(b) },
-                ScalarOp::Ri(op, d, a, imm) =>
-                    Instruction::ScalarImm { op, rd: r(d), rs1: r(a), imm },
+                ScalarOp::Rr(op, d, a, b) => Instruction::Scalar {
+                    op,
+                    rd: r(d),
+                    rs1: r(a),
+                    rs2: r(b),
+                },
+                ScalarOp::Ri(op, d, a, imm) => Instruction::ScalarImm {
+                    op,
+                    rd: r(d),
+                    rs1: r(a),
+                    imm,
+                },
                 ScalarOp::Mov(d, a) => Instruction::Mov { rd: r(d), rs: r(a) },
                 ScalarOp::MovImm(d, imm) => Instruction::MovImm { rd: r(d), imm },
             })
@@ -78,35 +90,29 @@ proptest! {
         }
         sys.run(100_000).expect("straight-line program halts");
         for i in 0..NREGS {
-            prop_assert_eq!(sys.pe(0).reg(r(i)), regs[i as usize], "r{}", i);
+            assert_eq!(sys.pe(0).reg(r(i)), regs[i as usize], "case {case} r{i}");
         }
     }
+}
 
-    /// A random `v.v` operation on random scratchpad contents matches
-    /// `alu::vec_vec` lane-for-lane, for every element width.
-    #[test]
-    fn vec_vec_matches_alu(
-        op_idx in 0usize..5,
-        ty_idx in 0usize..4,
-        vl in 1usize..64,
-        seed in any::<u64>(),
-    ) {
-        let op = [VerticalOp::Mul, VerticalOp::Add, VerticalOp::Sub, VerticalOp::Min, VerticalOp::Max][op_idx];
-        let ty = ElemType::all()[ty_idx];
+/// A random `v.v` operation on random scratchpad contents matches
+/// `alu::vec_vec` lane-for-lane, for every element width.
+#[test]
+fn vec_vec_matches_alu() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xbeef + case);
+        let op = [
+            VerticalOp::Mul,
+            VerticalOp::Add,
+            VerticalOp::Sub,
+            VerticalOp::Min,
+            VerticalOp::Max,
+        ][rng.usize_in(0..5)];
+        let ty = ElemType::all()[rng.usize_in(0..4)];
+        let vl = rng.usize_in(1..64);
         let len = vl * ty.size_bytes();
-
-        // Deterministic pseudo-random buffers.
-        let mut state = seed | 1;
-        let mut bytes = |n: usize| -> Vec<u8> {
-            (0..n)
-                .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    (state >> 33) as u8
-                })
-                .collect()
-        };
-        let a = bytes(len);
-        let b = bytes(len);
+        let a = rng.bytes(len);
+        let b = rng.bytes(len);
 
         let mut sys = System::new(SystemConfig::small_test());
         {
@@ -128,34 +134,27 @@ proptest! {
 
         let mut expect = vec![0u8; len];
         alu::vec_vec(op, ty, &mut expect, &a, &b, vl);
-        prop_assert_eq!(sys.pe(0).scratchpad().read(2048, len), expect);
+        assert_eq!(
+            sys.pe(0).scratchpad().read(2048, len),
+            expect,
+            "case {case}"
+        );
     }
+}
 
-    /// A random `m.v` matches `alu::mat_vec`.
-    #[test]
-    fn mat_vec_matches_alu(
-        vop_idx in 0usize..6,
-        hop_idx in 0usize..3,
-        mr in 1usize..8,
-        vl in 1usize..32,
-        seed in any::<u64>(),
-    ) {
-        let vop = VerticalOp::all()[vop_idx];
-        let hop = HorizontalOp::all()[hop_idx];
+/// A random `m.v` matches `alu::mat_vec`.
+#[test]
+fn mat_vec_matches_alu() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xa7 + case * 31);
+        let vop = VerticalOp::all()[rng.usize_in(0..6)];
+        let hop = HorizontalOp::all()[rng.usize_in(0..3)];
+        let mr = rng.usize_in(1..8);
+        let vl = rng.usize_in(1..32);
         let ty = ElemType::I16;
         let (mat_len, vec_len, dst_len) = (mr * vl * 2, vl * 2, mr * 2);
-
-        let mut state = seed | 1;
-        let mut bytes = |n: usize| -> Vec<u8> {
-            (0..n)
-                .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                    (state >> 33) as u8
-                })
-                .collect()
-        };
-        let mat = bytes(mat_len);
-        let vec_ = bytes(vec_len);
+        let mat = rng.bytes(mat_len);
+        let vec_ = rng.bytes(vec_len);
 
         let mut sys = System::new(SystemConfig::small_test());
         {
@@ -179,19 +178,21 @@ proptest! {
 
         let mut expect = vec![0u8; dst_len];
         alu::mat_vec(vop, hop, ty, &mut expect, &mat, &vec_, mr, vl);
-        prop_assert_eq!(sys.pe(0).scratchpad().read(3072, dst_len), expect);
+        assert_eq!(
+            sys.pe(0).scratchpad().read(3072, dst_len),
+            expect,
+            "case {case}"
+        );
     }
+}
 
-    /// Random interleavings of `ld.sram`/`st.sram` behave like a
-    /// sequential shadow memory — the ARC plus the controller's
-    /// overlap ordering make the asynchronous LSU look sequential.
-    #[test]
-    fn ldst_sequences_match_shadow(
-        ops in proptest::collection::vec(
-            (any::<bool>(), 0usize..96, 0usize..96, 1usize..33),
-            1..40,
-        ),
-    ) {
+/// Random interleavings of `ld.sram`/`st.sram` behave like a
+/// sequential shadow memory — the ARC plus the controller's
+/// overlap ordering make the asynchronous LSU look sequential.
+#[test]
+fn ldst_sequences_match_shadow() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x1d57 + case);
         const SPAN: usize = 4096;
         let mut shadow_dram: Vec<u8> = (0..SPAN).map(|i| (i * 13 % 251) as u8).collect();
         let mut shadow_sp = vec![0u8; 4096];
@@ -200,22 +201,22 @@ proptest! {
         sys.hmc_mut().host_write(0, &shadow_dram);
         let mut asm = Asm::new();
         asm.mov_imm(r(5), 0); // placeholder
-        for (is_load, sp_slot, dram_slot, elems) in &ops {
-            let sp = sp_slot * 32;
-            let dram = dram_slot * 32;
-            let len = *elems;
+        let n_ops = rng.usize_in(1..40);
+        for _ in 0..n_ops {
+            let is_load = rng.bool();
+            let sp = rng.usize_in(0..96) * 32;
+            let dram = rng.usize_in(0..96) * 32;
+            let len = rng.usize_in(1..33);
             asm.mov_imm(r(1), sp as i64)
                 .mov_imm(r(2), dram as i64)
                 .mov_imm(r(3), len as i64);
-            if *is_load {
+            let n = len * 2;
+            if is_load {
                 asm.ld_sram(ElemType::I16, r(1), r(2), r(3));
-                shadow_sp.copy_within(0..0, 0); // no-op, clarity
-                let n = len * 2;
                 let src = shadow_dram[dram..dram + n].to_vec();
                 shadow_sp[sp..sp + n].copy_from_slice(&src);
             } else {
                 asm.st_sram(ElemType::I16, r(1), r(2), r(3));
-                let n = len * 2;
                 let src = shadow_sp[sp..sp + n].to_vec();
                 shadow_dram[dram..dram + n].copy_from_slice(&src);
             }
@@ -224,7 +225,15 @@ proptest! {
         sys.load_program(0, &asm.assemble().unwrap());
         sys.run(5_000_000).expect("ld/st sequence completes");
 
-        prop_assert_eq!(sys.hmc().host_read(0, SPAN), shadow_dram);
-        prop_assert_eq!(sys.pe(0).scratchpad().read(0, 4096), shadow_sp);
+        assert_eq!(
+            sys.hmc().host_read(0, SPAN),
+            shadow_dram,
+            "case {case} dram"
+        );
+        assert_eq!(
+            sys.pe(0).scratchpad().read(0, 4096),
+            shadow_sp,
+            "case {case} sp"
+        );
     }
 }

@@ -101,7 +101,14 @@ fn unsatisfied_full_empty_load_times_out_as_runerror() {
     sys.load_program(0, &p);
     sys.set_reg(0, r(2), 0x800);
     let err = sys.run(20_000).unwrap_err();
-    assert_eq!(err, RunError { limit: 20_000, halted_pes: 3, total_pes: 4 });
+    assert_eq!(
+        err,
+        RunError {
+            limit: 20_000,
+            halted_pes: 3,
+            total_pes: 4
+        }
+    );
     assert!(err.to_string().contains("did not quiesce"));
 }
 
@@ -152,7 +159,10 @@ fn low_interleave_mapping_still_computes_correctly() {
     let busy_vaults = (0..4)
         .filter(|&v| sys.hmc().vault_stats(v).transactions() > 0)
         .count();
-    assert_eq!(busy_vaults, 4, "low interleave spreads 256 B over all vaults");
+    assert_eq!(
+        busy_vaults, 4,
+        "low interleave spreads 256 B over all vaults"
+    );
 }
 
 #[test]
@@ -233,7 +243,10 @@ fn instruction_trace_records_issues_in_order() {
     assert_eq!(trace[0].pc, 0);
     assert_eq!(trace[2].pc, 2, "first loop body");
     assert_eq!(trace[4].pc, 2, "second loop body");
-    assert!(trace.windows(2).all(|w| w[0].cycle < w[1].cycle), "cycles increase");
+    assert!(
+        trace.windows(2).all(|w| w[0].cycle < w[1].cycle),
+        "cycles increase"
+    );
     assert!(matches!(trace[6].inst, vip_isa::Instruction::Halt));
 }
 

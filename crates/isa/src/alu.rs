@@ -159,6 +159,7 @@ pub fn vec_scalar(op: VerticalOp, ty: ElemType, dst: &mut [u8], a: &[u8], scalar
 /// # Panics
 ///
 /// Panics if a buffer is shorter than implied by `rows`/`len`.
+#[allow(clippy::too_many_arguments)]
 pub fn mat_vec(
     vop: VerticalOp,
     hop: HorizontalOp,
@@ -209,7 +210,9 @@ pub fn sat_sub16(a: i16, b: i16) -> i16 {
 pub fn sat_mul16(a: i16, b: i16) -> i16 {
     i32::from(a)
         .checked_mul(i32::from(b))
-        .map_or(i16::MAX, |p| p.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16)
+        .map_or(i16::MAX, |p| {
+            p.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+        })
 }
 
 #[cfg(test)]
@@ -219,7 +222,10 @@ mod tests {
     #[test]
     fn saturation_at_lane_bounds() {
         assert_eq!(vertical(VerticalOp::Add, ElemType::I16, 32000, 1000), 32767);
-        assert_eq!(vertical(VerticalOp::Sub, ElemType::I16, -32000, 1000), -32768);
+        assert_eq!(
+            vertical(VerticalOp::Sub, ElemType::I16, -32000, 1000),
+            -32768
+        );
         assert_eq!(vertical(VerticalOp::Mul, ElemType::I8, 100, 100), 127);
         assert_eq!(vertical(VerticalOp::Mul, ElemType::I8, -100, 100), -128);
         assert_eq!(
@@ -275,7 +281,16 @@ mod tests {
         for (i, v) in [10i64, 1, 3].iter().enumerate() {
             write_lane(&mut vec_, i, ty, *v);
         }
-        mat_vec(VerticalOp::Add, HorizontalOp::Min, ty, &mut dst, &mat, &vec_, 2, 3);
+        mat_vec(
+            VerticalOp::Add,
+            HorizontalOp::Min,
+            ty,
+            &mut dst,
+            &mat,
+            &vec_,
+            2,
+            3,
+        );
         assert_eq!(read_lane(&dst, 0, ty), 6); // min(11, 6, 12)
         assert_eq!(read_lane(&dst, 1, ty), 1); // min(12, 1, 10)
     }
@@ -290,7 +305,16 @@ mod tests {
             write_lane(&mut mat, i, ty, (i + 1) as i64);
             write_lane(&mut v, i, ty, 2);
         }
-        mat_vec(VerticalOp::Mul, HorizontalOp::Add, ty, &mut dst, &mat, &v, 1, 4);
+        mat_vec(
+            VerticalOp::Mul,
+            HorizontalOp::Add,
+            ty,
+            &mut dst,
+            &mat,
+            &v,
+            1,
+            4,
+        );
         assert_eq!(read_lane(&dst, 0, ty), 20);
     }
 
@@ -312,7 +336,12 @@ mod tests {
 
     #[test]
     fn sat16_helpers_match_vertical() {
-        let cases = [(32000i16, 1000i16), (-32000, -1000), (181, 181), (-182, 181)];
+        let cases = [
+            (32000i16, 1000i16),
+            (-32000, -1000),
+            (181, 181),
+            (-182, 181),
+        ];
         for (a, b) in cases {
             assert_eq!(
                 i64::from(sat_add16(a, b)),

@@ -70,8 +70,14 @@ impl std::error::Error for AsmError {}
 /// A statement recognized by the first pass.
 #[derive(Debug)]
 enum Stmt {
-    Inst { line: usize, mnemonic: String, operands: Vec<String> },
-    Label { name: String },
+    Inst {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    Label {
+        name: String,
+    },
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -93,7 +99,9 @@ fn tokenize(source: &str) -> Vec<Stmt> {
             if name.is_empty() || name.contains(char::is_whitespace) {
                 break;
             }
-            stmts.push(Stmt::Label { name: name.to_owned() });
+            stmts.push(Stmt::Label {
+                name: name.to_owned(),
+            });
             text = rest[1..].trim();
         }
         if text.is_empty() {
@@ -108,7 +116,11 @@ fn tokenize(source: &str) -> Vec<Stmt> {
             .filter(|s| !s.is_empty())
             .map(str::to_owned)
             .collect();
-        stmts.push(Stmt::Inst { line, mnemonic, operands });
+        stmts.push(Stmt::Inst {
+            line,
+            mnemonic,
+            operands,
+        });
     }
     stmts
 }
@@ -121,7 +133,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, msg: impl Into<String>) -> AsmError {
-        AsmError::Parse { line: self.line, msg: msg.into() }
+        AsmError::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
     }
 
     fn expect_operands(&self, n: usize) -> Result<(), AsmError> {
@@ -165,8 +180,17 @@ enum PendingTarget {
 #[derive(Debug)]
 enum PendingInst {
     Done(Instruction),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: PendingTarget, line: usize },
-    Jmp { target: PendingTarget, line: usize },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: PendingTarget,
+        line: usize,
+    },
+    Jmp {
+        target: PendingTarget,
+        line: usize,
+    },
 }
 
 fn parse_target(p: &Parser<'_>, i: usize) -> PendingTarget {
@@ -200,7 +224,14 @@ fn parse_inst(p: &Parser<'_>) -> Result<PendingInst, AsmError> {
                 .ok_or_else(|| p.err(format!("unknown horizontal op `{hop}`")))?;
             let ty = ElemType::from_suffix(ty)
                 .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
-            Instruction::MatVec { vop, hop, ty, rd: p.reg(0)?, rs_mat: p.reg(1)?, rs_vec: p.reg(2)? }
+            Instruction::MatVec {
+                vop,
+                hop,
+                ty,
+                rd: p.reg(0)?,
+                rs_mat: p.reg(1)?,
+                rs_vec: p.reg(2)?,
+            }
         }
         ["v", kind @ ("v" | "s"), op, ty] => {
             p.expect_operands(3)?;
@@ -210,7 +241,13 @@ fn parse_inst(p: &Parser<'_>) -> Result<PendingInst, AsmError> {
             let ty = ElemType::from_suffix(ty)
                 .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
             if *kind == "v" {
-                Instruction::VecVec { op, ty, rd: p.reg(0)?, rs1: p.reg(1)?, rs2: p.reg(2)? }
+                Instruction::VecVec {
+                    op,
+                    ty,
+                    rd: p.reg(0)?,
+                    rs1: p.reg(1)?,
+                    rs2: p.reg(2)?,
+                }
             } else {
                 Instruction::VecScalar {
                     op,
@@ -223,43 +260,74 @@ fn parse_inst(p: &Parser<'_>) -> Result<PendingInst, AsmError> {
         }
         ["mov"] => {
             p.expect_operands(2)?;
-            Instruction::Mov { rd: p.reg(0)?, rs: p.reg(1)? }
+            Instruction::Mov {
+                rd: p.reg(0)?,
+                rs: p.reg(1)?,
+            }
         }
         ["mov", "imm"] => {
             p.expect_operands(2)?;
-            Instruction::MovImm { rd: p.reg(0)?, imm: p.imm(1)? }
+            Instruction::MovImm {
+                rd: p.reg(0)?,
+                imm: p.imm(1)?,
+            }
         }
         ["jmp"] => {
             p.expect_operands(1)?;
-            return Ok(PendingInst::Jmp { target: parse_target(p, 0), line: p.line });
+            return Ok(PendingInst::Jmp {
+                target: parse_target(p, 0),
+                line: p.line,
+            });
         }
         ["ld", "sram", ty] => {
             p.expect_operands(3)?;
             let ty = ElemType::from_suffix(ty)
                 .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
-            Instruction::LdSram { ty, rd_sp: p.reg(0)?, rs_addr: p.reg(1)?, rs_len: p.reg(2)? }
+            Instruction::LdSram {
+                ty,
+                rd_sp: p.reg(0)?,
+                rs_addr: p.reg(1)?,
+                rs_len: p.reg(2)?,
+            }
         }
         ["st", "sram", ty] => {
             p.expect_operands(3)?;
             let ty = ElemType::from_suffix(ty)
                 .ok_or_else(|| p.err(format!("unknown element type `{ty}`")))?;
-            Instruction::StSram { ty, rs_sp: p.reg(0)?, rs_addr: p.reg(1)?, rs_len: p.reg(2)? }
+            Instruction::StSram {
+                ty,
+                rs_sp: p.reg(0)?,
+                rs_addr: p.reg(1)?,
+                rs_len: p.reg(2)?,
+            }
         }
         ["ld", "reg"] => {
             p.expect_operands(2)?;
-            Instruction::LdReg { rd: p.reg(0)?, rs_addr: p.reg(1)? }
+            Instruction::LdReg {
+                rd: p.reg(0)?,
+                rs_addr: p.reg(1)?,
+            }
         }
         ["st", "reg"] => {
             p.expect_operands(2)?;
-            Instruction::StReg { rs: p.reg(0)?, rs_addr: p.reg(1)? }
+            Instruction::StReg {
+                rs: p.reg(0)?,
+                rs_addr: p.reg(1)?,
+            }
         }
         ["ld", "reg", "fe"] => {
             p.expect_operands(2)?;
-            Instruction::LdRegFe { rd: p.reg(0)?, rs_addr: p.reg(1)? }
+            Instruction::LdRegFe {
+                rd: p.reg(0)?,
+                rs_addr: p.reg(1)?,
+            }
         }
         ["st", "reg", "ff"] => {
             p.expect_operands(2)?;
-            Instruction::StRegFf { rs: p.reg(0)?, rs_addr: p.reg(1)? }
+            Instruction::StRegFf {
+                rs: p.reg(0)?,
+                rs_addr: p.reg(1)?,
+            }
         }
         ["memfence"] => {
             p.expect_operands(0)?;
@@ -302,7 +370,12 @@ fn parse_inst(p: &Parser<'_>) -> Result<PendingInst, AsmError> {
             }
             if let Some(op) = ScalarAluOp::from_mnemonic(one) {
                 p.expect_operands(3)?;
-                Instruction::Scalar { op, rd: p.reg(0)?, rs1: p.reg(1)?, rs2: p.reg(2)? }
+                Instruction::Scalar {
+                    op,
+                    rd: p.reg(0)?,
+                    rs1: p.reg(1)?,
+                    rs2: p.reg(2)?,
+                }
             } else {
                 return Err(p.err(format!("unknown mnemonic `{one}`")));
             }
@@ -335,11 +408,21 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         match stmt {
             Stmt::Label { name } => {
                 if labels.insert(name.clone(), pending.len() as u32).is_some() {
-                    return Err(AsmError::DuplicateLabel { label: name.clone() });
+                    return Err(AsmError::DuplicateLabel {
+                        label: name.clone(),
+                    });
                 }
             }
-            Stmt::Inst { line, mnemonic, operands } => {
-                let parser = Parser { line: *line, mnemonic, operands };
+            Stmt::Inst {
+                line,
+                mnemonic,
+                operands,
+            } => {
+                let parser = Parser {
+                    line: *line,
+                    mnemonic,
+                    operands,
+                };
                 pending.push(parse_inst(&parser)?);
             }
         }
@@ -370,15 +453,21 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         .map(|pi| {
             Ok(match pi {
                 PendingInst::Done(i) => *i,
-                PendingInst::Branch { cond, rs1, rs2, target, line } => Instruction::Branch {
+                PendingInst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                    line,
+                } => Instruction::Branch {
                     cond: *cond,
                     rs1: *rs1,
                     rs2: *rs2,
                     target: resolve(target, *line)?,
                 },
-                PendingInst::Jmp { target, line } => {
-                    Instruction::Jmp { target: resolve(target, *line)? }
-                }
+                PendingInst::Jmp { target, line } => Instruction::Jmp {
+                    target: resolve(target, *line)?,
+                },
             })
         })
         .collect::<Result<Vec<_>, AsmError>>()?;
@@ -417,12 +506,15 @@ mod tests {
              halt",
         )
         .unwrap();
-        assert_eq!(p[3], Instruction::Branch {
-            cond: BranchCond::Lt,
-            rs1: Reg::new(1),
-            rs2: Reg::new(2),
-            target: 2,
-        });
+        assert_eq!(
+            p[3],
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                rs1: Reg::new(1),
+                rs2: Reg::new(2),
+                target: 2,
+            }
+        );
     }
 
     #[test]
@@ -485,7 +577,19 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let p = assemble("mov.imm r1, 0xff\nmov.imm r2, -0x10\nhalt").unwrap();
-        assert_eq!(p[0], Instruction::MovImm { rd: Reg::new(1), imm: 255 });
-        assert_eq!(p[1], Instruction::MovImm { rd: Reg::new(2), imm: -16 });
+        assert_eq!(
+            p[0],
+            Instruction::MovImm {
+                rd: Reg::new(1),
+                imm: 255
+            }
+        );
+        assert_eq!(
+            p[1],
+            Instruction::MovImm {
+                rd: Reg::new(2),
+                imm: -16
+            }
+        );
     }
 }

@@ -12,8 +12,15 @@ use crate::INST_BUFFER_ENTRIES;
 #[derive(Debug, Clone)]
 enum Pending {
     Resolved(Instruction),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
-    Jmp { label: String },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jmp {
+        label: String,
+    },
 }
 
 /// Builder that assembles VIP programs with symbolic labels.
@@ -101,7 +108,14 @@ impl Asm {
         rs_mat: Reg,
         rs_vec: Reg,
     ) -> &mut Self {
-        self.push(Instruction::MatVec { vop, hop, ty, rd, rs_mat, rs_vec })
+        self.push(Instruction::MatVec {
+            vop,
+            hop,
+            ty,
+            rd,
+            rs_mat,
+            rs_vec,
+        })
     }
 
     /// Emits `v.v.<op>.<ty> rd, rs1, rs2`.
@@ -119,7 +133,13 @@ impl Asm {
         rs2: Reg,
     ) -> &mut Self {
         assert!(op != VerticalOp::Nop, "v.v.nop is not a valid instruction");
-        self.push(Instruction::VecVec { op, ty, rd, rs1, rs2 })
+        self.push(Instruction::VecVec {
+            op,
+            ty,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// Emits `v.s.<op>.<ty> rd, rs_vec, rs_scalar`.
@@ -136,7 +156,13 @@ impl Asm {
         rs_scalar: Reg,
     ) -> &mut Self {
         assert!(op != VerticalOp::Nop, "v.s.nop is not a valid instruction");
-        self.push(Instruction::VecScalar { op, ty, rd, rs_vec, rs_scalar })
+        self.push(Instruction::VecScalar {
+            op,
+            ty,
+            rd,
+            rs_vec,
+            rs_scalar,
+        })
     }
 
     // ---- scalar ----
@@ -183,7 +209,12 @@ impl Asm {
 
     /// Emits a conditional branch to `label`.
     pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Self {
-        self.insts.push(Pending::Branch { cond, rs1, rs2, label: label.to_owned() });
+        self.insts.push(Pending::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_owned(),
+        });
         self
     }
 
@@ -209,7 +240,9 @@ impl Asm {
 
     /// Emits `jmp label`.
     pub fn jmp(&mut self, label: &str) -> &mut Self {
-        self.insts.push(Pending::Jmp { label: label.to_owned() });
+        self.insts.push(Pending::Jmp {
+            label: label.to_owned(),
+        });
         self
     }
 
@@ -217,12 +250,22 @@ impl Asm {
 
     /// Emits `ld.sram.<ty> rd_sp, rs_addr, rs_len`.
     pub fn ld_sram(&mut self, ty: ElemType, rd_sp: Reg, rs_addr: Reg, rs_len: Reg) -> &mut Self {
-        self.push(Instruction::LdSram { ty, rd_sp, rs_addr, rs_len })
+        self.push(Instruction::LdSram {
+            ty,
+            rd_sp,
+            rs_addr,
+            rs_len,
+        })
     }
 
     /// Emits `st.sram.<ty> rs_sp, rs_addr, rs_len`.
     pub fn st_sram(&mut self, ty: ElemType, rs_sp: Reg, rs_addr: Reg, rs_len: Reg) -> &mut Self {
-        self.push(Instruction::StSram { ty, rs_sp, rs_addr, rs_len })
+        self.push(Instruction::StSram {
+            ty,
+            rs_sp,
+            rs_addr,
+            rs_len,
+        })
     }
 
     /// Emits `ld.reg rd, rs_addr`.
@@ -269,13 +312,17 @@ impl Asm {
     /// instruction buffer.
     pub fn assemble(&self) -> Result<Program, AsmError> {
         if self.insts.len() > INST_BUFFER_ENTRIES {
-            return Err(AsmError::ProgramTooLong { len: self.insts.len() });
+            return Err(AsmError::ProgramTooLong {
+                len: self.insts.len(),
+            });
         }
         let resolve = |label: &str| {
             self.labels
                 .get(label)
                 .copied()
-                .ok_or_else(|| AsmError::UnknownLabel { label: label.to_owned() })
+                .ok_or_else(|| AsmError::UnknownLabel {
+                    label: label.to_owned(),
+                })
         };
         let insts = self
             .insts
@@ -283,13 +330,20 @@ impl Asm {
             .map(|p| {
                 Ok(match p {
                     Pending::Resolved(inst) => *inst,
-                    Pending::Branch { cond, rs1, rs2, label } => Instruction::Branch {
+                    Pending::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        label,
+                    } => Instruction::Branch {
                         cond: *cond,
                         rs1: *rs1,
                         rs2: *rs2,
                         target: resolve(label)?,
                     },
-                    Pending::Jmp { label } => Instruction::Jmp { target: resolve(label)? },
+                    Pending::Jmp { label } => Instruction::Jmp {
+                        target: resolve(label)?,
+                    },
                 })
             })
             .collect::<Result<Vec<_>, AsmError>>()?;
@@ -318,7 +372,12 @@ mod tests {
         assert_eq!(p[0], Instruction::Jmp { target: 3 });
         assert_eq!(
             p[2],
-            Instruction::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: 1 }
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                rs1: r(1),
+                rs2: r(2),
+                target: 1
+            }
         );
     }
 
@@ -342,7 +401,10 @@ mod tests {
         for _ in 0..=INST_BUFFER_ENTRIES {
             asm.nop();
         }
-        assert!(matches!(asm.assemble(), Err(AsmError::ProgramTooLong { .. })));
+        assert!(matches!(
+            asm.assemble(),
+            Err(AsmError::ProgramTooLong { .. })
+        ));
     }
 
     #[test]

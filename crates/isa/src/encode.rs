@@ -119,7 +119,14 @@ impl Instruction {
             SetVl { rs } => pack(opcode::SET_VL, 0, 0, rs.index() as u8, 0, 0),
             SetMr { rs } => pack(opcode::SET_MR, 0, 0, rs.index() as u8, 0, 0),
             VDrain => pack(opcode::V_DRAIN, 0, 0, 0, 0, 0),
-            MatVec { vop, hop, ty, rd, rs_mat, rs_vec } => pack(
+            MatVec {
+                vop,
+                hop,
+                ty,
+                rd,
+                rs_mat,
+                rs_vec,
+            } => pack(
                 opcode::MAT_VEC,
                 vec_sub(vop, hop, ty),
                 rd.index() as u8,
@@ -127,7 +134,13 @@ impl Instruction {
                 rs_vec.index() as u8,
                 0,
             ),
-            VecVec { op, ty, rd, rs1, rs2 } => pack(
+            VecVec {
+                op,
+                ty,
+                rd,
+                rs1,
+                rs2,
+            } => pack(
                 opcode::VEC_VEC,
                 vec_sub(op, HorizontalOp::Add, ty),
                 rd.index() as u8,
@@ -135,7 +148,13 @@ impl Instruction {
                 rs2.index() as u8,
                 0,
             ),
-            VecScalar { op, ty, rd, rs_vec, rs_scalar } => pack(
+            VecScalar {
+                op,
+                ty,
+                rd,
+                rs_vec,
+                rs_scalar,
+            } => pack(
                 opcode::VEC_SCALAR,
                 vec_sub(op, HorizontalOp::Add, ty),
                 rd.index() as u8,
@@ -178,11 +197,14 @@ impl Instruction {
                     });
                 }
                 let uimm = (imm as u64) & 0xff_ffff_ffff;
-                (u64::from(opcode::MOV_IMM) << 56)
-                    | ((rd.index() as u64) << 40)
-                    | uimm
+                (u64::from(opcode::MOV_IMM) << 56) | ((rd.index() as u64) << 40) | uimm
             }
-            Branch { cond, rs1, rs2, target } => pack(
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => pack(
                 opcode::BRANCH,
                 cond.code(),
                 0,
@@ -191,7 +213,12 @@ impl Instruction {
                 target & 0x00ff_ffff,
             ),
             Jmp { target } => pack(opcode::JMP, 0, 0, 0, 0, target & 0x00ff_ffff),
-            LdSram { ty, rd_sp, rs_addr, rs_len } => pack(
+            LdSram {
+                ty,
+                rd_sp,
+                rs_addr,
+                rs_len,
+            } => pack(
                 opcode::LD_SRAM,
                 ty.code(),
                 rd_sp.index() as u8,
@@ -199,7 +226,12 @@ impl Instruction {
                 rs_len.index() as u8,
                 0,
             ),
-            StSram { ty, rs_sp, rs_addr, rs_len } => pack(
+            StSram {
+                ty,
+                rs_sp,
+                rs_addr,
+                rs_len,
+            } => pack(
                 opcode::ST_SRAM,
                 ty.code(),
                 rs_sp.index() as u8,
@@ -207,18 +239,38 @@ impl Instruction {
                 rs_len.index() as u8,
                 0,
             ),
-            LdReg { rd, rs_addr } => {
-                pack(opcode::LD_REG, 0, rd.index() as u8, rs_addr.index() as u8, 0, 0)
-            }
-            StReg { rs, rs_addr } => {
-                pack(opcode::ST_REG, 0, 0, rs.index() as u8, rs_addr.index() as u8, 0)
-            }
-            LdRegFe { rd, rs_addr } => {
-                pack(opcode::LD_REG_FE, 0, rd.index() as u8, rs_addr.index() as u8, 0, 0)
-            }
-            StRegFf { rs, rs_addr } => {
-                pack(opcode::ST_REG_FF, 0, 0, rs.index() as u8, rs_addr.index() as u8, 0)
-            }
+            LdReg { rd, rs_addr } => pack(
+                opcode::LD_REG,
+                0,
+                rd.index() as u8,
+                rs_addr.index() as u8,
+                0,
+                0,
+            ),
+            StReg { rs, rs_addr } => pack(
+                opcode::ST_REG,
+                0,
+                0,
+                rs.index() as u8,
+                rs_addr.index() as u8,
+                0,
+            ),
+            LdRegFe { rd, rs_addr } => pack(
+                opcode::LD_REG_FE,
+                0,
+                rd.index() as u8,
+                rs_addr.index() as u8,
+                0,
+                0,
+            ),
+            StRegFf { rs, rs_addr } => pack(
+                opcode::ST_REG_FF,
+                0,
+                0,
+                rs.index() as u8,
+                rs_addr.index() as u8,
+                0,
+            ),
             MemFence => pack(opcode::MEM_FENCE, 0, 0, 0, 0, 0),
             Nop => pack(opcode::NOP, 0, 0, 0, 0, 0),
             Halt => pack(opcode::HALT, 0, 0, 0, 0, 0),
@@ -267,14 +319,26 @@ impl Instruction {
                 if op == VerticalOp::Nop {
                     return Err(err());
                 }
-                VecVec { op, ty: vty()?, rd: rd()?, rs1: rs1()?, rs2: rs2()? }
+                VecVec {
+                    op,
+                    ty: vty()?,
+                    rd: rd()?,
+                    rs1: rs1()?,
+                    rs2: rs2()?,
+                }
             }
             opcode::VEC_SCALAR => {
                 let op = vop()?;
                 if op == VerticalOp::Nop {
                     return Err(err());
                 }
-                VecScalar { op, ty: vty()?, rd: rd()?, rs_vec: rs1()?, rs_scalar: rs2()? }
+                VecScalar {
+                    op,
+                    ty: vty()?,
+                    rd: rd()?,
+                    rs_vec: rs1()?,
+                    rs_scalar: rs2()?,
+                }
             }
             opcode::SCALAR => Scalar {
                 op: ScalarAluOp::from_code(sub).ok_or_else(err)?,
@@ -288,7 +352,10 @@ impl Instruction {
                 rs1: rs1()?,
                 imm: simm24,
             },
-            opcode::MOV => Mov { rd: rd()?, rs: rs1()? },
+            opcode::MOV => Mov {
+                rd: rd()?,
+                rs: rs1()?,
+            },
             opcode::MOV_IMM => {
                 let uimm = word & 0xff_ffff_ffff;
                 let imm = ((uimm << 24) as i64) >> 24;
@@ -313,10 +380,22 @@ impl Instruction {
                 rs_addr: rs1()?,
                 rs_len: rs2()?,
             },
-            opcode::LD_REG => LdReg { rd: rd()?, rs_addr: rs1()? },
-            opcode::ST_REG => StReg { rs: rs1()?, rs_addr: rs2()? },
-            opcode::LD_REG_FE => LdRegFe { rd: rd()?, rs_addr: rs1()? },
-            opcode::ST_REG_FF => StRegFf { rs: rs1()?, rs_addr: rs2()? },
+            opcode::LD_REG => LdReg {
+                rd: rd()?,
+                rs_addr: rs1()?,
+            },
+            opcode::ST_REG => StReg {
+                rs: rs1()?,
+                rs_addr: rs2()?,
+            },
+            opcode::LD_REG_FE => LdRegFe {
+                rd: rd()?,
+                rs_addr: rs1()?,
+            },
+            opcode::ST_REG_FF => StRegFf {
+                rs: rs1()?,
+                rs_addr: rs2()?,
+            },
             opcode::MEM_FENCE => MemFence,
             opcode::NOP => Nop,
             opcode::HALT => Halt,
@@ -361,19 +440,59 @@ mod tests {
                 rs_vec: r(5),
                 rs_scalar: r(6),
             },
-            Scalar { op: ScalarAluOp::Xor, rd: r(7), rs1: r(8), rs2: r(9) },
-            ScalarImm { op: ScalarAluOp::Add, rd: r(1), rs1: r(1), imm: -32 },
+            Scalar {
+                op: ScalarAluOp::Xor,
+                rd: r(7),
+                rs1: r(8),
+                rs2: r(9),
+            },
+            ScalarImm {
+                op: ScalarAluOp::Add,
+                rd: r(1),
+                rs1: r(1),
+                imm: -32,
+            },
             Mov { rd: r(2), rs: r(3) },
             MovImm { rd: r(2), imm: -1 },
-            MovImm { rd: r(2), imm: (1 << 39) - 1 },
-            Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), target: 42 },
+            MovImm {
+                rd: r(2),
+                imm: (1 << 39) - 1,
+            },
+            Branch {
+                cond: BranchCond::Lt,
+                rs1: r(1),
+                rs2: r(2),
+                target: 42,
+            },
             Jmp { target: 1023 },
-            LdSram { ty: ElemType::I16, rd_sp: r(11), rs_addr: r(7), rs_len: r(61) },
-            StSram { ty: ElemType::I64, rs_sp: r(10), rs_addr: r(14), rs_len: r(61) },
-            LdReg { rd: r(1), rs_addr: r(2) },
-            StReg { rs: r(1), rs_addr: r(2) },
-            LdRegFe { rd: r(1), rs_addr: r(2) },
-            StRegFf { rs: r(1), rs_addr: r(2) },
+            LdSram {
+                ty: ElemType::I16,
+                rd_sp: r(11),
+                rs_addr: r(7),
+                rs_len: r(61),
+            },
+            StSram {
+                ty: ElemType::I64,
+                rs_sp: r(10),
+                rs_addr: r(14),
+                rs_len: r(61),
+            },
+            LdReg {
+                rd: r(1),
+                rs_addr: r(2),
+            },
+            StReg {
+                rs: r(1),
+                rs_addr: r(2),
+            },
+            LdRegFe {
+                rd: r(1),
+                rs_addr: r(2),
+            },
+            StRegFf {
+                rs: r(1),
+                rs_addr: r(2),
+            },
             MemFence,
             Nop,
             Halt,
@@ -407,7 +526,10 @@ mod tests {
         };
         assert!(ok.encode().is_ok());
 
-        let mov_too_big = Instruction::MovImm { rd: r(0), imm: 1 << 39 };
+        let mov_too_big = Instruction::MovImm {
+            rd: r(0),
+            imm: 1 << 39,
+        };
         assert!(mov_too_big.encode().is_err());
     }
 

@@ -163,9 +163,17 @@ impl Instruction {
             SetVl { .. } | SetMr { .. } | MatVec { .. } | VecVec { .. } | VecScalar { .. } => {
                 Pipeline::Vector
             }
-            Scalar { .. } | ScalarImm { .. } | Mov { .. } | MovImm { .. } | Branch { .. }
+            Scalar { .. }
+            | ScalarImm { .. }
+            | Mov { .. }
+            | MovImm { .. }
+            | Branch { .. }
             | Jmp { .. } => Pipeline::Scalar,
-            LdSram { .. } | StSram { .. } | LdReg { .. } | StReg { .. } | LdRegFe { .. }
+            LdSram { .. }
+            | StSram { .. }
+            | LdReg { .. }
+            | StReg { .. }
+            | LdRegFe { .. }
             | StRegFf { .. } => Pipeline::LoadStore,
             VDrain | MemFence | Nop | Halt => Pipeline::FrontEnd,
         }
@@ -177,17 +185,34 @@ impl Instruction {
         use Instruction::*;
         match *self {
             SetVl { rs } | SetMr { rs } => vec![rs],
-            MatVec { rd, rs_mat, rs_vec, .. } => vec![rd, rs_mat, rs_vec],
+            MatVec {
+                rd, rs_mat, rs_vec, ..
+            } => vec![rd, rs_mat, rs_vec],
             VecVec { rd, rs1, rs2, .. } => vec![rd, rs1, rs2],
-            VecScalar { rd, rs_vec, rs_scalar, .. } => vec![rd, rs_vec, rs_scalar],
+            VecScalar {
+                rd,
+                rs_vec,
+                rs_scalar,
+                ..
+            } => vec![rd, rs_vec, rs_scalar],
             Scalar { rs1, rs2, .. } => vec![rs1, rs2],
             ScalarImm { rs1, .. } => vec![rs1],
             Mov { rs, .. } => vec![rs],
             MovImm { .. } => vec![],
             Branch { rs1, rs2, .. } => vec![rs1, rs2],
             Jmp { .. } => vec![],
-            LdSram { rd_sp, rs_addr, rs_len, .. } => vec![rd_sp, rs_addr, rs_len],
-            StSram { rs_sp, rs_addr, rs_len, .. } => vec![rs_sp, rs_addr, rs_len],
+            LdSram {
+                rd_sp,
+                rs_addr,
+                rs_len,
+                ..
+            } => vec![rd_sp, rs_addr, rs_len],
+            StSram {
+                rs_sp,
+                rs_addr,
+                rs_len,
+                ..
+            } => vec![rs_sp, rs_addr, rs_len],
             LdReg { rs_addr, .. } => vec![rs_addr],
             StReg { rs, rs_addr } | StRegFf { rs, rs_addr } => vec![rs, rs_addr],
             LdRegFe { rs_addr, .. } => vec![rs_addr],
@@ -204,8 +229,12 @@ impl Instruction {
     pub fn writes(&self) -> Option<Reg> {
         use Instruction::*;
         match *self {
-            Scalar { rd, .. } | ScalarImm { rd, .. } | Mov { rd, .. } | MovImm { rd, .. }
-            | LdReg { rd, .. } | LdRegFe { rd, .. } => Some(rd),
+            Scalar { rd, .. }
+            | ScalarImm { rd, .. }
+            | Mov { rd, .. }
+            | MovImm { rd, .. }
+            | LdReg { rd, .. }
+            | LdRegFe { rd, .. } => Some(rd),
             _ => None,
         }
     }
@@ -224,23 +253,57 @@ impl fmt::Display for Instruction {
             SetVl { rs } => write!(f, "set.vl {rs}"),
             SetMr { rs } => write!(f, "set.mr {rs}"),
             VDrain => write!(f, "v.drain"),
-            MatVec { vop, hop, ty, rd, rs_mat, rs_vec } => {
+            MatVec {
+                vop,
+                hop,
+                ty,
+                rd,
+                rs_mat,
+                rs_vec,
+            } => {
                 write!(f, "m.v.{vop}.{hop}.{ty} {rd}, {rs_mat}, {rs_vec}")
             }
-            VecVec { op, ty, rd, rs1, rs2 } => write!(f, "v.v.{op}.{ty} {rd}, {rs1}, {rs2}"),
-            VecScalar { op, ty, rd, rs_vec, rs_scalar } => {
+            VecVec {
+                op,
+                ty,
+                rd,
+                rs1,
+                rs2,
+            } => write!(f, "v.v.{op}.{ty} {rd}, {rs1}, {rs2}"),
+            VecScalar {
+                op,
+                ty,
+                rd,
+                rs_vec,
+                rs_scalar,
+            } => {
                 write!(f, "v.s.{op}.{ty} {rd}, {rs_vec}, {rs_scalar}")
             }
             Scalar { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
             ScalarImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
             Mov { rd, rs } => write!(f, "mov {rd}, {rs}"),
             MovImm { rd, imm } => write!(f, "mov.imm {rd}, {imm}"),
-            Branch { cond, rs1, rs2, target } => write!(f, "{cond} {rs1}, {rs2}, {target}"),
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "{cond} {rs1}, {rs2}, {target}"),
             Jmp { target } => write!(f, "jmp {target}"),
-            LdSram { ty, rd_sp, rs_addr, rs_len } => {
+            LdSram {
+                ty,
+                rd_sp,
+                rs_addr,
+                rs_len,
+            } => {
                 write!(f, "ld.sram.{ty} {rd_sp}, {rs_addr}, {rs_len}")
             }
-            StSram { ty, rs_sp, rs_addr, rs_len } => {
+            StSram {
+                ty,
+                rs_sp,
+                rs_addr,
+                rs_len,
+            } => {
                 write!(f, "st.sram.{ty} {rs_sp}, {rs_addr}, {rs_len}")
             }
             LdReg { rd, rs_addr } => write!(f, "ld.reg {rd}, {rs_addr}"),
@@ -277,24 +340,19 @@ mod tests {
 
     #[test]
     fn pipelines() {
-        assert_eq!(
-            Instruction::VDrain.pipeline(),
-            Pipeline::FrontEnd
-        );
-        assert_eq!(
-            Instruction::SetVl { rs: r(1) }.pipeline(),
-            Pipeline::Vector
-        );
+        assert_eq!(Instruction::VDrain.pipeline(), Pipeline::FrontEnd);
+        assert_eq!(Instruction::SetVl { rs: r(1) }.pipeline(), Pipeline::Vector);
         assert_eq!(
             Instruction::Mov { rd: r(1), rs: r(2) }.pipeline(),
             Pipeline::Scalar
         );
+        assert_eq!(Instruction::MemFence.pipeline(), Pipeline::FrontEnd);
         assert_eq!(
-            Instruction::MemFence.pipeline(),
-            Pipeline::FrontEnd
-        );
-        assert_eq!(
-            Instruction::LdReg { rd: r(1), rs_addr: r(2) }.pipeline(),
+            Instruction::LdReg {
+                rd: r(1),
+                rs_addr: r(2)
+            }
+            .pipeline(),
             Pipeline::LoadStore
         );
     }

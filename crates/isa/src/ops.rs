@@ -276,7 +276,12 @@ impl BranchCond {
     /// All branch conditions.
     #[must_use]
     pub fn all() -> [BranchCond; 4] {
-        [BranchCond::Lt, BranchCond::Ge, BranchCond::Eq, BranchCond::Ne]
+        [
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Eq,
+            BranchCond::Ne,
+        ]
     }
 
     #[must_use]

@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn listing_format() {
         let p = Program::new(vec![
-            Instruction::MovImm { rd: Reg::new(1), imm: 3 },
+            Instruction::MovImm {
+                rd: Reg::new(1),
+                imm: 3,
+            },
             Instruction::Halt,
         ]);
         let listing = p.to_string();

@@ -61,14 +61,23 @@ impl BpLayout {
     #[must_use]
     pub fn new(base: u64, width: usize, height: usize, labels: usize) -> Self {
         assert_eq!(base % 32, 0, "layout base must be column aligned");
-        BpLayout { base, width, height, labels, bank_aware: true }
+        BpLayout {
+            base,
+            width,
+            height,
+            labels,
+            bank_aware: true,
+        }
     }
 
     /// A densely packed layout without bank-aware padding — the naive
     /// placement, kept for the ablation bench.
     #[must_use]
     pub fn packed(base: u64, width: usize, height: usize, labels: usize) -> Self {
-        BpLayout { bank_aware: false, ..Self::new(base, width, height, labels) }
+        BpLayout {
+            bank_aware: false,
+            ..Self::new(base, width, height, labels)
+        }
     }
 
     /// Logical bytes per plane (without padding).
@@ -136,7 +145,10 @@ impl BpLayout {
         let mut write_plane = |base: u64, data: &[i16]| {
             let row_elems = self.width * self.labels;
             for (y, row) in data.chunks(row_elems).enumerate() {
-                hmc.host_write(base + y as u64 * self.row_stride(), &sync::i16s_to_bytes(row));
+                hmc.host_write(
+                    base + y as u64 * self.row_stride(),
+                    &sync::i16s_to_bytes(row),
+                );
             }
         };
         write_plane(self.plane_base(Plane::Theta), &mrf.data_costs);
@@ -215,11 +227,17 @@ impl VectorMachineStyle {
     }
 
     fn uses_reduction(self) -> bool {
-        matches!(self, VectorMachineStyle::SpReduce | VectorMachineStyle::RfReduce)
+        matches!(
+            self,
+            VectorMachineStyle::SpReduce | VectorMachineStyle::RfReduce
+        )
     }
 
     fn register_file(self) -> bool {
-        matches!(self, VectorMachineStyle::RfReduce | VectorMachineStyle::RfNoReduce)
+        matches!(
+            self,
+            VectorMachineStyle::RfReduce | VectorMachineStyle::RfNoReduce
+        )
     }
 }
 
@@ -378,8 +396,20 @@ impl SpMap {
         let out = g1 + 16 * lb;
         let rep = out + 4 * lb;
         let stg = rep + lb;
-        assert!(stg + lb <= 4096, "scratchpad layout overflows for {labels} labels");
-        SpMap { lb, s, zeros, g0, g1, out, rep, stg }
+        assert!(
+            stg + lb <= 4096,
+            "scratchpad layout overflows for {labels} labels"
+        );
+        SpMap {
+            lb,
+            s,
+            zeros,
+            g0,
+            g1,
+            out,
+            rep,
+            stg,
+        }
     }
 }
 
@@ -484,7 +514,12 @@ fn emit_prologue(asm: &mut Asm, r: &Regs, layout: &BpLayout, sp: &SpMap) {
 /// address register is `buf`, bumping the prefetch pointers.
 fn emit_group_load_contig(asm: &mut Asm, r: &Regs, sp: &SpMap, buf: Reg, group_bytes: i32) {
     let lb = sp.lb as i32;
-    for (section, ptr) in [(0, r.p_th), (4 * lb, r.p_al), (8 * lb, r.p_s1), (12 * lb, r.p_s2)] {
+    for (section, ptr) in [
+        (0, r.p_th),
+        (4 * lb, r.p_al),
+        (8 * lb, r.p_s1),
+        (12 * lb, r.p_s2),
+    ] {
         asm.addi(r.t, buf, section).ld_sram(TY, r.t, ptr, r.l4);
     }
     for ptr in [r.p_th, r.p_al, r.p_s1, r.p_s2] {
@@ -497,7 +532,12 @@ fn emit_group_load_contig(asm: &mut Asm, r: &Regs, sp: &SpMap, buf: Reg, group_b
 fn emit_pixel_load(asm: &mut Asm, r: &Regs, sp: &SpMap, buf: Reg, u: usize, ortho_stride: i32) {
     let lb = sp.lb as i32;
     let u = u as i32;
-    for (section, ptr) in [(u, r.p_th), (4 + u, r.p_al), (8 + u, r.p_s1), (12 + u, r.p_s2)] {
+    for (section, ptr) in [
+        (u, r.p_th),
+        (4 + u, r.p_al),
+        (8 + u, r.p_s1),
+        (12 + u, r.p_s2),
+    ] {
         asm.addi(r.t, buf, section * lb).ld_sram(TY, r.t, ptr, r.l);
     }
     for ptr in [r.p_th, r.p_al, r.p_s1, r.p_s2] {
@@ -506,6 +546,7 @@ fn emit_pixel_load(asm: &mut Asm, r: &Regs, sp: &SpMap, buf: Reg, u: usize, orth
 }
 
 /// Emits the message computation for pixel `u` of the group in `buf`.
+#[allow(clippy::too_many_arguments)]
 fn emit_compute(
     asm: &mut Asm,
     r: &Regs,
@@ -539,7 +580,10 @@ fn emit_compute(
         asm.mat_vec(VerticalOp::Add, HorizontalOp::Min, TY, r.o, r.sp_s, r.t);
     } else {
         assert_eq!(labels, 16, "no-reduction emulation is generated for L = 16");
-        assert!(!normalize, "no-reduction styles run unnormalized (Figure 4)");
+        assert!(
+            !normalize,
+            "no-reduction styles run unnormalized (Figure 4)"
+        );
         // Divide-and-conquer: tmp = S_row + θ̂, then log2(L) halving
         // v.v.min steps, then a one-element copy into out[l].
         let loop_label = format!("{label_prefix}_l");
@@ -571,14 +615,22 @@ fn emit_compute(
         // Broadcast out[0] into `rep` via an m.v with vl = 1, then
         // subtract — the argmin-invariant renormalization.
         asm.set_vl(r.one)
-            .mat_vec(VerticalOp::Add, HorizontalOp::Min, TY, r.sp_rep, r.sp_zeros, r.o)
+            .mat_vec(
+                VerticalOp::Add,
+                HorizontalOp::Min,
+                TY,
+                r.sp_rep,
+                r.sp_zeros,
+                r.o,
+            )
             .set_vl(r.l)
             .vec_vec(VerticalOp::Sub, TY, r.o, r.o, r.sp_rep);
     }
 }
 
 fn emit_store_contig(asm: &mut Asm, r: &Regs, group_bytes: i32) {
-    asm.st_sram(TY, r.sp_out, r.p_out, r.l4).addi(r.p_out, r.p_out, group_bytes);
+    asm.st_sram(TY, r.sp_out, r.p_out, r.l4)
+        .addi(r.p_out, r.p_out, group_bytes);
 }
 
 fn emit_store_strided(asm: &mut Asm, r: &Regs, sp: &SpMap, ortho_stride: i32) {
@@ -674,7 +726,9 @@ fn emit_strip(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
             .mov(r.buf_b, r.sp_g1)
             .mov_imm(r.buf_xor, (sp.g0 ^ sp.g1) as i64);
         let gl = format!("{prefix}_grp");
-        asm.mov_imm(r.grp, 0).mov_imm(r.grp_n, n_groups as i64 - 1).label(&gl);
+        asm.mov_imm(r.grp, 0)
+            .mov_imm(r.grp_n, n_groups as i64 - 1)
+            .label(&gl);
         emit_body(asm, r.buf_a, Some(r.buf_b), "ga");
         asm.scalar(vip_isa::ScalarAluOp::Xor, r.buf_a, r.buf_a, r.buf_xor)
             .scalar(vip_isa::ScalarAluOp::Xor, r.buf_b, r.buf_b, r.buf_xor)
@@ -731,8 +785,16 @@ pub fn bp_iteration_programs(
     assert!(iters > 0);
     let x_chunk = layout.width / total_pes;
     let y_chunk = layout.height / total_pes;
-    assert_eq!(x_chunk * total_pes, layout.width, "width must divide evenly");
-    assert_eq!(y_chunk * total_pes, layout.height, "height must divide evenly");
+    assert_eq!(
+        x_chunk * total_pes,
+        layout.width,
+        "width must divide evenly"
+    );
+    assert_eq!(
+        y_chunk * total_pes,
+        layout.height,
+        "height must divide evenly"
+    );
     let barrier = BarrierAddrs::at(layout.sync_base());
 
     (0..total_pes)
@@ -741,7 +803,9 @@ pub fn bp_iteration_programs(
             let sp = SpMap::new(layout.labels);
             let mut asm = Asm::new();
             emit_prologue(&mut asm, &r, layout, &sp);
-            asm.mov_imm(r.iter, 0).mov_imm(r.iter_n, iters as i64).label("iter");
+            asm.mov_imm(r.iter, 0)
+                .mov_imm(r.iter_n, iters as i64)
+                .label("iter");
 
             let x_range = (pe * x_chunk, (pe + 1) * x_chunk);
             let y_range = (pe * y_chunk, (pe + 1) * y_chunk);
@@ -771,7 +835,9 @@ pub fn bp_iteration_programs(
                     );
                 }
             }
-            asm.addi(r.iter, r.iter, 1).blt(r.iter, r.iter_n, "iter").halt();
+            asm.addi(r.iter, r.iter, 1)
+                .blt(r.iter, r.iter_n, "iter")
+                .halt();
             asm.assemble().expect("BP iteration program assembles")
         })
         .collect()
@@ -792,7 +858,12 @@ mod tests {
                 normalize: false,
                 style,
             });
-            assert!(p.len() <= 1024, "{}: {} instructions", style.label(), p.len());
+            assert!(
+                p.len() <= 1024,
+                "{}: {} instructions",
+                style.label(),
+                p.len()
+            );
         }
     }
 

@@ -40,7 +40,10 @@ impl Messages {
     /// Figure 2 instruction sequence; saturates after a few iterations).
     #[must_use]
     pub fn new_unnormalized(params: &MrfParams) -> Self {
-        Messages { normalize: false, ..Self::new(params) }
+        Messages {
+            normalize: false,
+            ..Self::new(params)
+        }
     }
 
     /// The array a sweep writes.
@@ -118,10 +121,20 @@ pub fn sweep(mrf: &Mrf, msgs: &mut Messages, dir: Sweep) {
     let norm = msgs.normalize;
     // (source positions, target offset) per direction.
     let seq_positions: Vec<(usize, usize, usize, usize)> = match dir {
-        Sweep::Down => (0..h - 1).flat_map(|y| (0..w).map(move |x| (x, y, x, y + 1))).collect(),
-        Sweep::Up => (1..h).rev().flat_map(|y| (0..w).map(move |x| (x, y, x, y - 1))).collect(),
-        Sweep::Right => (0..w - 1).flat_map(|x| (0..h).map(move |y| (x, y, x + 1, y))).collect(),
-        Sweep::Left => (1..w).rev().flat_map(|x| (0..h).map(move |y| (x, y, x - 1, y))).collect(),
+        Sweep::Down => (0..h - 1)
+            .flat_map(|y| (0..w).map(move |x| (x, y, x, y + 1)))
+            .collect(),
+        Sweep::Up => (1..h)
+            .rev()
+            .flat_map(|y| (0..w).map(move |x| (x, y, x, y - 1)))
+            .collect(),
+        Sweep::Right => (0..w - 1)
+            .flat_map(|x| (0..h).map(move |y| (x, y, x + 1, y)))
+            .collect(),
+        Sweep::Left => (1..w)
+            .rev()
+            .flat_map(|x| (0..h).map(move |y| (x, y, x - 1, y)))
+            .collect(),
     };
     for (x, y, tx, ty) in seq_positions {
         let th = theta_hat(mrf, msgs, x, y, dir);
@@ -147,7 +160,12 @@ pub fn iteration(mrf: &Mrf, msgs: &mut Messages) {
 pub fn beliefs(mrf: &Mrf, msgs: &Messages) -> Vec<i16> {
     let l = mrf.params.labels;
     let mut out = mrf.data_costs.clone();
-    for arr in [&msgs.from_above, &msgs.from_below, &msgs.from_left, &msgs.from_right] {
+    for arr in [
+        &msgs.from_above,
+        &msgs.from_below,
+        &msgs.from_left,
+        &msgs.from_right,
+    ] {
         for (o, &m) in out.iter_mut().zip(arr.iter()) {
             *o = sat_add16(*o, m);
         }
@@ -194,7 +212,10 @@ pub fn run(mrf: &Mrf, iters: usize) -> Vec<u8> {
 #[must_use]
 pub fn coarse_mrf(mrf: &Mrf) -> Mrf {
     let p = &mrf.params;
-    assert!(p.width % 2 == 0 && p.height % 2 == 0, "construct needs even dimensions");
+    assert!(
+        p.width.is_multiple_of(2) && p.height.is_multiple_of(2),
+        "construct needs even dimensions"
+    );
     let (cw, ch, l) = (p.width / 2, p.height / 2, p.labels);
     let cparams = MrfParams {
         width: cw,
@@ -328,7 +349,11 @@ mod tests {
             mrf.data_costs[at + l] = if l == 2 { 0 } else { 8 };
         }
         let out = run(&mrf, 6);
-        assert_eq!(out[4 * 8 + 2], 0, "smoothness should override weak evidence");
+        assert_eq!(
+            out[4 * 8 + 2],
+            0,
+            "smoothness should override weak evidence"
+        );
     }
 
     #[test]

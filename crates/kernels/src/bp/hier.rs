@@ -51,7 +51,12 @@ pub fn construct_programs(fine: &BpLayout, coarse: &BpLayout, pes: usize) -> Vec
     // G coarse pixels per chunk: two fine-row buffers of 2G×L plus the
     // G×L output.
     let g = (4096 / (5 * l * 2)).clamp(1, 8).min(coarse.width);
-    assert_eq!(coarse.width % g, 0, "coarse width {} % chunk {g} != 0", coarse.width);
+    assert_eq!(
+        coarse.width % g,
+        0,
+        "coarse width {} % chunk {g} != 0",
+        coarse.width
+    );
     let in_elems = 2 * g * l;
     let sp_a = 0i64;
     let sp_b = (in_elems * 2) as i64;
@@ -75,8 +80,14 @@ pub fn construct_programs(fine: &BpLayout, coarse: &BpLayout, pes: usize) -> Vec
                 .mov_imm(r_a, sp_a)
                 .mov_imm(r_b, sp_b)
                 .mov_imm(r_o, sp_out)
-                .mov_imm(r_pa, (fine_theta + 2 * cy0 as u64 * fine.row_stride()) as i64)
-                .mov_imm(r_po, (coarse_theta + cy0 as u64 * coarse.row_stride()) as i64)
+                .mov_imm(
+                    r_pa,
+                    (fine_theta + 2 * cy0 as u64 * fine.row_stride()) as i64,
+                )
+                .mov_imm(
+                    r_po,
+                    (coarse_theta + cy0 as u64 * coarse.row_stride()) as i64,
+                )
                 .mov_imm(r_y, 0)
                 .mov_imm(r_yn, rows_per_pe as i64)
                 .label("row")
@@ -172,10 +183,7 @@ pub fn copy_messages_programs(coarse: &BpLayout, fine: &BpLayout, pes: usize) ->
                 .mov_imm(r_plane_n, PLANE_COUNT as i64)
                 // Plane bases for plane 0 (from_above = plane index 1 in
                 // the layout; planes 1..=4 are the messages).
-                .mov_imm(
-                    r_pi_base,
-                    (coarse.base + coarse.plane_stride()) as i64,
-                )
+                .mov_imm(r_pi_base, (coarse.base + coarse.plane_stride()) as i64)
                 .mov_imm(r_po_base, (fine.base + fine.plane_stride()) as i64)
                 .label("plane")
                 .mov(r_pi, r_pi_base)
@@ -198,9 +206,13 @@ pub fn copy_messages_programs(coarse: &BpLayout, fine: &BpLayout, pes: usize) ->
                 let src = sp_in + gi as i64 * lb;
                 for dup in 0..2 {
                     let dst = sp_out + (2 * gi + dup) as i64 * lb;
-                    asm.mov_imm(r_t, src)
-                        .mov_imm(r_o, dst)
-                        .vec_scalar(VerticalOp::Add, TY, r_o, r_t, r_zero);
+                    asm.mov_imm(r_t, src).mov_imm(r_o, dst).vec_scalar(
+                        VerticalOp::Add,
+                        TY,
+                        r_o,
+                        r_t,
+                        r_zero,
+                    );
                 }
             }
             asm.mov_imm(r_o, sp_out)
@@ -229,7 +241,9 @@ pub fn copy_messages_programs(coarse: &BpLayout, fine: &BpLayout, pes: usize) ->
             // r_pi += parity * row_stride, via multiply-free select:
             // shift the stride by 63 requires mul; instead branch.
             let skip = format!("skip_{pe}");
-            asm.beq(r_t2, r_zero, &skip).add(r_pi, r_pi, r_t).label(&skip);
+            asm.beq(r_t2, r_zero, &skip)
+                .add(r_pi, r_pi, r_t)
+                .label(&skip);
             asm.mov_imm(r_t, fine.row_stride() as i64 - fine_consumed)
                 .add(r_po, r_po, r_t)
                 .addi(r_y, r_y, 1)

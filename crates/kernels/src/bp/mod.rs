@@ -22,11 +22,11 @@ mod stereo;
 pub use codegen::{
     bp_iteration_programs, strip_program, BpLayout, StripParams, VectorMachineStyle,
 };
-pub use hier::{construct_programs, copy_messages_programs};
 pub use golden::{
     beliefs, coarse_mrf, hierarchical_run, iteration, labeling_energy, labels, refine_messages,
     run, sweep, Messages,
 };
+pub use hier::{construct_programs, copy_messages_programs};
 pub use model::{BpCosts, BpExtrapolation};
 pub use stereo::{stereo_data_costs, synthetic_stereo_pair};
 
@@ -75,7 +75,13 @@ impl MrfParams {
     /// A truncated-linear smoothness model: `min(λ·|l − l'|, τ)` — the
     /// standard choice for stereo (Felzenszwalb & Huttenlocher).
     #[must_use]
-    pub fn truncated_linear(width: usize, height: usize, labels: usize, lambda: i16, trunc: i16) -> Self {
+    pub fn truncated_linear(
+        width: usize,
+        height: usize,
+        labels: usize,
+        lambda: i16,
+        trunc: i16,
+    ) -> Self {
         let mut smoothness = vec![0i16; labels * labels];
         for a in 0..labels {
             for b in 0..labels {
@@ -83,7 +89,12 @@ impl MrfParams {
                 smoothness[a * labels + b] = (lambda.saturating_mul(diff)).min(trunc);
             }
         }
-        MrfParams { width, height, labels, smoothness }
+        MrfParams {
+            width,
+            height,
+            labels,
+            smoothness,
+        }
     }
 
     /// Number of vertices.

@@ -20,13 +20,23 @@ impl BpCosts {
     /// Full-HD stereo with 16 labels — the paper's headline workload.
     #[must_use]
     pub fn full_hd() -> Self {
-        BpCosts { width: 1920, height: 1080, labels: 16, elem_bytes: 2 }
+        BpCosts {
+            width: 1920,
+            height: 1080,
+            labels: 16,
+            elem_bytes: 2,
+        }
     }
 
     /// Quarter-HD (the hierarchical variant's coarse level).
     #[must_use]
     pub fn quarter_hd() -> Self {
-        BpCosts { width: 960, height: 540, labels: 16, elem_bytes: 2 }
+        BpCosts {
+            width: 960,
+            height: 540,
+            labels: 16,
+            elem_bytes: 2,
+        }
     }
 
     /// Message updates per iteration (4 per vertex; §II-A).
@@ -120,7 +130,10 @@ mod tests {
         // 316 MiB storage, ~190 GiB/s bandwidth, ~892 GOp/s.
         let c = BpCosts::full_hd();
         let storage_mib = c.storage_bytes() as f64 / (1 << 20) as f64;
-        assert!((storage_mib - 316.4).abs() < 1.0, "storage {storage_mib} MiB");
+        assert!(
+            (storage_mib - 316.4).abs() < 1.0,
+            "storage {storage_mib} MiB"
+        );
         let gibs = c.required_gibs(8, 24.0);
         assert!((gibs - 190.0).abs() < 10.0, "bandwidth {gibs} GiB/s");
         let gops = c.required_gops(8, 24.0);
@@ -129,14 +142,23 @@ mod tests {
 
     #[test]
     fn ops_per_update_formula() {
-        let c = BpCosts { width: 1, height: 1, labels: 16, elem_bytes: 2 };
+        let c = BpCosts {
+            width: 1,
+            height: 1,
+            labels: 16,
+            elem_bytes: 2,
+        };
         assert_eq!(c.ops_per_update(), 3 * 16 + 2 * 256);
         assert_eq!(c.elems_per_update(), 64);
     }
 
     #[test]
     fn extrapolation_scales_linearly() {
-        let e = BpExtrapolation { tile_pixels: 2048, tile_cycles: 20_480, vaults: 32 };
+        let e = BpExtrapolation {
+            tile_pixels: 2048,
+            tile_cycles: 20_480,
+            vaults: 32,
+        };
         // 10 cycles/pixel, 2M pixels over 32 vaults = 648k cycles/iter.
         let frame = e.frame_cycles(1920 * 1080);
         assert_eq!(frame, (10.0_f64 * 1920.0 * 1080.0 / 32.0).ceil() as u64);

@@ -7,8 +7,7 @@
 //! dense and data-independent, so any input with realistic cost
 //! statistics exercises the identical code path and memory traffic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vip_rng::SplitMix64;
 
 /// Generates a deterministic synthetic stereo pair: a textured scene of
 /// rectangles at different depths. Returns `(left, right, true_disparity)`
@@ -20,16 +19,16 @@ pub fn synthetic_stereo_pair(
     max_disparity: usize,
     seed: u64,
 ) -> (Vec<i16>, Vec<i16>, Vec<u8>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
 
     // Depth layout: background plus a few foreground rectangles.
     let mut disparity = vec![(max_disparity / 8) as u8; width * height];
     for _ in 0..4 {
-        let d = rng.gen_range(max_disparity / 2..max_disparity) as u8;
-        let rw = rng.gen_range(width / 8..width / 2);
-        let rh = rng.gen_range(height / 8..height / 2);
-        let x0 = rng.gen_range(0..width.saturating_sub(rw).max(1));
-        let y0 = rng.gen_range(0..height.saturating_sub(rh).max(1));
+        let d = rng.usize_in(max_disparity / 2..max_disparity) as u8;
+        let rw = rng.usize_in(width / 8..width / 2);
+        let rh = rng.usize_in(height / 8..height / 2);
+        let x0 = rng.usize_in(0..width.saturating_sub(rw).max(1));
+        let y0 = rng.usize_in(0..height.saturating_sub(rh).max(1));
         for y in y0..(y0 + rh).min(height) {
             for x in x0..(x0 + rw).min(width) {
                 disparity[y * width + x] = d;
@@ -42,7 +41,7 @@ pub fn synthetic_stereo_pair(
     for y in 0..height {
         for x in 0..width {
             let base = ((x * 13 + y * 7) % 97) as i16;
-            left[y * width + x] = base + rng.gen_range(-8..=8);
+            left[y * width + x] = base + rng.i64_in(-8..9) as i16;
         }
     }
 
@@ -72,7 +71,11 @@ pub fn stereo_data_costs(width: usize, height: usize, labels: usize, seed: u64) 
     for y in 0..height {
         for x in 0..width {
             for d in 0..labels {
-                let r = if x >= d { right[y * width + (x - d)] } else { trunc };
+                let r = if x >= d {
+                    right[y * width + (x - d)]
+                } else {
+                    trunc
+                };
                 let c = (left[y * width + x] - r).abs().min(trunc);
                 costs[(y * width + x) * labels + d] = c;
             }

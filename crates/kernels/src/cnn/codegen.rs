@@ -84,7 +84,15 @@ impl ConvLayout {
         let p2 = p1 + f * 2;
         let end = p2 + f * 2;
         assert!(end <= 4096, "conv scratchpad layout needs {end} bytes");
-        ConvSpMap { filt, bias, cols, col_bytes, p0, p1, p2 }
+        ConvSpMap {
+            filt,
+            bias,
+            cols,
+            col_bytes,
+            p0,
+            p1,
+            p2,
+        }
     }
 
     /// Bytes of one packed filter group.
@@ -96,7 +104,10 @@ impl ConvLayout {
     /// Stages padded input, packed weights, and biases (host side).
     pub fn load_into(&self, hmc: &mut Hmc, padded_input: &[i16], weights: &[i16], bias: &[i16]) {
         let l = &self.layer;
-        assert_eq!(padded_input.len(), padded_len(l.width, l.height, l.in_channels, l.pad));
+        assert_eq!(
+            padded_input.len(),
+            padded_len(l.width, l.height, l.in_channels, l.pad)
+        );
         assert_eq!(bias.len(), l.out_channels);
         let packed = pack_filters(l, self.filters_per_group, weights);
         hmc.host_write(self.input_base, &i16s_to_bytes(padded_input));
@@ -137,7 +148,11 @@ struct ConvSpMap {
 pub fn pack_filters(layer: &ConvLayer, filters_per_group: usize, weights: &[i16]) -> Vec<i16> {
     let (k, ci, co) = (layer.kernel, layer.in_channels, layer.out_channels);
     assert_eq!(weights.len(), co * k * k * ci);
-    assert_eq!(co % filters_per_group, 0, "group size must divide filter count");
+    assert_eq!(
+        co % filters_per_group,
+        0,
+        "group size must divide filter count"
+    );
     let mut out = Vec::with_capacity(weights.len());
     for g in 0..co / filters_per_group {
         for kx in 0..k {
@@ -232,9 +247,13 @@ fn emit_column_load(asm: &mut Asm, r: &ConvRegs, sp: &ConvSpMap, layout: &ConvLa
     let cb = sp.col_bytes as i32;
     let ci_b = (l.in_channels * 2) as i32;
     for row in 0..l.kernel as i32 {
-        asm.addi(r.t, r.zero, (sp.cols as i32) + slot as i32 * cb + row * ci_b)
-            .addi(r.d, r.p_in, row * in_row_bytes)
-            .ld_sram(TY, r.t, r.d, r.ci);
+        asm.addi(
+            r.t,
+            r.zero,
+            (sp.cols as i32) + slot as i32 * cb + row * ci_b,
+        )
+        .addi(r.d, r.p_in, row * in_row_bytes)
+        .ld_sram(TY, r.t, r.d, r.ci);
     }
     asm.addi(r.p_in, r.p_in, ci_b);
 }
@@ -249,7 +268,11 @@ fn emit_column_load(asm: &mut Asm, r: &ConvRegs, sp: &ConvSpMap, layout: &ConvLa
 #[must_use]
 pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
     let l = layout.layer;
-    assert_eq!(l.width % 4, 0, "conv tiles are generated for widths divisible by 4");
+    assert_eq!(
+        l.width % 4,
+        0,
+        "conv tiles are generated for widths divisible by 4"
+    );
     assert_eq!(l.height % pes, 0, "rows must divide across PEs");
     let sp = layout.sp_map();
     let rows_per_pe = l.height / pes;
@@ -297,7 +320,8 @@ pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
                 .mov_imm(r.t, layout.group_weight_bytes() as i64)
                 .add(r.p_w, r.p_w, r.t);
             if layout.mode == ConvMode::Full {
-                asm.ld_sram(TY, r.sp_bias, r.p_b, r.f).addi(r.p_b, r.p_b, fb as i32);
+                asm.ld_sram(TY, r.sp_bias, r.p_b, r.f)
+                    .addi(r.p_b, r.p_b, fb as i32);
             }
             asm.mov(r.p_in, r.p_in_base)
                 .mov(r.p_out, r.p_out_base)
@@ -310,7 +334,9 @@ pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
                 emit_column_load(&mut asm, &r, &sp, layout, slot);
             }
 
-            asm.mov_imm(r.x, 0).mov_imm(r.x_n, (l.width / 4) as i64).label("xl");
+            asm.mov_imm(r.x, 0)
+                .mov_imm(r.x_n, (l.width / 4) as i64)
+                .label("xl");
             for u in 0..4usize {
                 // Prefetch column x+3 into the ring slot being vacated.
                 emit_column_load(&mut asm, &r, &sp, layout, (u + 3) % 4);
@@ -375,7 +401,10 @@ impl PoolLayout {
     /// Stages the padded input (host side).
     pub fn load_into(&self, hmc: &mut Hmc, padded_input: &[i16]) {
         let l = &self.layer;
-        assert_eq!(padded_input.len(), padded_len(l.width, l.height, l.channels, 1));
+        assert_eq!(
+            padded_input.len(),
+            padded_len(l.width, l.height, l.channels, 1)
+        );
         hmc.host_write(self.input_base, &i16s_to_bytes(padded_input));
     }
 
@@ -408,7 +437,11 @@ pub fn pool_tile_programs(layout: &PoolLayout, pes: usize) -> Vec<Program> {
     let (ow, oh, c) = (l.out_width(), l.out_height(), l.channels);
     assert_eq!(oh % pes, 0, "output rows must divide across PEs");
     let g = layout.chunk();
-    assert_eq!(ow % g, 0, "output width {ow} must be a multiple of the chunk {g}");
+    assert_eq!(
+        ow % g,
+        0,
+        "output width {ow} must be a multiple of the chunk {g}"
+    );
     let rows_per_pe = oh / pes;
     let in_row_bytes = ((l.width + 2) * c * 2) as i64;
     let out_row_bytes = ((ow + 2) * c * 2) as i64;
@@ -428,13 +461,24 @@ pub fn pool_tile_programs(layout: &PoolLayout, pes: usize) -> Vec<Program> {
                 r
             };
             let (r_len, r_c, r_a, r_b, r_t, r_t2, r_pa, r_pb, r_po, r_y, r_yn, r_x, r_xn) = (
-                reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(),
-                reg(), reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
             );
             let y0 = pe * rows_per_pe;
             // Input rows 2*y0+1, 2*y0+2 (padded coords), interior column 1.
             let in_a =
-                layout.input_base + ((2 * y0 + 1) as i64 * in_row_bytes) as u64 + (c * 2 + 0) as u64;
+                layout.input_base + ((2 * y0 + 1) as i64 * in_row_bytes) as u64 + (c * 2) as u64;
             let out_start =
                 layout.output_base + ((y0 + 1) as i64 * out_row_bytes) as u64 + (c * 2) as u64;
 
@@ -518,7 +562,12 @@ pub fn accumulate_program(layout: &AccumulateLayout, pes: usize) -> Vec<Program>
     let l = layout.layer;
     let co = l.out_channels;
     let g = (640 / co).clamp(1, 8).min(l.width);
-    assert_eq!(l.width % g, 0, "width {} must be a multiple of chunk {g}", l.width);
+    assert_eq!(
+        l.width % g,
+        0,
+        "width {} must be a multiple of chunk {g}",
+        l.width
+    );
     assert_eq!(l.height % pes, 0);
     let rows_per_pe = l.height / pes;
     let row_bytes = ((l.width + 2 * l.pad) * co * 2) as i64;
@@ -537,13 +586,22 @@ pub fn accumulate_program(layout: &AccumulateLayout, pes: usize) -> Vec<Program>
                 r
             };
             let (r_len, r_acc, r_tmp, r_bias, r_t, r_zero, r_po, r_y, r_yn, r_x, r_xn) = (
-                reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
             );
             let p_shard: Vec<Reg> = layout.partial_bases.iter().map(|_| reg()).collect();
             let y0 = pe * rows_per_pe;
-            let interior = |base: u64| {
-                base + (padded_at(l.width, co, l.pad, l.pad, y0 + l.pad) * 2) as u64
-            };
+            let interior =
+                |base: u64| base + (padded_at(l.width, co, l.pad, l.pad, y0 + l.pad) * 2) as u64;
 
             let mut asm = Asm::new();
             asm.mov_imm(r_len, (g * co) as i64)
@@ -567,8 +625,13 @@ pub fn accumulate_program(layout: &AccumulateLayout, pes: usize) -> Vec<Program>
                 .label("xl");
             asm.ld_sram(TY, r_acc, p_shard[0], r_len);
             for shard in &p_shard[1..] {
-                asm.ld_sram(TY, r_tmp, *shard, r_len)
-                    .vec_vec(VerticalOp::Add, TY, r_acc, r_acc, r_tmp);
+                asm.ld_sram(TY, r_tmp, *shard, r_len).vec_vec(
+                    VerticalOp::Add,
+                    TY,
+                    r_acc,
+                    r_acc,
+                    r_tmp,
+                );
             }
             asm.vec_vec(VerticalOp::Add, TY, r_acc, r_acc, r_bias)
                 .vec_scalar(VerticalOp::Max, TY, r_acc, r_acc, r_zero)
@@ -581,7 +644,10 @@ pub fn accumulate_program(layout: &AccumulateLayout, pes: usize) -> Vec<Program>
             for reg in p_shard.iter().chain([&r_po]) {
                 asm.mov_imm(r_t, adj).add(*reg, *reg, r_t);
             }
-            asm.addi(r_y, r_y, 1).blt(r_y, r_yn, "row").memfence().halt();
+            asm.addi(r_y, r_y, 1)
+                .blt(r_y, r_yn, "row")
+                .memfence()
+                .halt();
             asm.assemble().expect("accumulate program assembles")
         })
         .collect()

@@ -27,7 +27,13 @@ pub fn padded_at(width: usize, channels: usize, pad: usize, xp: usize, yp: usize
 
 /// Zero-pads an unpadded `H × W × C` activation array.
 #[must_use]
-pub fn pad_input(width: usize, height: usize, channels: usize, pad: usize, data: &[i16]) -> Vec<i16> {
+pub fn pad_input(
+    width: usize,
+    height: usize,
+    channels: usize,
+    pad: usize,
+    data: &[i16],
+) -> Vec<i16> {
     assert_eq!(data.len(), width * height * channels);
     let mut out = vec![0i16; padded_len(width, height, channels, pad)];
     for y in 0..height {
@@ -42,7 +48,13 @@ pub fn pad_input(width: usize, height: usize, channels: usize, pad: usize, data:
 
 /// Extracts the interior of a padded activation array.
 #[must_use]
-pub fn unpad_output(width: usize, height: usize, channels: usize, pad: usize, data: &[i16]) -> Vec<i16> {
+pub fn unpad_output(
+    width: usize,
+    height: usize,
+    channels: usize,
+    pad: usize,
+    data: &[i16],
+) -> Vec<i16> {
     assert_eq!(data.len(), padded_len(width, height, channels, pad));
     let mut out = vec![0i16; width * height * channels];
     for y in 0..height {
@@ -94,8 +106,7 @@ pub fn conv_forward(
                 for (kx, acc) in partials.iter_mut().enumerate() {
                     for ky in 0..k {
                         for c in 0..ci {
-                            let iv = input
-                                [padded_at(w, ci, p, x + kx, y + ky) + c];
+                            let iv = input[padded_at(w, ci, p, x + kx, y + ky) + c];
                             let wv = weights[((f * k + ky) * k + kx) * ci + c];
                             *acc = sat_add16(*acc, sat_mul16(iv, wv));
                         }
@@ -132,12 +143,7 @@ pub fn conv_partial(layer: &ConvLayer, input_shard: &[i16], weights_shard: &[i16
 ///
 /// Panics if no partials are given or lengths mismatch.
 #[must_use]
-pub fn relu_bias_sum(
-    layer: &ConvLayer,
-    partials: &[&[i16]],
-    bias: &[i16],
-    relu: bool,
-) -> Vec<i16> {
+pub fn relu_bias_sum(layer: &ConvLayer, partials: &[&[i16]], bias: &[i16], relu: bool) -> Vec<i16> {
     assert!(!partials.is_empty());
     let (w, h, co, p) = (layer.width, layer.height, layer.out_channels, layer.pad);
     let mut out = vec![0i16; padded_len(w, h, co, p)];
@@ -233,7 +239,10 @@ mod tests {
         let out = conv_forward(&layer, &input, &weights, &[5, -5], true);
         let inner = unpad_output(4, 4, 2, 1, &out);
         assert!(inner.iter().step_by(2).all(|&v| v == 5));
-        assert!(inner.iter().skip(1).step_by(2).all(|&v| v == 0), "ReLU clamps -5");
+        assert!(
+            inner.iter().skip(1).step_by(2).all(|&v| v == 0),
+            "ReLU clamps -5"
+        );
     }
 
     #[test]
@@ -248,7 +257,10 @@ mod tests {
         let full = conv_forward(&layer, &input, &weights, &bias, true);
 
         // Split channels 0..2 and 2..4.
-        let shard_layer = ConvLayer { in_channels: 2, ..layer };
+        let shard_layer = ConvLayer {
+            in_channels: 2,
+            ..layer
+        };
         let split_input = |lo: usize| -> Vec<i16> {
             let mut v = Vec::new();
             for px in 0..6 * 6 {
@@ -271,7 +283,12 @@ mod tests {
 
     #[test]
     fn pooling_picks_maxima() {
-        let layer = PoolLayer { name: "p", channels: 1, width: 4, height: 4 };
+        let layer = PoolLayer {
+            name: "p",
+            channels: 1,
+            width: 4,
+            height: 4,
+        };
         let data: Vec<i16> = vec![
             1, 9, 2, 3, //
             4, 5, 6, 7, //

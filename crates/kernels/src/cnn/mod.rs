@@ -139,11 +139,20 @@ fn conv(name: &'static str, in_c: usize, out_c: usize, side: usize) -> VggLayer 
 }
 
 fn pool(name: &'static str, c: usize, side: usize) -> VggLayer {
-    VggLayer::Pool(PoolLayer { name, channels: c, width: side, height: side })
+    VggLayer::Pool(PoolLayer {
+        name,
+        channels: c,
+        width: side,
+        height: side,
+    })
 }
 
 fn fc(name: &'static str, i: usize, o: usize) -> VggLayer {
-    VggLayer::Fc(FcLayer { name, inputs: i, outputs: o })
+    VggLayer::Fc(FcLayer {
+        name,
+        inputs: i,
+        outputs: o,
+    })
 }
 
 /// The VGG-16 network (Simonyan & Zisserman configuration D): 13
@@ -223,7 +232,10 @@ mod tests {
             .sum();
         // §II-B: "the thirteen convolution layers in VGG-16 require 15.3
         // billion MAC operations".
-        assert!((conv_macs as f64 / 1e9 - 15.3).abs() < 0.2, "{conv_macs} MACs");
+        assert!(
+            (conv_macs as f64 / 1e9 - 15.3).abs() < 0.2,
+            "{conv_macs} MACs"
+        );
         // fc6: 25,088 inputs x 4,096 outputs ~ 100M MACs (SS II-C).
         let fc6 = layers.iter().find(|l| l.name() == "fc6").unwrap();
         if let VggLayer::Fc(f) = fc6 {
@@ -242,7 +254,12 @@ mod tests {
 
     #[test]
     fn pool_geometry() {
-        let p = PoolLayer { name: "p1", channels: 64, width: 224, height: 224 };
+        let p = PoolLayer {
+            name: "p1",
+            channels: 64,
+            width: 224,
+            height: 224,
+        };
         assert_eq!(p.out_width(), 112);
         assert_eq!(p.ops(), 224 * 224 * 64);
     }

@@ -108,7 +108,9 @@ mod tests {
     #[test]
     fn conv_layer_gop_counts() {
         let layers = vgg16();
-        let VggLayer::Conv(c1_1) = layers[0] else { panic!() };
+        let VggLayer::Conv(c1_1) = layers[0] else {
+            panic!()
+        };
         // c1_1: 224*224*64 outputs x 27 MACs = ~86.7M MACs.
         assert_eq!(c1_1.macs(), 224 * 224 * 64 * 27);
         let costs = LayerCosts::of(&layers[0], 1);

@@ -51,7 +51,10 @@ pub fn fc_forward(
                 let mut partial = 0i16;
                 for j in 0..KC {
                     let col = chunk * KC + j;
-                    partial = sat_add16(partial, sat_mul16(weights[m * layer.inputs + col], input[col]));
+                    partial = sat_add16(
+                        partial,
+                        sat_mul16(weights[m * layer.inputs + col], input[col]),
+                    );
                 }
                 acc = sat_add16(acc, partial);
             }
@@ -164,7 +167,10 @@ impl FcLayout {
     /// Stages inputs, packed weights, and biases (host side).
     pub fn load_into(&self, hmc: &mut Hmc, input: &[i16], weights: &[i16], bias: &[i16]) {
         hmc.host_write(self.input_base, &i16s_to_bytes(input));
-        hmc.host_write(self.weights_base, &i16s_to_bytes(&pack_weights(&self.layer, weights)));
+        hmc.host_write(
+            self.weights_base,
+            &i16s_to_bytes(&pack_weights(&self.layer, weights)),
+        );
         hmc.host_write(self.bias_base, &i16s_to_bytes(bias));
     }
 
@@ -209,12 +215,20 @@ pub fn fc_tile_programs(layout: &FcLayout, pes: usize) -> Vec<Program> {
             };
             let (r_kc, r_mr, r_w, r_x, r_acc, r_p, r_zero) =
                 (reg(), reg(), reg(), reg(), reg(), reg(), reg());
-            let (r_pw, r_px, r_pb, r_po, r_rc, r_rcn, r_cc, r_ccn, r_t) =
-                (reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg());
+            let (r_pw, r_px, r_pb, r_po, r_rc, r_rcn, r_cc, r_ccn, r_t) = (
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+                reg(),
+            );
 
             let first_chunk = pe * chunks_per_pe;
-            let w_start = layout.weights_base
-                + (first_chunk * col_chunks * MR * KC * 2) as u64;
+            let w_start = layout.weights_base + (first_chunk * col_chunks * MR * KC * 2) as u64;
             let b_start = layout.bias_base + (first_chunk * MR * 2) as u64;
             let o_start = layout.output_base + (first_chunk * MR * 2) as u64;
 
@@ -337,7 +351,10 @@ pub fn fc_batch_tile_programs(layout: &FcBatchLayout, pes: usize) -> Vec<Program
     let sp_acc = sp_x + batch * kc * 2;
     let sp_p = sp_acc + batch * MR * 2;
     let sp_bias = sp_p + MR * 2;
-    assert!(sp_bias + MR * 2 <= 4096, "batched fc tile overflows the scratchpad");
+    assert!(
+        sp_bias + MR * 2 <= 4096,
+        "batched fc tile overflows the scratchpad"
+    );
 
     (0..pes)
         .map(|pe| {
@@ -353,8 +370,7 @@ pub fn fc_batch_tile_programs(layout: &FcBatchLayout, pes: usize) -> Vec<Program
                 (reg(), reg(), reg(), reg(), reg(), reg(), reg(), reg());
 
             let first_chunk = pe * chunks_per_pe;
-            let w_start =
-                layout.weights_base + (first_chunk * col_chunks * MR * kc * 2) as u64;
+            let w_start = layout.weights_base + (first_chunk * col_chunks * MR * kc * 2) as u64;
             let b_start = layout.bias_base + (first_chunk * MR * 2) as u64;
 
             let mut asm = Asm::new();
@@ -372,10 +388,17 @@ pub fn fc_batch_tile_programs(layout: &FcBatchLayout, pes: usize) -> Vec<Program
                 .mov_imm(r_rcn, chunks_per_pe as i64)
                 .label("rc");
             // Bias chunk -> every batch accumulator.
-            asm.set_vl(r_mr).ld_sram(TY, r_bias, r_pb, r_mr).addi(r_pb, r_pb, (MR * 2) as i32);
+            asm.set_vl(r_mr)
+                .ld_sram(TY, r_bias, r_pb, r_mr)
+                .addi(r_pb, r_pb, (MR * 2) as i32);
             for b in 0..batch {
-                asm.mov_imm(r_t, (sp_acc + b * MR * 2) as i64)
-                    .vec_scalar(VerticalOp::Add, TY, r_t, r_bias, r_zero);
+                asm.mov_imm(r_t, (sp_acc + b * MR * 2) as i64).vec_scalar(
+                    VerticalOp::Add,
+                    TY,
+                    r_t,
+                    r_bias,
+                    r_zero,
+                );
             }
             asm.mov_imm(r_ccoff, 0)
                 .mov_imm(r_cc, 0)
@@ -409,9 +432,12 @@ pub fn fc_batch_tile_programs(layout: &FcBatchLayout, pes: usize) -> Vec<Program
                 if layout.relu {
                     asm.vec_scalar(VerticalOp::Max, TY, r_t, r_t, r_zero);
                 }
-                asm.mov_imm(r_t2, (layout.output_base + (b * l.outputs * 2) as u64) as i64)
-                    .add(r_t2, r_t2, r_rcoff)
-                    .st_sram(TY, r_t, r_t2, r_mr);
+                asm.mov_imm(
+                    r_t2,
+                    (layout.output_base + (b * l.outputs * 2) as u64) as i64,
+                )
+                .add(r_t2, r_t2, r_rcoff)
+                .st_sram(TY, r_t, r_t2, r_mr);
             }
             asm.addi(r_rcoff, r_rcoff, (MR * 2) as i32)
                 .addi(r_rc, r_rc, 1)
@@ -429,19 +455,32 @@ mod tests {
 
     #[test]
     fn pack_weights_layout() {
-        let layer = FcLayer { name: "t", inputs: KC * 2, outputs: MR * 2 };
-        let weights: Vec<i16> = (0..layer.inputs * layer.outputs).map(|i| i as i16).collect();
+        let layer = FcLayer {
+            name: "t",
+            inputs: KC * 2,
+            outputs: MR * 2,
+        };
+        let weights: Vec<i16> = (0..layer.inputs * layer.outputs)
+            .map(|i| i as i16)
+            .collect();
         let packed = pack_weights(&layer, &weights);
         assert_eq!(packed.len(), weights.len());
         // First packed row is row 0's first KC columns.
         assert_eq!(&packed[..KC], &weights[..KC]);
         // Second packed row is row 1's first KC columns.
-        assert_eq!(&packed[KC..2 * KC], &weights[layer.inputs..layer.inputs + KC]);
+        assert_eq!(
+            &packed[KC..2 * KC],
+            &weights[layer.inputs..layer.inputs + KC]
+        );
     }
 
     #[test]
     fn golden_matches_naive_when_unsaturated() {
-        let layer = FcLayer { name: "t", inputs: KC, outputs: 4 };
+        let layer = FcLayer {
+            name: "t",
+            inputs: KC,
+            outputs: 4,
+        };
         let input: Vec<i16> = (0..KC).map(|i| (i % 5) as i16 - 2).collect();
         let weights: Vec<i16> = (0..KC * 4).map(|i| (i % 7) as i16 - 3).collect();
         let bias = [1i16, -1, 0, 5];
@@ -457,7 +496,11 @@ mod tests {
 
     #[test]
     fn relu_clamps() {
-        let layer = FcLayer { name: "t", inputs: KC, outputs: 4 };
+        let layer = FcLayer {
+            name: "t",
+            inputs: KC,
+            outputs: 4,
+        };
         let input = vec![0i16; KC];
         let weights = vec![0i16; KC * 4];
         let out = fc_forward(&layer, &input, &weights, &[-3, 3, -1, 0], true);

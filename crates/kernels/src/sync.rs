@@ -23,7 +23,10 @@ impl BarrierAddrs {
     #[must_use]
     pub fn at(base: u64) -> Self {
         assert_eq!(base % 8, 0);
-        BarrierAddrs { counter: base, generation: base + 8 }
+        BarrierAddrs {
+            counter: base,
+            generation: base + 8,
+        }
     }
 
     /// Initializes the barrier words in memory (host side).

@@ -65,7 +65,8 @@ fn all_four_sweeps_match_golden() {
             style: VectorMachineStyle::SpReduce,
         };
         let mut sys = single_strip_system(&mrf, &state, &strip);
-        sys.run(4_000_000).unwrap_or_else(|e| panic!("{sweep:?}: {e}"));
+        sys.run(4_000_000)
+            .unwrap_or_else(|e| panic!("{sweep:?}: {e}"));
 
         let mut expect = state.clone();
         bp::sweep(&mrf, &mut expect, sweep);
@@ -127,7 +128,9 @@ fn figure4_styles_all_compute_the_same_messages() {
             style,
         };
         let mut sys = single_strip_system(&mrf, &init, &strip);
-        let t = sys.run(8_000_000).unwrap_or_else(|e| panic!("{}: {e}", style.label()));
+        let t = sys
+            .run(8_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", style.label()));
         let got = layout.read_messages(sys.hmc(), false);
         assert_eq!(got.from_above, expect.from_above, "{}", style.label());
         cycles.push((style, t));
@@ -135,9 +138,7 @@ fn figure4_styles_all_compute_the_same_messages() {
 
     // Figure 4's ordering: the reduction unit and the scratchpad each
     // help; SP+R is fastest and RF-R slowest.
-    let t = |s: VectorMachineStyle| {
-        cycles.iter().find(|(st, _)| *st == s).expect("present").1
-    };
+    let t = |s: VectorMachineStyle| cycles.iter().find(|(st, _)| *st == s).expect("present").1;
     assert!(
         t(VectorMachineStyle::SpReduce) < t(VectorMachineStyle::SpNoReduce),
         "reduction unit speeds up SP: {:?}",
@@ -164,7 +165,10 @@ fn construct_phase_matches_golden() {
 
     let mut sys = System::new(SystemConfig::small_test());
     fine.load_into(sys.hmc_mut(), &mrf, &Messages::new(&mrf.params));
-    for (pe, p) in bp::construct_programs(&fine, &coarse_layout, 4).iter().enumerate() {
+    for (pe, p) in bp::construct_programs(&fine, &coarse_layout, 4)
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     sys.run(10_000_000).expect("construct completes");
@@ -197,7 +201,10 @@ fn copy_phase_matches_golden() {
     let mut sys = System::new(SystemConfig::small_test());
     fine.load_into(sys.hmc_mut(), &mrf, &Messages::new(&mrf.params));
     coarse_layout.load_into(sys.hmc_mut(), &coarse_mrf, &cmsgs);
-    for (pe, p) in bp::copy_messages_programs(&coarse_layout, &fine, 4).iter().enumerate() {
+    for (pe, p) in bp::copy_messages_programs(&coarse_layout, &fine, 4)
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     sys.run(20_000_000).expect("copy completes");

@@ -3,8 +3,8 @@
 
 use vip_core::{System, SystemConfig};
 use vip_kernels::cnn::{
-    self, accumulate_program, conv_tile_programs, pool_tile_programs, AccumulateLayout,
-    ConvLayer, ConvLayout, ConvMode, FcLayer, PoolLayer, PoolLayout,
+    self, accumulate_program, conv_tile_programs, pool_tile_programs, AccumulateLayout, ConvLayer,
+    ConvLayout, ConvMode, FcLayer, PoolLayer, PoolLayout,
 };
 use vip_kernels::mlp::{self, FcLayout};
 use vip_kernels::sync::i16s_to_bytes;
@@ -12,7 +12,9 @@ use vip_kernels::sync::i16s_to_bytes;
 /// Small deterministic values that exercise signs without instantly
 /// saturating.
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
-    (0..n).map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset).collect()
+    (0..n)
+        .map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset)
+        .collect()
 }
 
 fn run_on(sys: &mut System, programs: &[vip_isa::Program], max: u64) {
@@ -108,7 +110,10 @@ fn sharded_conv_with_accumulate_pass_matches_golden() {
         kernel: 3,
         pad: 1,
     };
-    let shard = ConvLayer { in_channels: 4, ..full };
+    let shard = ConvLayer {
+        in_channels: 4,
+        ..full
+    };
     let input_full = pattern(8 * 4 * 8, 1, 5);
     let weights_full = pattern(full.weights(), 1, 3);
     let bias = pattern(4, 2, 4);
@@ -139,7 +144,7 @@ fn sharded_conv_with_accumulate_pass_matches_golden() {
         };
         partial_bases.push(layout.output_base);
         let padded = cnn::pad_input(8, 4, 4, 1, inp);
-        layout.load_into(sys.hmc_mut(), &padded, w, &vec![0; 4]);
+        layout.load_into(sys.hmc_mut(), &padded, w, &[0; 4]);
         run_on(&mut sys, &conv_tile_programs(&layout, 4), 5_000_000);
     }
     // Phase 2: accumulate + bias + ReLU.
@@ -149,13 +154,23 @@ fn sharded_conv_with_accumulate_pass_matches_golden() {
         bias_row_base: 0x200_000,
         output_base: 0x210_000,
     };
-    sys.hmc_mut()
-        .host_write(acc.bias_row_base, &i16s_to_bytes(&cnn::replicate_bias(&full, &bias)));
+    sys.hmc_mut().host_write(
+        acc.bias_row_base,
+        &i16s_to_bytes(&cnn::replicate_bias(&full, &bias)),
+    );
     run_on(&mut sys, &accumulate_program(&acc, 4), 5_000_000);
 
     // Golden: full convolution via its sharded path.
-    let p0 = cnn::conv_partial(&shard, &cnn::pad_input(8, 4, 4, 1, &in_shards[0]), &w_shards[0]);
-    let p1 = cnn::conv_partial(&shard, &cnn::pad_input(8, 4, 4, 1, &in_shards[1]), &w_shards[1]);
+    let p0 = cnn::conv_partial(
+        &shard,
+        &cnn::pad_input(8, 4, 4, 1, &in_shards[0]),
+        &w_shards[0],
+    );
+    let p1 = cnn::conv_partial(
+        &shard,
+        &cnn::pad_input(8, 4, 4, 1, &in_shards[1]),
+        &w_shards[1],
+    );
     let expect = cnn::relu_bias_sum(&full, &[&p0, &p1], &bias, true);
 
     let n = cnn::padded_len(8, 4, 4, 1) * 2;
@@ -168,10 +183,19 @@ fn sharded_conv_with_accumulate_pass_matches_golden() {
 
 #[test]
 fn pool_tile_matches_golden() {
-    let layer = PoolLayer { name: "p", channels: 8, width: 8, height: 8 };
+    let layer = PoolLayer {
+        name: "p",
+        channels: 8,
+        width: 8,
+        height: 8,
+    };
     let data = pattern(8 * 8 * 8, 3, 40);
     let input = cnn::pad_input(8, 8, 8, 1, &data);
-    let layout = PoolLayout { layer, input_base: 0, output_base: 0x10000 };
+    let layout = PoolLayout {
+        layer,
+        input_base: 0,
+        output_base: 0x10000,
+    };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input);
     run_on(&mut sys, &pool_tile_programs(&layout, 4), 3_000_000);
@@ -185,7 +209,11 @@ fn pool_tile_matches_golden() {
 
 #[test]
 fn fc_tile_matches_golden() {
-    let layer = FcLayer { name: "fc", inputs: 512, outputs: 16 };
+    let layer = FcLayer {
+        name: "fc",
+        inputs: 512,
+        outputs: 16,
+    };
     let input = pattern(512, 1, 5);
     let weights = pattern(512 * 16, 1, 5);
     let bias = pattern(16, 3, 10);
@@ -207,7 +235,11 @@ fn fc_tile_matches_golden() {
 
 #[test]
 fn fc_without_relu_keeps_negatives() {
-    let layer = FcLayer { name: "fc8", inputs: 256, outputs: 16 };
+    let layer = FcLayer {
+        name: "fc8",
+        inputs: 256,
+        outputs: 16,
+    };
     let input = pattern(256, 1, 5);
     let weights = pattern(256 * 16, 1, 6);
     let bias = vec![-100i16; 16];
@@ -224,12 +256,19 @@ fn fc_without_relu_keeps_negatives() {
     run_on(&mut sys, &mlp::fc_tile_programs(&layout, 4), 3_000_000);
     let expect = mlp::fc_forward(&layer, &input, &weights, &bias, false);
     assert_eq!(layout.read_output(sys.hmc()), expect);
-    assert!(expect.iter().any(|&v| v < 0), "test should exercise negatives");
+    assert!(
+        expect.iter().any(|&v| v < 0),
+        "test should exercise negatives"
+    );
 }
 
 #[test]
 fn batched_fc_tile_matches_golden() {
-    let layer = FcLayer { name: "fc-b", inputs: 256, outputs: 16 };
+    let layer = FcLayer {
+        name: "fc-b",
+        inputs: 256,
+        outputs: 16,
+    };
     let batch = 4;
     let kc = 64;
     let inputs = pattern(layer.inputs * batch, 1, 5);
@@ -247,7 +286,11 @@ fn batched_fc_tile_matches_golden() {
     };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &inputs, &weights, &bias);
-    run_on(&mut sys, &mlp::fc_batch_tile_programs(&layout, 4), 10_000_000);
+    run_on(
+        &mut sys,
+        &mlp::fc_batch_tile_programs(&layout, 4),
+        10_000_000,
+    );
 
     let expect = mlp::fc_forward_batch(&layer, &inputs, &weights, &bias, true, batch, kc);
     assert_eq!(layout.read_output(sys.hmc()), expect);
@@ -255,7 +298,11 @@ fn batched_fc_tile_matches_golden() {
 
 #[test]
 fn batched_fc_with_batch_16_matches_golden() {
-    let layer = FcLayer { name: "fc-b16", inputs: 128, outputs: 16 };
+    let layer = FcLayer {
+        name: "fc-b16",
+        inputs: 128,
+        outputs: 16,
+    };
     let (batch, kc) = (16, 64);
     let inputs = pattern(layer.inputs * batch, 1, 4);
     let weights = pattern(layer.inputs * layer.outputs, 1, 6);
@@ -272,7 +319,11 @@ fn batched_fc_with_batch_16_matches_golden() {
     };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &inputs, &weights, &bias);
-    run_on(&mut sys, &mlp::fc_batch_tile_programs(&layout, 4), 20_000_000);
+    run_on(
+        &mut sys,
+        &mlp::fc_batch_tile_programs(&layout, 4),
+        20_000_000,
+    );
     let expect = mlp::fc_forward_batch(&layer, &inputs, &weights, &bias, false, batch, kc);
     assert_eq!(layout.read_output(sys.hmc()), expect);
 }

@@ -1,0 +1,185 @@
+//! Seeded-random tests on the workload kernels' mathematical
+//! invariants. Fixed SplitMix64 seeds make every failure reproducible.
+
+use vip_kernels::bp::{self, Messages, Mrf, MrfParams, Sweep};
+use vip_kernels::cnn::{self, ConvLayer, PoolLayer};
+use vip_kernels::mlp::{self, KC};
+use vip_rng::SplitMix64;
+
+fn small_mrf(w: usize, h: usize, l: usize, seed: u64) -> Mrf {
+    let costs = bp::stereo_data_costs(w, h, l, seed);
+    Mrf::new(MrfParams::truncated_linear(w, h, l, 2, 10), costs)
+}
+
+/// Adding a constant to every label of every data cost does not
+/// change the recovered labels (argmin shift invariance carried
+/// through the whole pipeline), while values stay unsaturated.
+#[test]
+fn bp_labels_are_shift_invariant() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0x5f1 + case);
+        let shift = rng.i64_in(1..50) as i16;
+        let mrf = small_mrf(16, 8, 8, rng.next_u64());
+        let mut shifted = mrf.clone();
+        for v in &mut shifted.data_costs {
+            *v += shift;
+        }
+        assert_eq!(
+            bp::run(&mrf, 2),
+            bp::run(&shifted, 2),
+            "case {case} shift {shift}"
+        );
+    }
+}
+
+/// One sweep writes exactly one plane; the other three are
+/// untouched.
+#[test]
+fn sweeps_touch_only_their_plane() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0x51e3 + case);
+        let dir = Sweep::iteration_order()[rng.usize_in(0..4)];
+        let mrf = small_mrf(16, 8, 8, rng.next_u64());
+        let mut msgs = Messages::new(&mrf.params);
+        bp::iteration(&mrf, &mut msgs); // make all planes non-trivial
+        let before = msgs.clone();
+        bp::sweep(&mrf, &mut msgs, dir);
+        // (Re-running a sweep whose inputs haven't changed is idempotent,
+        // so its own plane may legitimately be unchanged; the invariant
+        // is that the three *other* planes are bitwise identical.)
+        if dir != Sweep::Down {
+            assert_eq!(&msgs.from_above, &before.from_above);
+        }
+        if dir != Sweep::Up {
+            assert_eq!(&msgs.from_below, &before.from_below);
+        }
+        if dir != Sweep::Right {
+            assert_eq!(&msgs.from_left, &before.from_left);
+        }
+        if dir != Sweep::Left {
+            assert_eq!(&msgs.from_right, &before.from_right);
+        }
+    }
+}
+
+/// Normalized messages always have element 0 equal to zero.
+#[test]
+fn normalized_messages_are_anchored() {
+    for seed in 0..8u64 {
+        let mrf = small_mrf(16, 8, 8, 0xacc0 + seed);
+        let mut msgs = Messages::new(&mrf.params);
+        bp::iteration(&mrf, &mut msgs);
+        // Interior vertices all received a normalized message.
+        for y in 1..7 {
+            for x in 1..15 {
+                let at = mrf.params.at(x, y);
+                assert_eq!(msgs.from_above[at], 0, "vertex ({x}, {y})");
+                assert_eq!(msgs.from_left[at], 0);
+            }
+        }
+    }
+}
+
+/// Construct (2×2 pooling of costs) commutes with cost shifting by
+/// 4x the shift (it sums four vertices).
+#[test]
+fn construct_is_linear_in_shifts() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0xc075 + case);
+        let shift = rng.i64_in(1..20) as i16;
+        let mrf = small_mrf(16, 8, 8, rng.next_u64());
+        let coarse = bp::coarse_mrf(&mrf);
+        let mut shifted = mrf.clone();
+        for v in &mut shifted.data_costs {
+            *v += shift;
+        }
+        let coarse_shifted = bp::coarse_mrf(&shifted);
+        for (a, b) in coarse.data_costs.iter().zip(&coarse_shifted.data_costs) {
+            assert_eq!(*b, a + 4 * shift);
+        }
+    }
+}
+
+/// A convolution with an all-zero kernel yields exactly the bias
+/// (ReLU-clamped), regardless of input.
+#[test]
+fn zero_kernel_conv_is_bias() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0xb1a5 + case);
+        let bias0 = rng.i64_in(-50..50) as i16;
+        let layer = ConvLayer {
+            name: "t",
+            in_channels: 4,
+            out_channels: 2,
+            width: 4,
+            height: 4,
+            kernel: 3,
+            pad: 1,
+        };
+        let input: Vec<i16> = (0..4 * 4 * 4).map(|_| rng.i64_in(-50..50) as i16).collect();
+        let padded = cnn::pad_input(4, 4, 4, 1, &input);
+        let weights = vec![0i16; layer.weights()];
+        let out = cnn::conv_forward(&layer, &padded, &weights, &[bias0, -bias0], true);
+        let inner = cnn::unpad_output(4, 4, 2, 1, &out);
+        for px in inner.chunks(2) {
+            assert_eq!(px[0], bias0.max(0), "case {case}");
+            assert_eq!(px[1], (-bias0).max(0));
+        }
+    }
+}
+
+/// Max pooling never invents values: every output element equals
+/// one of its four inputs, and it selects the maximum.
+#[test]
+fn pooling_selects_existing_values() {
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::new(0x9001 + case);
+        let layer = PoolLayer {
+            name: "p",
+            channels: 2,
+            width: 8,
+            height: 8,
+        };
+        let data: Vec<i16> = (0..8 * 8 * 2)
+            .map(|_| rng.i64_in(-100..100) as i16)
+            .collect();
+        let input = cnn::pad_input(8, 8, 2, 1, &data);
+        let out = cnn::max_pool(&layer, &input);
+        let inner = cnn::unpad_output(4, 4, 2, 1, &out);
+        for oy in 0..4 {
+            for ox in 0..4 {
+                for c in 0..2 {
+                    let got = inner[(oy * 4 + ox) * 2 + c];
+                    let candidates: Vec<i16> = [(0, 0), (1, 0), (0, 1), (1, 1)]
+                        .into_iter()
+                        .map(|(dx, dy)| data[((2 * oy + dy) * 8 + 2 * ox + dx) * 2 + c])
+                        .collect();
+                    assert!(candidates.contains(&got));
+                    assert_eq!(got, *candidates.iter().max().unwrap());
+                }
+            }
+        }
+    }
+}
+
+/// fc_forward with an identity-block weight matrix permutes inputs
+/// through (scaled rows pick out single inputs).
+#[test]
+fn fc_identity_rows_select_inputs() {
+    for which in 0..KC {
+        let layer = vip_kernels::cnn::FcLayer {
+            name: "t",
+            inputs: KC,
+            outputs: 4,
+        };
+        let input: Vec<i16> = (0..KC as i16).collect();
+        let mut weights = vec![0i16; KC * 4];
+        for m in 0..4 {
+            weights[m * KC + (which + m) % KC] = 1;
+        }
+        let out = mlp::fc_forward(&layer, &input, &weights, &[0; 4], false);
+        for m in 0..4 {
+            assert_eq!(out[m], input[(which + m) % KC], "which {which} row {m}");
+        }
+    }
+}

@@ -58,8 +58,7 @@ impl AddressMapping {
                 let col = block & (cols_per_row - 1);
                 let bank = (block >> col_bits) & (cfg.banks_per_vault as u64 - 1);
                 let row = (block >> (col_bits + bank_bits)) & (cfg.rows_per_bank as u64 - 1);
-                let vault =
-                    (block >> (col_bits + bank_bits + row_bits)) & (cfg.vaults as u64 - 1);
+                let vault = (block >> (col_bits + bank_bits + row_bits)) & (cfg.vaults as u64 - 1);
                 DecodedAddr {
                     vault: vault as usize,
                     bank: bank as usize,
@@ -169,7 +168,10 @@ mod tests {
             MemConfig::more_ranks(),
             MemConfig::fewer_ranks(),
         ] {
-            for mapping in [AddressMapping::VaultRowBankCol, AddressMapping::LowInterleave] {
+            for mapping in [
+                AddressMapping::VaultRowBankCol,
+                AddressMapping::LowInterleave,
+            ] {
                 for addr in [0u64, 31, 32, 1000, 123_456_789, cfg.total_bytes() - 1] {
                     let d = mapping.decode(&cfg, addr);
                     assert_eq!(

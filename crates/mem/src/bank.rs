@@ -123,6 +123,28 @@ impl Bank {
         debug_assert!(self.is_precharged());
         self.earliest_act = self.earliest_act.max(until);
     }
+
+    /// First cycle at which a column command to the open row may issue
+    /// (tRCD and tCCD both satisfied). Only meaningful while a row is
+    /// open.
+    #[must_use]
+    pub fn earliest_column(&self) -> Cycle {
+        self.earliest_col.max(self.next_col)
+    }
+
+    /// First cycle at which PRECHARGE may issue (tRAS/tWR satisfied).
+    /// Only meaningful while a row is open.
+    #[must_use]
+    pub fn earliest_precharge(&self) -> Cycle {
+        self.earliest_pre
+    }
+
+    /// First cycle at which ACTIVATE may issue (tRP satisfied). Only
+    /// meaningful while the bank is precharged.
+    #[must_use]
+    pub fn earliest_activate(&self) -> Cycle {
+        self.earliest_act
+    }
 }
 
 #[cfg(test)]

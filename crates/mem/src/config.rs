@@ -278,7 +278,11 @@ impl MemConfig {
     /// transactions).
     #[must_use]
     pub fn with_hmc_packets() -> Self {
-        MemConfig { max_packet_bytes: 128, name: "open page, 128 B packets", ..Self::baseline() }
+        MemConfig {
+            max_packet_bytes: 128,
+            name: "open page, 128 B packets",
+            ..Self::baseline()
+        }
     }
 
     /// Largest single request the stack accepts: at most
@@ -316,7 +320,8 @@ mod tests {
         let base = MemConfig::baseline();
         assert_eq!(base.total_bytes(), 8 << 30); // 8 GiB
         for cfg in MemConfig::figure5_sweep() {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
             assert_eq!(cfg.total_bytes(), base.total_bytes(), "{}", cfg.name);
         }
     }

@@ -110,7 +110,10 @@ impl VaultController {
     /// cycle).
     #[must_use]
     pub fn stats(&self) -> MemStats {
-        MemStats { elapsed_cycles: self.now, ..self.stats }
+        MemStats {
+            elapsed_cycles: self.now,
+            ..self.stats
+        }
     }
 
     /// Enqueues a transaction.
@@ -130,7 +133,11 @@ impl VaultController {
         if !self.can_accept() {
             return Err(QueueFullError { vault: self.vault });
         }
-        let len = if req.kind == RequestKind::Write { req.data.len() } else { req.len };
+        let len = if req.kind == RequestKind::Write {
+            req.data.len()
+        } else {
+            req.len
+        };
         let granule = self.cfg.request_granule() as u64;
         assert!(
             (req.addr % granule) + len as u64 <= granule,
@@ -146,7 +153,12 @@ impl VaultController {
             "request at {:#x} routed to vault {} but maps to vault {}",
             req.addr, self.vault, decoded.vault
         );
-        self.queue.push_back(Txn { req, decoded, enqueued: self.now, caused_act: false });
+        self.queue.push_back(Txn {
+            req,
+            decoded,
+            enqueued: self.now,
+            caused_act: false,
+        });
         Ok(())
     }
 
@@ -201,6 +213,78 @@ impl VaultController {
         }
 
         self.schedule(storage);
+    }
+
+    /// A sound lower bound on the next cycle at which this vault can do
+    /// anything: retire a completion, make refresh progress, or issue a
+    /// DRAM command. Returns `None` only when the vault will never act
+    /// again without new input — which cannot happen here, because
+    /// refresh fires unconditionally every tREFI, so the result is
+    /// always `Some`.
+    ///
+    /// "Sound lower bound" means the vault is guaranteed idle on every
+    /// cycle in `(now, next_event)`; waking early is harmless (the tick
+    /// is a no-op), waking late would change simulated behaviour. The
+    /// estimate deliberately over-approximates readiness: it ignores the
+    /// one-command-per-cycle limit and the FR-FCFS older-conflict rule,
+    /// both of which only make a candidate cycle *early*, never late.
+    #[must_use]
+    pub fn next_event(&self, storage: &Storage) -> Option<Cycle> {
+        let now = self.now;
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            let c = c.max(now + 1);
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        };
+        // Completions retire when their cycle matures, even mid-refresh.
+        for done in &self.completions {
+            consider(done.at);
+        }
+        if now < self.refresh_until {
+            // The whole vault is blocked; nothing issues earlier.
+            consider(self.refresh_until);
+        } else if self.refresh_pending {
+            // Working toward refresh: one precharge per cycle, or
+            // waiting out tRAS/tWR. The window is tightly bounded, so
+            // step through it.
+            consider(now + 1);
+        } else {
+            // Refresh fires every tREFI regardless of load (the counter
+            // must match a cycle-by-cycle run exactly).
+            consider(self.next_refresh);
+            for txn in &self.queue {
+                if !self.fe_permits(storage, &txn.req) {
+                    // Blocked on the full-empty bit. Only a column issued
+                    // by this vault (the partner transaction, which has
+                    // its own candidate below) or the host can flip it,
+                    // so this transaction contributes no event. Exactly
+                    // one side of a load/store pair is permitted at any
+                    // time, so the pair always produces a candidate.
+                    continue;
+                }
+                let bank = &self.banks[txn.decoded.bank];
+                consider(match bank.open_row() {
+                    Some(row) if row == txn.decoded.row => bank.earliest_column(),
+                    Some(_) => bank.earliest_precharge(),
+                    None => bank.earliest_activate(),
+                });
+            }
+        }
+        next
+    }
+
+    /// Jumps the vault's clock to `to`, replaying the per-cycle counters
+    /// that `to - now` idle ticks would have accumulated. Callers must
+    /// have established (via [`next_event`](Self::next_event)) that every
+    /// skipped cycle is a no-op; the queue/completion occupancy is
+    /// constant across such a window, so the busy-cycle counter advances
+    /// linearly.
+    pub fn skip_to(&mut self, to: Cycle) {
+        debug_assert!(to >= self.now);
+        if !self.queue.is_empty() || !self.completions.is_empty() {
+            self.stats.busy_cycles += to - self.now;
+        }
+        self.now = to;
     }
 
     fn try_start_refresh(&mut self) -> bool {
@@ -340,8 +424,8 @@ impl VaultController {
         let col = self.cfg.col_bytes as u64;
         let cols = ((txn.req.addr % col) + len).div_ceil(col).max(1);
         let last_cmd = now + (cols - 1) * timing.t_ccd();
-        let data_start = (last_cmd + timing.t_cl())
-            .max(self.bus_free_at + (cols - 1) * self.cfg.burst_cycles);
+        let data_start =
+            (last_cmd + timing.t_cl()).max(self.bus_free_at + (cols - 1) * self.cfg.burst_cycles);
         let burst_end = data_start + self.cfg.burst_cycles;
         self.bus_free_at = burst_end;
         self.banks[txn.decoded.bank].column_issued(last_cmd, &timing);
@@ -430,7 +514,10 @@ mod tests {
                 break;
             }
         }
-        assert!(vc.is_idle(), "controller did not drain within {limit} cycles");
+        assert!(
+            vc.is_idle(),
+            "controller did not drain within {limit} cycles"
+        );
         out
     }
 
@@ -557,7 +644,10 @@ mod tests {
         let out = run_until_idle(&mut vc, &mut storage, 2000);
         assert_eq!(out.len(), 2);
         let load = out.iter().find(|r| r.id == 1).unwrap();
-        assert_eq!(u64::from_le_bytes(load.data.clone().try_into().unwrap()), 0xabcd);
+        assert_eq!(
+            u64::from_le_bytes(load.data.clone().try_into().unwrap()),
+            0xabcd
+        );
         assert!(!storage.is_full(128), "load consumed the full bit");
     }
 
@@ -580,7 +670,8 @@ mod tests {
         let depth = cfg.trans_queue_depth;
         let mut vc = VaultController::new(0, cfg);
         for i in 0..depth {
-            vc.enqueue(MemRequest::read(i as u64, (i * 32) as u64, 32)).unwrap();
+            vc.enqueue(MemRequest::read(i as u64, (i * 32) as u64, 32))
+                .unwrap();
         }
         assert!(vc.enqueue(MemRequest::read(99, 0, 32)).is_err());
     }

@@ -5,6 +5,7 @@ use crate::controller::VaultController;
 use crate::req::{MemRequest, MemResponse, QueueFullError};
 use crate::stats::MemStats;
 use crate::storage::Storage;
+use crate::Cycle;
 
 /// The complete HMC-style memory stack (§III-C): all vault controllers
 /// plus the shared execution-driven backing store.
@@ -33,7 +34,11 @@ impl Hmc {
         let vaults = (0..cfg.vaults)
             .map(|v| VaultController::new(v, cfg.clone()))
             .collect();
-        Hmc { cfg, storage: Storage::new(), vaults }
+        Hmc {
+            cfg,
+            storage: Storage::new(),
+            vaults,
+        }
     }
 
     /// The configuration this stack was built with.
@@ -89,6 +94,25 @@ impl Hmc {
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.vaults.iter().all(VaultController::is_idle)
+    }
+
+    /// A sound lower bound on the next cycle any vault can act (see
+    /// [`VaultController::next_event`]). Always `Some`: refresh fires
+    /// every tREFI even when the stack is idle.
+    #[must_use]
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.vaults
+            .iter()
+            .filter_map(|v| v.next_event(&self.storage))
+            .min()
+    }
+
+    /// Jumps every vault's clock to `to`, replaying per-cycle counters
+    /// (see [`VaultController::skip_to`]).
+    pub fn skip_to(&mut self, to: Cycle) {
+        for vault in &mut self.vaults {
+            vault.skip_to(to);
+        }
     }
 
     /// Zero-time host read (initialization / result extraction).
@@ -153,7 +177,8 @@ mod tests {
         for v in 0..cfg.vaults {
             let addr = cfg.vault_base(v);
             hmc.host_write(addr, &[v as u8; 32]);
-            hmc.enqueue(v, MemRequest::read(v as u64, addr, 32)).unwrap();
+            hmc.enqueue(v, MemRequest::read(v as u64, addr, 32))
+                .unwrap();
         }
         let mut responses = Vec::new();
         for _ in 0..500 {

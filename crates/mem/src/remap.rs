@@ -54,7 +54,10 @@ impl BitShuffle {
     /// The identity shuffle.
     #[must_use]
     pub fn identity() -> Self {
-        BitShuffle { perm: Vec::new(), low_bits: 0 }
+        BitShuffle {
+            perm: Vec::new(),
+            low_bits: 0,
+        }
     }
 
     /// The shuffle that converts VIP's logical vault-high addresses into
@@ -103,7 +106,10 @@ impl BitShuffle {
         for (i, &p) in self.perm.iter().enumerate() {
             inv[p as usize] = i as u32;
         }
-        BitShuffle { perm: inv, low_bits: self.low_bits }
+        BitShuffle {
+            perm: inv,
+            low_bits: self.low_bits,
+        }
     }
 }
 
@@ -156,7 +162,14 @@ mod tests {
         let offset_bits = (cfg.col_bytes as u64).trailing_zeros();
         let shuffle = BitShuffle::vault_high_to_low(vault_bits, total_bits, offset_bits);
 
-        for logical in [0u64, 32, 4096, 256 << 20, (256 << 20) + 64, 5 * (256 << 20) + 997 * 32] {
+        for logical in [
+            0u64,
+            32,
+            4096,
+            256 << 20,
+            (256 << 20) + 64,
+            5 * (256 << 20) + 997 * 32,
+        ] {
             let high = AddressMapping::VaultRowBankCol.decode(&cfg, logical);
             let low = AddressMapping::LowInterleave.decode(&cfg, shuffle.apply(logical));
             assert_eq!(high.vault, low.vault, "addr {logical:#x}");

@@ -52,14 +52,26 @@ impl MemRequest {
     /// A read of `len` bytes at `addr`.
     #[must_use]
     pub fn read(id: ReqId, addr: u64, len: usize) -> Self {
-        MemRequest { id, kind: RequestKind::Read, addr, len, data: Vec::new() }
+        MemRequest {
+            id,
+            kind: RequestKind::Read,
+            addr,
+            len,
+            data: Vec::new(),
+        }
     }
 
     /// A write of `data` at `addr`.
     #[must_use]
     pub fn write(id: ReqId, addr: u64, data: Vec<u8>) -> Self {
         let len = data.len();
-        MemRequest { id, kind: RequestKind::Write, addr, len, data }
+        MemRequest {
+            id,
+            kind: RequestKind::Write,
+            addr,
+            len,
+            data,
+        }
     }
 
     /// A full-empty load of the 8-byte word at `addr` (must be 8-byte
@@ -67,7 +79,13 @@ impl MemRequest {
     #[must_use]
     pub fn fe_load(id: ReqId, addr: u64) -> Self {
         debug_assert_eq!(addr % 8, 0, "full-empty accesses are word-aligned");
-        MemRequest { id, kind: RequestKind::FeLoad, addr, len: 8, data: Vec::new() }
+        MemRequest {
+            id,
+            kind: RequestKind::FeLoad,
+            addr,
+            len: 8,
+            data: Vec::new(),
+        }
     }
 
     /// A full-empty store of `value` to the 8-byte word at `addr`.

@@ -118,8 +118,16 @@ mod tests {
 
     #[test]
     fn merge_adds_counters_and_maxes_time() {
-        let mut a = MemStats { reads: 1, elapsed_cycles: 10, ..MemStats::default() };
-        let b = MemStats { reads: 2, elapsed_cycles: 5, ..MemStats::default() };
+        let mut a = MemStats {
+            reads: 1,
+            elapsed_cycles: 10,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            reads: 2,
+            elapsed_cycles: 5,
+            ..MemStats::default()
+        };
         a.merge(&b);
         assert_eq!(a.reads, 3);
         assert_eq!(a.elapsed_cycles, 10);

@@ -17,7 +17,12 @@ impl Direction {
     /// All four directions.
     #[must_use]
     pub fn all() -> [Direction; 4] {
-        [Direction::XPlus, Direction::XMinus, Direction::YPlus, Direction::YMinus]
+        [
+            Direction::XPlus,
+            Direction::XMinus,
+            Direction::YPlus,
+            Direction::YMinus,
+        ]
     }
 
     /// Index 0..4, for dense per-router link arrays.

@@ -27,7 +27,13 @@ impl TorusConfig {
     /// 3-cycle hops.
     #[must_use]
     pub fn vip() -> Self {
-        TorusConfig { width: 8, height: 4, hop_latency: 3, flit_bytes: 8, header_flits: 1 }
+        TorusConfig {
+            width: 8,
+            height: 4,
+            hop_latency: 3,
+            flit_bytes: 8,
+            header_flits: 1,
+        }
     }
 
     /// Number of router nodes.
@@ -174,7 +180,13 @@ impl<T> Torus<T> {
         self.stats.packets += 1;
         self.stats.flits += flits;
         self.flights.push(Flight {
-            packet: Packet { src, dst, payload_bytes, payload, injected_at: self.now },
+            packet: Packet {
+                src,
+                dst,
+                payload_bytes,
+                payload,
+                injected_at: self.now,
+            },
             at: self.cfg.coords(src),
             ready_at: self.now + flits,
             flits,
@@ -203,8 +215,7 @@ impl<T> Torus<T> {
                         self.eject_busy[node] = self.now + self.flights[i].flits;
                         let flight = self.flights.swap_remove(i);
                         self.stats.delivered += 1;
-                        self.stats.total_latency_cycles +=
-                            self.now - flight.packet.injected_at;
+                        self.stats.total_latency_cycles += self.now - flight.packet.injected_at;
                         self.delivered.push_back((node, flight.packet));
                         continue; // do not advance i: swap_remove
                     }
@@ -225,6 +236,52 @@ impl<T> Torus<T> {
                 }
             }
         }
+    }
+
+    /// First cycle at which `node`'s injection port frees up (equals a
+    /// past cycle when it is already free).
+    #[must_use]
+    pub fn inject_ready_at(&self, node: usize) -> Cycle {
+        self.inject_busy[node]
+    }
+
+    /// A sound lower bound on the next cycle any in-flight packet can
+    /// make progress: its pipeline latency matures, or the link/ejection
+    /// port it is blocked on frees up. `None` when nothing is in flight.
+    ///
+    /// Called after [`tick`](Self::tick); a flight processed this cycle
+    /// is either waiting (`ready_at > now`) or was blocked by a busy
+    /// resource whose free-time is strictly in the future.
+    #[must_use]
+    pub fn next_event(&self) -> Option<Cycle> {
+        let dims = (self.cfg.width, self.cfg.height);
+        let mut next: Option<Cycle> = None;
+        for flight in &self.flights {
+            let c = if flight.ready_at > self.now {
+                flight.ready_at
+            } else {
+                match next_hop(flight.at, self.cfg.coords(flight.packet.dst), dims) {
+                    None => self.eject_busy[flight.packet.dst],
+                    Some((dir, _)) => {
+                        let node = flight.at.1 * self.cfg.width + flight.at.0;
+                        self.link_busy[node * 4 + dir.index()]
+                    }
+                }
+            };
+            let c = c.max(self.now + 1);
+            next = Some(next.map_or(c, |n| n.min(c)));
+        }
+        next
+    }
+
+    /// Jumps the network clock to `to`. Callers must have established
+    /// (via [`next_event`](Self::next_event)) that no flight can move on
+    /// any skipped cycle; blocked movement attempts mutate nothing, so
+    /// only the clock and its statistics mirror need updating.
+    pub fn skip_to(&mut self, to: Cycle) {
+        debug_assert!(to >= self.now);
+        self.now = to;
+        self.stats.elapsed_cycles = to;
     }
 
     /// Pops the oldest delivered packet, with the node it arrived at.
@@ -248,7 +305,11 @@ impl<T> Torus<T> {
     /// Hop distance between two nodes under this geometry.
     #[must_use]
     pub fn hops_between(&self, a: usize, b: usize) -> usize {
-        hop_count(self.cfg.coords(a), self.cfg.coords(b), (self.cfg.width, self.cfg.height))
+        hop_count(
+            self.cfg.coords(a),
+            self.cfg.coords(b),
+            (self.cfg.width, self.cfg.height),
+        )
     }
 }
 

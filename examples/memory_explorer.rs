@@ -16,7 +16,11 @@ fn stream_bandwidth(cfg: MemConfig, n: u64) -> f64 {
     let mut responses = Vec::new();
     let mut done = 0;
     while done < n {
-        if issued < n && hmc.enqueue(0, MemRequest::read(issued, issued * 32, 32)).is_ok() {
+        if issued < n
+            && hmc
+                .enqueue(0, MemRequest::read(issued, issued * 32, 32))
+                .is_ok()
+        {
             issued += 1;
         }
         hmc.tick(&mut responses);
@@ -27,14 +31,21 @@ fn stream_bandwidth(cfg: MemConfig, n: u64) -> f64 {
 
 fn main() {
     println!("single-vault streaming bandwidth under the Figure 5 presets:\n");
-    println!("{:<14} {:>12} {:>10} {:>10}", "config", "GB/s/vault", "row hits", "refreshes");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "config", "GB/s/vault", "row hits", "refreshes"
+    );
     for cfg in MemConfig::figure5_sweep() {
         let name = cfg.name;
         let mut hmc = Hmc::new(cfg.clone());
         let mut responses = Vec::new();
         let (mut issued, mut done) = (0u64, 0u64);
         while done < 512 {
-            if issued < 512 && hmc.enqueue(0, MemRequest::read(issued, issued * 32, 32)).is_ok() {
+            if issued < 512
+                && hmc
+                    .enqueue(0, MemRequest::read(issued, issued * 32, 32))
+                    .is_ok()
+            {
                 issued += 1;
             }
             hmc.tick(&mut responses);

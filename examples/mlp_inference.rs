@@ -16,7 +16,11 @@ use vip_kernels::cnn::FcLayer;
 use vip_kernels::mlp::{self, FcLayout};
 
 fn main() {
-    let layer = FcLayer { name: "fc-demo", inputs: 1024, outputs: 64 };
+    let layer = FcLayer {
+        name: "fc-demo",
+        inputs: 1024,
+        outputs: 64,
+    };
     println!(
         "fully-connected layer: {} -> {} ({} MACs)",
         layer.inputs,
@@ -26,9 +30,12 @@ fn main() {
 
     // Pseudo-random weights stand in for trained parameters (DESIGN.md
     // substitution #5): inference cost is weight-value-independent.
-    let input: Vec<i16> = (0..layer.inputs).map(|i| ((i * 5 + 1) % 9) as i16 - 4).collect();
-    let weights: Vec<i16> =
-        (0..layer.inputs * layer.outputs).map(|i| ((i * 11 + 7) % 13) as i16 - 6).collect();
+    let input: Vec<i16> = (0..layer.inputs)
+        .map(|i| ((i * 5 + 1) % 9) as i16 - 4)
+        .collect();
+    let weights: Vec<i16> = (0..layer.inputs * layer.outputs)
+        .map(|i| ((i * 11 + 7) % 13) as i16 - 6)
+        .collect();
     let bias: Vec<i16> = (0..layer.outputs).map(|i| (i as i16 % 17) - 8).collect();
 
     let layout = FcLayout {
@@ -50,12 +57,18 @@ fn main() {
     let expect = mlp::fc_forward(&layer, &input, &weights, &bias, true);
     assert_eq!(got, expect, "simulated output matches the golden reference");
 
-    println!("completed in {cycles} cycles ({:.3} ms)", cycles_to_ms(cycles));
+    println!(
+        "completed in {cycles} cycles ({:.3} ms)",
+        cycles_to_ms(cycles)
+    );
     println!("first outputs: {:?}", &got[..8]);
 
     let stats = sys.stats();
     let p = stats.roofline();
-    println!("arithmetic intensity: {:.2} Op/B (weight-streaming bound)", p.arithmetic_intensity());
+    println!(
+        "arithmetic intensity: {:.2} Op/B (weight-streaming bound)",
+        p.arithmetic_intensity()
+    );
     println!("achieved {:.1} GOp/s on one vault", p.gops());
 
     // Where does 16-bit dynamic fixed point deviate from wide math?

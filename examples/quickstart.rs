@@ -57,16 +57,16 @@ fn main() {
     // --- Point the registers at the data ------------------------------
     sys.load_program(0, &program);
     for (reg, val) in [
-        (7u8, 0x000u64),  // theta
-        (8, 0x100),       // m_left
-        (9, 0x200),       // m_right
-        (16, 0x400),      // smoothness
-        (14, 0x600),      // output
-        (10, 512),        // scratchpad address for the result
-        (11, 544),        // scratchpad: theta-hat
-        (12, 576),        // scratchpad: m_left
-        (13, 608),        // scratchpad: m_right
-        (61, L as u64),   // vector length
+        (7u8, 0x000u64), // theta
+        (8, 0x100),      // m_left
+        (9, 0x200),      // m_right
+        (16, 0x400),     // smoothness
+        (14, 0x600),     // output
+        (10, 512),       // scratchpad address for the result
+        (11, 544),       // scratchpad: theta-hat
+        (12, 576),       // scratchpad: m_left
+        (13, 608),       // scratchpad: m_right
+        (61, L as u64),  // vector length
         (62, (L * L) as u64),
     ] {
         sys.set_reg(0, Reg::new(reg), val);

@@ -44,7 +44,10 @@ fn main() {
     let got = layout.read_messages(sys.hmc(), true);
     assert_eq!(got.from_above, expect.from_above, "bit-exact vs golden");
     let depth = bp::labels(&mrf, &got);
-    println!("\nsimulated {cycles} cycles ({:.3} ms at 1.25 GHz); output verified", cycles_to_ms(cycles));
+    println!(
+        "\nsimulated {cycles} cycles ({:.3} ms at 1.25 GHz); output verified",
+        cycles_to_ms(cycles)
+    );
 
     // Render the disparity map.
     let shades: &[u8] = b" .:-=+*#%@";

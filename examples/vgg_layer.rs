@@ -16,7 +16,9 @@ use vip_core::{cycles_to_ms, System, SystemConfig};
 use vip_kernels::cnn::{self, conv_tile_programs, ConvLayer, ConvLayout, ConvMode};
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
-    (0..n).map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset).collect()
+    (0..n)
+        .map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset)
+        .collect()
 }
 
 fn main() {
@@ -41,7 +43,13 @@ fn main() {
     );
 
     let input_raw = pattern(layer.width * layer.height * layer.in_channels, 1, 5);
-    let input = cnn::pad_input(layer.width, layer.height, layer.in_channels, layer.pad, &input_raw);
+    let input = cnn::pad_input(
+        layer.width,
+        layer.height,
+        layer.in_channels,
+        layer.pad,
+        &input_raw,
+    );
     let weights = pattern(layer.weights(), 1, 3);
     let bias = pattern(layer.out_channels, 1, 2);
 
@@ -72,15 +80,30 @@ fn main() {
     let expect = cnn::conv_forward(&layer, &input, &weights, &bias, true);
     let got = layout.read_output(sys.hmc());
     assert_eq!(
-        cnn::unpad_output(layer.width, layer.height, layer.out_channels, layer.pad, &got),
-        cnn::unpad_output(layer.width, layer.height, layer.out_channels, layer.pad, &expect),
+        cnn::unpad_output(
+            layer.width,
+            layer.height,
+            layer.out_channels,
+            layer.pad,
+            &got
+        ),
+        cnn::unpad_output(
+            layer.width,
+            layer.height,
+            layer.out_channels,
+            layer.pad,
+            &expect
+        ),
     );
     println!("output verified against the golden convolution");
 
     let stats = sys.stats();
     let point = stats.roofline();
     println!("\ntile: {cycles} cycles ({:.3} ms)", cycles_to_ms(cycles));
-    println!("arithmetic intensity: {:.2} Op/B", point.arithmetic_intensity());
+    println!(
+        "arithmetic intensity: {:.2} Op/B",
+        point.arithmetic_intensity()
+    );
     println!("achieved: {:.1} GOp/s on one vault", point.gops());
 
     // Extrapolate to the full c2_1 layer on 32 vaults (§V-A).

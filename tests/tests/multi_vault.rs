@@ -37,7 +37,10 @@ fn remote_vault_access_through_the_torus() {
     assert_eq!(sys.hmc().host_read_u64(remote_addr), 0xfeed_beef);
     assert_eq!(sys.hmc().host_read_u64(0x40), 0xfeed_beef);
     let noc = sys.stats().noc;
-    assert!(noc.packets >= 4, "requests and responses crossed the network");
+    assert!(
+        noc.packets >= 4,
+        "requests and responses crossed the network"
+    );
 }
 
 #[test]
@@ -163,5 +166,8 @@ fn bp_iteration_with_eight_pes_across_two_vaults() {
     assert_eq!(got.from_right, expect.from_right);
 
     // Remote traffic really happened.
-    assert!(sys.stats().noc.packets > 1000, "vault 1's PEs worked remotely");
+    assert!(
+        sys.stats().noc.packets > 1000,
+        "vault 1's PEs worked remotely"
+    );
 }

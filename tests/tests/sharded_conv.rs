@@ -5,13 +5,14 @@
 
 use vip_core::{System, SystemConfig};
 use vip_kernels::cnn::{
-    self, accumulate_program, conv_tile_programs, AccumulateLayout, ConvLayer, ConvLayout,
-    ConvMode,
+    self, accumulate_program, conv_tile_programs, AccumulateLayout, ConvLayer, ConvLayout, ConvMode,
 };
 use vip_kernels::sync::{bytes_to_i16s, i16s_to_bytes};
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
-    (0..n).map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset).collect()
+    (0..n)
+        .map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset)
+        .collect()
 }
 
 #[test]
@@ -25,13 +26,19 @@ fn shards_on_two_vaults_accumulate_remotely() {
         kernel: 3,
         pad: 1,
     };
-    let shard = ConvLayer { in_channels: 4, ..full };
+    let shard = ConvLayer {
+        in_channels: 4,
+        ..full
+    };
     let input_full = pattern(8 * 4 * 8, 1, 5);
     let weights_full = pattern(full.weights(), 1, 3);
     let bias = pattern(4, 2, 4);
 
     let split = |lo: usize, per_px: &[i16], stride: usize| -> Vec<i16> {
-        per_px.chunks(stride).flat_map(|px| px[lo..lo + 4].to_vec()).collect()
+        per_px
+            .chunks(stride)
+            .flat_map(|px| px[lo..lo + 4].to_vec())
+            .collect()
     };
     let in_shards = [split(0, &input_full, 8), split(4, &input_full, 8)];
     let w_shards = [split(0, &weights_full, 8), split(4, &weights_full, 8)];
@@ -57,13 +64,14 @@ fn shards_on_two_vaults_accumulate_remotely() {
         };
         partial_bases.push(layout.output_base);
         let padded = cnn::pad_input(8, 4, 4, 1, inp);
-        layout.load_into(sys.hmc_mut(), &padded, w, &vec![0; 4]);
+        layout.load_into(sys.hmc_mut(), &padded, w, &[0; 4]);
         for (i, p) in conv_tile_programs(&layout, 4).iter().enumerate() {
             sys.load_program(s * 4 + i, p);
         }
         layouts.push(layout);
     }
-    sys.run(30_000_000).expect("both shards complete in parallel");
+    sys.run(30_000_000)
+        .expect("both shards complete in parallel");
 
     // Accumulation on vault 0's PEs: one partial is remote.
     let acc = AccumulateLayout {
@@ -72,8 +80,10 @@ fn shards_on_two_vaults_accumulate_remotely() {
         bias_row_base: 0x40_0100,
         output_base: 0x50_0200,
     };
-    sys.hmc_mut()
-        .host_write(acc.bias_row_base, &i16s_to_bytes(&cnn::replicate_bias(&full, &bias)));
+    sys.hmc_mut().host_write(
+        acc.bias_row_base,
+        &i16s_to_bytes(&cnn::replicate_bias(&full, &bias)),
+    );
     for (i, p) in accumulate_program(&acc, 4).iter().enumerate() {
         sys.load_program(i, p);
     }
@@ -85,8 +95,16 @@ fn shards_on_two_vaults_accumulate_remotely() {
     );
 
     // Golden sharded pipeline.
-    let p0 = cnn::conv_partial(&shard, &cnn::pad_input(8, 4, 4, 1, &in_shards[0]), &w_shards[0]);
-    let p1 = cnn::conv_partial(&shard, &cnn::pad_input(8, 4, 4, 1, &in_shards[1]), &w_shards[1]);
+    let p0 = cnn::conv_partial(
+        &shard,
+        &cnn::pad_input(8, 4, 4, 1, &in_shards[0]),
+        &w_shards[0],
+    );
+    let p1 = cnn::conv_partial(
+        &shard,
+        &cnn::pad_input(8, 4, 4, 1, &in_shards[1]),
+        &w_shards[1],
+    );
     let expect = cnn::relu_bias_sum(&full, &[&p0, &p1], &bias, true);
     let n = cnn::padded_len(8, 4, 4, 1) * 2;
     let got = bytes_to_i16s(&sys.hmc().host_read(acc.output_base, n));

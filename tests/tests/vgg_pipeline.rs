@@ -10,7 +10,9 @@ use vip_kernels::cnn::{
 use vip_kernels::mlp::{self, FcLayout};
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
-    (0..n).map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset).collect()
+    (0..n)
+        .map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset)
+        .collect()
 }
 
 #[test]
@@ -26,8 +28,17 @@ fn conv_pool_fc_pipeline_matches_golden() {
         kernel: 3,
         pad: 1,
     };
-    let pool_layer = PoolLayer { name: "pool", channels: 8, width: 8, height: 8 };
-    let fc_layer = FcLayer { name: "fc", inputs: 256, outputs: 16 };
+    let pool_layer = PoolLayer {
+        name: "pool",
+        channels: 8,
+        width: 8,
+        height: 8,
+    };
+    let fc_layer = FcLayer {
+        name: "fc",
+        inputs: 256,
+        outputs: 16,
+    };
 
     let image = pattern(8 * 8 * 8, 1, 5);
     let conv_w = pattern(conv_layer.weights(), 1, 3);
