@@ -79,7 +79,7 @@ mod vector;
 pub use arc::ArcTable;
 pub use config::SystemConfig;
 pub use lsu::LoadStoreUnit;
-pub use pe::{Pe, StallReason, TraceEvent};
+pub use pe::{Pe, PeArchState, StallReason, TraceEvent};
 pub use scalar::ScalarRegs;
 pub use scratchpad::Scratchpad;
 pub use stats::{PeStats, RooflinePoint, SystemStats};

@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use vip_isa::Reg;
+use vip_isa::{Reg, Trap};
 use vip_mem::{MemRequest, MemResponse, ReqId, RequestKind};
 
 use crate::arc::ArcId;
@@ -182,11 +182,9 @@ impl LoadStoreUnit {
     ///
     /// Panics if `dram` is not 8-byte aligned.
     pub fn push_load_reg(&mut self, dram: u64, rd: Reg, full_empty: bool) {
-        assert_eq!(
-            dram % 8,
-            0,
-            "ld.reg address {dram:#x} is not 8-byte aligned"
-        );
+        if let Err(trap) = Trap::check_reg_addr(dram) {
+            panic!("ld.reg: {trap}");
+        }
         let kind = if full_empty {
             RequestKind::FeLoad
         } else {
@@ -212,11 +210,9 @@ impl LoadStoreUnit {
     ///
     /// Panics if `dram` is not 8-byte aligned.
     pub fn push_store_reg(&mut self, dram: u64, value: u64, full_empty: bool) {
-        assert_eq!(
-            dram % 8,
-            0,
-            "st.reg address {dram:#x} is not 8-byte aligned"
-        );
+        if let Err(trap) = Trap::check_reg_addr(dram) {
+            panic!("st.reg: {trap}");
+        }
         let kind = if full_empty {
             RequestKind::FeStore
         } else {

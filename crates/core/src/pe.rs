@@ -1,7 +1,7 @@
 //! The VIP processing engine: front end, issue logic, and functional
 //! execution.
 
-use vip_isa::{alu, ElemType, Instruction, Program, Reg, VerticalOp};
+use vip_isa::{alu, ElemType, Instruction, Program, Reg, Trap, VerticalOp};
 use vip_mem::{MemRequest, MemResponse};
 
 use crate::arc::ArcTable;
@@ -71,6 +71,19 @@ enum IssueState {
     Stalled(StallReason),
     /// Stalled until a locally-known cycle.
     StalledUntil(StallReason, Cycle),
+}
+
+/// A PE's architectural (ISA-visible) state, as extracted by
+/// [`Pe::arch_state`] after the system quiesces. The cycle-level model
+/// and the `vip-ref` architectural interpreter must agree on every field
+/// for every program — that is the conformance contract the differential
+/// fuzzer checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeArchState {
+    /// All 64 scalar registers.
+    pub regs: [u64; vip_isa::NUM_REGS],
+    /// The full scratchpad image.
+    pub scratchpad: Vec<u8>,
 }
 
 /// One retired-instruction trace record (see [`Pe::enable_trace`]).
@@ -229,6 +242,28 @@ impl Pe {
     #[must_use]
     pub fn stats(&self) -> &PeStats {
         &self.stats
+    }
+
+    /// Snapshot of this PE's architectural state: all 64 scalar registers
+    /// and the full scratchpad image.
+    ///
+    /// Meaningful once the PE has quiesced (no register fills in flight);
+    /// the differential conformance harness compares it against the
+    /// architectural interpreter in `vip-ref`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any register still has a fill in flight.
+    #[must_use]
+    pub fn arch_state(&self) -> PeArchState {
+        let mut regs = [0u64; vip_isa::NUM_REGS];
+        for r in Reg::all() {
+            regs[r.index()] = self.regs.read(r);
+        }
+        PeArchState {
+            regs,
+            scratchpad: self.sp.read(0, self.sp.len()),
+        }
     }
 
     /// Applies a memory completion.
@@ -727,10 +762,9 @@ impl Pe {
             .arc
             .insert(sp, len)
             .expect("issue_state checked for a free ARC entry");
-        assert!(
-            sp + len <= self.sp.len(),
-            "ld.sram destination out of scratchpad"
-        );
+        if let Err(trap) = Trap::check_sp_range(sp, len, self.sp.len()) {
+            panic!("ld.sram: {trap}");
+        }
         self.lsu.push_load_sram(dram, sp, len, arc_id);
         self.retire_ldst();
     }

@@ -1,5 +1,7 @@
 //! The PE's 4 KiB SRAM scratchpad.
 
+use vip_isa::Trap;
+
 /// The scratchpad that replaces a vector register file in VIP's vector
 /// memory-memory paradigm (§III-A/B).
 ///
@@ -45,12 +47,9 @@ impl Scratchpad {
     /// expected to stay in bounds, so this is a codegen bug.
     #[must_use]
     pub fn slice(&self, addr: usize, len: usize) -> &[u8] {
-        assert!(
-            addr + len <= self.data.len(),
-            "scratchpad access [{addr}, {}) exceeds {} bytes",
-            addr + len,
-            self.data.len()
-        );
+        if let Err(trap) = Trap::check_sp_range(addr, len, self.data.len()) {
+            panic!("{trap}");
+        }
         &self.data[addr..addr + len]
     }
 
@@ -61,12 +60,9 @@ impl Scratchpad {
     /// Panics if the range exceeds the scratchpad.
     #[must_use]
     pub fn slice_mut(&mut self, addr: usize, len: usize) -> &mut [u8] {
-        assert!(
-            addr + len <= self.data.len(),
-            "scratchpad access [{addr}, {}) exceeds {} bytes",
-            addr + len,
-            self.data.len()
-        );
+        if let Err(trap) = Trap::check_sp_range(addr, len, self.data.len()) {
+            panic!("{trap}");
+        }
         &mut self.data[addr..addr + len]
     }
 

@@ -1,6 +1,6 @@
 //! Vector-unit configuration and timing state.
 
-use vip_isa::ElemType;
+use vip_isa::{ElemType, Trap};
 
 use crate::Cycle;
 
@@ -52,7 +52,9 @@ impl VectorUnit {
     /// Panics if `vl` is zero (programs must configure a positive
     /// length).
     pub fn set_vl(&mut self, vl: usize) {
-        assert!(vl > 0, "set.vl of 0");
+        if let Err(trap) = Trap::check_vl(vl) {
+            panic!("{trap}");
+        }
         self.vl = vl;
     }
 
@@ -62,7 +64,9 @@ impl VectorUnit {
     ///
     /// Panics if `mr` is zero.
     pub fn set_mr(&mut self, mr: usize) {
-        assert!(mr > 0, "set.mr of 0");
+        if let Err(trap) = Trap::check_mr(mr) {
+            panic!("{trap}");
+        }
         self.mr = mr;
     }
 

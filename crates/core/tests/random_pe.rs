@@ -2,13 +2,13 @@
 //! reference semantics — random scalar programs vs. a fold interpreter,
 //! random vector operations vs. `vip_isa::alu`, and random load/store
 //! sequences vs. a sequential shadow memory. Each test sweeps a fixed
-//! set of seeds through a SplitMix64 generator, so failures reproduce
-//! exactly.
+//! set of seeds through a SplitMix64 generator; failures print their
+//! seed and re-run alone under `VIP_TEST_SEED`.
 
 use vip_core::{System, SystemConfig};
 use vip_isa::alu;
 use vip_isa::{Asm, ElemType, HorizontalOp, Instruction, Program, Reg, ScalarAluOp, VerticalOp};
-use vip_rng::SplitMix64;
+use vip_rng::{for_each_seed, SplitMix64};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -41,8 +41,8 @@ fn random_scalar_op(rng: &mut SplitMix64) -> ScalarOp {
 /// direct fold over `ScalarAluOp::eval`.
 #[test]
 fn scalar_programs_match_interpreter() {
-    for case in 0..64u64 {
-        let mut rng = SplitMix64::new(0x5ca1a0 + case);
+    for_each_seed("scalar_programs_match_interpreter", 0x5ca1a0, 64, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let n = rng.usize_in(1..100);
         let ops: Vec<ScalarOp> = (0..n).map(|_| random_scalar_op(&mut rng)).collect();
         let init: Vec<u64> = (0..NREGS).map(|_| rng.next_u64()).collect();
@@ -90,17 +90,17 @@ fn scalar_programs_match_interpreter() {
         }
         sys.run(100_000).expect("straight-line program halts");
         for i in 0..NREGS {
-            assert_eq!(sys.pe(0).reg(r(i)), regs[i as usize], "case {case} r{i}");
+            assert_eq!(sys.pe(0).reg(r(i)), regs[i as usize], "r{i}");
         }
-    }
+    });
 }
 
 /// A random `v.v` operation on random scratchpad contents matches
 /// `alu::vec_vec` lane-for-lane, for every element width.
 #[test]
 fn vec_vec_matches_alu() {
-    for case in 0..64u64 {
-        let mut rng = SplitMix64::new(0xbeef + case);
+    for_each_seed("vec_vec_matches_alu", 0xbeef, 64, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let op = [
             VerticalOp::Mul,
             VerticalOp::Add,
@@ -134,19 +134,15 @@ fn vec_vec_matches_alu() {
 
         let mut expect = vec![0u8; len];
         alu::vec_vec(op, ty, &mut expect, &a, &b, vl);
-        assert_eq!(
-            sys.pe(0).scratchpad().read(2048, len),
-            expect,
-            "case {case}"
-        );
-    }
+        assert_eq!(sys.pe(0).scratchpad().read(2048, len), expect);
+    });
 }
 
 /// A random `m.v` matches `alu::mat_vec`.
 #[test]
 fn mat_vec_matches_alu() {
-    for case in 0..64u64 {
-        let mut rng = SplitMix64::new(0xa7 + case * 31);
+    for_each_seed("mat_vec_matches_alu", 0xa7, 64, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let vop = VerticalOp::all()[rng.usize_in(0..6)];
         let hop = HorizontalOp::all()[rng.usize_in(0..3)];
         let mr = rng.usize_in(1..8);
@@ -178,12 +174,8 @@ fn mat_vec_matches_alu() {
 
         let mut expect = vec![0u8; dst_len];
         alu::mat_vec(vop, hop, ty, &mut expect, &mat, &vec_, mr, vl);
-        assert_eq!(
-            sys.pe(0).scratchpad().read(3072, dst_len),
-            expect,
-            "case {case}"
-        );
-    }
+        assert_eq!(sys.pe(0).scratchpad().read(3072, dst_len), expect);
+    });
 }
 
 /// Random interleavings of `ld.sram`/`st.sram` behave like a
@@ -191,8 +183,8 @@ fn mat_vec_matches_alu() {
 /// overlap ordering make the asynchronous LSU look sequential.
 #[test]
 fn ldst_sequences_match_shadow() {
-    for case in 0..24u64 {
-        let mut rng = SplitMix64::new(0x1d57 + case);
+    for_each_seed("ldst_sequences_match_shadow", 0x1d57, 24, |seed| {
+        let mut rng = SplitMix64::new(seed);
         const SPAN: usize = 4096;
         let mut shadow_dram: Vec<u8> = (0..SPAN).map(|i| (i * 13 % 251) as u8).collect();
         let mut shadow_sp = vec![0u8; 4096];
@@ -225,15 +217,7 @@ fn ldst_sequences_match_shadow() {
         sys.load_program(0, &asm.assemble().unwrap());
         sys.run(5_000_000).expect("ld/st sequence completes");
 
-        assert_eq!(
-            sys.hmc().host_read(0, SPAN),
-            shadow_dram,
-            "case {case} dram"
-        );
-        assert_eq!(
-            sys.pe(0).scratchpad().read(0, 4096),
-            shadow_sp,
-            "case {case} sp"
-        );
-    }
+        assert_eq!(sys.hmc().host_read(0, SPAN), shadow_dram, "dram");
+        assert_eq!(sys.pe(0).scratchpad().read(0, 4096), shadow_sp, "sp");
+    });
 }

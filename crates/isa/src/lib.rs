@@ -48,6 +48,7 @@ mod encode;
 mod inst;
 mod ops;
 mod program;
+mod trap;
 mod types;
 
 pub use asm::{assemble, AsmError};
@@ -56,6 +57,7 @@ pub use encode::{DecodeError, EncodeError};
 pub use inst::Instruction;
 pub use ops::{BranchCond, HorizontalOp, ScalarAluOp, VerticalOp};
 pub use program::Program;
+pub use trap::Trap;
 pub use types::{ElemType, Reg, RegParseError, NUM_REGS};
 
 /// Capacity of a PE's instruction buffer, in instructions (§III-B).

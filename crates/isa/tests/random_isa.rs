@@ -1,12 +1,14 @@
-//! Seeded-random tests for the VIP ISA: encode/decode and
-//! display/assemble round-trips, and algebraic laws of the datapath
-//! arithmetic. Fixed SplitMix64 seeds make every failure reproducible.
+//! Seeded-random tests for the VIP ISA: four-way round-trips between
+//! in-memory instructions, encoded words, and assembly text — for every
+//! Table II instruction form and for whole generated programs — plus
+//! algebraic laws of the datapath arithmetic. Failures print their seed
+//! and re-run alone under `VIP_TEST_SEED`.
 
 use vip_isa::alu;
 use vip_isa::{
     assemble, BranchCond, ElemType, HorizontalOp, Instruction, Reg, ScalarAluOp, VerticalOp,
 };
-use vip_rng::SplitMix64;
+use vip_rng::{for_each_seed, SplitMix64};
 
 fn reg(rng: &mut SplitMix64) -> Reg {
     Reg::new(rng.below(64) as u8)
@@ -135,115 +137,165 @@ fn random_inst(rng: &mut SplitMix64) -> Instruction {
     }
 }
 
-#[test]
-fn encode_decode_roundtrip() {
-    let mut rng = SplitMix64::new(0xc0de);
-    for _ in 0..512 {
-        let inst = random_inst(&mut rng);
-        let word = inst.encode().unwrap();
-        assert_eq!(Instruction::decode(word).unwrap(), inst, "{inst}");
-    }
+/// The four-way conformance check for one instruction:
+///
+/// ```text
+/// Instruction --encode--> word --decode--> Instruction
+///      ^                                        |
+///      +-- assemble <-- text <-- Display -------+
+/// ```
+///
+/// Branches need an in-range target, so the textual leg pads the program
+/// with `nop`s up to index 1023 (the largest target `random_inst`
+/// emits) before appending the instruction under test.
+fn assert_four_way(inst: Instruction) {
+    let word = inst.encode().unwrap();
+    let decoded = Instruction::decode(word).unwrap();
+    assert_eq!(decoded, inst, "encode/decode changed {inst}");
+    let mut src = "nop\n".repeat(1023);
+    src.push_str(&decoded.to_string());
+    let p = assemble(&src).unwrap_or_else(|e| panic!("`{decoded}` does not assemble: {e}"));
+    assert_eq!(p[1023], inst, "display/assemble changed {inst}");
+    assert_eq!(p[1023].encode().unwrap(), word, "re-encode changed {inst}");
 }
 
-/// Any non-control-flow instruction's Display form re-assembles to
-/// itself (branch targets print as raw indices, which the assembler
-/// accepts too, so control flow also round-trips when in range).
 #[test]
-fn display_assemble_roundtrip() {
-    let mut rng = SplitMix64::new(0xd15a);
-    for _ in 0..64 {
-        let inst = random_inst(&mut rng);
-        // Give branches a valid target by padding with nops.
-        let mut src = String::new();
-        for _ in 0..1023 {
-            src.push_str("nop\n");
-        }
-        src.push_str(&inst.to_string());
-        let p = assemble(&src).unwrap();
-        assert_eq!(p[1023], inst);
-    }
+fn every_instruction_form_roundtrips_four_ways() {
+    for_each_seed(
+        "every_instruction_form_roundtrips_four_ways",
+        0xc0de,
+        16,
+        |seed| {
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..24 {
+                assert_four_way(random_inst(&mut rng));
+            }
+        },
+    );
+}
+
+/// Whole programs from the conformance-harness generator round-trip:
+/// per-instruction through the binary encoding, and as a complete
+/// listing through the assembler (branch targets resolve to the same
+/// indices). This pins the fuzzer's repro listings to the programs that
+/// actually ran.
+#[test]
+fn generated_programs_roundtrip_four_ways() {
+    for_each_seed(
+        "generated_programs_roundtrip_four_ways",
+        0x6e4a11,
+        32,
+        |seed| {
+            let case = vip_ref::generate(seed, &vip_ref::GenConfig::default());
+            let m = case.materialize_full();
+            for p in &m.programs {
+                let words: Vec<u64> = p.iter().map(|i| i.encode().unwrap()).collect();
+                for (&inst, &word) in p.iter().zip(&words) {
+                    assert_eq!(Instruction::decode(word).unwrap(), inst, "{inst}");
+                }
+                let listing: String = p.iter().map(|i| format!("{i}\n")).collect();
+                let q = assemble(&listing).unwrap();
+                assert_eq!(&q, p, "listing re-assembled differently");
+                let rewords: Vec<u64> = q.iter().map(|i| i.encode().unwrap()).collect();
+                assert_eq!(rewords, words);
+            }
+        },
+    );
 }
 
 #[test]
 fn vertical_saturates_into_range() {
-    let mut rng = SplitMix64::new(0x5a7);
-    for _ in 0..512 {
-        let op = vop(&mut rng);
-        let ty = elem_ty(&mut rng);
-        let a = alu::saturate(ty, rng.next_u64() as i64);
-        let b = alu::saturate(ty, rng.next_u64() as i64);
-        let r = alu::vertical(op, ty, a, b);
-        assert!(
-            r >= alu::lane_min(ty) && r <= alu::lane_max(ty),
-            "{op:?} {ty:?} {a} {b}"
-        );
-    }
+    for_each_seed("vertical_saturates_into_range", 0x5a7, 16, |seed| {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let op = vop(&mut rng);
+            let ty = elem_ty(&mut rng);
+            let a = alu::saturate(ty, rng.next_u64() as i64);
+            let b = alu::saturate(ty, rng.next_u64() as i64);
+            let r = alu::vertical(op, ty, a, b);
+            assert!(
+                r >= alu::lane_min(ty) && r <= alu::lane_max(ty),
+                "{op:?} {ty:?} {a} {b}"
+            );
+        }
+    });
 }
 
 #[test]
 fn add_and_mul_are_commutative() {
-    let mut rng = SplitMix64::new(0xc0117);
-    for _ in 0..512 {
-        let ty = elem_ty(&mut rng);
-        let a = alu::saturate(ty, rng.next_u64() as i64);
-        let b = alu::saturate(ty, rng.next_u64() as i64);
-        assert_eq!(
-            alu::vertical(VerticalOp::Add, ty, a, b),
-            alu::vertical(VerticalOp::Add, ty, b, a)
-        );
-        assert_eq!(
-            alu::vertical(VerticalOp::Mul, ty, a, b),
-            alu::vertical(VerticalOp::Mul, ty, b, a)
-        );
-    }
+    for_each_seed("add_and_mul_are_commutative", 0xc0117, 16, |seed| {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let ty = elem_ty(&mut rng);
+            let a = alu::saturate(ty, rng.next_u64() as i64);
+            let b = alu::saturate(ty, rng.next_u64() as i64);
+            assert_eq!(
+                alu::vertical(VerticalOp::Add, ty, a, b),
+                alu::vertical(VerticalOp::Add, ty, b, a)
+            );
+            assert_eq!(
+                alu::vertical(VerticalOp::Mul, ty, a, b),
+                alu::vertical(VerticalOp::Mul, ty, b, a)
+            );
+        }
+    });
 }
 
 #[test]
 fn reductions_are_order_insensitive_for_min_max() {
-    let mut rng = SplitMix64::new(0x41ed);
-    for _ in 0..64 {
-        let hop = [HorizontalOp::Min, HorizontalOp::Max][rng.usize_in(0..2)];
-        let n = rng.usize_in(1..32);
-        let mut vals: Vec<i64> = (0..n).map(|_| rng.i64_in(-1000..1000)).collect();
-        let ty = ElemType::I16;
-        let fwd = vals.iter().fold(alu::reduce_identity(hop, ty), |acc, &x| {
-            alu::reduce(hop, ty, acc, x)
-        });
-        vals.reverse();
-        let rev = vals.iter().fold(alu::reduce_identity(hop, ty), |acc, &x| {
-            alu::reduce(hop, ty, acc, x)
-        });
-        assert_eq!(fwd, rev);
-    }
+    for_each_seed(
+        "reductions_are_order_insensitive_for_min_max",
+        0x41ed,
+        16,
+        |seed| {
+            let mut rng = SplitMix64::new(seed);
+            for _ in 0..8 {
+                let hop = [HorizontalOp::Min, HorizontalOp::Max][rng.usize_in(0..2)];
+                let n = rng.usize_in(1..32);
+                let mut vals: Vec<i64> = (0..n).map(|_| rng.i64_in(-1000..1000)).collect();
+                let ty = ElemType::I16;
+                let fwd = vals.iter().fold(alu::reduce_identity(hop, ty), |acc, &x| {
+                    alu::reduce(hop, ty, acc, x)
+                });
+                vals.reverse();
+                let rev = vals.iter().fold(alu::reduce_identity(hop, ty), |acc, &x| {
+                    alu::reduce(hop, ty, acc, x)
+                });
+                assert_eq!(fwd, rev);
+            }
+        },
+    );
 }
 
 #[test]
 fn mat_vec_matches_scalar_loop() {
-    let mut rng = SplitMix64::new(0x3a7);
-    for _ in 0..64 {
-        let rows = rng.usize_in(1..6);
-        let len = rng.usize_in(1..12);
-        let vop = vop(&mut rng);
-        let hop = hop(&mut rng);
-        let ty = ElemType::I16;
-        let mut mat = vec![0u8; rows * len * 2];
-        let mut v = vec![0u8; len * 2];
-        for i in 0..rows * len {
-            alu::write_lane(&mut mat, i, ty, rng.i64_in(-100..100));
-        }
-        for i in 0..len {
-            alu::write_lane(&mut v, i, ty, rng.i64_in(-100..100));
-        }
-        let mut dst = vec![0u8; rows * 2];
-        alu::mat_vec(vop, hop, ty, &mut dst, &mat, &v, rows, len);
-        for r in 0..rows {
-            let mut acc = alu::reduce_identity(hop, ty);
-            for i in 0..len {
-                let m = alu::read_lane(&mat, r * len + i, ty);
-                let x = alu::read_lane(&v, i, ty);
-                acc = alu::reduce(hop, ty, acc, alu::vertical(vop, ty, m, x));
+    for_each_seed("mat_vec_matches_scalar_loop", 0x3a7, 16, |seed| {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..8 {
+            let rows = rng.usize_in(1..6);
+            let len = rng.usize_in(1..12);
+            let vop = vop(&mut rng);
+            let hop = hop(&mut rng);
+            let ty = ElemType::I16;
+            let mut mat = vec![0u8; rows * len * 2];
+            let mut v = vec![0u8; len * 2];
+            for i in 0..rows * len {
+                alu::write_lane(&mut mat, i, ty, rng.i64_in(-100..100));
             }
-            assert_eq!(alu::read_lane(&dst, r, ty), acc, "row {r}");
+            for i in 0..len {
+                alu::write_lane(&mut v, i, ty, rng.i64_in(-100..100));
+            }
+            let mut dst = vec![0u8; rows * 2];
+            alu::mat_vec(vop, hop, ty, &mut dst, &mat, &v, rows, len);
+            for r in 0..rows {
+                let mut acc = alu::reduce_identity(hop, ty);
+                for i in 0..len {
+                    let m = alu::read_lane(&mat, r * len + i, ty);
+                    let x = alu::read_lane(&v, i, ty);
+                    acc = alu::reduce(hop, ty, acc, alu::vertical(vop, ty, m, x));
+                }
+                assert_eq!(alu::read_lane(&dst, r, ty), acc, "row {r}");
+            }
         }
-    }
+    });
 }

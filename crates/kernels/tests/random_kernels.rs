@@ -1,10 +1,11 @@
 //! Seeded-random tests on the workload kernels' mathematical
-//! invariants. Fixed SplitMix64 seeds make every failure reproducible.
+//! invariants. Failures print their seed and re-run alone under
+//! `VIP_TEST_SEED`.
 
 use vip_kernels::bp::{self, Messages, Mrf, MrfParams, Sweep};
 use vip_kernels::cnn::{self, ConvLayer, PoolLayer};
 use vip_kernels::mlp::{self, KC};
-use vip_rng::SplitMix64;
+use vip_rng::{for_each_seed, SplitMix64};
 
 fn small_mrf(w: usize, h: usize, l: usize, seed: u64) -> Mrf {
     let costs = bp::stereo_data_costs(w, h, l, seed);
@@ -16,28 +17,24 @@ fn small_mrf(w: usize, h: usize, l: usize, seed: u64) -> Mrf {
 /// through the whole pipeline), while values stay unsaturated.
 #[test]
 fn bp_labels_are_shift_invariant() {
-    for case in 0..8u64 {
-        let mut rng = SplitMix64::new(0x5f1 + case);
+    for_each_seed("bp_labels_are_shift_invariant", 0x5f1, 8, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let shift = rng.i64_in(1..50) as i16;
         let mrf = small_mrf(16, 8, 8, rng.next_u64());
         let mut shifted = mrf.clone();
         for v in &mut shifted.data_costs {
             *v += shift;
         }
-        assert_eq!(
-            bp::run(&mrf, 2),
-            bp::run(&shifted, 2),
-            "case {case} shift {shift}"
-        );
-    }
+        assert_eq!(bp::run(&mrf, 2), bp::run(&shifted, 2), "shift {shift}");
+    });
 }
 
 /// One sweep writes exactly one plane; the other three are
 /// untouched.
 #[test]
 fn sweeps_touch_only_their_plane() {
-    for case in 0..8u64 {
-        let mut rng = SplitMix64::new(0x51e3 + case);
+    for_each_seed("sweeps_touch_only_their_plane", 0x51e3, 8, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let dir = Sweep::iteration_order()[rng.usize_in(0..4)];
         let mrf = small_mrf(16, 8, 8, rng.next_u64());
         let mut msgs = Messages::new(&mrf.params);
@@ -59,14 +56,14 @@ fn sweeps_touch_only_their_plane() {
         if dir != Sweep::Left {
             assert_eq!(&msgs.from_right, &before.from_right);
         }
-    }
+    });
 }
 
 /// Normalized messages always have element 0 equal to zero.
 #[test]
 fn normalized_messages_are_anchored() {
-    for seed in 0..8u64 {
-        let mrf = small_mrf(16, 8, 8, 0xacc0 + seed);
+    for_each_seed("normalized_messages_are_anchored", 0xacc0, 8, |seed| {
+        let mrf = small_mrf(16, 8, 8, seed);
         let mut msgs = Messages::new(&mrf.params);
         bp::iteration(&mrf, &mut msgs);
         // Interior vertices all received a normalized message.
@@ -77,15 +74,15 @@ fn normalized_messages_are_anchored() {
                 assert_eq!(msgs.from_left[at], 0);
             }
         }
-    }
+    });
 }
 
 /// Construct (2×2 pooling of costs) commutes with cost shifting by
 /// 4x the shift (it sums four vertices).
 #[test]
 fn construct_is_linear_in_shifts() {
-    for case in 0..8u64 {
-        let mut rng = SplitMix64::new(0xc075 + case);
+    for_each_seed("construct_is_linear_in_shifts", 0xc075, 8, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let shift = rng.i64_in(1..20) as i16;
         let mrf = small_mrf(16, 8, 8, rng.next_u64());
         let coarse = bp::coarse_mrf(&mrf);
@@ -97,15 +94,15 @@ fn construct_is_linear_in_shifts() {
         for (a, b) in coarse.data_costs.iter().zip(&coarse_shifted.data_costs) {
             assert_eq!(*b, a + 4 * shift);
         }
-    }
+    });
 }
 
 /// A convolution with an all-zero kernel yields exactly the bias
 /// (ReLU-clamped), regardless of input.
 #[test]
 fn zero_kernel_conv_is_bias() {
-    for case in 0..8u64 {
-        let mut rng = SplitMix64::new(0xb1a5 + case);
+    for_each_seed("zero_kernel_conv_is_bias", 0xb1a5, 8, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let bias0 = rng.i64_in(-50..50) as i16;
         let layer = ConvLayer {
             name: "t",
@@ -122,18 +119,18 @@ fn zero_kernel_conv_is_bias() {
         let out = cnn::conv_forward(&layer, &padded, &weights, &[bias0, -bias0], true);
         let inner = cnn::unpad_output(4, 4, 2, 1, &out);
         for px in inner.chunks(2) {
-            assert_eq!(px[0], bias0.max(0), "case {case}");
+            assert_eq!(px[0], bias0.max(0));
             assert_eq!(px[1], (-bias0).max(0));
         }
-    }
+    });
 }
 
 /// Max pooling never invents values: every output element equals
 /// one of its four inputs, and it selects the maximum.
 #[test]
 fn pooling_selects_existing_values() {
-    for case in 0..8u64 {
-        let mut rng = SplitMix64::new(0x9001 + case);
+    for_each_seed("pooling_selects_existing_values", 0x9001, 8, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let layer = PoolLayer {
             name: "p",
             channels: 2,
@@ -159,7 +156,7 @@ fn pooling_selects_existing_values() {
                 }
             }
         }
-    }
+    });
 }
 
 /// fc_forward with an identity-block weight matrix permutes inputs

@@ -11,7 +11,7 @@ const PAGE_BYTES: u64 = 4096;
 /// against the golden references. Untouched memory reads as zero. A
 /// sidecar set tracks the full-empty bit of each 8-byte word (§IV-A);
 /// words start *empty*.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Storage {
     pages: HashMap<u64, Box<[u8]>>,
     full_bits: HashSet<u64>,

@@ -1,9 +1,9 @@
 //! Seeded-random tests for the DRAM model: data integrity under random
-//! traffic, conservation of requests, and policy invariants. Fixed
-//! SplitMix64 seeds make every failure reproducible.
+//! traffic, conservation of requests, and policy invariants. Failures
+//! print their seed and re-run alone under `VIP_TEST_SEED`.
 
 use vip_mem::{Hmc, MemConfig, MemRequest, MemResponse};
-use vip_rng::SplitMix64;
+use vip_rng::{for_each_seed, SplitMix64};
 
 /// A randomly generated plain transaction (no full-empty).
 #[derive(Debug, Clone)]
@@ -58,8 +58,8 @@ fn drain(hmc: &mut Hmc, limit: u64) -> Vec<MemResponse> {
 /// configuration — the address-overlap ordering invariant.
 #[test]
 fn reads_see_program_order_writes() {
-    for case in 0..16u64 {
-        let mut rng = SplitMix64::new(0x0edd + case);
+    for_each_seed("reads_see_program_order_writes", 0x0edd, 16, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let cfg_idx = rng.usize_in(0..8);
         let cfg = MemConfig::figure5_sweep()[cfg_idx].clone();
         let mut hmc = Hmc::new(cfg);
@@ -110,17 +110,17 @@ fn reads_see_program_order_writes() {
                 .iter()
                 .find(|r| r.id == id)
                 .expect("response arrived");
-            assert_eq!(&got.data, &want, "case {case} read {id}");
+            assert_eq!(&got.data, &want, "read {id}");
         }
-    }
+    });
 }
 
 /// Every enqueued request gets exactly one response, and counters
 /// conserve: responses = reads + writes in the stats.
 #[test]
 fn requests_are_conserved() {
-    for case in 0..16u64 {
-        let mut rng = SplitMix64::new(0xc09 + case);
+    for_each_seed("requests_are_conserved", 0xc09, 16, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let n_reads = rng.usize_in(1..30);
         let n_writes = rng.usize_in(0..30);
         let mut hmc = Hmc::new(MemConfig::baseline());
@@ -156,7 +156,7 @@ fn requests_are_conserved() {
         let s = hmc.stats();
         assert_eq!(s.reads, n_reads as u64);
         assert_eq!(s.writes, n_writes as u64);
-    }
+    });
 }
 
 /// The closed-page policy never produces row hits; the open-page

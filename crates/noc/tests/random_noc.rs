@@ -1,9 +1,9 @@
 //! Seeded-random tests for the torus: delivery, conservation, latency
-//! bounds, and routing invariants under random traffic. Fixed
-//! SplitMix64 seeds make every failure reproducible.
+//! bounds, and routing invariants under random traffic. Failures print
+//! their seed and re-run alone under `VIP_TEST_SEED`.
 
 use vip_noc::{Torus, TorusConfig};
-use vip_rng::SplitMix64;
+use vip_rng::{for_each_seed, SplitMix64};
 
 #[derive(Debug, Clone, Copy)]
 struct Msg {
@@ -26,8 +26,8 @@ fn random_msg(rng: &mut SplitMix64, nodes: usize) -> Msg {
 /// destination, payload intact.
 #[test]
 fn all_packets_delivered_once() {
-    for case in 0..24u64 {
-        let mut rng = SplitMix64::new(0xde11 + case);
+    for_each_seed("all_packets_delivered_once", 0xde11, 24, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let msgs: Vec<Msg> = (0..rng.usize_in(1..60))
             .map(|_| random_msg(&mut rng, 32))
             .collect();
@@ -54,11 +54,11 @@ fn all_packets_delivered_once() {
         let mut want: Vec<(usize, u64)> = msgs.iter().map(|m| (m.dst, m.tag)).collect();
         got.sort_unstable();
         want.sort_unstable();
-        assert_eq!(got, want, "case {case}");
+        assert_eq!(got, want);
         for (node, pkt) in &delivered {
             assert_eq!(*node, pkt.dst, "delivered at the destination");
         }
-    }
+    });
 }
 
 /// An uncontended packet's latency is exactly serialization +
@@ -66,8 +66,8 @@ fn all_packets_delivered_once() {
 /// claim implies).
 #[test]
 fn uncontended_latency_is_analytic() {
-    for case in 0..64u64 {
-        let mut rng = SplitMix64::new(0x1a7 + case);
+    for_each_seed("uncontended_latency_is_analytic", 0x1a7, 64, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let src = rng.usize_in(0..32);
         let dst = rng.usize_in(0..32);
         let bytes = rng.usize_in(1..128);
@@ -83,20 +83,17 @@ fn uncontended_latency_is_analytic() {
         let s = net.stats();
         let hops = net.hops_between(src, dst) as u64;
         let expect = cfg.flits(bytes) + cfg.hop_latency * hops;
-        assert_eq!(
-            s.total_latency_cycles, expect,
-            "case {case} {src}->{dst} {bytes}B"
-        );
+        assert_eq!(s.total_latency_cycles, expect, "{src}->{dst} {bytes}B");
         assert_eq!(s.hops, hops);
-    }
+    });
 }
 
 /// Dimension-order routes never exceed the half-perimeter bound and
 /// link-busy accounting matches flits × hops.
 #[test]
 fn hop_and_flit_accounting() {
-    for case in 0..24u64 {
-        let mut rng = SplitMix64::new(0xf117 + case);
+    for_each_seed("hop_and_flit_accounting", 0xf117, 24, |seed| {
+        let mut rng = SplitMix64::new(seed);
         let msgs: Vec<Msg> = (0..rng.usize_in(1..20))
             .map(|_| random_msg(&mut rng, 32))
             .collect();
@@ -121,6 +118,6 @@ fn hop_and_flit_accounting() {
             guard += 1;
             assert!(guard < 1_000_000);
         }
-        assert_eq!(net.stats().link_busy_cycles, expected_busy, "case {case}");
-    }
+        assert_eq!(net.stats().link_busy_cycles, expected_busy);
+    });
 }

@@ -1,0 +1,221 @@
+//! The on-disk repro corpus format.
+//!
+//! When the differential fuzzer finds a divergence, its minimized repro
+//! is checked into `crates/ref/corpus/` as a `.vip` file and replayed
+//! forever by the corpus regression test. The format is line-oriented
+//! text so repros stay reviewable in a diff:
+//!
+//! ```text
+//! # comment
+//! @pe 0            # subsequent lines assemble into PE 0's program
+//! mov.imm r1, 16
+//! halt
+//! @mem 0x10000 0011aabb   # host DRAM bytes (hex) at an address
+//! @full 0x80000 0xfeed    # host-filled full-empty word and its value
+//! @check 0x20000 0x1000   # DRAM window compared after the run
+//! ```
+//!
+//! Programs use the standard assembler syntax with numeric branch
+//! targets (what [`vip_isa::Program`]'s `Display` emits, minus the
+//! `pc:` prefixes).
+
+use vip_isa::assemble;
+
+use crate::gen::Materialized;
+
+/// Parses corpus text into a runnable [`Materialized`] case.
+///
+/// PEs not mentioned get empty programs; scratchpads start zeroed.
+///
+/// # Errors
+///
+/// A message naming the offending line on any syntax error.
+pub fn parse(text: &str) -> Result<Materialized, String> {
+    let mut programs_src: Vec<String> = Vec::new();
+    let mut current: Option<usize> = None;
+    let mut mem_init = Vec::new();
+    let mut full_init = Vec::new();
+    let mut check_ranges = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix('@') {
+            let mut parts = rest.split_whitespace();
+            let kind = parts.next().unwrap_or("");
+            match kind {
+                "pe" => {
+                    let pe: usize = parse_num(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("@pe needs an index".into()))?,
+                    )
+                    .map_err(&err)? as usize;
+                    while programs_src.len() <= pe {
+                        programs_src.push(String::new());
+                    }
+                    current = Some(pe);
+                }
+                "mem" => {
+                    let addr = parse_num(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("@mem needs an address".into()))?,
+                    )
+                    .map_err(&err)?;
+                    let hex = parts
+                        .next()
+                        .ok_or_else(|| err("@mem needs hex bytes".into()))?;
+                    mem_init.push((addr, parse_hex_bytes(hex).map_err(&err)?));
+                }
+                "full" => {
+                    let addr = parse_num(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("@full needs an address".into()))?,
+                    )
+                    .map_err(&err)?;
+                    // Optional value; without one only the bit is set
+                    // (the word's bytes come from a preceding @mem).
+                    if let Some(v) = parts.next() {
+                        let value = parse_num(v).map_err(&err)?;
+                        mem_init.push((addr, value.to_le_bytes().to_vec()));
+                    }
+                    full_init.push(addr);
+                }
+                "check" => {
+                    let addr = parse_num(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("@check needs an address".into()))?,
+                    )
+                    .map_err(&err)?;
+                    let len = parse_num(
+                        parts
+                            .next()
+                            .ok_or_else(|| err("@check needs a length".into()))?,
+                    )
+                    .map_err(&err)? as usize;
+                    check_ranges.push((addr, len));
+                }
+                other => return Err(err(format!("unknown directive `@{other}`"))),
+            }
+        } else {
+            let pe = current.ok_or_else(|| err("instruction before any @pe".into()))?;
+            programs_src[pe].push_str(line);
+            programs_src[pe].push('\n');
+        }
+    }
+
+    let programs = programs_src
+        .iter()
+        .enumerate()
+        .map(|(pe, src)| {
+            if src.is_empty() {
+                Ok(vip_isa::Program::default())
+            } else {
+                assemble(src).map_err(|e| format!("pe{pe}: {e}"))
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sp_init = vec![vec![0u8; 4096]; programs.len()];
+
+    Ok(Materialized {
+        programs,
+        sp_init,
+        mem_init,
+        full_init,
+        check_ranges,
+    })
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+fn parse_hex_bytes(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex string `{s}`"));
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16).map_err(|e| format!("bad hex `{s}`: {e}"))
+        })
+        .collect()
+}
+
+/// Serializes a materialized case as corpus text (what gets checked in
+/// when a fuzzer failure is converted into a regression test).
+#[must_use]
+pub fn to_text(m: &Materialized, header: &str) -> String {
+    let mut out = String::new();
+    for line in header.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for (pe, p) in m.programs.iter().enumerate() {
+        if p.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("@pe {pe}\n"));
+        for inst in p.iter() {
+            out.push_str(&format!("{inst}\n"));
+        }
+    }
+    for (addr, bytes) in &m.mem_init {
+        out.push_str(&format!("@mem {addr:#x} "));
+        for b in bytes {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    for addr in &m.full_init {
+        out.push_str(&format!("@full {addr:#x}\n"));
+    }
+    for (addr, len) in &m.check_ranges {
+        out.push_str(&format!("@check {addr:#x} {len:#x}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_a_two_pe_case() {
+        let text = "\
+# a producer-consumer pair
+@pe 0
+mov.imm r1, 0x80000
+mov.imm r2, 7
+st.reg.ff r2, r1
+halt
+@pe 1
+mov.imm r1, 0x80000
+ld.reg.fe r3, r1
+halt
+@check 0x80000 0x8
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.programs.len(), 2);
+        assert_eq!(m.programs[0].len(), 4);
+        assert_eq!(m.check_ranges, vec![(0x80000, 8)]);
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let e = parse("@mem zzz 00").unwrap_err();
+        assert!(e.starts_with("line 1:"), "{e}");
+        let e = parse("nop").unwrap_err();
+        assert!(e.contains("before any @pe"), "{e}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # vip-ref — architectural reference + differential conformance
+//!
+//! The middle layer of the repo's test pyramid:
+//!
+//! ```text
+//! golden kernels (vip-kernels)     what the math should be
+//!          ↑ verified against
+//! architectural interpreter (here) what the ISA says happens
+//!          ↑ fuzzed against
+//! cycle-level engines (vip-core)   what the microarchitecture does
+//! ```
+//!
+//! [`interp`] is a fast, untimed interpreter for the full VIP ISA. It
+//! shares [`vip_isa::alu`] with the cycle-level simulator, so its
+//! arithmetic is bit-exact by construction; everything else — program
+//! order, memory effects, full-empty blocking — is written down here in
+//! the simplest possible form and serves as the executable definition
+//! of the architecture.
+//!
+//! [`gen`] produces seeded random-but-valid multi-PE programs whose
+//! final state is deterministic by construction, [`diff`] runs them on
+//! the interpreter and on every cycle-level stepping engine and
+//! compares complete final architectural state, minimizing and
+//! disassembling any divergence, and [`corpus`] replays previously
+//! found repros as permanent regression tests.
+
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod diff;
+pub mod gen;
+pub mod interp;
+
+pub use diff::{check_materialized, fuzz_one, Divergence, Engine};
+pub use gen::{generate, GenConfig, Materialized, TestCase};
+pub use interp::{RefPe, RefRunError, RefSystem};

@@ -1,0 +1,53 @@
+//! Replays every checked-in repro in `crates/ref/corpus/` through the
+//! reference interpreter and all three cycle-level engines. Fuzzer
+//! finds get minimized, serialized with [`vip_ref::corpus::to_text`],
+//! and committed here so they stay fixed forever.
+
+use std::path::PathBuf;
+
+use vip_ref::{check_materialized, corpus};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn corpus_replays_cleanly() {
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("crates/ref/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "vip"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "corpus directory has no .vip files — the regression anchors are gone"
+    );
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("corpus file reads");
+        let m = corpus::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let Err((engine, detail)) = check_materialized(&m) {
+            panic!("{name}: reference vs {engine} engine diverged:\n{detail}");
+        }
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_to_text() {
+    // Serializing a parsed case and re-parsing it must preserve the
+    // programs and host state, so fuzzer finds can be checked in
+    // mechanically.
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "vip") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("reads");
+        let m = corpus::parse(&text).expect("parses");
+        let again = corpus::parse(&corpus::to_text(&m, "round-trip")).expect("re-parses");
+        assert_eq!(m.programs, again.programs, "{path:?}");
+        assert_eq!(m.full_init, again.full_init, "{path:?}");
+        assert_eq!(m.check_ranges, again.check_ranges, "{path:?}");
+    }
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 use core::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// A seeded SplitMix64 generator.
 #[derive(Debug, Clone)]
@@ -66,6 +67,58 @@ impl SplitMix64 {
     }
 }
 
+/// The seed override from the `VIP_TEST_SEED` environment variable, if
+/// set — decimal or `0x`-prefixed hex.
+///
+/// Randomized tests honor this to re-run exactly one failing seed:
+///
+/// ```text
+/// VIP_TEST_SEED=0x5ca1a7 cargo test -p vip-ref differential
+/// ```
+///
+/// # Panics
+///
+/// Panics if the variable is set but does not parse as a `u64`.
+#[must_use]
+pub fn seed_override() -> Option<u64> {
+    let raw = std::env::var("VIP_TEST_SEED").ok()?;
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(seed) => Some(seed),
+        Err(e) => panic!("VIP_TEST_SEED={raw:?} is not a u64: {e}"),
+    }
+}
+
+/// Runs `f` once per seed in `base..base + count`, printing the seed and
+/// a repro command before re-raising any panic.
+///
+/// This is the driver every `random_*` test uses: on failure the output
+/// names the exact seed and the `VIP_TEST_SEED` incantation that re-runs
+/// only that case. When `VIP_TEST_SEED` is set, only that single seed
+/// runs (regardless of `base`/`count`), so a repro exercises exactly the
+/// failing program.
+///
+/// # Panics
+///
+/// Re-raises the panic from `f`, after printing the seed.
+pub fn for_each_seed<F: FnMut(u64)>(label: &str, base: u64, count: u64, mut f: F) {
+    if let Some(seed) = seed_override() {
+        eprintln!("{label}: VIP_TEST_SEED override, running only seed {seed:#x}");
+        f(seed);
+        return;
+    }
+    for seed in base..base.wrapping_add(count) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(seed))) {
+            eprintln!("{label}: FAILED at seed {seed:#x}");
+            eprintln!("    repro: VIP_TEST_SEED={seed:#x} cargo test {label}");
+            resume_unwind(payload);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +152,16 @@ mod tests {
             assert!((-8..9).contains(&i));
             assert!(rng.below(5) < 5);
         }
+    }
+
+    #[test]
+    fn for_each_seed_visits_the_whole_range() {
+        if std::env::var("VIP_TEST_SEED").is_ok() {
+            return; // the override narrows the range by design
+        }
+        let mut seen = Vec::new();
+        for_each_seed("rng_smoke", 10, 3, |s| seen.push(s));
+        assert_eq!(seen, vec![10, 11, 12]);
     }
 
     #[test]
