@@ -1,5 +1,6 @@
 //! System configuration.
 
+use vip_faults::{FaultConfig, PeFaultConfig};
 use vip_mem::MemConfig;
 use vip_noc::TorusConfig;
 
@@ -38,6 +39,12 @@ pub struct SystemConfig {
     ///
     /// [`System::step`]: crate::System::step
     pub step_shards: usize,
+    /// PE fault injection (scalar writeback bit flips). `None` disables
+    /// injection entirely; DRAM and NoC injection live in
+    /// [`MemConfig::faults`] and [`TorusConfig::faults`] respectively —
+    /// [`SystemConfig::with_faults`] wires all three from one
+    /// [`FaultConfig`].
+    pub pe_faults: Option<PeFaultConfig>,
 }
 
 impl SystemConfig {
@@ -57,7 +64,21 @@ impl SystemConfig {
             reduce_latency: 2,
             local_link_latency: 1,
             step_shards: 0,
+            pe_faults: None,
         }
+    }
+
+    /// Wires a complete [`FaultConfig`] into every layer: DRAM retention
+    /// faults into the memory configuration, link faults into the torus,
+    /// and writeback flips into the PEs. A zero-rate config exercises the
+    /// full injection machinery without ever firing — the determinism
+    /// tests run exactly that.
+    #[must_use]
+    pub fn with_faults(mut self, faults: &FaultConfig) -> Self {
+        self.mem.faults = faults.dram;
+        self.torus.faults = faults.noc;
+        self.pe_faults = faults.pe;
+        self
     }
 
     /// The full machine with a different memory configuration (the

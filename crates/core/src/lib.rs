@@ -67,6 +67,7 @@
 
 mod arc;
 mod config;
+mod error;
 mod lsu;
 mod pe;
 pub mod power;
@@ -78,12 +79,13 @@ mod vector;
 
 pub use arc::ArcTable;
 pub use config::SystemConfig;
-pub use lsu::LoadStoreUnit;
+pub use error::{BlockedPe, HangReport, SimError};
+pub use lsu::{LoadStoreUnit, LsuError};
 pub use pe::{Pe, PeArchState, StallReason, TraceEvent};
 pub use scalar::ScalarRegs;
 pub use scratchpad::Scratchpad;
 pub use stats::{PeStats, RooflinePoint, SystemStats};
-pub use system::{RunError, System};
+pub use system::System;
 pub use vector::VectorUnit;
 
 /// One clock cycle of the 1.25 GHz clock (0.8 ns).

@@ -46,6 +46,27 @@ struct LsuOp {
 struct InFlight {
     op: u64,
     sp_addr: usize,
+    dram_addr: u64,
+    kind: RequestKind,
+}
+
+/// A failure while applying a memory completion. The PE wraps these into
+/// [`SimError`](crate::SimError) variants with its own id attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsuError {
+    /// The response matches no in-flight request — a routing bug in the
+    /// system model, reported with the full outstanding set.
+    Orphan {
+        /// The orphaned response id.
+        id: ReqId,
+        /// Request ids actually in flight, sorted.
+        outstanding: Vec<ReqId>,
+    },
+    /// The response carries data ECC flagged as uncorrectable.
+    Poisoned {
+        /// The poisoned DRAM address.
+        addr: u64,
+    },
 }
 
 /// The PE's load-store unit.
@@ -98,6 +119,26 @@ impl LoadStoreUnit {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Full-empty words with requests still in flight, as
+    /// `(address, is_load)` pairs sorted by address — the watchdog's view
+    /// of what this PE is synchronizing on. An `fe.load` parked here is
+    /// held at the vault until the word becomes full; if nothing ever
+    /// fills it, this is the deadlock.
+    #[must_use]
+    pub fn fe_outstanding(&self) -> Vec<(u64, bool)> {
+        let mut waits: Vec<(u64, bool)> = self
+            .in_flight
+            .values()
+            .filter_map(|f| match f.kind {
+                RequestKind::FeLoad => Some((f.dram_addr, true)),
+                RequestKind::FeStore => Some((f.dram_addr, false)),
+                RequestKind::Read | RequestKind::Write => None,
+            })
+            .collect();
+        waits.sort_unstable();
+        waits
     }
 
     /// Whether [`next_request`](Self::next_request) would emit something:
@@ -178,13 +219,12 @@ impl LoadStoreUnit {
     /// Accepts an `ld.reg` (or `ld.reg.fe`): the caller has already
     /// cleared `rd`'s valid bit.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dram` is not 8-byte aligned.
-    pub fn push_load_reg(&mut self, dram: u64, rd: Reg, full_empty: bool) {
-        if let Err(trap) = Trap::check_reg_addr(dram) {
-            panic!("ld.reg: {trap}");
-        }
+    /// Returns [`Trap::MisalignedRegAccess`] if `dram` is not 8-byte
+    /// aligned; the operation is not accepted.
+    pub fn push_load_reg(&mut self, dram: u64, rd: Reg, full_empty: bool) -> Result<(), Trap> {
+        Trap::check_reg_addr(dram)?;
         let kind = if full_empty {
             RequestKind::FeLoad
         } else {
@@ -202,17 +242,17 @@ impl LoadStoreUnit {
             unsent: VecDeque::from([chunk]),
             outstanding: 0,
         });
+        Ok(())
     }
 
     /// Accepts an `st.reg` (or `st.reg.ff`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dram` is not 8-byte aligned.
-    pub fn push_store_reg(&mut self, dram: u64, value: u64, full_empty: bool) {
-        if let Err(trap) = Trap::check_reg_addr(dram) {
-            panic!("st.reg: {trap}");
-        }
+    /// Returns [`Trap::MisalignedRegAccess`] if `dram` is not 8-byte
+    /// aligned; the operation is not accepted.
+    pub fn push_store_reg(&mut self, dram: u64, value: u64, full_empty: bool) -> Result<(), Trap> {
+        Trap::check_reg_addr(dram)?;
         let kind = if full_empty {
             RequestKind::FeStore
         } else {
@@ -230,6 +270,7 @@ impl LoadStoreUnit {
             unsent: VecDeque::from([chunk]),
             outstanding: 0,
         });
+        Ok(())
     }
 
     fn push_op(&mut self, op: LsuOp) {
@@ -259,6 +300,8 @@ impl LoadStoreUnit {
             InFlight {
                 op: op_id,
                 sp_addr: chunk.sp_addr,
+                dram_addr: chunk.dram_addr,
+                kind: chunk.kind,
             },
         );
         Some(match chunk.kind {
@@ -278,26 +321,39 @@ impl LoadStoreUnit {
     /// Applies a completion: fills scratchpad or register state and
     /// clears the ARC entry when a scratchpad load finishes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the response does not match an in-flight request (a
-    /// routing bug in the system model).
+    /// Returns [`LsuError::Orphan`] if the response matches no in-flight
+    /// request (a routing bug in the system model, reported with the
+    /// full outstanding set), or [`LsuError::Poisoned`] if the response
+    /// carries data ECC flagged as uncorrectable — loads must not
+    /// silently consume corrupt data.
     pub fn complete(
         &mut self,
         resp: &MemResponse,
         sp: &mut Scratchpad,
         regs: &mut ScalarRegs,
         arc: &mut ArcTable,
-    ) {
-        let inflight = self
-            .in_flight
-            .remove(&resp.id)
-            .unwrap_or_else(|| panic!("response {:#x} matches no in-flight request", resp.id));
+    ) -> Result<(), LsuError> {
+        let Some(inflight) = self.in_flight.remove(&resp.id) else {
+            let mut outstanding: Vec<ReqId> = self.in_flight.keys().copied().collect();
+            outstanding.sort_unstable();
+            return Err(LsuError::Orphan {
+                id: resp.id,
+                outstanding,
+            });
+        };
         let op = self.ops.get_mut(&inflight.op).expect("op exists");
         op.outstanding -= 1;
         match op.kind {
+            OpKind::LoadSram { .. } | OpKind::LoadReg { .. } if resp.poisoned => {
+                return Err(LsuError::Poisoned {
+                    addr: inflight.dram_addr,
+                });
+            }
             OpKind::LoadSram { .. } => {
-                sp.write(inflight.sp_addr, &resp.data);
+                sp.write(inflight.sp_addr, &resp.data)
+                    .expect("scratchpad range validated at issue");
             }
             OpKind::LoadReg { rd } => {
                 let value = u64::from_le_bytes(resp.data.as_slice().try_into().expect("8 bytes"));
@@ -311,6 +367,7 @@ impl LoadStoreUnit {
                 arc.clear(arc_id);
             }
         }
+        Ok(())
     }
 }
 
@@ -355,13 +412,14 @@ mod tests {
                 kind: RequestKind::Read,
                 addr: req.addr,
                 data: vec![i as u8 + 1; req.len],
+                poisoned: false,
             };
-            lsu.complete(&resp, &mut sp, &mut regs, &mut arc);
+            lsu.complete(&resp, &mut sp, &mut regs, &mut arc).unwrap();
         }
         assert!(lsu.is_empty());
         assert_eq!(arc.live(), 0, "ARC entry cleared on completion");
-        assert_eq!(sp.read(100, 32), vec![1; 32]);
-        assert_eq!(sp.read(132, 16), vec![2; 16]);
+        assert_eq!(sp.read(100, 32).unwrap(), vec![1; 32]);
+        assert_eq!(sp.read(132, 16).unwrap(), vec![2; 16]);
     }
 
     #[test]
@@ -369,7 +427,7 @@ mod tests {
         let (mut lsu, mut sp, mut regs, mut arc) = fixture();
         let rd = Reg::new(9);
         regs.invalidate(rd);
-        lsu.push_load_reg(0x40, rd, false);
+        lsu.push_load_reg(0x40, rd, false).unwrap();
         let req = lsu.next_request().unwrap();
         assert_eq!(req.len, 8);
         let resp = MemResponse {
@@ -377,8 +435,9 @@ mod tests {
             kind: RequestKind::Read,
             addr: req.addr,
             data: 777u64.to_le_bytes().to_vec(),
+            poisoned: false,
         };
-        lsu.complete(&resp, &mut sp, &mut regs, &mut arc);
+        lsu.complete(&resp, &mut sp, &mut regs, &mut arc).unwrap();
         assert!(regs.is_valid(rd));
         assert_eq!(regs.read(rd), 777);
     }
@@ -395,8 +454,8 @@ mod tests {
     #[test]
     fn requests_preserve_op_order() {
         let (mut lsu, ..) = fixture();
-        lsu.push_store_reg(0, 1, false);
-        lsu.push_store_reg(8, 2, false);
+        lsu.push_store_reg(0, 1, false).unwrap();
+        lsu.push_store_reg(8, 2, false).unwrap();
         let a = lsu.next_request().unwrap();
         let b = lsu.next_request().unwrap();
         assert_eq!(a.addr, 0);
@@ -406,15 +465,84 @@ mod tests {
     #[test]
     fn request_ids_encode_pe() {
         let (mut lsu, ..) = fixture();
-        lsu.push_store_reg(0, 1, false);
+        lsu.push_store_reg(0, 1, false).unwrap();
         let req = lsu.next_request().unwrap();
         assert_eq!(req.id >> 32, 3);
     }
 
     #[test]
-    #[should_panic(expected = "not 8-byte aligned")]
-    fn misaligned_reg_access_panics() {
+    fn misaligned_reg_access_is_a_typed_trap() {
         let (mut lsu, ..) = fixture();
-        lsu.push_load_reg(0x41, Reg::new(1), false);
+        assert_eq!(
+            lsu.push_load_reg(0x41, Reg::new(1), false),
+            Err(Trap::MisalignedRegAccess { addr: 0x41 })
+        );
+        assert_eq!(
+            lsu.push_store_reg(0x43, 7, true),
+            Err(Trap::MisalignedRegAccess { addr: 0x43 })
+        );
+        assert!(lsu.is_empty(), "rejected ops are not accepted");
+    }
+
+    #[test]
+    fn orphan_response_names_the_outstanding_set() {
+        let (mut lsu, mut sp, mut regs, mut arc) = fixture();
+        lsu.push_store_reg(0, 1, false).unwrap();
+        lsu.push_store_reg(8, 2, false).unwrap();
+        let a = lsu.next_request().unwrap();
+        let b = lsu.next_request().unwrap();
+        let bogus = MemResponse {
+            id: 0xdead,
+            kind: RequestKind::Write,
+            addr: 0,
+            data: Vec::new(),
+            poisoned: false,
+        };
+        let err = lsu.complete(&bogus, &mut sp, &mut regs, &mut arc);
+        let mut expect = vec![a.id, b.id];
+        expect.sort_unstable();
+        assert_eq!(
+            err,
+            Err(LsuError::Orphan {
+                id: 0xdead,
+                outstanding: expect
+            })
+        );
+        assert_eq!(lsu.outstanding(), 2, "real requests are untouched");
+    }
+
+    #[test]
+    fn poisoned_load_is_a_typed_error() {
+        let (mut lsu, mut sp, mut regs, mut arc) = fixture();
+        regs.invalidate(Reg::new(5));
+        lsu.push_load_reg(0x40, Reg::new(5), false).unwrap();
+        let req = lsu.next_request().unwrap();
+        let resp = MemResponse {
+            id: req.id,
+            kind: RequestKind::Read,
+            addr: req.addr,
+            data: vec![0; 8],
+            poisoned: true,
+        };
+        assert_eq!(
+            lsu.complete(&resp, &mut sp, &mut regs, &mut arc),
+            Err(LsuError::Poisoned { addr: 0x40 })
+        );
+        assert!(!regs.is_valid(Reg::new(5)), "corrupt data never lands");
+    }
+
+    #[test]
+    fn fe_outstanding_reports_waiting_words_sorted() {
+        let (mut lsu, ..) = fixture();
+        lsu.push_load_reg(0x80, Reg::new(1), true).unwrap();
+        lsu.push_store_reg(0x40, 9, true).unwrap();
+        lsu.push_load_reg(0x20, Reg::new(2), false).unwrap();
+        assert!(lsu.fe_outstanding().is_empty(), "nothing sent yet");
+        while lsu.next_request().is_some() {}
+        assert_eq!(
+            lsu.fe_outstanding(),
+            vec![(0x40, false), (0x80, true)],
+            "plain loads excluded, sorted by address"
+        );
     }
 }

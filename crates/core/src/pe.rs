@@ -1,12 +1,14 @@
 //! The VIP processing engine: front end, issue logic, and functional
 //! execution.
 
+use vip_faults::{fault_fires, fault_value, FaultDomain, PeFaultConfig};
 use vip_isa::{alu, ElemType, Instruction, Program, Reg, Trap, VerticalOp};
 use vip_mem::{MemRequest, MemResponse};
 
 use crate::arc::ArcTable;
 use crate::config::SystemConfig;
-use crate::lsu::LoadStoreUnit;
+use crate::error::SimError;
+use crate::lsu::{LoadStoreUnit, LsuError};
 use crate::scalar::ScalarRegs;
 use crate::scratchpad::Scratchpad;
 use crate::stats::PeStats;
@@ -119,6 +121,7 @@ pub struct Pe {
     multiply_latency: u64,
     reduce_latency: u64,
     stats: PeStats,
+    faults: Option<PeFaultConfig>,
     trace: Option<Vec<TraceEvent>>,
     trace_limit: usize,
 }
@@ -143,9 +146,15 @@ impl Pe {
             multiply_latency: cfg.multiply_latency,
             reduce_latency: cfg.reduce_latency,
             stats: PeStats::default(),
+            faults: cfg.pe_faults,
             trace: None,
             trace_limit: 0,
         }
+    }
+
+    /// Rewires the writeback fault injector (`None` disables it).
+    pub fn set_faults(&mut self, faults: Option<PeFaultConfig>) {
+        self.faults = faults;
     }
 
     /// Starts recording an issue trace of up to `limit` instructions
@@ -262,14 +271,54 @@ impl Pe {
         }
         PeArchState {
             regs,
-            scratchpad: self.sp.read(0, self.sp.len()),
+            scratchpad: self.sp.read(0, self.sp.len()).expect("full-range read"),
         }
     }
 
+    /// The current program counter (watchdog/debug inspection).
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Why issue would stall at `now`, if it would (`None` when halted
+    /// or ready to issue). Feeds the hang-diagnosis report.
+    #[must_use]
+    pub fn stall_reason(&self, now: Cycle) -> Option<StallReason> {
+        if self.halted {
+            return None;
+        }
+        match self.issue_state(now) {
+            IssueState::Ready => None,
+            IssueState::Stalled(reason) | IssueState::StalledUntil(reason, _) => Some(reason),
+        }
+    }
+
+    /// Full-empty words this PE has synchronization requests parked on,
+    /// as `(address, is_load)` sorted by address.
+    #[must_use]
+    pub fn fe_waits(&self) -> Vec<(u64, bool)> {
+        self.lsu.fe_outstanding()
+    }
+
     /// Applies a memory completion.
-    pub fn receive(&mut self, resp: &MemResponse) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OrphanResponse`] if the response matches no
+    /// in-flight request, or [`SimError::UncorrectableMemory`] if it
+    /// carries ECC-poisoned data a load would have consumed.
+    pub fn receive(&mut self, resp: &MemResponse) -> Result<(), SimError> {
         self.lsu
-            .complete(resp, &mut self.sp, &mut self.regs, &mut self.arc);
+            .complete(resp, &mut self.sp, &mut self.regs, &mut self.arc)
+            .map_err(|e| match e {
+                LsuError::Orphan { id, outstanding } => SimError::OrphanResponse {
+                    pe: self.id,
+                    id,
+                    outstanding,
+                },
+                LsuError::Poisoned { addr } => SimError::UncorrectableMemory { pe: self.id, addr },
+            })
     }
 
     /// Pulls at most one outbound memory request this cycle.
@@ -476,35 +525,67 @@ impl Pe {
     }
 
     /// Advances the front end one cycle, issuing at most one instruction.
-    pub fn tick(&mut self, now: Cycle) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trap`] if the issued instruction is
+    /// architecturally illegal (out-of-bounds scratchpad range, zero
+    /// vector length, misaligned register address…). The trap carries
+    /// this PE's id and the offending pc; architectural state is left as
+    /// the reference interpreter leaves it at the same trap.
+    pub fn tick(&mut self, now: Cycle) -> Result<(), SimError> {
         if self.halted {
-            return;
+            return Ok(());
         }
         self.stats.active_cycles = now;
         match self.issue_state(now) {
             IssueState::Ready => {}
             IssueState::Stalled(reason) | IssueState::StalledUntil(reason, _) => {
                 self.stall(reason);
-                return;
+                return Ok(());
             }
         }
         let Some(inst) = self.program.get(self.pc).copied() else {
             // Fell off the end of the program: treat as halt.
             self.halted = true;
-            return;
+            return Ok(());
         };
 
         let issued_before = self.stats.instructions;
         let pc_before = self.pc;
 
+        self.dispatch(now, inst).map_err(|trap| SimError::Trap {
+            pe: self.id,
+            pc: pc_before,
+            trap,
+        })?;
+
+        if self.stats.instructions > issued_before {
+            if let Some(trace) = &mut self.trace {
+                if trace.len() < self.trace_limit {
+                    trace.push(TraceEvent {
+                        cycle: now,
+                        pc: pc_before,
+                        inst,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one issuing instruction. Trap checks run in the same
+    /// order as the `vip-ref` interpreter so both report the same trap
+    /// for the same program.
+    fn dispatch(&mut self, now: Cycle, inst: Instruction) -> Result<(), Trap> {
         use Instruction::*;
         match inst {
             SetVl { rs } => {
-                self.vec.set_vl(self.regs.read(rs) as usize);
+                self.vec.set_vl(self.regs.read(rs) as usize)?;
                 self.retire_vector();
             }
             SetMr { rs } => {
-                self.vec.set_mr(self.regs.read(rs) as usize);
+                self.vec.set_mr(self.regs.read(rs) as usize)?;
                 self.retire_vector();
             }
             VDrain => self.retire_front_end(),
@@ -516,7 +597,7 @@ impl Pe {
                 rs_mat,
                 rs_vec,
             } => {
-                self.issue_mat_vec(now, vop, hop, ty, rd, rs_mat, rs_vec);
+                self.issue_mat_vec(now, vop, hop, ty, rd, rs_mat, rs_vec)?;
             }
             VecVec {
                 op,
@@ -525,7 +606,7 @@ impl Pe {
                 rs1,
                 rs2,
             } => {
-                self.issue_vec_vec(now, op, ty, rd, rs1, rs2);
+                self.issue_vec_vec(now, op, ty, rd, rs1, rs2)?;
             }
             VecScalar {
                 op,
@@ -534,25 +615,25 @@ impl Pe {
                 rs_vec,
                 rs_scalar,
             } => {
-                self.issue_vec_scalar(now, op, ty, rd, rs_vec, rs_scalar);
+                self.issue_vec_scalar(now, op, ty, rd, rs_vec, rs_scalar)?;
             }
             Scalar { op, rd, rs1, rs2 } => {
                 let v = op.eval(self.regs.read(rs1), self.regs.read(rs2));
-                self.regs.write(rd, v);
+                self.scalar_writeback(rd, v);
                 self.retire_scalar();
             }
             ScalarImm { op, rd, rs1, imm } => {
                 let v = op.eval(self.regs.read(rs1), imm as i64 as u64);
-                self.regs.write(rd, v);
+                self.scalar_writeback(rd, v);
                 self.retire_scalar();
             }
             Mov { rd, rs } => {
                 let v = self.regs.read(rs);
-                self.regs.write(rd, v);
+                self.scalar_writeback(rd, v);
                 self.retire_scalar();
             }
             MovImm { rd, imm } => {
-                self.regs.write(rd, imm as u64);
+                self.scalar_writeback(rd, imm as u64);
                 self.retire_scalar();
             }
             Branch {
@@ -583,7 +664,7 @@ impl Pe {
                 rs_addr,
                 rs_len,
             } => {
-                self.issue_ld_sram(ty, rd_sp, rs_addr, rs_len);
+                self.issue_ld_sram(ty, rd_sp, rs_addr, rs_len)?;
             }
             StSram {
                 ty,
@@ -591,30 +672,48 @@ impl Pe {
                 rs_addr,
                 rs_len,
             } => {
-                self.issue_st_sram(ty, rs_sp, rs_addr, rs_len);
+                self.issue_st_sram(ty, rs_sp, rs_addr, rs_len)?;
             }
-            LdReg { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, false),
-            LdRegFe { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, true),
-            StReg { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, false),
-            StRegFf { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, true),
+            LdReg { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, false)?,
+            LdRegFe { rd, rs_addr } => self.issue_ld_reg(rd, rs_addr, true)?,
+            StReg { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, false)?,
+            StRegFf { rs, rs_addr } => self.issue_st_reg(rs, rs_addr, true)?,
             MemFence | Nop => self.retire_front_end(),
             Halt => {
                 self.stats.instructions += 1;
                 self.halted = true;
             }
         }
+        Ok(())
+    }
 
-        if self.stats.instructions > issued_before {
-            if let Some(trace) = &mut self.trace {
-                if trace.len() < self.trace_limit {
-                    trace.push(TraceEvent {
-                        cycle: now,
-                        pc: pc_before,
-                        inst,
-                    });
-                }
+    /// Writes a scalar result, possibly flipping one bit if the PE
+    /// writeback injector fires at this (pe, retired-count) coordinate.
+    /// The register file has no ECC — this is the one injector with no
+    /// graceful-degradation net under it.
+    fn scalar_writeback(&mut self, rd: Reg, v: u64) {
+        let v = match self.faults {
+            Some(f)
+                if fault_fires(
+                    f.seed,
+                    FaultDomain::PeWriteback,
+                    self.id as u64,
+                    self.stats.instructions,
+                    f.writeback_flip_ppm,
+                ) =>
+            {
+                self.stats.writeback_flips += 1;
+                let bit = fault_value(
+                    f.seed,
+                    FaultDomain::PeWriteback,
+                    self.id as u64,
+                    self.stats.instructions,
+                ) % 64;
+                v ^ 1u64 << bit
             }
-        }
+            _ => v,
+        };
+        self.regs.write(rd, v);
     }
 
     fn retire_front_end(&mut self) {
@@ -654,7 +753,7 @@ impl Pe {
         rd: Reg,
         rs_mat: Reg,
         rs_vec: Reg,
-    ) {
+    ) -> Result<(), Trap> {
         debug_assert!(self.vec.ready(now));
         let (vl, mr) = (self.vec.vl(), self.vec.mr());
         let es = ty.size_bytes();
@@ -662,11 +761,13 @@ impl Pe {
         let m = self.regs.read(rs_mat) as usize;
         let v = self.regs.read(rs_vec) as usize;
         let (mat_len, vec_len, dst_len) = (mr * vl * es, vl * es, mr * es);
-        let mat = self.sp.read(m, mat_len);
-        let vec = self.sp.read(v, vec_len);
+        // Source reads before the destination write: the reference
+        // interpreter checks in this order, and trap parity requires it.
+        let mat = self.sp.read(m, mat_len)?;
+        let vec = self.sp.read(v, vec_len)?;
         let mut dst = vec![0u8; dst_len];
         alu::mat_vec(vop, hop, ty, &mut dst, &mat, &vec, mr, vl);
-        self.sp.write(d, &dst);
+        self.sp.write(d, &dst)?;
 
         let beats = mr as u64 * VectorUnit::beats(vl, ty);
         let vert = if vop.is_multiply() {
@@ -681,6 +782,7 @@ impl Pe {
         }
         self.stats.sp_beats += 3 * beats; // 2 reads + result writeback
         self.retire_vector();
+        Ok(())
     }
 
     fn issue_vec_vec(
@@ -691,18 +793,18 @@ impl Pe {
         rd: Reg,
         rs1: Reg,
         rs2: Reg,
-    ) {
+    ) -> Result<(), Trap> {
         debug_assert!(self.vec.ready(now));
         let vl = self.vec.vl();
         let len = vl * ty.size_bytes();
         let d = self.regs.read(rd) as usize;
         let a = self.regs.read(rs1) as usize;
         let b = self.regs.read(rs2) as usize;
-        let av = self.sp.read(a, len);
-        let bv = self.sp.read(b, len);
+        let av = self.sp.read(a, len)?;
+        let bv = self.sp.read(b, len)?;
         let mut dst = vec![0u8; len];
         alu::vec_vec(op, ty, &mut dst, &av, &bv, vl);
-        self.sp.write(d, &dst);
+        self.sp.write(d, &dst)?;
 
         let beats = VectorUnit::beats(vl, ty);
         let vert = if op.is_multiply() {
@@ -717,6 +819,7 @@ impl Pe {
         }
         self.stats.sp_beats += 3 * beats;
         self.retire_vector();
+        Ok(())
     }
 
     fn issue_vec_scalar(
@@ -727,17 +830,17 @@ impl Pe {
         rd: Reg,
         rs_vec: Reg,
         rs_scalar: Reg,
-    ) {
+    ) -> Result<(), Trap> {
         debug_assert!(self.vec.ready(now));
         let vl = self.vec.vl();
         let len = vl * ty.size_bytes();
         let d = self.regs.read(rd) as usize;
         let a = self.regs.read(rs_vec) as usize;
         let s = self.regs.read(rs_scalar);
-        let av = self.sp.read(a, len);
+        let av = self.sp.read(a, len)?;
         let mut dst = vec![0u8; len];
         alu::vec_scalar(op, ty, &mut dst, &av, s, vl);
-        self.sp.write(d, &dst);
+        self.sp.write(d, &dst)?;
 
         let beats = VectorUnit::beats(vl, ty);
         let vert = if op.is_multiply() {
@@ -752,44 +855,61 @@ impl Pe {
         }
         self.stats.sp_beats += 2 * beats; // 1 read + writeback
         self.retire_vector();
+        Ok(())
     }
 
-    fn issue_ld_sram(&mut self, ty: ElemType, rd_sp: Reg, rs_addr: Reg, rs_len: Reg) {
+    fn issue_ld_sram(
+        &mut self,
+        ty: ElemType,
+        rd_sp: Reg,
+        rs_addr: Reg,
+        rs_len: Reg,
+    ) -> Result<(), Trap> {
         let sp = self.regs.read(rd_sp) as usize;
         let dram = self.regs.read(rs_addr);
         let len = self.regs.read(rs_len) as usize * ty.size_bytes();
+        // Range check before allocating the ARC entry so a trapping
+        // instruction leaves no dangling range.
+        Trap::check_sp_range(sp, len, self.sp.len())?;
         let arc_id = self
             .arc
             .insert(sp, len)
             .expect("issue_state checked for a free ARC entry");
-        if let Err(trap) = Trap::check_sp_range(sp, len, self.sp.len()) {
-            panic!("ld.sram: {trap}");
-        }
         self.lsu.push_load_sram(dram, sp, len, arc_id);
         self.retire_ldst();
+        Ok(())
     }
 
-    fn issue_st_sram(&mut self, ty: ElemType, rs_sp: Reg, rs_addr: Reg, rs_len: Reg) {
+    fn issue_st_sram(
+        &mut self,
+        ty: ElemType,
+        rs_sp: Reg,
+        rs_addr: Reg,
+        rs_len: Reg,
+    ) -> Result<(), Trap> {
         let sp = self.regs.read(rs_sp) as usize;
         let dram = self.regs.read(rs_addr);
         let len = self.regs.read(rs_len) as usize * ty.size_bytes();
-        let data = self.sp.read(sp, len);
+        let data = self.sp.read(sp, len)?;
         self.lsu.push_store_sram(dram, data);
         self.retire_ldst();
+        Ok(())
     }
 
-    fn issue_ld_reg(&mut self, rd: Reg, rs_addr: Reg, full_empty: bool) {
+    fn issue_ld_reg(&mut self, rd: Reg, rs_addr: Reg, full_empty: bool) -> Result<(), Trap> {
         let dram = self.regs.read(rs_addr);
+        self.lsu.push_load_reg(dram, rd, full_empty)?;
         self.regs.invalidate(rd);
-        self.lsu.push_load_reg(dram, rd, full_empty);
         self.retire_ldst();
+        Ok(())
     }
 
-    fn issue_st_reg(&mut self, rs: Reg, rs_addr: Reg, full_empty: bool) {
+    fn issue_st_reg(&mut self, rs: Reg, rs_addr: Reg, full_empty: bool) -> Result<(), Trap> {
         let dram = self.regs.read(rs_addr);
         let value = self.regs.read(rs);
-        self.lsu.push_store_reg(dram, value, full_empty);
+        self.lsu.push_store_reg(dram, value, full_empty)?;
         self.retire_ldst();
+        Ok(())
     }
 }
 
@@ -810,7 +930,7 @@ mod tests {
     /// programs).
     fn run_local(pe: &mut Pe, max: u64) {
         for now in 1..=max {
-            pe.tick(now);
+            pe.tick(now).unwrap();
             if pe.is_halted() {
                 return;
             }
@@ -843,12 +963,17 @@ mod tests {
         // a at 0, b at 32, result at 64, vl=16 i16.
         for i in 0..16 {
             alu::write_lane(
-                p.scratchpad_mut().slice_mut(0, 32),
+                p.scratchpad_mut().slice_mut(0, 32).unwrap(),
                 i,
                 ElemType::I16,
                 i as i64,
             );
-            alu::write_lane(p.scratchpad_mut().slice_mut(32, 32), i, ElemType::I16, 100);
+            alu::write_lane(
+                p.scratchpad_mut().slice_mut(32, 32).unwrap(),
+                i,
+                ElemType::I16,
+                100,
+            );
         }
         let mut asm = Asm::new();
         asm.mov_imm(r(1), 16)
@@ -863,7 +988,7 @@ mod tests {
         run_local(&mut p, 1000);
         for i in 0..16 {
             assert_eq!(
-                alu::read_lane(p.scratchpad().slice(64, 32), i, ElemType::I16),
+                alu::read_lane(p.scratchpad().slice(64, 32).unwrap(), i, ElemType::I16),
                 100 + i as i64
             );
         }
@@ -880,10 +1005,10 @@ mod tests {
         {
             let sp = p.scratchpad_mut();
             for (i, &v) in smooth.iter().enumerate() {
-                alu::write_lane(sp.slice_mut(0, 32), i, ty, v);
+                alu::write_lane(sp.slice_mut(0, 32).unwrap(), i, ty, v);
             }
             for (i, &v) in theta.iter().enumerate() {
-                alu::write_lane(sp.slice_mut(128, 8), i, ty, v);
+                alu::write_lane(sp.slice_mut(128, 8).unwrap(), i, ty, v);
             }
         }
         let mut asm = Asm::new();
@@ -911,7 +1036,7 @@ mod tests {
                 .min()
                 .unwrap();
             assert_eq!(
-                alu::read_lane(p.scratchpad().slice(192, 8), row, ty),
+                alu::read_lane(p.scratchpad().slice(192, 8).unwrap(), row, ty),
                 expect,
                 "row {row}"
             );
@@ -957,6 +1082,65 @@ mod tests {
         let mut p = pe();
         p.load_program(&Program::default());
         assert!(p.is_halted());
+    }
+
+    #[test]
+    fn out_of_bounds_vector_op_is_a_typed_error() {
+        let mut p = pe();
+        let mut asm = Asm::new();
+        // vl = 4096 i16 = 8 KiB: twice the scratchpad.
+        asm.mov_imm(r(1), 4096)
+            .set_vl(r(1))
+            .mov_imm(r(2), 0)
+            .vec_vec(VerticalOp::Add, ElemType::I16, r(2), r(2), r(2))
+            .halt();
+        p.load_program(&asm.assemble().unwrap());
+        let err = (1..100)
+            .find_map(|now| p.tick(now).err())
+            .expect("the vector op must trap");
+        assert_eq!(
+            err,
+            SimError::Trap {
+                pe: 0,
+                pc: 3,
+                trap: Trap::ScratchpadOutOfBounds {
+                    addr: 0,
+                    len: 8192,
+                    capacity: 4096
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn writeback_flips_fire_and_are_counted() {
+        let program = {
+            let mut asm = Asm::new();
+            asm.mov_imm(r(1), 0);
+            for _ in 0..64 {
+                asm.addi(r(1), r(1), 1);
+            }
+            asm.halt();
+            asm.assemble().unwrap()
+        };
+        let mut clean = pe();
+        clean.load_program(&program);
+        run_local(&mut clean, 1000);
+        assert_eq!(clean.stats().writeback_flips, 0);
+
+        let mut faulty = pe();
+        faulty.set_faults(Some(PeFaultConfig {
+            seed: 0xf11b,
+            writeback_flip_ppm: vip_faults::PPM_SCALE as u32, // every writeback
+        }));
+        faulty.load_program(&program);
+        run_local(&mut faulty, 1000);
+        assert_eq!(
+            faulty.stats().writeback_flips,
+            65,
+            "mov_imm + 64 addi writebacks all flip"
+        );
+        assert_ne!(faulty.reg(r(1)), clean.reg(r(1)), "corruption is visible");
     }
 
     use vip_isa::Program;

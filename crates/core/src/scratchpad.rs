@@ -41,48 +41,45 @@ impl Scratchpad {
 
     /// Borrows `len` bytes starting at `addr`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range exceeds the scratchpad — generated code is
-    /// expected to stay in bounds, so this is a codegen bug.
-    #[must_use]
-    pub fn slice(&self, addr: usize, len: usize) -> &[u8] {
-        if let Err(trap) = Trap::check_sp_range(addr, len, self.data.len()) {
-            panic!("{trap}");
-        }
-        &self.data[addr..addr + len]
+    /// Returns [`Trap::ScratchpadOutOfBounds`] if the range exceeds the
+    /// scratchpad; the PE surfaces it as a typed simulation error.
+    pub fn slice(&self, addr: usize, len: usize) -> Result<&[u8], Trap> {
+        Trap::check_sp_range(addr, len, self.data.len())?;
+        Ok(&self.data[addr..addr + len])
     }
 
     /// Mutably borrows `len` bytes starting at `addr`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range exceeds the scratchpad.
-    #[must_use]
-    pub fn slice_mut(&mut self, addr: usize, len: usize) -> &mut [u8] {
-        if let Err(trap) = Trap::check_sp_range(addr, len, self.data.len()) {
-            panic!("{trap}");
-        }
-        &mut self.data[addr..addr + len]
+    /// Returns [`Trap::ScratchpadOutOfBounds`] if the range exceeds the
+    /// scratchpad.
+    pub fn slice_mut(&mut self, addr: usize, len: usize) -> Result<&mut [u8], Trap> {
+        Trap::check_sp_range(addr, len, self.data.len())?;
+        Ok(&mut self.data[addr..addr + len])
     }
 
     /// Copies bytes in, for load completions and host preloading.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range exceeds the scratchpad.
-    pub fn write(&mut self, addr: usize, bytes: &[u8]) {
-        self.slice_mut(addr, bytes.len()).copy_from_slice(bytes);
+    /// Returns [`Trap::ScratchpadOutOfBounds`] if the range exceeds the
+    /// scratchpad.
+    pub fn write(&mut self, addr: usize, bytes: &[u8]) -> Result<(), Trap> {
+        self.slice_mut(addr, bytes.len())?.copy_from_slice(bytes);
+        Ok(())
     }
 
     /// Copies bytes out.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the range exceeds the scratchpad.
-    #[must_use]
-    pub fn read(&self, addr: usize, len: usize) -> Vec<u8> {
-        self.slice(addr, len).to_vec()
+    /// Returns [`Trap::ScratchpadOutOfBounds`] if the range exceeds the
+    /// scratchpad.
+    pub fn read(&self, addr: usize, len: usize) -> Result<Vec<u8>, Trap> {
+        Ok(self.slice(addr, len)?.to_vec())
     }
 }
 
@@ -94,23 +91,32 @@ mod tests {
     fn roundtrip_and_zero_init() {
         let mut sp = Scratchpad::new(4096);
         assert_eq!(sp.len(), 4096);
-        assert_eq!(sp.read(100, 4), vec![0; 4]);
-        sp.write(100, &[1, 2, 3]);
-        assert_eq!(sp.read(99, 5), vec![0, 1, 2, 3, 0]);
+        assert_eq!(sp.read(100, 4).unwrap(), vec![0; 4]);
+        sp.write(100, &[1, 2, 3]).unwrap();
+        assert_eq!(sp.read(99, 5).unwrap(), vec![0, 1, 2, 3, 0]);
     }
 
     #[test]
     fn arbitrary_alignment_is_legal() {
         // The banked+swizzled design means any byte offset works.
         let mut sp = Scratchpad::new(4096);
-        sp.write(4093, &[9, 9, 9]);
-        assert_eq!(sp.read(4093, 3), vec![9, 9, 9]);
+        sp.write(4093, &[9, 9, 9]).unwrap();
+        assert_eq!(sp.read(4093, 3).unwrap(), vec![9, 9, 9]);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds")]
-    fn out_of_bounds_panics() {
+    fn out_of_bounds_is_a_typed_trap() {
         let sp = Scratchpad::new(4096);
-        let _ = sp.slice(4090, 8);
+        assert_eq!(
+            sp.slice(4090, 8).unwrap_err(),
+            Trap::ScratchpadOutOfBounds {
+                addr: 4090,
+                len: 8,
+                capacity: 4096
+            }
+        );
+        let mut sp = Scratchpad::new(4096);
+        assert!(sp.write(4095, &[0, 0]).is_err());
+        assert!(sp.read(0, 4097).is_err());
     }
 }

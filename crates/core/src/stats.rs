@@ -30,6 +30,9 @@ pub struct PeStats {
     pub sp_beats: u64,
     /// Issue-stall cycles by cause.
     pub stalls: [u64; StallReason::COUNT],
+    /// Scalar-writeback bits flipped by the fault injector (zero unless
+    /// injection is enabled; the register file has no ECC).
+    pub writeback_flips: u64,
 }
 
 impl PeStats {
@@ -58,6 +61,7 @@ impl PeStats {
         for (a, b) in self.stalls.iter_mut().zip(other.stalls.iter()) {
             *a += b;
         }
+        self.writeback_flips += other.writeback_flips;
     }
 }
 

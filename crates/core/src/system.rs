@@ -2,13 +2,14 @@
 //! together.
 
 use std::collections::VecDeque;
-use std::fmt;
 
+use vip_faults::FaultConfig;
 use vip_isa::{Program, Reg};
 use vip_mem::{Hmc, MemRequest, MemResponse, RequestKind};
 use vip_noc::Torus;
 
 use crate::config::SystemConfig;
+use crate::error::{BlockedPe, HangReport, SimError};
 use crate::pe::Pe;
 use crate::stats::{PeStats, SystemStats};
 use crate::Cycle;
@@ -21,29 +22,6 @@ enum SysMsg {
     /// A completion heading back to PE `pe`'s vault.
     Resp { pe: usize, resp: MemResponse },
 }
-
-/// Error returned by [`System::run`] when the cycle limit is reached.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunError {
-    /// The limit that was hit.
-    pub limit: Cycle,
-    /// PEs that had halted by then.
-    pub halted_pes: usize,
-    /// Total PEs.
-    pub total_pes: usize,
-}
-
-impl fmt::Display for RunError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "simulation did not quiesce within {} cycles ({}/{} PEs halted)",
-            self.limit, self.halted_pes, self.total_pes
-        )
-    }
-}
-
-impl std::error::Error for RunError {}
 
 fn req_bytes(req: &MemRequest) -> usize {
     match req.kind {
@@ -77,7 +55,9 @@ fn resolve_shards(requested: usize, total_pes: usize) -> usize {
 /// Every mutation is confined to the PE itself and its own `to_pe` /
 /// `egress` queues, so disjoint slices run on separate host threads
 /// without changing simulated behaviour. Returns `(completions
-/// delivered, requests emitted)` and appends the global ids of PEs that
+/// delivered, requests emitted)` plus the lowest-PE-id error raised this
+/// cycle (every PE in the slice is still stepped, so the reported error
+/// is independent of sharding), and appends the global ids of PEs that
 /// halted this cycle.
 fn step_pes(
     pes: &mut [Pe],
@@ -86,33 +66,51 @@ fn step_pes(
     now: Cycle,
     base: usize,
     newly_halted: &mut Vec<usize>,
-) -> (usize, usize) {
+) -> ((usize, usize), Option<(usize, SimError)>) {
     let mut received = 0;
     let mut emitted = 0;
+    let mut first_err: Option<(usize, SimError)> = None;
     for (i, ((pe, queue), egress)) in pes.iter_mut().zip(to_pe).zip(egress).enumerate() {
+        let mut pe_err: Option<SimError> = None;
         while let Some(&(ready, _)) = queue.front() {
             if ready > now {
                 break;
             }
             let (_, resp) = queue.pop_front().expect("front exists");
-            pe.receive(&resp);
-            received += 1;
+            match pe.receive(&resp) {
+                Ok(()) => received += 1,
+                Err(e) => {
+                    pe_err = Some(e);
+                    break;
+                }
+            }
         }
 
-        let was_halted = pe.is_halted();
-        pe.tick(now);
-        if !was_halted && pe.is_halted() {
-            newly_halted.push(base + i);
+        if pe_err.is_none() {
+            let was_halted = pe.is_halted();
+            match pe.tick(now) {
+                Ok(()) => {
+                    if !was_halted && pe.is_halted() {
+                        newly_halted.push(base + i);
+                    }
+                    if egress.len() < 8 {
+                        if let Some(req) = pe.emit_request() {
+                            egress.push_back(req);
+                            emitted += 1;
+                        }
+                    }
+                }
+                Err(e) => pe_err = Some(e),
+            }
         }
 
-        if egress.len() < 8 {
-            if let Some(req) = pe.emit_request() {
-                egress.push_back(req);
-                emitted += 1;
+        if first_err.is_none() {
+            if let Some(e) = pe_err {
+                first_err = Some((base + i, e));
             }
         }
     }
-    (received, emitted)
+    ((received, emitted), first_err)
 }
 
 /// The complete system simulator (Figure 1's left half).
@@ -275,7 +273,15 @@ impl System {
     }
 
     /// Advances the whole system one cycle.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if a PE trapped, consumed poisoned memory,
+    /// received an orphan response, or the NoC abandoned a packet. The
+    /// error is deterministic: every PE still steps this cycle and the
+    /// lowest-PE-id failure wins, so all stepping engines report the
+    /// same error for the same program and fault seed.
+    pub fn step(&mut self) -> Result<(), SimError> {
         self.now += 1;
         let now = self.now;
         let local_lat = self.cfg.local_link_latency;
@@ -300,8 +306,15 @@ impl System {
             });
         }
 
-        // 2. Network: advance and drain deliveries.
+        // 2. Network: advance, surface abandoned packets, drain
+        // deliveries.
         self.net.tick();
+        if let Some(pkt) = self.net.pop_failed() {
+            return Err(SimError::NocDeliveryFailed {
+                src: pkt.src,
+                dst: pkt.dst,
+            });
+        }
         while let Some((node, pkt)) = self.net.pop_delivered() {
             match pkt.payload {
                 SysMsg::Req(req) => self.vault_ingress[node].push_back(req),
@@ -356,7 +369,7 @@ impl System {
         // behaviour; all shared-structure work stays in 4b.
         let shards = self.step_shards;
         let mut newly_halted: Vec<usize> = Vec::new();
-        let (received, emitted) = if shards <= 1 || self.pes.len() < 2 * shards {
+        let ((received, emitted), step_err) = if shards <= 1 || self.pes.len() < 2 * shards {
             step_pes(
                 &mut self.pes,
                 &mut self.to_pe,
@@ -389,12 +402,20 @@ impl System {
             });
             let mut received = 0;
             let mut emitted = 0;
-            for ((r, e), halted) in results {
+            let mut err: Option<(usize, SimError)> = None;
+            for (((r, e), shard_err), halted) in results {
                 received += r;
                 emitted += e;
                 newly_halted.extend(halted);
+                // Shards cover ascending PE-id ranges, so the lowest id
+                // wins regardless of shard count.
+                if let Some((id, e)) = shard_err {
+                    if err.as_ref().is_none_or(|(min, _)| id < *min) {
+                        err = Some((id, e));
+                    }
+                }
             }
-            (received, emitted)
+            ((received, emitted), err)
         };
         self.inflight_msgs = self.inflight_msgs.saturating_sub(received) + emitted;
         for pe_id in newly_halted {
@@ -403,6 +424,9 @@ impl System {
                 self.halted_cached[pe_id] = true;
                 self.halted_merged.merge(self.pes[pe_id].stats());
             }
+        }
+        if let Some((_, e)) = step_err {
+            return Err(e);
         }
 
         // 4b. Dispatch each PE's oldest pending request onto its uplink
@@ -428,6 +452,7 @@ impl System {
                 }
             }
         }
+        Ok(())
     }
 
     /// Whether every PE has halted and all memory traffic has drained.
@@ -545,10 +570,12 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError`] if the system has not quiesced within
-    /// `max_cycles` — a hang (e.g. a full-empty deadlock) or simply too
-    /// small a limit.
-    pub fn run(&mut self, max_cycles: Cycle) -> Result<Cycle, RunError> {
+    /// Returns [`SimError::Hang`] with a structured [`HangReport`] —
+    /// which PEs are blocked where, on which full-empty words, what the
+    /// network and vault queues still hold — if the system has not
+    /// quiesced within `max_cycles` (a full-empty deadlock or simply too
+    /// small a limit), or any other [`SimError`] a step raises.
+    pub fn run(&mut self, max_cycles: Cycle) -> Result<Cycle, SimError> {
         self.recount_quiesce_counters();
         // In dense phases (an event every cycle — e.g. a streaming LSU
         // keeping its vault saturated) the O(system) `next_event` scan
@@ -560,7 +587,7 @@ impl System {
         let mut quiet_streak: u32 = 0;
         let mut backoff: u64 = 0;
         while self.now < max_cycles {
-            self.step();
+            self.step()?;
             if self.unhalted == 0 && self.inflight_msgs == 0 && self.is_quiesced() {
                 return Ok(self.now);
             }
@@ -581,7 +608,7 @@ impl System {
                 }
             }
         }
-        Err(self.run_error(max_cycles))
+        Err(SimError::Hang(Box::new(self.hang_report(max_cycles))))
     }
 
     /// [`run`](System::run) without the event-driven fast-forward: steps
@@ -591,23 +618,53 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Returns [`RunError`] if the system has not quiesced within
-    /// `max_cycles`.
-    pub fn run_naive(&mut self, max_cycles: Cycle) -> Result<Cycle, RunError> {
+    /// As for [`run`](System::run): [`SimError::Hang`] at the limit, or
+    /// whatever error a step raises.
+    pub fn run_naive(&mut self, max_cycles: Cycle) -> Result<Cycle, SimError> {
         while self.now < max_cycles {
-            self.step();
+            self.step()?;
             if self.is_quiesced() {
                 return Ok(self.now);
             }
         }
-        Err(self.run_error(max_cycles))
+        Err(SimError::Hang(Box::new(self.hang_report(max_cycles))))
     }
 
-    fn run_error(&self, limit: Cycle) -> RunError {
-        RunError {
+    /// The hang-diagnosis watchdog: snapshots every unhalted PE (pc,
+    /// stall cause, full-empty words it is parked on), the packets still
+    /// inside the torus, and each vault's queued transaction count.
+    #[must_use]
+    pub fn hang_report(&self, limit: Cycle) -> HangReport {
+        let blocked = self
+            .pes
+            .iter()
+            .filter(|p| !p.is_halted())
+            .map(|p| BlockedPe {
+                pe: p.id(),
+                pc: p.pc(),
+                stall: p.stall_reason(self.now),
+                fe_waits: p.fe_waits(),
+            })
+            .collect();
+        HangReport {
             limit,
             halted_pes: self.pes.iter().filter(|p| p.is_halted()).count(),
             total_pes: self.pes.len(),
+            blocked,
+            noc_in_flight: self.net.in_flight(),
+            vault_queue_depths: (0..self.cfg.mem.vaults)
+                .map(|v| self.hmc.pending(v))
+                .collect(),
+        }
+    }
+
+    /// Rewires fault injection across every layer at runtime (the
+    /// construction-time path is [`SystemConfig::with_faults`]).
+    pub fn set_fault_config(&mut self, faults: &FaultConfig) {
+        self.hmc.set_faults(faults.dram);
+        self.net.set_faults(faults.noc);
+        for pe in &mut self.pes {
+            pe.set_faults(faults.pe);
         }
     }
 

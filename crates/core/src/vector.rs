@@ -47,27 +47,25 @@ impl VectorUnit {
 
     /// Sets the vector length.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `vl` is zero (programs must configure a positive
-    /// length).
-    pub fn set_vl(&mut self, vl: usize) {
-        if let Err(trap) = Trap::check_vl(vl) {
-            panic!("{trap}");
-        }
+    /// Returns [`Trap::ZeroVectorLength`] if `vl` is zero (programs
+    /// must configure a positive length).
+    pub fn set_vl(&mut self, vl: usize) -> Result<(), Trap> {
+        Trap::check_vl(vl)?;
         self.vl = vl;
+        Ok(())
     }
 
     /// Sets the matrix row count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `mr` is zero.
-    pub fn set_mr(&mut self, mr: usize) {
-        if let Err(trap) = Trap::check_mr(mr) {
-            panic!("{trap}");
-        }
+    /// Returns [`Trap::ZeroMatRows`] if `mr` is zero.
+    pub fn set_mr(&mut self, mr: usize) -> Result<(), Trap> {
+        Trap::check_mr(mr)?;
         self.mr = mr;
+        Ok(())
     }
 
     /// Datapath beats to stream `elems` lanes of `ty` (64-bit datapath).
@@ -143,8 +141,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "set.vl of 0")]
-    fn zero_vl_panics() {
-        VectorUnit::new().set_vl(0);
+    fn zero_vl_is_a_typed_trap() {
+        let mut v = VectorUnit::new();
+        assert_eq!(v.set_vl(0), Err(Trap::ZeroVectorLength));
+        assert_eq!(v.set_mr(0), Err(Trap::ZeroMatRows));
+        // State is untouched by the rejected writes.
+        assert_eq!((v.vl(), v.mr()), (1, 1));
+        v.set_vl(16).unwrap();
+        assert_eq!(v.vl(), 16);
     }
 }

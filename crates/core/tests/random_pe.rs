@@ -117,8 +117,8 @@ fn vec_vec_matches_alu() {
         let mut sys = System::new(SystemConfig::small_test());
         {
             let pe = sys.pe_mut(0);
-            pe.scratchpad_mut().write(0, &a);
-            pe.scratchpad_mut().write(1024, &b);
+            pe.scratchpad_mut().write(0, &a).unwrap();
+            pe.scratchpad_mut().write(1024, &b).unwrap();
         }
         let mut asm = Asm::new();
         asm.mov_imm(r(1), vl as i64)
@@ -134,7 +134,7 @@ fn vec_vec_matches_alu() {
 
         let mut expect = vec![0u8; len];
         alu::vec_vec(op, ty, &mut expect, &a, &b, vl);
-        assert_eq!(sys.pe(0).scratchpad().read(2048, len), expect);
+        assert_eq!(sys.pe(0).scratchpad().read(2048, len).unwrap(), expect);
     });
 }
 
@@ -155,8 +155,8 @@ fn mat_vec_matches_alu() {
         let mut sys = System::new(SystemConfig::small_test());
         {
             let pe = sys.pe_mut(0);
-            pe.scratchpad_mut().write(0, &mat);
-            pe.scratchpad_mut().write(2048, &vec_);
+            pe.scratchpad_mut().write(0, &mat).unwrap();
+            pe.scratchpad_mut().write(2048, &vec_).unwrap();
         }
         let mut asm = Asm::new();
         asm.mov_imm(r(1), vl as i64)
@@ -174,7 +174,7 @@ fn mat_vec_matches_alu() {
 
         let mut expect = vec![0u8; dst_len];
         alu::mat_vec(vop, hop, ty, &mut expect, &mat, &vec_, mr, vl);
-        assert_eq!(sys.pe(0).scratchpad().read(3072, dst_len), expect);
+        assert_eq!(sys.pe(0).scratchpad().read(3072, dst_len).unwrap(), expect);
     });
 }
 
@@ -218,6 +218,10 @@ fn ldst_sequences_match_shadow() {
         sys.run(5_000_000).expect("ld/st sequence completes");
 
         assert_eq!(sys.hmc().host_read(0, SPAN), shadow_dram, "dram");
-        assert_eq!(sys.pe(0).scratchpad().read(0, 4096), shadow_sp, "sp");
+        assert_eq!(
+            sys.pe(0).scratchpad().read(0, 4096).unwrap(),
+            shadow_sp,
+            "sp"
+        );
     });
 }

@@ -1,7 +1,7 @@
 //! Focused behavioural tests of the system model: fences, hazards,
 //! structural limits, deadlock detection, and address-mapping modes.
 
-use vip_core::{RunError, StallReason, System, SystemConfig};
+use vip_core::{SimError, StallReason, System, SystemConfig};
 use vip_isa::{assemble, Asm, ElemType, Reg, VerticalOp};
 use vip_mem::AddressMapping;
 
@@ -54,7 +54,7 @@ fn arc_guards_vector_reads_of_inflight_loads() {
         .halt();
     sys.load_program(0, &asm.assemble().unwrap());
     sys.run(100_000).unwrap();
-    let out = sys.pe(0).scratchpad().read(128, 8);
+    let out = sys.pe(0).scratchpad().read(128, 8).unwrap();
     assert_eq!(out, vec![5, 0, 6, 0, 7, 0, 8, 0]);
     assert!(
         sys.pe(0).stats().stalls_for(StallReason::ArcOverlap) > 0,
@@ -81,7 +81,7 @@ fn arc_capacity_throttles_but_never_corrupts() {
     sys.load_program(0, &asm.assemble().unwrap());
     sys.run(200_000).unwrap();
     for i in 0..30usize {
-        let bytes = sys.pe(0).scratchpad().read(i * 32, 8);
+        let bytes = sys.pe(0).scratchpad().read(i * 32, 8).unwrap();
         assert_eq!(u64::from_le_bytes(bytes.try_into().unwrap()), i as u64 + 1);
     }
     assert!(
@@ -91,9 +91,9 @@ fn arc_capacity_throttles_but_never_corrupts() {
 }
 
 #[test]
-fn unsatisfied_full_empty_load_times_out_as_runerror() {
+fn unsatisfied_full_empty_load_hangs_with_a_diagnosis() {
     // A ld.reg.fe with no producer is a deadlock; run() reports it
-    // rather than spinning forever.
+    // as a structured hang diagnosis rather than spinning forever.
     let mut sys = System::new(SystemConfig::small_test());
     // The addi consumer keeps the PE un-halted at the fence of the
     // never-filled register.
@@ -101,15 +101,23 @@ fn unsatisfied_full_empty_load_times_out_as_runerror() {
     sys.load_program(0, &p);
     sys.set_reg(0, r(2), 0x800);
     let err = sys.run(20_000).unwrap_err();
+    let SimError::Hang(report) = &err else {
+        panic!("expected a hang, got {err:?}");
+    };
     assert_eq!(
-        err,
-        RunError {
-            limit: 20_000,
-            halted_pes: 3,
-            total_pes: 4
-        }
+        (report.limit, report.halted_pes, report.total_pes),
+        (20_000, 3, 4)
     );
-    assert!(err.to_string().contains("did not quiesce"));
+    // The watchdog names the blocked PE, its pc, and the exact
+    // full-empty word it is parked on.
+    assert_eq!(report.blocked.len(), 1);
+    let blocked = &report.blocked[0];
+    assert_eq!((blocked.pe, blocked.pc), (0, 1));
+    assert_eq!(blocked.stall, Some(StallReason::ScalarOperand));
+    assert_eq!(blocked.fe_waits, vec![(0x800, true)]);
+    let text = err.to_string();
+    assert!(text.contains("3/4 PEs halted"), "{text}");
+    assert!(text.contains("fe.load at 0x800"), "{text}");
 }
 
 #[test]
@@ -141,7 +149,7 @@ fn low_interleave_mapping_still_computes_correctly() {
     let mut sys = System::new(cfg);
     // Write a 256-byte pattern via st.sram from a preloaded scratchpad.
     let data: Vec<u8> = (0..=255).collect();
-    sys.pe_mut(0).scratchpad_mut().write(0, &data);
+    sys.pe_mut(0).scratchpad_mut().write(0, &data).unwrap();
     let mut asm = Asm::new();
     asm.mov_imm(r(1), 0)
         .mov_imm(r(2), 0x40) // deliberately unaligned to columns? keep aligned
@@ -154,7 +162,7 @@ fn low_interleave_mapping_still_computes_correctly() {
         .halt();
     sys.load_program(0, &asm.assemble().unwrap());
     sys.run(500_000).unwrap();
-    assert_eq!(sys.pe(0).scratchpad().read(1024, 256), data);
+    assert_eq!(sys.pe(0).scratchpad().read(1024, 256).unwrap(), data);
     // The interleave really spread the traffic: several vaults saw work.
     let busy_vaults = (0..4)
         .filter(|&v| sys.hmc().vault_stats(v).transactions() > 0)

@@ -1,0 +1,217 @@
+//! SECDED (72,64): a shortened Hamming(71,64) plus an overall parity
+//! bit, the classic DRAM ECC word format (64 data bits + 8 check bits,
+//! one check byte per 8-byte word).
+//!
+//! Codeword positions 1..=71 hold the Hamming code: check bits at the
+//! power-of-two positions {1,2,4,8,16,32,64}, data bits at the
+//! remaining 64 positions in ascending order. An eighth bit stores
+//! parity over the whole 71-bit word. Single-bit errors produce a
+//! non-zero syndrome *and* flip the overall parity, so they are
+//! corrected; double-bit errors produce a non-zero syndrome with even
+//! overall parity, so they are detected but not correctable.
+
+/// Number of codeword positions carrying the Hamming code (data +
+/// Hamming check bits, excluding the overall parity bit).
+const CODE_POSITIONS: u32 = 71;
+
+/// The outcome of decoding a (data, check) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// No error: the stored data is good as-is.
+    Clean,
+    /// A single-bit error was corrected.
+    Corrected {
+        /// The repaired 64-bit data word.
+        data: u64,
+        /// The codeword position (1-based; 72 = the overall parity bit
+        /// itself) that was flipped.
+        position: u32,
+    },
+    /// A double-bit (or otherwise invalid) error: detected, not
+    /// correctable. The data cannot be trusted.
+    Uncorrectable,
+}
+
+/// Maps data bit index 0..64 to its codeword position (the non-power-
+/// of-two positions of 1..=71, ascending).
+fn position_of_data_bit(bit: u32) -> u32 {
+    debug_assert!(bit < 64);
+    let mut seen = 0;
+    for pos in 1..=CODE_POSITIONS {
+        if !pos.is_power_of_two() {
+            if seen == bit {
+                return pos;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("data bit index out of range")
+}
+
+/// Maps a codeword position back to its data bit index, or `None` for
+/// check-bit positions.
+fn data_bit_of_position(position: u32) -> Option<u32> {
+    if position == 0 || position > CODE_POSITIONS || position.is_power_of_two() {
+        return None;
+    }
+    let mut bit = 0;
+    for pos in 1..position {
+        if !pos.is_power_of_two() {
+            bit += 1;
+        }
+    }
+    Some(bit)
+}
+
+/// XOR of the codeword positions of all set data bits — the Hamming
+/// syndrome contribution of the data half.
+fn data_syndrome(data: u64) -> u32 {
+    let mut syn = 0;
+    for bit in 0..64 {
+        if data >> bit & 1 == 1 {
+            syn ^= position_of_data_bit(bit);
+        }
+    }
+    syn
+}
+
+/// Encodes a 64-bit data word into its 8 check bits: the 7 Hamming
+/// check bits in bits 0..=6 (bit `j` lives at codeword position
+/// `2^j`), the overall parity in bit 7.
+#[must_use]
+pub fn encode(data: u64) -> u8 {
+    let hamming = data_syndrome(data) as u8 & 0x7f;
+    let overall = (data.count_ones() + u32::from(hamming).count_ones()) & 1;
+    hamming | (overall as u8) << 7
+}
+
+/// Decodes a possibly-corrupted `(data, check)` pair.
+#[must_use]
+pub fn decode(data: u64, check: u8) -> Decoded {
+    let stored_hamming = u32::from(check & 0x7f);
+    let syndrome = data_syndrome(data) ^ stored_hamming;
+    let parity_now = (data.count_ones() + stored_hamming.count_ones() + u32::from(check >> 7)) & 1;
+    match (syndrome, parity_now) {
+        (0, 0) => Decoded::Clean,
+        // Syndrome zero but parity odd: the overall parity bit itself
+        // flipped. Data is intact.
+        (0, 1) => Decoded::Corrected {
+            data,
+            position: CODE_POSITIONS + 1,
+        },
+        // Non-zero syndrome with even parity: an even number of flips.
+        (_, 0) => Decoded::Uncorrectable,
+        (pos, _) => {
+            if pos > CODE_POSITIONS {
+                // Syndrome points outside the codeword: ≥3 flips.
+                return Decoded::Uncorrectable;
+            }
+            let data = match data_bit_of_position(pos) {
+                Some(bit) => data ^ 1 << bit,
+                // A Hamming check bit flipped; data is intact.
+                None => data,
+            };
+            Decoded::Corrected {
+                data,
+                position: pos,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vip_rng::SplitMix64;
+
+    fn words(n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(0xecc);
+        let mut v: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        v.extend([0, u64::MAX, 1, 1 << 63]);
+        v
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for w in words(64) {
+            assert_eq!(decode(w, encode(w)), Decoded::Clean, "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_is_corrected() {
+        for w in words(16) {
+            let check = encode(w);
+            for bit in 0..64 {
+                let corrupted = w ^ 1 << bit;
+                match decode(corrupted, check) {
+                    Decoded::Corrected { data, .. } => {
+                        assert_eq!(data, w, "word {w:#x} bit {bit}");
+                    }
+                    other => panic!("word {w:#x} bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_flip_is_corrected() {
+        for w in words(16) {
+            let check = encode(w);
+            for bit in 0..8 {
+                let corrupted = check ^ 1 << bit;
+                match decode(w, corrupted) {
+                    Decoded::Corrected { data, .. } => {
+                        assert_eq!(data, w, "word {w:#x} check bit {bit}");
+                    }
+                    other => panic!("word {w:#x} check bit {bit}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_data_bit_flip_is_detected() {
+        for w in words(4) {
+            let check = encode(w);
+            for b1 in 0..64 {
+                for b2 in (b1 + 1)..64 {
+                    let corrupted = w ^ 1 << b1 ^ 1 << b2;
+                    assert_eq!(
+                        decode(corrupted, check),
+                        Decoded::Uncorrectable,
+                        "word {w:#x} bits {b1},{b2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_data_check_double_flips_are_detected() {
+        for w in words(4) {
+            let check = encode(w);
+            for db in 0..64 {
+                for cb in 0..8 {
+                    assert_eq!(
+                        decode(w ^ 1 << db, check ^ 1 << cb),
+                        Decoded::Uncorrectable,
+                        "word {w:#x} data bit {db} check bit {cb}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrected_position_identifies_the_flipped_bit() {
+        let w = 0xdead_beef_0bad_cafe;
+        let check = encode(w);
+        for bit in 0..64 {
+            let Decoded::Corrected { position, .. } = decode(w ^ 1 << bit, check) else {
+                panic!("bit {bit} not corrected");
+            };
+            assert_eq!(data_bit_of_position(position), Some(bit));
+        }
+    }
+}

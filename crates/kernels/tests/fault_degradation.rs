@@ -1,0 +1,88 @@
+//! Graceful degradation under live DRAM retention faults: an MLP tile
+//! run with single-bit flips injected on the vault read path must still
+//! produce the golden output, because SECDED corrects every single-bit
+//! fault before the data reaches a PE. The corrected-error counters
+//! prove the faults actually fired — this is not a vacuous pass.
+
+use vip_core::{System, SystemConfig, SystemStats};
+use vip_faults::{DramFaultConfig, FaultConfig};
+use vip_kernels::cnn::FcLayer;
+use vip_kernels::mlp::{self, FcLayout};
+
+fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
+    (0..n)
+        .map(|i| ((i * 7 + 3) % 11) as i16 * scale - offset)
+        .collect()
+}
+
+fn run_fc_under_faults(faults: &FaultConfig) -> (SystemStats, Vec<i16>, Vec<i16>) {
+    let layer = FcLayer {
+        name: "fc",
+        inputs: 512,
+        outputs: 16,
+    };
+    let input = pattern(512, 1, 5);
+    let weights = pattern(512 * 16, 1, 5);
+    let bias = pattern(16, 3, 10);
+    let layout = FcLayout {
+        layer,
+        input_base: 0,
+        weights_base: 0x10000,
+        bias_base: 0x40000,
+        output_base: 0x50000,
+        relu: true,
+    };
+    let mut sys = System::new(SystemConfig::small_test().with_faults(faults));
+    layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
+    for (pe, p) in mlp::fc_tile_programs(&layout, 4).iter().enumerate() {
+        sys.load_program(pe, p);
+    }
+    sys.run(3_000_000).expect("tile completes despite faults");
+    let golden = mlp::fc_forward(&layer, &input, &weights, &bias, true);
+    let got = layout.read_output(sys.hmc());
+    (sys.stats(), got, golden)
+}
+
+/// ~0.5% of word reads take a single-bit hit — dozens of faults over
+/// this tile's weight traffic, every one corrected in flight.
+fn single_bit_faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        dram: Some(DramFaultConfig {
+            seed,
+            single_bit_ppm: 5_000,
+            double_bit_ppm: 0,
+        }),
+        noc: None,
+        pe: None,
+    }
+}
+
+#[test]
+fn mlp_tile_survives_single_bit_dram_faults_via_secded() {
+    let (stats, got, golden) = run_fc_under_faults(&single_bit_faults(0xecc0));
+    assert_eq!(got, golden, "SECDED must make faults invisible");
+    assert!(
+        stats.mem.retention_faults > 0,
+        "the injector must actually have fired"
+    );
+    assert_eq!(
+        stats.mem.ecc_corrected, stats.mem.retention_faults,
+        "every single-bit fault is corrected"
+    );
+    assert_eq!(stats.mem.ecc_uncorrectable, 0);
+}
+
+#[test]
+fn faulty_runs_are_reproducible_from_the_seed() {
+    // Same seed → identical fault pattern, outputs, and counters: the
+    // whole point of stateless seed-driven draws is that a fault run
+    // can be replayed exactly from its config.
+    let a = run_fc_under_faults(&single_bit_faults(0xecc1));
+    let b = run_fc_under_faults(&single_bit_faults(0xecc1));
+    assert_eq!(a.0, b.0, "statistics replay exactly");
+    assert_eq!(a.1, b.1, "outputs replay exactly");
+    // A different seed lands faults elsewhere (counters differ) but the
+    // output is still golden.
+    let c = run_fc_under_faults(&single_bit_faults(0x5eed));
+    assert_eq!(c.1, c.2, "still golden under a different fault pattern");
+}

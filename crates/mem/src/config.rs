@@ -4,6 +4,7 @@ use std::fmt;
 
 use crate::addr::AddressMapping;
 use crate::timing::DramTiming;
+use vip_faults::DramFaultConfig;
 
 /// Row-buffer management policy (§III-C, §VI-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,13 +27,27 @@ impl fmt::Display for RowPolicy {
     }
 }
 
-/// Error returned by [`MemConfig::validate`].
+/// Error returned by [`MemConfig::validate`]: which configuration was
+/// rejected, which field broke the constraint, and why. Structured so
+/// callers (and test failures) name the exact knob to fix instead of
+/// panicking with an anonymous string.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError(pub String);
+pub struct ConfigError {
+    /// The configuration's human-readable name (e.g. "open page").
+    pub config: &'static str,
+    /// The offending field of [`MemConfig`].
+    pub field: &'static str,
+    /// What constraint the field violates.
+    pub message: String,
+}
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid memory configuration: {}", self.0)
+        write!(
+            f,
+            "invalid memory configuration {:?}: {}: {}",
+            self.config, self.field, self.message
+        )
     }
 }
 
@@ -75,6 +90,11 @@ pub struct MemConfig {
     /// path), which is the default; the HMC specification also allows
     /// up to 128 B packets ([`MemConfig::with_hmc_packets`]).
     pub max_packet_bytes: usize,
+    /// DRAM retention-fault injection on the vault read path (`None`:
+    /// no injector wired). The single-bit rate scales with the
+    /// configured tREFI relative to Table III's baseline, matching the
+    /// physics of the Figure 5 refresh sweep.
+    pub faults: Option<DramFaultConfig>,
     /// A human-readable name for reports.
     pub name: &'static str,
 }
@@ -95,6 +115,7 @@ impl MemConfig {
             trans_queue_depth: 32,
             burst_cycles: 4,
             max_packet_bytes: 32,
+            faults: None,
             name: "open page",
         }
     }
@@ -201,11 +222,16 @@ impl MemConfig {
     ///
     /// Returns a [`ConfigError`] describing the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        let pow2 = |name: &str, v: usize| {
+        let err = |field: &'static str, message: String| ConfigError {
+            config: self.name,
+            field,
+            message,
+        };
+        let pow2 = |field: &'static str, v: usize| {
             if v.is_power_of_two() {
                 Ok(())
             } else {
-                Err(ConfigError(format!("{name} ({v}) must be a power of two")))
+                Err(err(field, format!("{v} must be a power of two")))
             }
         };
         pow2("vaults", self.vaults)?;
@@ -214,22 +240,37 @@ impl MemConfig {
         pow2("row_bytes", self.row_bytes)?;
         pow2("col_bytes", self.col_bytes)?;
         if self.col_bytes > self.row_bytes {
-            return Err(ConfigError(format!(
-                "col_bytes ({}) exceeds row_bytes ({})",
-                self.col_bytes, self.row_bytes
-            )));
+            return Err(err(
+                "col_bytes",
+                format!("{} exceeds row_bytes ({})", self.col_bytes, self.row_bytes),
+            ));
         }
         if self.trans_queue_depth == 0 {
-            return Err(ConfigError("trans_queue_depth must be nonzero".into()));
+            return Err(err("trans_queue_depth", "must be nonzero".into()));
         }
         if self.burst_cycles == 0 {
-            return Err(ConfigError("burst_cycles must be nonzero".into()));
+            return Err(err("burst_cycles", "must be nonzero".into()));
         }
         if !self.max_packet_bytes.is_power_of_two() || self.max_packet_bytes < self.col_bytes {
-            return Err(ConfigError(format!(
-                "max_packet_bytes ({}) must be a power of two of at least one column",
-                self.max_packet_bytes
-            )));
+            return Err(err(
+                "max_packet_bytes",
+                format!(
+                    "{} must be a power of two of at least one column",
+                    self.max_packet_bytes
+                ),
+            ));
+        }
+        if let Some(f) = self.faults {
+            let cap = vip_faults::PPM_SCALE as u32;
+            if f.single_bit_ppm > cap || f.double_bit_ppm > cap {
+                return Err(err(
+                    "faults",
+                    format!(
+                        "fault rates ({}, {} ppm) exceed {cap} ppm",
+                        f.single_bit_ppm, f.double_bit_ppm
+                    ),
+                ));
+            }
         }
         Ok(())
     }
@@ -303,6 +344,15 @@ impl MemConfig {
     pub fn peak_bytes_per_cycle(&self) -> f64 {
         self.vaults as f64 * self.col_bytes as f64 / self.burst_cycles as f64
     }
+
+    /// This configuration with DRAM retention-fault injection wired.
+    #[must_use]
+    pub fn with_faults(self, faults: DramFaultConfig) -> Self {
+        MemConfig {
+            faults: Some(faults),
+            ..self
+        }
+    }
 }
 
 impl Default for MemConfig {
@@ -316,14 +366,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_presets_validate_and_preserve_capacity() {
+    fn all_presets_validate_and_preserve_capacity() -> Result<(), ConfigError> {
         let base = MemConfig::baseline();
         assert_eq!(base.total_bytes(), 8 << 30); // 8 GiB
         for cfg in MemConfig::figure5_sweep() {
-            cfg.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            // A violation propagates as a ConfigError naming the preset
+            // and field, not as a panic.
+            cfg.validate()?;
             assert_eq!(cfg.total_bytes(), base.total_bytes(), "{}", cfg.name);
         }
+        Ok(())
+    }
+
+    #[test]
+    fn config_errors_name_config_and_field() {
+        let mut cfg = MemConfig::narrow_row();
+        cfg.rows_per_bank = 100;
+        let e = cfg.validate().unwrap_err();
+        assert_eq!(e.config, "narrow row");
+        assert_eq!(e.field, "rows_per_bank");
+        let shown = e.to_string();
+        assert!(
+            shown.contains("narrow row") && shown.contains("rows_per_bank"),
+            "{shown}"
+        );
+
+        let hot = MemConfig::baseline().with_faults(vip_faults::DramFaultConfig {
+            seed: 1,
+            single_bit_ppm: 2_000_000,
+            double_bit_ppm: 0,
+        });
+        let e = hot.validate().unwrap_err();
+        assert_eq!(e.field, "faults");
     }
 
     #[test]

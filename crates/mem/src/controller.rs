@@ -9,7 +9,10 @@ use crate::config::{MemConfig, RowPolicy};
 use crate::req::{MemRequest, MemResponse, QueueFullError, RequestKind};
 use crate::stats::MemStats;
 use crate::storage::Storage;
+use crate::timing::BASELINE_T_REFI_PS;
 use crate::Cycle;
+use vip_faults::secded::Decoded;
+use vip_faults::{fault_roll, fault_value, FaultDomain};
 
 #[derive(Debug)]
 struct Txn {
@@ -92,6 +95,11 @@ impl VaultController {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Wires (or removes) retention-fault injection at runtime.
+    pub fn set_faults(&mut self, faults: Option<vip_faults::DramFaultConfig>) {
+        self.cfg.faults = faults;
     }
 
     /// Whether the transaction queue can accept another request.
@@ -409,6 +417,59 @@ impl VaultController {
         }
     }
 
+    /// The protected read data path: lands any retention faults due on
+    /// the words of this access, SECDED-decodes them (correcting and
+    /// scrubbing single-bit flips), then reads the — possibly repaired —
+    /// bytes. Returns the data and whether an uncorrectable error
+    /// poisons it.
+    ///
+    /// Fault draws are keyed by (word address, issue cycle): vault issue
+    /// cycles are bit-identical across the stepping engines, so every
+    /// engine sees the same faults. Only fully-contained aligned 8-byte
+    /// words participate (ECC is word-granular).
+    fn read_protected(&mut self, storage: &mut Storage, addr: u64, len: usize) -> (Vec<u8>, bool) {
+        let mut poisoned = false;
+        if let Some(f) = self.cfg.faults {
+            let single = u64::from(
+                f.effective_single_bit_ppm(self.cfg.timing.t_refi_ps, BASELINE_T_REFI_PS),
+            );
+            let double = u64::from(f.double_bit_ppm);
+            let end = addr + len as u64;
+            let mut word = addr.next_multiple_of(8);
+            while word + 8 <= end {
+                if single + double > 0 {
+                    let roll = fault_roll(f.seed, FaultDomain::DramRetention, word, self.now);
+                    if roll < single + double {
+                        let v = fault_value(f.seed, FaultDomain::DramRetention, word, self.now);
+                        let b1 = (v % 64) as u32;
+                        if roll < single {
+                            storage.corrupt_word(word, &[b1]);
+                        } else {
+                            let b2 = ((v >> 8) % 63) as u32;
+                            // Map onto 0..64 \ {b1} so the flips are
+                            // always two distinct bits.
+                            let b2 = if b2 >= b1 { b2 + 1 } else { b2 };
+                            storage.corrupt_word(word, &[b1, b2]);
+                        }
+                        self.stats.retention_faults += 1;
+                    }
+                }
+                // Decode unconditionally: corruption injected by an
+                // earlier uncorrectable read is still pending.
+                match storage.ecc_decode(word) {
+                    Some(Decoded::Corrected { .. }) => self.stats.ecc_corrected += 1,
+                    Some(Decoded::Uncorrectable) => {
+                        self.stats.ecc_uncorrectable += 1;
+                        poisoned = true;
+                    }
+                    Some(Decoded::Clean) | None => {}
+                }
+                word += 8;
+            }
+        }
+        (storage.read_vec(addr, len), poisoned)
+    }
+
     fn issue_column(&mut self, idx: usize, storage: &mut Storage) {
         let mut txn = self.queue.remove(idx).expect("index in range");
         let now = self.now;
@@ -434,19 +495,20 @@ impl VaultController {
             self.stats.row_hits += 1;
         }
 
-        let bank = &mut self.banks[txn.decoded.bank];
         let response = match txn.req.kind {
             RequestKind::Read => {
-                bank.access_read(burst_end, &timing);
+                let (data, poisoned) = self.read_protected(storage, txn.req.addr, txn.req.len);
+                self.banks[txn.decoded.bank].access_read(burst_end, &timing);
                 MemResponse {
                     id: txn.req.id,
                     kind: RequestKind::Read,
                     addr: txn.req.addr,
-                    data: storage.read_vec(txn.req.addr, txn.req.len),
+                    data,
+                    poisoned,
                 }
             }
             RequestKind::Write => {
-                bank.access_write(burst_end, &timing);
+                self.banks[txn.decoded.bank].access_write(burst_end, &timing);
                 self.stats.bytes_written += txn.req.data.len() as u64;
                 storage.write(txn.req.addr, &txn.req.data);
                 MemResponse {
@@ -454,21 +516,23 @@ impl VaultController {
                     kind: RequestKind::Write,
                     addr: txn.req.addr,
                     data: Vec::new(),
+                    poisoned: false,
                 }
             }
             RequestKind::FeLoad => {
-                bank.access_read(burst_end, &timing);
-                let data = storage.read_vec(txn.req.addr, 8);
+                let (data, poisoned) = self.read_protected(storage, txn.req.addr, 8);
+                self.banks[txn.decoded.bank].access_read(burst_end, &timing);
                 storage.set_full(txn.req.addr, false);
                 MemResponse {
                     id: txn.req.id,
                     kind: RequestKind::FeLoad,
                     addr: txn.req.addr,
                     data,
+                    poisoned,
                 }
             }
             RequestKind::FeStore => {
-                bank.access_write(burst_end, &timing);
+                self.banks[txn.decoded.bank].access_write(burst_end, &timing);
                 self.stats.bytes_written += txn.req.data.len() as u64;
                 storage.write(txn.req.addr, &txn.req.data);
                 storage.set_full(txn.req.addr, true);
@@ -477,6 +541,7 @@ impl VaultController {
                     kind: RequestKind::FeStore,
                     addr: txn.req.addr,
                     data: Vec::new(),
+                    poisoned: false,
                 }
             }
         };
@@ -486,7 +551,7 @@ impl VaultController {
                 RequestKind::Write | RequestKind::FeStore => burst_end + timing.t_wr(),
                 _ => burst_end,
             };
-            bank.auto_precharge_at(pre_at, &timing);
+            self.banks[txn.decoded.bank].auto_precharge_at(pre_at, &timing);
         }
 
         txn.caused_act = false;
@@ -688,6 +753,75 @@ mod tests {
         let out = run_until_idle(&mut vc, &mut storage, 1000);
         assert_eq!(out.iter().find(|r| r.id == 1).unwrap().data, vec![9; 32]);
         assert_eq!(out.iter().find(|r| r.id == 2).unwrap().data.len(), 128);
+    }
+
+    #[test]
+    fn injected_single_bit_faults_are_corrected_and_counted() {
+        // Fire on every word-read: the data still comes back golden
+        // because SECDED corrects each flip on the fly.
+        let cfg = MemConfig::baseline().with_faults(vip_faults::DramFaultConfig {
+            seed: 0xfa017,
+            single_bit_ppm: 1_000_000,
+            double_bit_ppm: 0,
+        });
+        let mut storage = Storage::new();
+        storage.write(0, &[0x5a; 32]);
+        let mut vc = VaultController::new(0, cfg);
+        vc.enqueue(MemRequest::read(1, 0, 32)).unwrap();
+        let out = run_until_idle(&mut vc, &mut storage, 500);
+        assert_eq!(out[0].data, vec![0x5a; 32], "corrected in flight");
+        assert!(!out[0].poisoned);
+        let s = vc.stats();
+        assert_eq!(s.retention_faults, 4, "one per word of the column");
+        assert_eq!(s.ecc_corrected, 4);
+        assert_eq!(s.ecc_uncorrectable, 0);
+        // Scrubbing repaired the backing store too.
+        assert_eq!(storage.read_vec(0, 32), vec![0x5a; 32]);
+        assert_eq!(storage.corrupted_words(), 0);
+    }
+
+    #[test]
+    fn injected_double_bit_faults_poison_the_response() {
+        let cfg = MemConfig::baseline().with_faults(vip_faults::DramFaultConfig {
+            seed: 3,
+            single_bit_ppm: 0,
+            double_bit_ppm: 1_000_000,
+        });
+        let mut storage = Storage::new();
+        storage.write(0, &[0x11; 32]);
+        let mut vc = VaultController::new(0, cfg);
+        vc.enqueue(MemRequest::read(7, 0, 32)).unwrap();
+        let out = run_until_idle(&mut vc, &mut storage, 500);
+        assert!(out[0].poisoned);
+        assert_ne!(out[0].data, vec![0x11; 32], "data really is damaged");
+        let s = vc.stats();
+        assert_eq!(s.ecc_uncorrectable, 4);
+        assert_eq!(s.ecc_corrected, 0);
+    }
+
+    #[test]
+    fn zero_rate_faults_change_nothing() {
+        // A wired injector with zero rates must be bit-identical to no
+        // injector at all, including every statistic.
+        let run = |cfg: MemConfig| {
+            let mut storage = Storage::new();
+            storage.write(64, &[7; 32]);
+            let mut vc = VaultController::new(0, cfg);
+            vc.enqueue(MemRequest::read(1, 64, 32)).unwrap();
+            vc.enqueue(MemRequest::fe_store(2, 128, 5)).unwrap();
+            vc.enqueue(MemRequest::fe_load(3, 128)).unwrap();
+            let out = run_until_idle(&mut vc, &mut storage, 2000);
+            (out, vc.stats())
+        };
+        let plain = run(MemConfig::baseline());
+        let wired = run(
+            MemConfig::baseline().with_faults(vip_faults::DramFaultConfig {
+                seed: 99,
+                single_bit_ppm: 0,
+                double_bit_ppm: 0,
+            }),
+        );
+        assert_eq!(plain, wired);
     }
 
     #[test]

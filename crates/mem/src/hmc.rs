@@ -6,6 +6,7 @@ use crate::req::{MemRequest, MemResponse, QueueFullError};
 use crate::stats::MemStats;
 use crate::storage::Storage;
 use crate::Cycle;
+use vip_faults::DramFaultConfig;
 
 /// The complete HMC-style memory stack (§III-C): all vault controllers
 /// plus the shared execution-driven backing store.
@@ -51,6 +52,23 @@ impl Hmc {
     #[must_use]
     pub fn can_accept(&self, vault: usize) -> bool {
         self.vaults[vault].can_accept()
+    }
+
+    /// Queued (unissued) transactions at `vault` — the hang watchdog
+    /// reports these depths.
+    #[must_use]
+    pub fn pending(&self, vault: usize) -> usize {
+        self.vaults[vault].pending()
+    }
+
+    /// Wires (or removes) DRAM retention-fault injection on every vault
+    /// at runtime — the system-level fault plumbing uses this so tests
+    /// can arm an existing machine without rebuilding its config.
+    pub fn set_faults(&mut self, faults: Option<DramFaultConfig>) {
+        self.cfg.faults = faults;
+        for vault in &mut self.vaults {
+            vault.set_faults(faults);
+        }
     }
 
     /// Enqueues `req` at `vault`.

@@ -61,7 +61,7 @@ pub use remap::BitShuffle;
 pub use req::{MemRequest, MemResponse, QueueFullError, ReqId, RequestKind};
 pub use stats::MemStats;
 pub use storage::Storage;
-pub use timing::DramTiming;
+pub use timing::{DramTiming, BASELINE_T_REFI_PS};
 
 /// One clock cycle of the shared 1.25 GHz clock (0.8 ns), the simulator's
 /// unit of time.

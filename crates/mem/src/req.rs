@@ -120,6 +120,10 @@ pub struct MemResponse {
     pub addr: u64,
     /// Read data (empty for writes and full-empty stores).
     pub data: Vec<u8>,
+    /// True if ECC detected an uncorrectable error in `data`: the bytes
+    /// cannot be trusted and the consumer must raise a machine-check
+    /// style error instead of using them.
+    pub poisoned: bool,
 }
 
 /// Error returned when a vault's transaction queue is full; retry next

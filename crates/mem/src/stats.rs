@@ -28,6 +28,14 @@ pub struct MemStats {
     pub busy_cycles: u64,
     /// Cycles elapsed (set by the owner on snapshot).
     pub elapsed_cycles: u64,
+    /// Retention faults the injector landed on this vault's read path
+    /// (each event is one corrupted word, single- or double-bit).
+    pub retention_faults: u64,
+    /// Single-bit errors SECDED corrected (and scrubbed) on reads.
+    pub ecc_corrected: u64,
+    /// Double-bit errors SECDED detected but could not correct; the
+    /// matching responses went out poisoned.
+    pub ecc_uncorrectable: u64,
 }
 
 impl MemStats {
@@ -88,6 +96,9 @@ impl MemStats {
         self.total_latency_cycles += other.total_latency_cycles;
         self.busy_cycles += other.busy_cycles;
         self.elapsed_cycles = self.elapsed_cycles.max(other.elapsed_cycles);
+        self.retention_faults += other.retention_faults;
+        self.ecc_corrected += other.ecc_corrected;
+        self.ecc_uncorrectable += other.ecc_uncorrectable;
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sparse execution-driven backing store with full-empty bits.
 
 use std::collections::{HashMap, HashSet};
+use vip_faults::secded::{self, Decoded};
 
 const PAGE_BYTES: u64 = 4096;
 
@@ -11,10 +12,18 @@ const PAGE_BYTES: u64 = 4096;
 /// against the golden references. Untouched memory reads as zero. A
 /// sidecar set tracks the full-empty bit of each 8-byte word (§IV-A);
 /// words start *empty*.
+///
+/// A second sidecar models SECDED (72,64) check bits *lazily*: a word is
+/// implicitly clean until the fault injector corrupts it, at which point
+/// the check byte of the pristine word is snapshotted into `ecc`. The
+/// vault controllers decode against that snapshot on the read path —
+/// correcting and scrubbing single-bit flips, poisoning responses on
+/// double-bit flips. An overwrite supersedes any pending corruption.
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
     pages: HashMap<u64, Box<[u8]>>,
     full_bits: HashSet<u64>,
+    ecc: HashMap<u64, u8>,
 }
 
 impl Storage {
@@ -65,6 +74,16 @@ impl Storage {
             at += chunk as u64;
             done += chunk;
         }
+        if !self.ecc.is_empty() && !data.is_empty() {
+            // A write supersedes any pending corruption in the words it
+            // touches: the freshly written word is clean by definition.
+            let mut word = addr & !7;
+            let end = addr + data.len() as u64;
+            while word < end {
+                self.ecc.remove(&word);
+                word += 8;
+            }
+        }
     }
 
     /// Reads the little-endian 64-bit word at `addr`.
@@ -100,6 +119,67 @@ impl Storage {
     #[must_use]
     pub fn resident_bytes(&self) -> u64 {
         self.pages.len() as u64 * PAGE_BYTES
+    }
+
+    /// Injects a retention fault: flips `bits` (0..64) of the 8-byte
+    /// word at `addr` (word-aligned). The pristine word's SECDED check
+    /// byte is snapshotted first, exactly as real check bits written at
+    /// store time would survive a later cell upset, so a subsequent
+    /// [`Storage::ecc_decode`] sees data that disagrees with its code.
+    pub fn corrupt_word(&mut self, addr: u64, bits: &[u32]) {
+        debug_assert_eq!(addr % 8, 0, "corruption is word-granular");
+        let word = self.read_u64(addr);
+        self.ecc.entry(addr).or_insert_with(|| secded::encode(word));
+        let mut corrupted = word;
+        for &bit in bits {
+            corrupted ^= 1 << (bit % 64);
+        }
+        // Raw page write: must not clear the sidecar entry just made.
+        let bytes = corrupted.to_le_bytes();
+        let mut at = addr;
+        let mut done = 0;
+        while done < bytes.len() {
+            let page = at / PAGE_BYTES;
+            let off = (at % PAGE_BYTES) as usize;
+            let chunk = ((PAGE_BYTES as usize) - off).min(bytes.len() - done);
+            let page_data = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0; PAGE_BYTES as usize].into_boxed_slice());
+            page_data[off..off + chunk].copy_from_slice(&bytes[done..done + chunk]);
+            at += chunk as u64;
+            done += chunk;
+        }
+    }
+
+    /// SECDED-decodes the word at `addr` (word-aligned) against its
+    /// sidecar check byte. `None` means the word was never corrupted
+    /// and is implicitly clean. On a correctable result the word is
+    /// scrubbed in place (corrected data written back, sidecar entry
+    /// retired); an uncorrectable word keeps its entry so later reads
+    /// stay poisoned too.
+    pub fn ecc_decode(&mut self, addr: u64) -> Option<Decoded> {
+        debug_assert_eq!(addr % 8, 0, "ECC is word-granular");
+        let check = *self.ecc.get(&addr)?;
+        let decoded = secded::decode(self.read_u64(addr), check);
+        match decoded {
+            Decoded::Clean => {
+                self.ecc.remove(&addr);
+            }
+            Decoded::Corrected { data, .. } => {
+                // `write` retires the sidecar entry.
+                self.write_u64(addr, data);
+            }
+            Decoded::Uncorrectable => {}
+        }
+        Some(decoded)
+    }
+
+    /// Number of words with an outstanding (injected, not yet scrubbed
+    /// or overwritten) corruption — diagnostics.
+    #[must_use]
+    pub fn corrupted_words(&self) -> usize {
+        self.ecc.len()
     }
 }
 
@@ -142,5 +222,44 @@ mod tests {
         assert!(!s.is_full(136)); // next word
         s.set_full(130, false);
         assert!(!s.is_full(128));
+    }
+
+    #[test]
+    fn single_bit_corruption_corrects_and_scrubs() {
+        let mut s = Storage::new();
+        s.write_u64(64, 0xdead_beef_cafe_f00d);
+        s.corrupt_word(64, &[17]);
+        assert_ne!(s.read_u64(64), 0xdead_beef_cafe_f00d, "fault landed");
+        assert_eq!(s.corrupted_words(), 1);
+        match s.ecc_decode(64) {
+            Some(Decoded::Corrected { data, .. }) => assert_eq!(data, 0xdead_beef_cafe_f00d),
+            other => panic!("expected correction, got {other:?}"),
+        }
+        // Scrubbed: storage repaired, sidecar retired, next decode clean.
+        assert_eq!(s.read_u64(64), 0xdead_beef_cafe_f00d);
+        assert_eq!(s.corrupted_words(), 0);
+        assert_eq!(s.ecc_decode(64), None);
+    }
+
+    #[test]
+    fn double_bit_corruption_stays_poisoned() {
+        let mut s = Storage::new();
+        s.write_u64(8, 0x0123_4567_89ab_cdef);
+        s.corrupt_word(8, &[3, 40]);
+        assert_eq!(s.ecc_decode(8), Some(Decoded::Uncorrectable));
+        // Still poisoned on a second read...
+        assert_eq!(s.ecc_decode(8), Some(Decoded::Uncorrectable));
+        // ...until an overwrite supersedes the corruption.
+        s.write_u64(8, 77);
+        assert_eq!(s.ecc_decode(8), None);
+        assert_eq!(s.read_u64(8), 77);
+    }
+
+    #[test]
+    fn untouched_words_are_implicitly_clean() {
+        let mut s = Storage::new();
+        s.write_u64(0, 42);
+        assert_eq!(s.ecc_decode(0), None);
+        assert_eq!(s.corrupted_words(), 0);
     }
 }

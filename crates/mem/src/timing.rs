@@ -31,6 +31,11 @@ pub struct DramTiming {
     pub t_refi_ps: u64,
 }
 
+/// Table III's tREFI — the reference point retention-fault rates are
+/// specified against ([`crate::MemConfig::faults`] scales with the
+/// configured tREFI relative to this).
+pub const BASELINE_T_REFI_PS: u64 = 1_950_000;
+
 impl DramTiming {
     /// The paper's Table III values (refresh-4x mode).
     #[must_use]

@@ -17,6 +17,17 @@ pub struct NocStats {
     pub link_busy_cycles: u64,
     /// Cycles elapsed.
     pub elapsed_cycles: u64,
+    /// Flit corruptions the packet CRC caught (each triggers a
+    /// retransmission or, past the retry bound, a delivery failure).
+    pub crc_detected: u64,
+    /// Flits dropped on a link (recovered by the same retransmission
+    /// protocol, detected by timeout instead of CRC).
+    pub dropped: u64,
+    /// Retransmissions performed (total across all packets).
+    pub retries: u64,
+    /// Packets abandoned after exhausting their retransmission budget.
+    /// Surfaced to the system as a typed delivery-failure error.
+    pub delivery_failures: u64,
 }
 
 impl NocStats {

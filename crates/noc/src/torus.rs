@@ -6,6 +6,7 @@ use std::fmt;
 use crate::routing::{hop_count, next_hop};
 use crate::stats::NocStats;
 use crate::Cycle;
+use vip_faults::{crc::crc32, fault_roll, fault_value, FaultDomain, NocFaultConfig};
 
 /// Torus geometry and link parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +21,9 @@ pub struct TorusConfig {
     pub flit_bytes: usize,
     /// Header flits prepended to every packet.
     pub header_flits: u64,
+    /// Link fault injection and the CRC/retransmission protocol bounds
+    /// (`None`: no injector wired, links are perfect).
+    pub faults: Option<NocFaultConfig>,
 }
 
 impl TorusConfig {
@@ -33,6 +37,7 @@ impl TorusConfig {
             hop_latency: 3,
             flit_bytes: 8,
             header_flits: 1,
+            faults: None,
         }
     }
 
@@ -96,6 +101,28 @@ struct Flight<T> {
     at: (usize, usize),
     ready_at: Cycle,
     flits: u64,
+    /// Stable packet identity (the injection-order ordinal): the fault
+    /// coordinate, so a packet's fate is independent of what else is in
+    /// flight or which stepping engine runs the network.
+    uid: u64,
+    /// Retransmissions performed so far.
+    attempt: u32,
+    /// Links traversed in the current attempt (second fault
+    /// coordinate).
+    hops_done: u64,
+    /// CRC-32 over the packet header, carried in the tail flit. The
+    /// injector corrupts data flits, never this field, so a mismatch at
+    /// the check is a detected corruption.
+    crc: u32,
+}
+
+/// The outcome of a faulted link traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkFault {
+    /// A data flit had bits flipped on the wire (caught by CRC).
+    Corrupt,
+    /// A flit vanished (caught by timeout).
+    Drop,
 }
 
 /// A cycle-driven 2D-torus network with virtual cut-through switching.
@@ -115,6 +142,7 @@ pub struct Torus<T> {
     eject_busy: Vec<Cycle>,
     flights: Vec<Flight<T>>,
     delivered: VecDeque<(usize, Packet<T>)>,
+    failed: VecDeque<Packet<T>>,
     stats: NocStats,
 }
 
@@ -130,6 +158,7 @@ impl<T> Torus<T> {
             eject_busy: vec![0; cfg.nodes()],
             flights: Vec::new(),
             delivered: VecDeque::new(),
+            failed: VecDeque::new(),
             stats: NocStats::default(),
         }
     }
@@ -177,6 +206,7 @@ impl<T> Torus<T> {
         }
         let flits = self.cfg.flits(payload_bytes);
         self.inject_busy[src] = self.now + flits;
+        let uid = self.stats.packets;
         self.stats.packets += 1;
         self.stats.flits += flits;
         self.flights.push(Flight {
@@ -190,8 +220,22 @@ impl<T> Torus<T> {
             at: self.cfg.coords(src),
             ready_at: self.now + flits,
             flits,
+            uid,
+            attempt: 0,
+            hops_done: 0,
+            crc: crc32(&Self::header_bytes(src, dst, payload_bytes, uid)),
         });
         Ok(())
+    }
+
+    /// The serialized packet header the tail-flit CRC covers.
+    fn header_bytes(src: usize, dst: usize, payload_bytes: usize, uid: u64) -> [u8; 32] {
+        let mut h = [0u8; 32];
+        h[0..8].copy_from_slice(&(src as u64).to_le_bytes());
+        h[8..16].copy_from_slice(&(dst as u64).to_le_bytes());
+        h[16..24].copy_from_slice(&(payload_bytes as u64).to_le_bytes());
+        h[24..32].copy_from_slice(&uid.to_le_bytes());
+        h
     }
 
     /// Advances the network one cycle.
@@ -229,13 +273,93 @@ impl<T> Torus<T> {
                         self.link_busy[link] = self.now + flits;
                         self.stats.link_busy_cycles += flits;
                         self.stats.hops += 1;
-                        self.flights[i].at = next;
-                        self.flights[i].ready_at = self.now + self.cfg.hop_latency;
+                        match self.link_fault(&self.flights[i]) {
+                            None => {
+                                self.flights[i].hops_done += 1;
+                                self.flights[i].at = next;
+                                self.flights[i].ready_at = self.now + self.cfg.hop_latency;
+                            }
+                            Some(kind) => {
+                                if self.retransmit_or_fail(i, kind) {
+                                    continue; // flight failed: swap_remove
+                                }
+                            }
+                        }
                     }
                     i += 1;
                 }
             }
         }
+    }
+
+    /// Draws the fault outcome for the link traversal the flight just
+    /// performed. One roll over `(uid, attempt ‖ hops_done)` is
+    /// partitioned into corruption and drop bands, so outcomes are
+    /// mutually exclusive, exactly calibrated, and independent of
+    /// network load or tick ordering.
+    fn link_fault(&self, flight: &Flight<T>) -> Option<LinkFault> {
+        let f = self.cfg.faults?;
+        let (corrupt, drop) = (u64::from(f.corrupt_ppm), u64::from(f.drop_ppm));
+        if corrupt + drop == 0 {
+            return None;
+        }
+        let key = (u64::from(flight.attempt) << 32) | flight.hops_done;
+        let roll = fault_roll(f.seed, FaultDomain::NocFlit, flight.uid, key);
+        if roll < corrupt {
+            Some(LinkFault::Corrupt)
+        } else if roll < corrupt + drop {
+            Some(LinkFault::Drop)
+        } else {
+            None
+        }
+    }
+
+    /// Handles a faulted link traversal for `flights[i]`: verifies the
+    /// CRC actually catches a corruption, then either schedules a
+    /// retransmission from the source (with exponential backoff) or —
+    /// once the retry budget is spent — moves the packet to the failed
+    /// queue. Returns `true` if the flight was removed (the caller must
+    /// not advance its index).
+    fn retransmit_or_fail(&mut self, i: usize, kind: LinkFault) -> bool {
+        let f = self.cfg.faults.expect("fault cannot fire without a config");
+        let flight = &self.flights[i];
+        let key = (u64::from(flight.attempt) << 32) | flight.hops_done;
+        match kind {
+            LinkFault::Corrupt => {
+                // Flip one bit of the header the tail-flit CRC covers;
+                // the receiver recomputes and compares. A single-bit
+                // error never aliases under CRC-32, so this always
+                // detects — but the check is the model, not an axiom.
+                let p = &flight.packet;
+                let mut received = Self::header_bytes(p.src, p.dst, p.payload_bytes, flight.uid);
+                let v = fault_value(f.seed, FaultDomain::NocFlit, flight.uid, key);
+                received[(v as usize) % 32] ^= 1 << ((v >> 8) % 8);
+                if crc32(&received) == flight.crc {
+                    // Undetected corruption (unreachable for single-bit
+                    // errors): the packet sails on, silently damaged.
+                    self.flights[i].hops_done += 1;
+                    return false;
+                }
+                self.stats.crc_detected += 1;
+            }
+            LinkFault::Drop => self.stats.dropped += 1,
+        }
+        if flight.attempt >= f.max_retries {
+            self.stats.delivery_failures += 1;
+            let flight = self.flights.swap_remove(i);
+            self.failed.push_back(flight.packet);
+            return true;
+        }
+        self.stats.retries += 1;
+        let backoff = f.backoff << flight.attempt.min(6);
+        let flight = &mut self.flights[i];
+        flight.attempt += 1;
+        flight.hops_done = 0;
+        flight.at = self.cfg.coords(flight.packet.src);
+        // The backoff window models NAK/timeout detection plus the
+        // go-back-to-source turnaround.
+        flight.ready_at = self.now + self.cfg.hop_latency + backoff;
+        false
     }
 
     /// First cycle at which `node`'s injection port frees up (equals a
@@ -287,6 +411,24 @@ impl<T> Torus<T> {
     /// Pops the oldest delivered packet, with the node it arrived at.
     pub fn pop_delivered(&mut self) -> Option<(usize, Packet<T>)> {
         self.delivered.pop_front()
+    }
+
+    /// Pops the oldest packet that exhausted its retransmission budget.
+    /// The system surfaces these as typed delivery-failure errors.
+    pub fn pop_failed(&mut self) -> Option<Packet<T>> {
+        self.failed.pop_front()
+    }
+
+    /// Number of packets currently in flight (injected, neither
+    /// delivered nor failed) — the hang watchdog reports this.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.flights.len()
+    }
+
+    /// Wires (or removes) link-fault injection at runtime.
+    pub fn set_faults(&mut self, faults: Option<NocFaultConfig>) {
+        self.cfg.faults = faults;
     }
 
     /// Whether no packets are in flight (delivered-but-unpopped packets
@@ -430,6 +572,121 @@ mod tests {
             received <= 1000 / 5 + 1,
             "received {received} exceeds link capacity"
         );
+    }
+
+    fn faulty(corrupt_ppm: u32, drop_ppm: u32, max_retries: u32) -> TorusConfig {
+        TorusConfig {
+            faults: Some(vip_faults::NocFaultConfig {
+                seed: 0x0c5e_ed11,
+                corrupt_ppm,
+                drop_ppm,
+                max_retries,
+                backoff: 4,
+            }),
+            ..TorusConfig::vip()
+        }
+    }
+
+    #[test]
+    fn corrupted_packets_retry_and_still_deliver() {
+        // 20% per-traversal corruption with a generous retry budget:
+        // every packet must still arrive, with retries on the books.
+        let mut net: Torus<u32> = Torus::new(faulty(200_000, 0, 64));
+        let mut sent = 0u32;
+        for src in 0..net.config().nodes() {
+            loop {
+                if net.inject(src, (src + 9) % 32, 16, sent).is_ok() {
+                    break;
+                }
+                net.tick();
+            }
+            sent += 1;
+        }
+        let out = drain(&mut net, 100_000);
+        assert_eq!(out.len(), sent as usize);
+        let s = net.stats();
+        assert!(s.crc_detected > 0, "no corruption at 20%?");
+        assert_eq!(s.retries, s.crc_detected);
+        assert_eq!(s.delivery_failures, 0);
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn dropped_flits_also_retry() {
+        let mut net: Torus<u32> = Torus::new(faulty(0, 200_000, 64));
+        for src in 0..8 {
+            net.inject(src, src + 16, 16, src as u32).unwrap();
+        }
+        let out = drain(&mut net, 100_000);
+        assert_eq!(out.len(), 8);
+        let s = net.stats();
+        assert!(s.dropped > 0);
+        assert_eq!(s.retries, s.dropped);
+        assert_eq!(s.crc_detected, 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_delivery() {
+        // Certain corruption on every traversal with a 2-retry budget:
+        // any multi-hop packet is abandoned after 3 attempts.
+        let mut net: Torus<u32> = Torus::new(faulty(1_000_000, 0, 2));
+        net.inject(0, 5, 16, 42).unwrap();
+        for _ in 0..500 {
+            net.tick();
+        }
+        assert!(net.is_idle());
+        assert!(net.pop_delivered().is_none());
+        let failed = net.pop_failed().expect("packet abandoned");
+        assert_eq!((failed.src, failed.dst, failed.payload), (0, 5, 42));
+        let s = net.stats();
+        assert_eq!(s.delivery_failures, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.crc_detected, 3, "initial attempt + 2 retries");
+    }
+
+    #[test]
+    fn local_delivery_never_faults() {
+        // src == dst traverses no link, so even certain corruption
+        // cannot touch it.
+        let mut net: Torus<u32> = Torus::new(faulty(1_000_000, 0, 0));
+        net.inject(9, 9, 8, 7).unwrap();
+        let out = drain(&mut net, 50);
+        assert_eq!(out[0].1.payload, 7);
+        assert_eq!(net.stats().delivery_failures, 0);
+    }
+
+    #[test]
+    fn zero_rate_wired_is_bit_identical_to_unwired() {
+        let run = |cfg: TorusConfig| {
+            let mut net: Torus<u32> = Torus::new(cfg);
+            for src in 0..cfg.nodes() {
+                loop {
+                    if net.inject(src, (src * 7 + 3) % 32, 24, src as u32).is_ok() {
+                        break;
+                    }
+                    net.tick();
+                }
+            }
+            let out = drain(&mut net, 100_000);
+            (out, net.stats())
+        };
+        assert_eq!(run(TorusConfig::vip()), run(faulty(0, 0, 4)));
+    }
+
+    #[test]
+    fn retransmissions_are_deterministic() {
+        let run = || {
+            let mut net: Torus<u32> = Torus::new(faulty(150_000, 50_000, 32));
+            for src in 0..16 {
+                net.inject(src, 31 - src, 16, src as u32).unwrap();
+            }
+            let out = drain(&mut net, 100_000);
+            (
+                out.iter().map(|(n, p)| (*n, p.payload)).collect::<Vec<_>>(),
+                net.stats(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

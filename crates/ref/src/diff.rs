@@ -173,7 +173,10 @@ pub fn run_engine(m: &Materialized, engine: Engine) -> Result<ArchSnapshot, Stri
         sys.hmc_mut().host_set_full(*addr, true);
     }
     for (pe, sp) in m.sp_init.iter().enumerate() {
-        sys.pe_mut(pe).scratchpad_mut().write(0, sp);
+        sys.pe_mut(pe)
+            .scratchpad_mut()
+            .write(0, sp)
+            .expect("generated scratchpad image fits");
     }
     for (pe, p) in m.programs.iter().enumerate() {
         sys.load_program(pe, p);
