@@ -6,6 +6,15 @@ use vip_kernels::bp::{
 };
 use vip_mem::MemConfig;
 
+/// Runs to quiescence or prints the structured diagnosis (the hang
+/// watchdog's per-PE report for a stuck run) and exits nonzero.
+fn run_or_exit(sys: &mut System, limit: u64) -> u64 {
+    sys.run(limit).unwrap_or_else(|e| {
+        eprintln!("diag_bp: simulation failed: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn main() {
     let (w, h, l) = (64, 32, 16);
     let costs = bp::stereo_data_costs(w, h, l, 7);
@@ -28,7 +37,7 @@ fn main() {
                 });
                 sys.load_program(pe, &p);
             }
-            let cycles = sys.run(80_000_000).unwrap();
+            let cycles = run_or_exit(&mut sys, 80_000_000);
             let st = sys.stats();
             let updates = if sweep == Sweep::Down {
                 w * (h - 1)
@@ -61,7 +70,7 @@ fn main() {
     {
         sys.load_program(pe, p);
     }
-    let cycles = sys.run(80_000_000).unwrap();
+    let cycles = run_or_exit(&mut sys, 80_000_000);
     println!(
         "full iteration (no norm): {cycles} cyc  -> {:.0} cyc/update/pe",
         cycles as f64 / (4.0 * 64.0 * 31.0 / 4.0)

@@ -1,0 +1,153 @@
+//! A crash-tolerant, resumable tile sweep.
+//!
+//! Runs a fixed list of independent-tile simulations through the
+//! checkpointing [`runner`](vip_bench::runner) and writes a final
+//! `report.txt` atomically into the sweep directory. Kill it at any
+//! point — including with SIGKILL — and a re-run with `--resume` skips
+//! finished points, restores interrupted ones from their latest
+//! checkpoint, and produces a report byte-identical to an
+//! uninterrupted run.
+//!
+//! Flags:
+//!
+//! * `--dir <path>` — sweep working directory (default `sweep-out`)
+//! * `--checkpoint-every <cycles>` — simulated cycles between mid-run
+//!   snapshots; `0` disables checkpointing (default `1000000`)
+//! * `--resume` — reuse records and checkpoints from a previous run
+//! * `--budget-secs <s>` — per-point wall-clock budget; a point still
+//!   running when it expires is recorded as a partial row (with the
+//!   hang watchdog's report on stderr) and the sweep moves on
+//! * `--quick` — a smaller point list for smoke tests
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use vip_bench::experiments::{self, PreparedTile};
+use vip_bench::runner::{PointStatus, Runner};
+use vip_mem::MemConfig;
+
+type Stage = Box<dyn Fn() -> PreparedTile>;
+
+fn points(quick: bool) -> Vec<(&'static str, Stage)> {
+    let mut pts: Vec<(&'static str, Stage)> = vec![
+        (
+            "fc-tile",
+            Box::new(|| experiments::fc_tile_sim(MemConfig::baseline())),
+        ),
+        (
+            "conv-tile-c4",
+            Box::new(|| {
+                experiments::conv_tile_sim(
+                    MemConfig::baseline(),
+                    &experiments::conv_sim_layer(4, 8),
+                    8,
+                )
+            }),
+        ),
+        (
+            "mem-latency-chase",
+            Box::new(|| experiments::mem_latency_tile_sim(MemConfig::baseline(), 512)),
+        ),
+    ];
+    if !quick {
+        pts.push((
+            "bp-tile-1iter",
+            Box::new(|| experiments::bp_tile_sim(MemConfig::baseline(), 1)),
+        ));
+        pts.push((
+            "conv-tile-c64",
+            Box::new(|| {
+                experiments::conv_tile_sim(
+                    MemConfig::baseline(),
+                    &experiments::conv_sim_layer(64, 8),
+                    2,
+                )
+            }),
+        ));
+    }
+    pts
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--dir <path>] [--checkpoint-every <cycles>] \
+         [--resume] [--budget-secs <s>] [--quick]"
+    );
+    exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let Some(value) = args.next() else {
+        eprintln!("{flag} needs a value");
+        usage();
+    };
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse `{value}`");
+        usage();
+    })
+}
+
+fn main() {
+    let mut dir = PathBuf::from("sweep-out");
+    let mut checkpoint_every = 1_000_000u64;
+    let mut resume = false;
+    let mut budget_secs: Option<u64> = None;
+    let mut quick = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = parse(&mut args, "--dir"),
+            "--checkpoint-every" => checkpoint_every = parse(&mut args, "--checkpoint-every"),
+            "--resume" => resume = true,
+            "--budget-secs" => budget_secs = Some(parse(&mut args, "--budget-secs")),
+            "--quick" => quick = true,
+            _ => usage(),
+        }
+    }
+
+    let runner = Runner::new(&dir)
+        .expect("create sweep directory")
+        .checkpoint_every(checkpoint_every)
+        .budget(budget_secs.map(Duration::from_secs))
+        .resume(resume);
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{:<20} {:>8} {:>14} {:>12}",
+        "point", "status", "cycles", "bw (GB/s)"
+    );
+    let mut degraded = 0usize;
+    for (name, stage) in points(quick) {
+        let res = runner
+            .run_point(name, stage)
+            .expect("sweep directory writable");
+        let status = match res.status {
+            PointStatus::Completed => "ok",
+            PointStatus::Degraded => "partial",
+        };
+        if res.status == PointStatus::Degraded {
+            degraded += 1;
+        }
+        let cached = if res.from_cache { "  (cached)" } else { "" };
+        println!("{name}: {status}, {} cycles{cached}", res.cycles);
+        let _ = writeln!(
+            report,
+            "{:<20} {:>8} {:>14} {:>12.3}",
+            name,
+            status,
+            res.cycles,
+            res.stats.bandwidth_gbs()
+        );
+    }
+    let path = runner
+        .write_report("report.txt", &report)
+        .expect("report written");
+    println!("report: {}", path.display());
+    if degraded > 0 {
+        println!("{degraded} point(s) degraded; partial rows recorded");
+    }
+}

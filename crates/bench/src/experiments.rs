@@ -1,6 +1,6 @@
 //! The experiment runners behind every reproduced table and figure.
 
-use vip_core::{cycles_to_ms, power, System, SystemStats, CLOCK_HZ};
+use vip_core::{cycles_to_ms, power, SimError, System, SystemStats, CLOCK_HZ};
 use vip_kernels::bp::{
     self, bp_iteration_programs, strip_program, BpExtrapolation, BpLayout, Messages, Mrf,
     MrfParams, StripParams, Sweep, VectorMachineStyle,
@@ -85,39 +85,84 @@ impl PreparedTile {
         }
     }
 
-    /// Runs with the event-driven fast-forward engine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the simulation does not quiesce within its limit.
+    /// The staged system (programs not yet loaded) — lets callers key
+    /// checkpoints off its configuration fingerprint before committing
+    /// to a run.
     #[must_use]
-    pub fn run(mut self) -> TileRun {
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Loads the programs and hands over the system plus its cycle
+    /// budget, for callers that drive stepping themselves (the
+    /// checkpointing [`runner`](crate::runner), the snapshot round-trip
+    /// tests).
+    #[must_use]
+    pub fn into_system(mut self) -> (System, u64) {
         self.load();
-        let cycles = self.sys.run(self.limit).expect("tile simulation completes");
-        TileRun {
+        (self.sys, self.limit)
+    }
+
+    /// Runs with the event-driven fast-forward engine, surfacing the
+    /// typed failure (a [`vip_core::HangReport`] for a budget hang) to
+    /// the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] if the simulation traps, loses a
+    /// packet, or fails to quiesce within its cycle limit.
+    pub fn try_run(mut self) -> Result<TileRun, SimError> {
+        self.load();
+        let cycles = self.sys.run(self.limit)?;
+        Ok(TileRun {
             cycles,
             stats: self.sys.stats(),
-        }
+        })
     }
 
     /// Runs cycle-by-cycle (the reference engine the fast path must
-    /// match bit-for-bit).
+    /// match bit-for-bit), surfacing the typed failure to the caller.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the simulation does not quiesce within its limit.
-    #[must_use]
-    pub fn run_naive(mut self) -> TileRun {
+    /// Returns the [`SimError`] if the simulation traps, loses a
+    /// packet, or fails to quiesce within its cycle limit.
+    pub fn try_run_naive(mut self) -> Result<TileRun, SimError> {
         self.load();
-        let cycles = self
-            .sys
-            .run_naive(self.limit)
-            .expect("tile simulation completes");
-        TileRun {
+        let cycles = self.sys.run_naive(self.limit)?;
+        Ok(TileRun {
             cycles,
             stats: self.sys.stats(),
-        }
+        })
     }
+
+    /// Runs with the event-driven fast-forward engine. On failure,
+    /// prints the structured diagnosis (the multi-line hang-watchdog
+    /// report for a stuck tile) to stderr and exits nonzero instead of
+    /// panicking mid-sweep.
+    #[must_use]
+    pub fn run(self) -> TileRun {
+        self.try_run().unwrap_or_else(|e| exit_with_sim_error(&e))
+    }
+
+    /// Runs cycle-by-cycle (the reference engine the fast path must
+    /// match bit-for-bit). Failure behaviour matches
+    /// [`run`](PreparedTile::run): structured report to stderr, nonzero
+    /// exit.
+    #[must_use]
+    pub fn run_naive(self) -> TileRun {
+        self.try_run_naive()
+            .unwrap_or_else(|e| exit_with_sim_error(&e))
+    }
+}
+
+/// Prints a typed simulation failure — including the multi-line
+/// [`HangReport`](vip_core::HangReport) for hangs — to stderr and exits
+/// nonzero: the shared failure path of the infallible bench entry
+/// points.
+pub fn exit_with_sim_error(err: &SimError) -> ! {
+    eprintln!("simulation failed: {err}");
+    std::process::exit(1);
 }
 
 // ---------------------------------------------------------------------

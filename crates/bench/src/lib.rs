@@ -21,6 +21,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod runner;
 
 use vip_core::SystemConfig;
 use vip_mem::MemConfig;

@@ -1,0 +1,170 @@
+//! Mid-kernel save/restore must be invisible: a tile paused at cycle C,
+//! snapshotted, restored onto a fresh machine, and run to completion
+//! must be bit-identical — cycle count, every statistics counter, and
+//! the full machine image — to the same tile run uninterrupted, under
+//! each stepping engine and with live fault injection.
+
+use vip_bench::experiments::{self, PreparedTile};
+use vip_core::{RunOutcome, System};
+use vip_faults::{DramFaultConfig, FaultConfig, NocFaultConfig};
+use vip_mem::MemConfig;
+
+#[derive(Debug, Clone, Copy)]
+enum Engine {
+    /// Event-driven fast-forward.
+    Fast,
+    /// Cycle-by-cycle reference stepping.
+    Naive,
+    /// Fast-forward with the per-PE phase sharded across host threads.
+    Sharded,
+}
+
+fn finish(sys: &mut System, limit: u64, engine: Engine) -> u64 {
+    match engine {
+        Engine::Fast => sys.run(limit),
+        Engine::Naive => sys.run_naive(limit),
+        Engine::Sharded => {
+            sys.set_step_shards(3);
+            sys.run(limit)
+        }
+    }
+    .expect("tile quiesces within its limit")
+}
+
+/// Runs `stage`'s tile twice — once straight through, once paused at
+/// `pause_at`, snapshotted, and restored onto a freshly staged machine
+/// — and asserts the two end states are bit-identical.
+fn assert_restore_is_invisible(
+    stage: impl Fn() -> PreparedTile,
+    pause_at: u64,
+    engine: Engine,
+    faults: Option<&FaultConfig>,
+) {
+    // Uninterrupted reference run.
+    let (mut base, limit) = stage().into_system();
+    if let Some(f) = faults {
+        base.set_fault_config(f);
+    }
+    let base_cycles = finish(&mut base, limit, engine);
+    let base_stats = base.stats();
+    let base_image = base.save_snapshot();
+
+    // Interrupted run: pause mid-kernel and snapshot.
+    let (mut first, limit) = stage().into_system();
+    if let Some(f) = faults {
+        first.set_fault_config(f);
+    }
+    match first
+        .run_until(pause_at, limit)
+        .expect("paused run succeeds")
+    {
+        RunOutcome::Paused(_) => {}
+        RunOutcome::Quiesced(c) => {
+            panic!("tile quiesced at cycle {c}, before the mid-kernel pause at {pause_at}")
+        }
+    }
+    let snapshot = first.save_snapshot();
+
+    // Restore onto a fresh machine. The fault configuration travels in
+    // the snapshot body, so the restore target does not set it.
+    let (mut resumed, limit) = stage().into_system();
+    resumed
+        .restore_snapshot(&snapshot)
+        .expect("snapshot restores onto an identically configured system");
+    let cycles = finish(&mut resumed, limit, engine);
+
+    assert_eq!(cycles, base_cycles, "quiesce cycle diverged after restore");
+    assert_eq!(
+        resumed.stats(),
+        base_stats,
+        "statistics diverged after restore"
+    );
+    assert_eq!(
+        resumed.save_snapshot(),
+        base_image,
+        "final machine image diverged after restore"
+    );
+}
+
+fn bp_tile() -> PreparedTile {
+    experiments::bp_tile_sim(MemConfig::baseline(), 1)
+}
+
+fn cnn_tile() -> PreparedTile {
+    experiments::conv_tile_sim(
+        MemConfig::baseline(),
+        &experiments::conv_sim_layer(64, 8),
+        2,
+    )
+}
+
+fn mlp_tile() -> PreparedTile {
+    experiments::fc_tile_sim(MemConfig::baseline())
+}
+
+#[test]
+fn bp_tile_roundtrips_under_fast_forward() {
+    assert_restore_is_invisible(bp_tile, 20_000, Engine::Fast, None);
+}
+
+#[test]
+fn bp_tile_roundtrips_under_naive_stepping() {
+    assert_restore_is_invisible(bp_tile, 20_000, Engine::Naive, None);
+}
+
+#[test]
+fn bp_tile_roundtrips_under_sharded_stepping() {
+    assert_restore_is_invisible(bp_tile, 20_000, Engine::Sharded, None);
+}
+
+#[test]
+fn cnn_tile_roundtrips_mid_kernel() {
+    assert_restore_is_invisible(cnn_tile, 10_000, Engine::Fast, None);
+}
+
+#[test]
+fn mlp_tile_roundtrips_mid_kernel() {
+    assert_restore_is_invisible(mlp_tile, 10_000, Engine::Fast, None);
+}
+
+#[test]
+fn bp_tile_roundtrips_with_live_faults() {
+    // Nonzero rates on both protected layers: SECDED absorbs the DRAM
+    // single-bit flips, CRC + retransmission absorbs the link hits, and
+    // the interrupted run must see exactly the same faults as the
+    // uninterrupted one.
+    let faults = FaultConfig {
+        dram: Some(DramFaultConfig {
+            seed: 0xD12A_0001,
+            single_bit_ppm: 200,
+            double_bit_ppm: 0,
+        }),
+        noc: Some(NocFaultConfig {
+            seed: 0xD12A_0002,
+            corrupt_ppm: 100,
+            drop_ppm: 0,
+            max_retries: 8,
+            backoff: 4,
+        }),
+        pe: None,
+    };
+    assert_restore_is_invisible(bp_tile, 20_000, Engine::Fast, Some(&faults));
+}
+
+#[test]
+fn restore_rejects_a_mismatched_configuration() {
+    let (mut sys, _) = bp_tile().into_system();
+    sys.run_until(5_000, 80_000_000).expect("runs");
+    let snapshot = sys.save_snapshot();
+
+    // Same tile on a different memory configuration: the structural
+    // fingerprint differs, so restore must refuse with a typed error.
+    let mut other = System::new(vip_bench::vault_system_config(MemConfig::closed_page()));
+    let err = other
+        .restore_snapshot(&snapshot)
+        .expect_err("fingerprint mismatch is rejected");
+    assert!(
+        matches!(err, vip_snap::SnapError::ConfigMismatch { .. }),
+        "unexpected error: {err:?}"
+    );
+}

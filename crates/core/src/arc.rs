@@ -1,5 +1,7 @@
 //! The ARC — array range check (§III-B).
 
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
+
 /// Identifier of an allocated ARC entry.
 pub type ArcId = u32;
 
@@ -81,6 +83,31 @@ impl ArcTable {
         );
         self.entries[slot] = None;
         self.live -= 1;
+    }
+}
+
+/// Slot occupancy must survive verbatim — ids encode slot indices, so a
+/// restored table has to hand back the same ids the in-flight loads
+/// recorded before the snapshot.
+impl Snapshot for ArcTable {
+    fn save(&self, w: &mut Writer) {
+        self.entries.save(w);
+        w.u32(self.next_id);
+        w.usize(self.live);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let entries: Vec<Option<(usize, usize)>> = Vec::restore(r)?;
+        let next_id = r.u32()?;
+        let live = r.usize()?;
+        if live != entries.iter().flatten().count() {
+            return Err(SnapError::Corrupt("ARC live count mismatch"));
+        }
+        Ok(ArcTable {
+            entries,
+            next_id,
+            live,
+        })
     }
 }
 

@@ -1,8 +1,9 @@
 //! System configuration.
 
 use vip_faults::{FaultConfig, PeFaultConfig};
-use vip_mem::MemConfig;
+use vip_mem::{AddressMapping, MemConfig, RowPolicy};
 use vip_noc::TorusConfig;
+use vip_snap::Fingerprint;
 
 /// Configuration of a complete VIP system.
 ///
@@ -142,6 +143,61 @@ impl SystemConfig {
     #[must_use]
     pub fn peak_bandwidth(&self) -> f64 {
         self.mem.peak_bytes_per_cycle() * crate::CLOCK_HZ
+    }
+
+    /// FNV-1a digest of every *structural* parameter — the machine shape
+    /// a snapshot is only valid against. Excluded on purpose:
+    /// `step_shards` (host parallelism, no simulated effect), all three
+    /// fault configurations (runtime-settable via
+    /// [`System::set_fault_config`](crate::System::set_fault_config) and
+    /// serialized in the snapshot body instead), and `mem.name` (a debug
+    /// label).
+    ///
+    /// A snapshot restores only onto a system whose fingerprint matches;
+    /// [`System::restore_snapshot`](crate::System::restore_snapshot)
+    /// rejects the rest with a typed error.
+    #[must_use]
+    pub fn snapshot_fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        let m = &self.mem;
+        f.push_usize(m.vaults);
+        f.push_usize(m.banks_per_vault);
+        f.push_usize(m.rows_per_bank);
+        f.push_usize(m.row_bytes);
+        f.push_usize(m.col_bytes);
+        f.push_u64(match m.policy {
+            RowPolicy::OpenPage => 0,
+            RowPolicy::ClosedPage => 1,
+        });
+        f.push_u64(match m.mapping {
+            AddressMapping::VaultRowBankCol => 0,
+            AddressMapping::LowInterleave => 1,
+        });
+        f.push_u64(m.timing.t_cl_ps);
+        f.push_u64(m.timing.t_rcd_ps);
+        f.push_u64(m.timing.t_rp_ps);
+        f.push_u64(m.timing.t_ras_ps);
+        f.push_u64(m.timing.t_wr_ps);
+        f.push_u64(m.timing.t_ccd_ps);
+        f.push_u64(m.timing.t_rfc_ps);
+        f.push_u64(m.timing.t_refi_ps);
+        f.push_usize(m.trans_queue_depth);
+        f.push_u64(m.burst_cycles);
+        f.push_usize(m.max_packet_bytes);
+        f.push_usize(self.torus.width);
+        f.push_usize(self.torus.height);
+        f.push_u64(self.torus.hop_latency);
+        f.push_usize(self.torus.flit_bytes);
+        f.push_u64(self.torus.header_flits);
+        f.push_usize(self.pes_per_vault);
+        f.push_usize(self.scratchpad_bytes);
+        f.push_usize(self.arc_entries);
+        f.push_usize(self.lsq_entries);
+        f.push_u64(self.branch_penalty);
+        f.push_u64(self.multiply_latency);
+        f.push_u64(self.reduce_latency);
+        f.push_u64(self.local_link_latency);
+        f.finish()
     }
 
     /// Checks internal consistency.

@@ -85,7 +85,7 @@ pub use pe::{Pe, PeArchState, StallReason, TraceEvent};
 pub use scalar::ScalarRegs;
 pub use scratchpad::Scratchpad;
 pub use stats::{PeStats, RooflinePoint, SystemStats};
-pub use system::System;
+pub use system::{RunOutcome, System};
 pub use vector::VectorUnit;
 
 /// One clock cycle of the 1.25 GHz clock (0.8 ns).

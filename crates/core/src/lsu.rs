@@ -5,6 +5,7 @@ use std::collections::{HashMap, VecDeque};
 
 use vip_isa::{Reg, Trap};
 use vip_mem::{MemRequest, MemResponse, ReqId, RequestKind};
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 use crate::arc::ArcId;
 use crate::scalar::ScalarRegs;
@@ -367,6 +368,139 @@ impl LoadStoreUnit {
                 arc.clear(arc_id);
             }
         }
+        Ok(())
+    }
+}
+
+impl Snapshot for OpKind {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            OpKind::LoadSram { arc_id } => {
+                w.u8(0);
+                w.u32(*arc_id);
+            }
+            OpKind::Store => w.u8(1),
+            OpKind::LoadReg { rd } => {
+                w.u8(2);
+                w.u8(rd.index() as u8);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(OpKind::LoadSram { arc_id: r.u32()? }),
+            1 => Ok(OpKind::Store),
+            2 => Ok(OpKind::LoadReg {
+                rd: Reg::new(r.u8()?),
+            }),
+            _ => Err(SnapError::Corrupt("LSU op kind tag")),
+        }
+    }
+}
+
+impl Snapshot for Chunk {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.dram_addr);
+        w.usize(self.sp_addr);
+        w.usize(self.len);
+        w.bytes(&self.data);
+        self.kind.save(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Chunk {
+            dram_addr: r.u64()?,
+            sp_addr: r.usize()?,
+            len: r.usize()?,
+            data: r.bytes()?.to_vec(),
+            kind: RequestKind::restore(r)?,
+        })
+    }
+}
+
+impl Snapshot for LsuOp {
+    fn save(&self, w: &mut Writer) {
+        self.kind.save(w);
+        self.unsent.save(w);
+        w.usize(self.outstanding);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(LsuOp {
+            kind: OpKind::restore(r)?,
+            unsent: VecDeque::restore(r)?,
+            outstanding: r.usize()?,
+        })
+    }
+}
+
+impl Snapshot for InFlight {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.op);
+        w.usize(self.sp_addr);
+        w.u64(self.dram_addr);
+        self.kind.save(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(InFlight {
+            op: r.u64()?,
+            sp_addr: r.usize()?,
+            dram_addr: r.u64()?,
+            kind: RequestKind::restore(r)?,
+        })
+    }
+}
+
+impl LoadStoreUnit {
+    /// Serializes the LSU's mutable state. `pe_id`/`capacity`/`granule`
+    /// are structural (rebuilt from config) and not written. The two hash
+    /// maps are emitted in sorted key order for canonical bytes; the
+    /// maps' iteration order never feeds simulation behaviour, so sorted
+    /// reload is exact.
+    pub fn save_state(&self, w: &mut Writer) {
+        let mut op_ids: Vec<u64> = self.ops.keys().copied().collect();
+        op_ids.sort_unstable();
+        w.usize(op_ids.len());
+        for id in op_ids {
+            w.u64(id);
+            self.ops[&id].save(w);
+        }
+        self.send_order.save(w);
+        let mut req_ids: Vec<ReqId> = self.in_flight.keys().copied().collect();
+        req_ids.sort_unstable();
+        w.usize(req_ids.len());
+        for id in req_ids {
+            w.u64(id);
+            self.in_flight[&id].save(w);
+        }
+        w.u64(self.next_op);
+        w.u64(self.next_req);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) onto an
+    /// LSU freshly built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on decode failure.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let ops = r.usize()?;
+        self.ops = HashMap::with_capacity(ops.min(1024));
+        for _ in 0..ops {
+            let id = r.u64()?;
+            self.ops.insert(id, LsuOp::restore(r)?);
+        }
+        self.send_order = VecDeque::restore(r)?;
+        let in_flight = r.usize()?;
+        self.in_flight = HashMap::with_capacity(in_flight.min(1024));
+        for _ in 0..in_flight {
+            let id = r.u64()?;
+            self.in_flight.insert(id, InFlight::restore(r)?);
+        }
+        self.next_op = r.u64()?;
+        self.next_req = r.u64()?;
         Ok(())
     }
 }

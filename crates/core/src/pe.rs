@@ -4,6 +4,7 @@
 use vip_faults::{fault_fires, fault_value, FaultDomain, PeFaultConfig};
 use vip_isa::{alu, ElemType, Instruction, Program, Reg, Trap, VerticalOp};
 use vip_mem::{MemRequest, MemResponse};
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 use crate::arc::ArcTable;
 use crate::config::SystemConfig;
@@ -909,6 +910,62 @@ impl Pe {
         let value = self.regs.read(rs);
         self.lsu.push_store_reg(dram, value, full_empty)?;
         self.retire_ldst();
+        Ok(())
+    }
+
+    /// Serializes the PE's architectural and microarchitectural state:
+    /// the loaded program (as encoded instruction words), front-end
+    /// position, register file with valid bits, scratchpad, ARC table,
+    /// vector-unit timing, LSU outstanding-request sets, and statistics.
+    ///
+    /// Structural parameters (`id`, `vault`, latencies) come from config
+    /// at rebuild time; the issue trace is a host debug facility and is
+    /// not captured.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.usize(self.program.as_slice().len());
+        for inst in self.program.iter() {
+            w.u64(inst.encode().expect("loaded instructions are encodable"));
+        }
+        w.usize(self.pc);
+        w.bool(self.halted);
+        self.regs.save(w);
+        self.sp.save(w);
+        self.arc.save(w);
+        self.vec.save(w);
+        self.lsu.save_state(w);
+        w.u64(self.stall_until);
+        self.stats.save(w);
+        self.faults.save(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) onto a PE
+    /// freshly built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on decode failure, including instruction
+    /// words that no longer decode.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let len = r.usize()?;
+        let mut insts = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            let word = r.u64()?;
+            insts.push(
+                Instruction::decode(word)
+                    .map_err(|_| SnapError::Corrupt("undecodable instruction word"))?,
+            );
+        }
+        self.program = Program::new(insts);
+        self.pc = r.usize()?;
+        self.halted = r.bool()?;
+        self.regs = ScalarRegs::restore(r)?;
+        self.sp = Scratchpad::restore(r)?;
+        self.arc = ArcTable::restore(r)?;
+        self.vec = VectorUnit::restore(r)?;
+        self.lsu.restore_state(r)?;
+        self.stall_until = r.u64()?;
+        self.stats = PeStats::restore(r)?;
+        self.faults = Option::restore(r)?;
         Ok(())
     }
 }

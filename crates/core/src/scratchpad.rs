@@ -1,6 +1,7 @@
 //! The PE's 4 KiB SRAM scratchpad.
 
 use vip_isa::Trap;
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 /// The scratchpad that replaces a vector register file in VIP's vector
 /// memory-memory paradigm (§III-A/B).
@@ -80,6 +81,18 @@ impl Scratchpad {
     /// scratchpad.
     pub fn read(&self, addr: usize, len: usize) -> Result<Vec<u8>, Trap> {
         Ok(self.slice(addr, len)?.to_vec())
+    }
+}
+
+impl Snapshot for Scratchpad {
+    fn save(&self, w: &mut Writer) {
+        w.bytes(&self.data);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Scratchpad {
+            data: r.bytes()?.to_vec(),
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use vip_mem::MemStats;
 use vip_noc::NocStats;
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 use crate::pe::StallReason;
 use crate::Cycle;
@@ -62,6 +63,59 @@ impl PeStats {
             *a += b;
         }
         self.writeback_flips += other.writeback_flips;
+    }
+}
+
+/// `instructions` doubles as the PE's fault-injection coordinate (the
+/// writeback roll is keyed on it), so exact restoration is part of the
+/// determinism contract.
+impl Snapshot for PeStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.active_cycles);
+        w.u64(self.instructions);
+        w.u64(self.vector_instructions);
+        w.u64(self.scalar_instructions);
+        w.u64(self.ldst_instructions);
+        w.u64(self.lane_ops);
+        w.u64(self.lane_mul_ops);
+        w.u64(self.sp_beats);
+        self.stalls.save(w);
+        w.u64(self.writeback_flips);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PeStats {
+            active_cycles: r.u64()?,
+            instructions: r.u64()?,
+            vector_instructions: r.u64()?,
+            scalar_instructions: r.u64()?,
+            ldst_instructions: r.u64()?,
+            lane_ops: r.u64()?,
+            lane_mul_ops: r.u64()?,
+            sp_beats: r.u64()?,
+            stalls: <[u64; StallReason::COUNT]>::restore(r)?,
+            writeback_flips: r.u64()?,
+        })
+    }
+}
+
+/// Serialized for the bench harness's completed-point records, so a
+/// resumed sweep can reproduce finished rows without re-simulating.
+impl Snapshot for SystemStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.cycles);
+        self.pe.save(w);
+        self.mem.save(w);
+        self.noc.save(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(SystemStats {
+            cycles: r.u64()?,
+            pe: PeStats::restore(r)?,
+            mem: MemStats::restore(r)?,
+            noc: NocStats::restore(r)?,
+        })
     }
 }
 

@@ -7,12 +7,24 @@ use vip_faults::FaultConfig;
 use vip_isa::{Program, Reg};
 use vip_mem::{Hmc, MemRequest, MemResponse, RequestKind};
 use vip_noc::Torus;
+use vip_snap::{read_header, write_header, Reader, SnapError, Snapshot, Writer};
 
 use crate::config::SystemConfig;
 use crate::error::{BlockedPe, HangReport, SimError};
 use crate::pe::Pe;
 use crate::stats::{PeStats, SystemStats};
 use crate::Cycle;
+
+/// How a bounded [`System::run_until`] slice ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every PE halted and the machine drained at the given cycle.
+    Quiesced(Cycle),
+    /// The pause bound was reached with work still in flight; the cycle
+    /// equals the bound. Snapshot here and a later restore continues
+    /// bit-identically.
+    Paused(Cycle),
+}
 
 /// Traffic carried on the torus between vaults.
 #[derive(Debug)]
@@ -21,6 +33,33 @@ enum SysMsg {
     Req(MemRequest),
     /// A completion heading back to PE `pe`'s vault.
     Resp { pe: usize, resp: MemResponse },
+}
+
+impl Snapshot for SysMsg {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            SysMsg::Req(req) => {
+                w.u8(0);
+                req.save(w);
+            }
+            SysMsg::Resp { pe, resp } => {
+                w.u8(1);
+                w.usize(*pe);
+                resp.save(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(SysMsg::Req(MemRequest::restore(r)?)),
+            1 => Ok(SysMsg::Resp {
+                pe: r.usize()?,
+                resp: MemResponse::restore(r)?,
+            }),
+            _ => Err(SnapError::Corrupt("system message tag")),
+        }
+    }
 }
 
 fn req_bytes(req: &MemRequest) -> usize {
@@ -576,6 +615,35 @@ impl System {
     /// quiesced within `max_cycles` (a full-empty deadlock or simply too
     /// small a limit), or any other [`SimError`] a step raises.
     pub fn run(&mut self, max_cycles: Cycle) -> Result<Cycle, SimError> {
+        match self.run_inner(max_cycles, max_cycles)? {
+            RunOutcome::Quiesced(at) => Ok(at),
+            RunOutcome::Paused(_) => {
+                unreachable!("pause bound equals the limit, which hangs instead")
+            }
+        }
+    }
+
+    /// Runs with the fast-forward engine until the system quiesces *or*
+    /// the clock reaches `pause_at`, whichever comes first — the slice
+    /// API the checkpointing harness is built on. Pausing is
+    /// behaviour-preserving: a paused run continued (directly or via a
+    /// snapshot restored onto a fresh system) finishes bit-identically —
+    /// same quiesce cycle, same statistics, same memory image — to one
+    /// that never paused. `pause_at` is clamped to `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](System::run): [`SimError::Hang`] if `max_cycles`
+    /// arrives without quiescence, or whatever error a step raises.
+    pub fn run_until(
+        &mut self,
+        pause_at: Cycle,
+        max_cycles: Cycle,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_inner(pause_at.min(max_cycles), max_cycles)
+    }
+
+    fn run_inner(&mut self, pause_at: Cycle, max_cycles: Cycle) -> Result<RunOutcome, SimError> {
         self.recount_quiesce_counters();
         // In dense phases (an event every cycle — e.g. a streaming LSU
         // keeping its vault saturated) the O(system) `next_event` scan
@@ -583,13 +651,16 @@ impl System {
         // fruitless scan doubles the plain steps taken before the next
         // one (capped at 63), and any successful skip resets the
         // backoff. Delaying a skip never changes behaviour — stepping
-        // through an event-free window is what the skip replays.
+        // through an event-free window is what the skip replays. The
+        // backoff counters are plain locals: pausing here and resuming
+        // (even in a fresh process, via a snapshot) restarts them at
+        // zero, which only re-times the scans, never the simulation.
         let mut quiet_streak: u32 = 0;
         let mut backoff: u64 = 0;
-        while self.now < max_cycles {
+        while self.now < pause_at {
             self.step()?;
             if self.unhalted == 0 && self.inflight_msgs == 0 && self.is_quiesced() {
-                return Ok(self.now);
+                return Ok(RunOutcome::Quiesced(self.now));
             }
             if backoff > 0 {
                 backoff -= 1;
@@ -598,7 +669,7 @@ impl System {
             if let Some(next) = self.next_event() {
                 // Nothing can happen strictly before `next`: land one
                 // cycle short and let the next `step` take it.
-                let target = (next - 1).min(max_cycles);
+                let target = (next - 1).min(pause_at);
                 if target > self.now {
                     self.skip_to(target);
                     quiet_streak = 0;
@@ -607,6 +678,14 @@ impl System {
                     backoff = (1 << quiet_streak) - 1;
                 }
             }
+        }
+        if pause_at < max_cycles {
+            // Catches a system that was already quiesced at entry (the
+            // in-loop check covers everything the slice itself stepped).
+            if self.unhalted == 0 && self.inflight_msgs == 0 && self.is_quiesced() {
+                return Ok(RunOutcome::Quiesced(self.now));
+            }
+            return Ok(RunOutcome::Paused(self.now));
         }
         Err(SimError::Hang(Box::new(self.hang_report(max_cycles))))
     }
@@ -666,6 +745,95 @@ impl System {
         for pe in &mut self.pes {
             pe.set_faults(faults.pe);
         }
+    }
+
+    /// Serializes the complete simulation state into a versioned,
+    /// self-describing byte image: a header carrying the format version
+    /// and the configuration's structural fingerprint, then the clock,
+    /// every PE (architectural and microarchitectural state), the memory
+    /// stack (backing storage, ECC sidecar, per-vault timing and queues),
+    /// the torus (in-flight packets with retry state), every system-level
+    /// queue, and the link serialization state.
+    ///
+    /// Restoring onto a freshly built [`System`] with the same
+    /// configuration and running to completion is bit-identical — same
+    /// quiesce cycle, same statistics, same memory image — to the run
+    /// that was never interrupted, under all stepping engines and with or
+    /// without live fault injection (fault configurations travel in the
+    /// body; draws are keyed on architectural coordinates that are
+    /// themselves captured).
+    #[must_use]
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        write_header(&mut w, self.cfg.snapshot_fingerprint());
+        w.u64(self.now);
+        w.usize(self.pes.len());
+        for pe in &self.pes {
+            pe.save_state(&mut w);
+        }
+        self.hmc.save_state(&mut w);
+        self.net.save_state(&mut w, &mut |msg, w| msg.save(w));
+        self.pe_egress.save(&mut w);
+        self.uplink_busy.save(&mut w);
+        self.downlink_busy.save(&mut w);
+        self.to_vault_local.save(&mut w);
+        self.vault_ingress.save(&mut w);
+        self.vault_egress.save(&mut w);
+        self.to_pe.save(&mut w);
+        w.usize(self.inflight_msgs);
+        w.into_bytes()
+    }
+
+    /// Restores a [`save_snapshot`](System::save_snapshot) image onto
+    /// this system. The system must have been built with a configuration
+    /// whose [structural fingerprint](SystemConfig::snapshot_fingerprint)
+    /// matches the one in the image; fault configurations are taken from
+    /// the image (they are runtime state, not structure). The derived
+    /// quiescence caches are rebuilt, so the next
+    /// [`run`](System::run)/[`run_naive`](System::run_naive)/sharded run
+    /// continues bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on a bad magic/version, a fingerprint
+    /// mismatch, a truncated or corrupt image, or trailing bytes.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = Reader::new(bytes);
+        read_header(&mut r, self.cfg.snapshot_fingerprint())?;
+        self.now = r.u64()?;
+        let pes = r.usize()?;
+        if pes != self.pes.len() {
+            return Err(SnapError::Corrupt("PE count mismatch"));
+        }
+        for pe in &mut self.pes {
+            pe.restore_state(&mut r)?;
+        }
+        self.hmc.restore_state(&mut r)?;
+        self.net.restore_state(&mut r, &mut SysMsg::restore)?;
+        self.pe_egress = Vec::restore(&mut r)?;
+        self.uplink_busy = Vec::restore(&mut r)?;
+        self.downlink_busy = Vec::restore(&mut r)?;
+        self.to_vault_local = Vec::restore(&mut r)?;
+        self.vault_ingress = Vec::restore(&mut r)?;
+        self.vault_egress = Vec::restore(&mut r)?;
+        self.to_pe = Vec::restore(&mut r)?;
+        self.inflight_msgs = r.usize()?;
+        r.finish()?;
+        if self.pe_egress.len() != self.pes.len()
+            || self.uplink_busy.len() != self.pes.len()
+            || self.downlink_busy.len() != self.pes.len()
+            || self.to_pe.len() != self.pes.len()
+            || self.to_vault_local.len() != self.cfg.mem.vaults
+            || self.vault_ingress.len() != self.cfg.mem.vaults
+            || self.vault_egress.len() != self.cfg.mem.vaults
+        {
+            return Err(SnapError::Corrupt("queue geometry mismatch"));
+        }
+        // Derived caches are not serialized — rebuild them from the
+        // restored PEs.
+        self.invalidate_stats_cache();
+        self.recount_quiesce_counters();
+        Ok(())
     }
 
     /// Statistics snapshot. Halted PEs' counters are frozen, so only

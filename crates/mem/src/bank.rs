@@ -2,6 +2,7 @@
 
 use crate::timing::DramTiming;
 use crate::Cycle;
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 /// One DRAM bank: an optional open row plus the earliest cycles at which
 /// the next ACTIVATE, column access, or PRECHARGE may legally issue.
@@ -144,6 +145,26 @@ impl Bank {
     #[must_use]
     pub fn earliest_activate(&self) -> Cycle {
         self.earliest_act
+    }
+}
+
+impl Snapshot for Bank {
+    fn save(&self, w: &mut Writer) {
+        self.open_row.save(w);
+        w.u64(self.earliest_act);
+        w.u64(self.earliest_col);
+        w.u64(self.earliest_pre);
+        w.u64(self.next_col);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Bank {
+            open_row: Option::restore(r)?,
+            earliest_act: r.u64()?,
+            earliest_col: r.u64()?,
+            earliest_pre: r.u64()?,
+            next_col: r.u64()?,
+        })
     }
 }
 

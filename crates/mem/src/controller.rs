@@ -13,6 +13,7 @@ use crate::timing::BASELINE_T_REFI_PS;
 use crate::Cycle;
 use vip_faults::secded::Decoded;
 use vip_faults::{fault_roll, fault_value, FaultDomain};
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 #[derive(Debug)]
 struct Txn {
@@ -22,11 +23,45 @@ struct Txn {
     caused_act: bool,
 }
 
+impl Snapshot for Txn {
+    fn save(&self, w: &mut Writer) {
+        self.req.save(w);
+        self.decoded.save(w);
+        w.u64(self.enqueued);
+        w.bool(self.caused_act);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Txn {
+            req: MemRequest::restore(r)?,
+            decoded: DecodedAddr::restore(r)?,
+            enqueued: r.u64()?,
+            caused_act: r.bool()?,
+        })
+    }
+}
+
 #[derive(Debug)]
 struct PendingCompletion {
     at: Cycle,
     response: MemResponse,
     latency: Cycle,
+}
+
+impl Snapshot for PendingCompletion {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.at);
+        self.response.save(w);
+        w.u64(self.latency);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(PendingCompletion {
+            at: r.u64()?,
+            response: MemResponse::restore(r)?,
+            latency: r.u64()?,
+        })
+    }
 }
 
 /// Cycle-level model of one HMC vault: a transaction queue in front of 16
@@ -293,6 +328,50 @@ impl VaultController {
             self.stats.busy_cycles += to - self.now;
         }
         self.now = to;
+    }
+
+    /// Serializes every piece of mutable controller state: bank state
+    /// machines, the transaction queue, pending completions (in their
+    /// exact in-memory order — retirement uses `swap_remove`, so the
+    /// order is architecturally significant), the refresh machinery,
+    /// the shared-bus reservation, counters, and the runtime-settable
+    /// fault configuration.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.banks.save(w);
+        self.queue.save(w);
+        self.completions.save(w);
+        w.u64(self.now);
+        w.u64(self.next_refresh);
+        w.bool(self.refresh_pending);
+        w.u64(self.refresh_until);
+        w.u64(self.bus_free_at);
+        self.stats.save(w);
+        self.cfg.faults.save(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) onto a
+    /// controller freshly built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on decode failure or if the snapshot's
+    /// bank count disagrees with this controller's geometry.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let banks = Vec::<Bank>::restore(r)?;
+        if banks.len() != self.banks.len() {
+            return Err(SnapError::Corrupt("bank count mismatch"));
+        }
+        self.banks = banks;
+        self.queue = VecDeque::restore(r)?;
+        self.completions = Vec::restore(r)?;
+        self.now = r.u64()?;
+        self.next_refresh = r.u64()?;
+        self.refresh_pending = r.bool()?;
+        self.refresh_until = r.u64()?;
+        self.bus_free_at = r.u64()?;
+        self.stats = MemStats::restore(r)?;
+        self.cfg.faults = Option::restore(r)?;
+        Ok(())
     }
 
     fn try_start_refresh(&mut self) -> bool {

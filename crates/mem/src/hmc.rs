@@ -7,6 +7,7 @@ use crate::stats::MemStats;
 use crate::storage::Storage;
 use crate::Cycle;
 use vip_faults::DramFaultConfig;
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 /// The complete HMC-style memory stack (§III-C): all vault controllers
 /// plus the shared execution-driven backing store.
@@ -180,6 +181,38 @@ impl Hmc {
             total.merge(&v.stats());
         }
         total
+    }
+
+    /// Serializes the whole stack's mutable state: the backing store
+    /// (data pages, full-empty bits, the ECC sidecar), every vault
+    /// controller, and the stack-level fault configuration.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.storage.save(w);
+        w.usize(self.vaults.len());
+        for vault in &self.vaults {
+            vault.save_state(w);
+        }
+        self.cfg.faults.save(w);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) onto a
+    /// stack freshly built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on decode failure or a vault-count
+    /// mismatch.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        self.storage = Storage::restore(r)?;
+        let vaults = r.usize()?;
+        if vaults != self.vaults.len() {
+            return Err(SnapError::Corrupt("vault count mismatch"));
+        }
+        for vault in &mut self.vaults {
+            vault.restore_state(r)?;
+        }
+        self.cfg.faults = Option::restore(r)?;
+        Ok(())
     }
 }
 

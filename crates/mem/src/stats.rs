@@ -1,5 +1,7 @@
 //! Memory-system statistics (bandwidth, row-buffer behaviour, latency).
 
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
+
 /// Counters accumulated by a vault controller (and aggregated across the
 /// stack by [`Hmc::stats`](crate::Hmc::stats)). Figure 5's achieved-
 /// bandwidth axis comes straight from these counters.
@@ -99,6 +101,48 @@ impl MemStats {
         self.retention_faults += other.retention_faults;
         self.ecc_corrected += other.ecc_corrected;
         self.ecc_uncorrectable += other.ecc_uncorrectable;
+    }
+}
+
+impl Snapshot for MemStats {
+    fn save(&self, w: &mut Writer) {
+        for v in [
+            self.reads,
+            self.writes,
+            self.bytes_read,
+            self.bytes_written,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.refreshes,
+            self.total_latency_cycles,
+            self.busy_cycles,
+            self.elapsed_cycles,
+            self.retention_faults,
+            self.ecc_corrected,
+            self.ecc_uncorrectable,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(MemStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            bytes_read: r.u64()?,
+            bytes_written: r.u64()?,
+            row_hits: r.u64()?,
+            row_misses: r.u64()?,
+            row_conflicts: r.u64()?,
+            refreshes: r.u64()?,
+            total_latency_cycles: r.u64()?,
+            busy_cycles: r.u64()?,
+            elapsed_cycles: r.u64()?,
+            retention_faults: r.u64()?,
+            ecc_corrected: r.u64()?,
+            ecc_uncorrectable: r.u64()?,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 use vip_faults::secded::{self, Decoded};
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 const PAGE_BYTES: u64 = 4096;
 
@@ -183,6 +184,44 @@ impl Storage {
     }
 }
 
+/// Pages, full-empty bits, and the ECC sidecar serialize in sorted key
+/// order so the same memory image always produces the same bytes — the
+/// containers are hash maps, whose iteration order is not canonical.
+impl Snapshot for Storage {
+    fn save(&self, w: &mut Writer) {
+        let mut pages: Vec<u64> = self.pages.keys().copied().collect();
+        pages.sort_unstable();
+        w.usize(pages.len());
+        for page in pages {
+            w.u64(page);
+            w.raw(&self.pages[&page]);
+        }
+        let mut full: Vec<u64> = self.full_bits.iter().copied().collect();
+        full.sort_unstable();
+        full.save(w);
+        let mut ecc: Vec<(u64, u8)> = self.ecc.iter().map(|(&k, &v)| (k, v)).collect();
+        ecc.sort_unstable();
+        ecc.save(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let n_pages = r.usize()?;
+        let mut pages = HashMap::new();
+        for _ in 0..n_pages {
+            let page = r.u64()?;
+            let data = r.raw(PAGE_BYTES as usize)?;
+            pages.insert(page, Vec::from(data).into_boxed_slice());
+        }
+        let full_bits: HashSet<u64> = Vec::<u64>::restore(r)?.into_iter().collect();
+        let ecc: HashMap<u64, u8> = Vec::<(u64, u8)>::restore(r)?.into_iter().collect();
+        Ok(Storage {
+            pages,
+            full_bits,
+            ecc,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,10 +270,11 @@ mod tests {
         s.corrupt_word(64, &[17]);
         assert_ne!(s.read_u64(64), 0xdead_beef_cafe_f00d, "fault landed");
         assert_eq!(s.corrupted_words(), 1);
-        match s.ecc_decode(64) {
-            Some(Decoded::Corrected { data, .. }) => assert_eq!(data, 0xdead_beef_cafe_f00d),
-            other => panic!("expected correction, got {other:?}"),
-        }
+        let decoded = s.ecc_decode(64);
+        assert!(
+            matches!(decoded, Some(Decoded::Corrected { data, .. }) if data == 0xdead_beef_cafe_f00d),
+            "expected correction back to the written word, got {decoded:?}"
+        );
         // Scrubbed: storage repaired, sidecar retired, next decode clean.
         assert_eq!(s.read_u64(64), 0xdead_beef_cafe_f00d);
         assert_eq!(s.corrupted_words(), 0);
@@ -253,6 +293,41 @@ mod tests {
         s.write_u64(8, 77);
         assert_eq!(s.ecc_decode(8), None);
         assert_eq!(s.read_u64(8), 77);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_image_bits_and_sidecar() {
+        let mut s = Storage::new();
+        s.write(100, &[1, 2, 3, 4]);
+        s.write(PAGE_BYTES * 3 + 7, &[9; 64]);
+        s.set_full(128, true);
+        s.set_full(4096, true);
+        s.corrupt_word(64, &[5]);
+        s.corrupt_word(8192, &[1, 2]);
+
+        let mut w = Writer::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut restored = Storage::restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.read_vec(100, 4), s.read_vec(100, 4));
+        assert_eq!(restored.read_u64(64), s.read_u64(64));
+        assert!(restored.is_full(128) && restored.is_full(4096));
+        assert!(!restored.is_full(136));
+        assert_eq!(restored.corrupted_words(), 2);
+        // The pending corruption still decodes identically post-restore.
+        assert!(matches!(
+            restored.ecc_decode(64),
+            Some(Decoded::Corrected { .. })
+        ));
+        assert_eq!(restored.ecc_decode(8192), Some(Decoded::Uncorrectable));
+
+        // Canonical bytes: re-encoding an identical image is bit-equal.
+        let mut w2 = Writer::new();
+        s.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Network statistics.
 
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
+
 /// Counters accumulated by a [`Torus`](crate::Torus).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NocStats {
@@ -59,6 +61,45 @@ impl NocStats {
         } else {
             self.link_busy_cycles as f64 / (self.elapsed_cycles * links) as f64
         }
+    }
+}
+
+/// `packets` doubles as the uid allocator for in-flight packets (the
+/// fault-injection coordinate), so restoring these counters exactly is
+/// part of the determinism contract, not just bookkeeping.
+impl Snapshot for NocStats {
+    fn save(&self, w: &mut Writer) {
+        for v in [
+            self.packets,
+            self.delivered,
+            self.flits,
+            self.hops,
+            self.total_latency_cycles,
+            self.link_busy_cycles,
+            self.elapsed_cycles,
+            self.crc_detected,
+            self.dropped,
+            self.retries,
+            self.delivery_failures,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(NocStats {
+            packets: r.u64()?,
+            delivered: r.u64()?,
+            flits: r.u64()?,
+            hops: r.u64()?,
+            total_latency_cycles: r.u64()?,
+            link_busy_cycles: r.u64()?,
+            elapsed_cycles: r.u64()?,
+            crc_detected: r.u64()?,
+            dropped: r.u64()?,
+            retries: r.u64()?,
+            delivery_failures: r.u64()?,
+        })
     }
 }
 

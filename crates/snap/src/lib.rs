@@ -1,0 +1,648 @@
+//! # vip-snap — versioned binary snapshot codec
+//!
+//! The deterministic checkpoint/restore subsystem serializes every piece
+//! of simulator state — PE microarchitectural state, vault controller
+//! queues, in-flight NoC packets, the backing store — into one flat byte
+//! buffer so a run can be frozen at an arbitrary cycle and resumed
+//! bit-identically (same final cycle count, same statistics, same memory
+//! image) under any stepping engine.
+//!
+//! The codec is deliberately primitive: little-endian fixed-width
+//! integers, length-prefixed byte strings, and nothing self-describing.
+//! Determinism demands that encoding a given machine state always
+//! produces the same bytes, so unordered containers must be serialized
+//! in a canonical (sorted) order by their owners, and order-sensitive
+//! containers (the NoC's flight list, a vault's completion list) in
+//! their exact in-memory order.
+//!
+//! A snapshot starts with a [`Header`]: magic bytes, the
+//! [`FORMAT_VERSION`], and a fingerprint of the *structural*
+//! configuration the machine was built with. Restore targets a machine
+//! freshly constructed from the same configuration; the fingerprint
+//! check turns a config mismatch into a typed
+//! [`SnapError::ConfigMismatch`] instead of garbage state.
+//!
+//! The [`Snapshot`] trait covers value-like state (stats blocks,
+//! requests, banks); components whose restore needs an already
+//! constructed host (the full `System`, a `Torus` with a generic
+//! payload) expose inherent `save_state`/`restore_state` methods built
+//! from the same [`Writer`]/[`Reader`] primitives.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Magic bytes opening every snapshot file or buffer.
+pub const MAGIC: [u8; 8] = *b"VIPSNAP\0";
+
+/// Bumped whenever the serialized layout of any component changes.
+/// Restore rejects other versions — there is no cross-version migration,
+/// because a snapshot is a resumable suspension of one build, not an
+/// archival format.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors surfaced while decoding a snapshot. Encoding is infallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The buffer ended before the requested field.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The buffer does not begin with [`MAGIC`].
+    BadMagic,
+    /// The snapshot was written by a different codec version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The snapshot was taken on a machine with a different structural
+    /// configuration than the restore target.
+    ConfigMismatch {
+        /// Fingerprint found in the header.
+        found: u64,
+        /// Fingerprint of the restore target.
+        expected: u64,
+    },
+    /// A decoded value violates an invariant (described by the message).
+    Corrupt(&'static str),
+    /// Decoding finished but bytes remain — the snapshot and the decoder
+    /// disagree about the layout.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {needed} bytes, {available} left"
+                )
+            }
+            SnapError::BadMagic => f.write_str("not a VIP snapshot (bad magic)"),
+            SnapError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "snapshot format version {found}, this build reads {expected}"
+                )
+            }
+            SnapError::ConfigMismatch { found, expected } => {
+                write!(
+                    f,
+                    "snapshot taken under config fingerprint {found:#018x}, restore \
+                     target has {expected:#018x}"
+                )
+            }
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapError::TrailingBytes { count } => {
+                write!(f, "snapshot has {count} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` so 32- and 64-bit hosts agree.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes raw bytes with no length prefix (the reader must know the
+    /// exact length from context, e.g. a fixed page size).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over an encoded buffer; every read is bounds-checked.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `usize` encoded as a `u64`.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Corrupt("usize overflows host"))
+    }
+
+    /// Reads a `bool`; any byte other than 0 or 1 is corrupt.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool byte not 0 or 1")),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let len = self.usize()?;
+        self.take(len)
+    }
+
+    /// Reads exactly `n` raw bytes (no length prefix).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Asserts the buffer is fully consumed — call once after the last
+    /// field so layout drift fails loudly instead of silently ignoring a
+    /// tail.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+}
+
+/// State that round-trips through the codec by value. Implementations
+/// must be canonical: the same logical state always encodes to the same
+/// bytes (sort unordered containers), and `restore(save(x)) == x`
+/// exactly.
+pub trait Snapshot: Sized {
+    /// Appends this value's encoding to `w`.
+    fn save(&self, w: &mut Writer);
+    /// Decodes one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on truncation or invariant violations.
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError>;
+}
+
+macro_rules! impl_snapshot_prim {
+    ($($t:ty => $m:ident),* $(,)?) => {
+        $(impl Snapshot for $t {
+            fn save(&self, w: &mut Writer) {
+                w.$m(*self);
+            }
+            fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+                r.$m()
+            }
+        })*
+    };
+}
+
+impl_snapshot_prim!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize, bool => bool);
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            None => w.bool(false),
+            Some(v) => {
+                w.bool(true);
+                v.save(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(if r.bool()? {
+            Some(T::restore(r)?)
+        } else {
+            None
+        })
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn save(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let len = r.usize()?;
+        // Do not pre-reserve `len` blindly: a corrupt length must fail
+        // with Truncated, not abort on allocation.
+        let mut out = Vec::new();
+        for _ in 0..len {
+            out.push(T::restore(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snapshot> Snapshot for VecDeque<T> {
+    fn save(&self, w: &mut Writer) {
+        w.usize(self.len());
+        for v in self {
+            v.save(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let len = r.usize()?;
+        let mut out = VecDeque::new();
+        for _ in 0..len {
+            out.push_back(T::restore(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn save(&self, w: &mut Writer) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok((A::restore(r)?, B::restore(r)?))
+    }
+}
+
+impl<T: Snapshot, const N: usize> Snapshot for [T; N] {
+    fn save(&self, w: &mut Writer) {
+        for v in self {
+            v.save(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::restore(r)?);
+        }
+        out.try_into()
+            .map_err(|_| SnapError::Corrupt("array length"))
+    }
+}
+
+/// Writes the snapshot header: magic, format version, and the structural
+/// configuration fingerprint of the machine being saved.
+pub fn write_header(w: &mut Writer, fingerprint: u64) {
+    w.raw(&MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(fingerprint);
+}
+
+/// Validates a snapshot header against the restore target's fingerprint.
+///
+/// # Errors
+///
+/// [`SnapError::BadMagic`], [`SnapError::BadVersion`], or
+/// [`SnapError::ConfigMismatch`] (plus truncation) when the snapshot
+/// cannot be restored onto this machine.
+pub fn read_header(r: &mut Reader<'_>, expected_fingerprint: u64) -> Result<(), SnapError> {
+    if r.raw(MAGIC.len())? != MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapError::BadVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let found = r.u64()?;
+    if found != expected_fingerprint {
+        return Err(SnapError::ConfigMismatch {
+            found,
+            expected: expected_fingerprint,
+        });
+    }
+    Ok(())
+}
+
+/// FNV-1a accumulator for configuration fingerprints (and for hashing
+/// experiment-point names in the bench harness). Stable across platforms
+/// and builds — it hashes only values the caller feeds it.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh accumulator at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fingerprint {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` as a `u64`.
+    pub fn push_usize(&mut self, v: usize) {
+        self.push_u64(v as u64);
+    }
+
+    /// Absorbs a `bool`.
+    pub fn push_bool(&mut self, v: bool) {
+        self.push_bytes(&[u8::from(v)]);
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a hash of a byte string (experiment-point keys).
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut f = Fingerprint::new();
+    f.push_bytes(bytes);
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.usize(42);
+        w.bool(true);
+        w.bool(false);
+        w.bytes(b"hello");
+        w.raw(&[9, 9]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.raw(2).unwrap(), &[9, 9]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = Writer::new();
+        w.u32(7);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            r.u64(),
+            Err(SnapError::Truncated {
+                needed: 8,
+                available: 4
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = Writer::new();
+        w.u64(1);
+        w.u8(0);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        r.u64().unwrap();
+        assert_eq!(r.finish(), Err(SnapError::TrailingBytes { count: 1 }));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        let d: VecDeque<u32> = VecDeque::from(vec![4, 5]);
+        let o: Option<bool> = Some(true);
+        let n: Option<u8> = None;
+        let t: (u64, bool) = (99, false);
+        let a: [u64; 3] = [7, 8, 9];
+        let mut w = Writer::new();
+        v.save(&mut w);
+        d.save(&mut w);
+        o.save(&mut w);
+        n.save(&mut w);
+        t.save(&mut w);
+        a.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(Vec::<u64>::restore(&mut r).unwrap(), v);
+        assert_eq!(VecDeque::<u32>::restore(&mut r).unwrap(), d);
+        assert_eq!(Option::<bool>::restore(&mut r).unwrap(), o);
+        assert_eq!(Option::<u8>::restore(&mut r).unwrap(), n);
+        assert_eq!(<(u64, bool)>::restore(&mut r).unwrap(), t);
+        assert_eq!(<[u64; 3]>::restore(&mut r).unwrap(), a);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn corrupt_container_length_truncates_cleanly() {
+        let mut w = Writer::new();
+        w.usize(usize::MAX / 2); // absurd element count
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            Vec::<u64>::restore(&mut r),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn header_roundtrip_and_rejection() {
+        let mut w = Writer::new();
+        write_header(&mut w, 0x1111);
+        let buf = w.into_bytes();
+
+        let mut r = Reader::new(&buf);
+        read_header(&mut r, 0x1111).unwrap();
+        r.finish().unwrap();
+
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            read_header(&mut r, 0x2222),
+            Err(SnapError::ConfigMismatch {
+                found: 0x1111,
+                expected: 0x2222
+            })
+        ));
+
+        let mut bad = buf.clone();
+        bad[0] ^= 0xff;
+        let mut r = Reader::new(&bad);
+        assert_eq!(read_header(&mut r, 0x1111), Err(SnapError::BadMagic));
+
+        let mut wrong_ver = buf;
+        wrong_ver[8] = FORMAT_VERSION as u8 + 1;
+        let mut r = Reader::new(&wrong_ver);
+        assert!(matches!(
+            read_header(&mut r, 0x1111),
+            Err(SnapError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let mut a = Fingerprint::new();
+        a.push_u64(1);
+        a.push_usize(2);
+        a.push_bool(true);
+        let mut b = Fingerprint::new();
+        b.push_u64(1);
+        b.push_usize(2);
+        b.push_bool(true);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.push_u64(1);
+        c.push_usize(2);
+        c.push_bool(false);
+        assert_ne!(a.finish(), c.finish());
+        // Known FNV-1a vector: empty input is the offset basis.
+        assert_eq!(hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}
