@@ -73,6 +73,16 @@ impl PreparedTile {
         self
     }
 
+    /// Overrides the functional tier's duty-cycle knobs (see
+    /// [`vip_core::FuncConfig`]); architectural results are identical
+    /// for every value, only the timing-estimate quality and host
+    /// speed change. Ignored by the cycle-accurate entry points.
+    #[must_use]
+    pub fn with_func_config(mut self, cfg: vip_core::FuncConfig) -> Self {
+        self.sys.set_func_config(cfg);
+        self
+    }
+
     /// Simulated-cycle budget before the tile counts as hung.
     #[must_use]
     pub fn limit(&self) -> u64 {
@@ -136,6 +146,24 @@ impl PreparedTile {
         })
     }
 
+    /// Runs on the two-tier functional engine
+    /// ([`System::run_functional`]): architectural results are
+    /// bit-identical to the cycle-level engines', the cycle count is an
+    /// estimate extrapolated from sampled accurate windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] if the simulation traps, loses a
+    /// packet, or fails to quiesce within its cycle limit.
+    pub fn try_run_functional(mut self) -> Result<TileRun, SimError> {
+        self.load();
+        let cycles = self.sys.run_functional(self.limit)?;
+        Ok(TileRun {
+            cycles,
+            stats: self.sys.stats(),
+        })
+    }
+
     /// Runs with the event-driven fast-forward engine. On failure,
     /// prints the structured diagnosis (the multi-line hang-watchdog
     /// report for a stuck tile) to stderr and exits nonzero instead of
@@ -143,6 +171,15 @@ impl PreparedTile {
     #[must_use]
     pub fn run(self) -> TileRun {
         self.try_run().unwrap_or_else(|e| exit_with_sim_error(&e))
+    }
+
+    /// Runs on the two-tier functional engine. Failure behaviour
+    /// matches [`run`](PreparedTile::run): structured report to stderr,
+    /// nonzero exit.
+    #[must_use]
+    pub fn run_functional(self) -> TileRun {
+        self.try_run_functional()
+            .unwrap_or_else(|e| exit_with_sim_error(&e))
     }
 
     /// Runs cycle-by-cycle (the reference engine the fast path must

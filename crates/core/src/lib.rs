@@ -68,6 +68,7 @@
 mod arc;
 mod config;
 mod error;
+mod fast_func;
 mod lsu;
 mod pe;
 pub mod power;
@@ -80,11 +81,12 @@ mod vector;
 pub use arc::ArcTable;
 pub use config::SystemConfig;
 pub use error::{BlockedPe, HangReport, SimError};
+pub use fast_func::FuncConfig;
 pub use lsu::{LoadStoreUnit, LsuError};
 pub use pe::{Pe, PeArchState, StallReason, TraceEvent};
 pub use scalar::ScalarRegs;
 pub use scratchpad::Scratchpad;
-pub use stats::{PeStats, RooflinePoint, SystemStats};
+pub use stats::{FuncStats, PeStats, RooflinePoint, SystemStats};
 pub use system::{RunOutcome, System};
 pub use vector::VectorUnit;
 

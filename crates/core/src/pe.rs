@@ -89,6 +89,23 @@ pub struct PeArchState {
     pub scratchpad: Vec<u8>,
 }
 
+/// Mutable views of exactly the PE state the functional execution tier
+/// touches (see `crate::fast_func`): the architectural state plus the
+/// statistics, split apart so the executor can borrow them alongside
+/// the system's DRAM storage. Timing state (LSU, ARC, stall bookkeeping)
+/// is deliberately absent — the functional tier never consults it.
+pub(crate) struct FuncParts<'a> {
+    pub id: usize,
+    pub pc: &'a mut usize,
+    pub halted: &'a mut bool,
+    pub regs: &'a mut ScalarRegs,
+    pub sp: &'a mut Scratchpad,
+    pub vec: &'a mut VectorUnit,
+    pub stats: &'a mut PeStats,
+    pub faults: Option<PeFaultConfig>,
+    pub branch_penalty: u64,
+}
+
 /// One retired-instruction trace record (see [`Pe::enable_trace`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -125,6 +142,15 @@ pub struct Pe {
     faults: Option<PeFaultConfig>,
     trace: Option<Vec<TraceEvent>>,
     trace_limit: usize,
+    /// Fingerprint of the loaded program (the block-cache key half the
+    /// functional tier shares across SPMD PEs). Derived from the
+    /// program, so not serialized.
+    prog_fp: u64,
+    /// Freeze gate for the functional tier's drain phase: a frozen PE
+    /// still receives completions and emits queued LSU requests, but
+    /// issues nothing new. Always false outside `System::drain_to_idle`,
+    /// so snapshots never see it.
+    frozen: bool,
 }
 
 impl Pe {
@@ -150,6 +176,8 @@ impl Pe {
             faults: cfg.pe_faults,
             trace: None,
             trace_limit: 0,
+            prog_fp: vip_isa::program_fingerprint(&Program::default()),
+            frozen: false,
         }
     }
 
@@ -206,8 +234,51 @@ impl Pe {
             .collect();
         debug_assert_eq!(decoded.as_slice(), program.as_slice());
         self.program = Program::new(decoded);
+        self.prog_fp = vip_isa::program_fingerprint(&self.program);
         self.pc = 0;
         self.halted = program.is_empty();
+    }
+
+    /// Fingerprint of the loaded program (block-cache key half).
+    pub(crate) fn prog_fp(&self) -> u64 {
+        self.prog_fp
+    }
+
+    /// The loaded program (block scanning).
+    pub(crate) fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Freezes or thaws issue (see the `frozen` field).
+    pub(crate) fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// The live writeback-fault wiring (the functional tier's
+    /// faults-active gate reads it).
+    pub(crate) fn fault_config(&self) -> Option<PeFaultConfig> {
+        self.faults
+    }
+
+    /// Stamps the active-cycle counter (the functional tier's clock
+    /// advance; the cycle-accurate paths maintain it via `tick`).
+    pub(crate) fn set_active_cycles(&mut self, c: Cycle) {
+        self.stats.active_cycles = c;
+    }
+
+    /// Splits this PE into the parts the functional executor needs.
+    pub(crate) fn func_parts(&mut self) -> FuncParts<'_> {
+        FuncParts {
+            id: self.id,
+            pc: &mut self.pc,
+            halted: &mut self.halted,
+            regs: &mut self.regs,
+            sp: &mut self.sp,
+            vec: &mut self.vec,
+            stats: &mut self.stats,
+            faults: self.faults,
+            branch_penalty: self.branch_penalty,
+        }
     }
 
     /// Whether the PE has executed `halt` (or has no program).
@@ -484,7 +555,7 @@ impl Pe {
             debug_assert!(c > now);
             next = Some(next.map_or(c, |n: Cycle| n.min(c)));
         };
-        if !self.halted {
+        if !self.halted && !self.frozen {
             match self.issue_state(now + 1) {
                 IssueState::Ready => consider(now + 1),
                 IssueState::StalledUntil(_, at) => consider(at),
@@ -515,6 +586,11 @@ impl Pe {
             return;
         }
         self.stats.active_cycles = to;
+        if self.frozen {
+            // Frozen issue is not a stall: the drain deliberately parked
+            // the front end, so no counter should be charged.
+            return;
+        }
         match self.issue_state(from + 1) {
             IssueState::Ready => {
                 debug_assert!(false, "fast-forward across a ready-to-issue cycle");
@@ -539,6 +615,9 @@ impl Pe {
             return Ok(());
         }
         self.stats.active_cycles = now;
+        if self.frozen {
+            return Ok(());
+        }
         match self.issue_state(now) {
             IssueState::Ready => {}
             IssueState::Stalled(reason) | IssueState::StalledUntil(reason, _) => {
@@ -583,10 +662,12 @@ impl Pe {
         match inst {
             SetVl { rs } => {
                 self.vec.set_vl(self.regs.read(rs) as usize)?;
+                self.stats.work_units += 1;
                 self.retire_vector();
             }
             SetMr { rs } => {
                 self.vec.set_mr(self.regs.read(rs) as usize)?;
+                self.stats.work_units += 1;
                 self.retire_vector();
             }
             VDrain => self.retire_front_end(),
@@ -646,6 +727,7 @@ impl Pe {
                 let taken = cond.eval(self.regs.read(rs1), self.regs.read(rs2));
                 self.stats.instructions += 1;
                 self.stats.scalar_instructions += 1;
+                self.stats.work_units += if taken { 1 + self.branch_penalty } else { 1 };
                 if taken {
                     self.pc = target as usize;
                     self.stall_until = now + 1 + self.branch_penalty;
@@ -656,6 +738,7 @@ impl Pe {
             Jmp { target } => {
                 self.stats.instructions += 1;
                 self.stats.scalar_instructions += 1;
+                self.stats.work_units += 1 + self.branch_penalty;
                 self.pc = target as usize;
                 self.stall_until = now + 1 + self.branch_penalty;
             }
@@ -682,6 +765,7 @@ impl Pe {
             MemFence | Nop => self.retire_front_end(),
             Halt => {
                 self.stats.instructions += 1;
+                self.stats.work_units += 1;
                 self.halted = true;
             }
         }
@@ -719,15 +803,19 @@ impl Pe {
 
     fn retire_front_end(&mut self) {
         self.stats.instructions += 1;
+        self.stats.work_units += 1;
         self.pc += 1;
     }
 
     fn retire_scalar(&mut self) {
         self.stats.instructions += 1;
         self.stats.scalar_instructions += 1;
+        self.stats.work_units += 1;
         self.pc += 1;
     }
 
+    // Vector retires charge their work (beats) at the issue site, so no
+    // `work_units` bump here.
     fn retire_vector(&mut self) {
         self.stats.instructions += 1;
         self.stats.vector_instructions += 1;
@@ -737,6 +825,7 @@ impl Pe {
     fn retire_ldst(&mut self) {
         self.stats.instructions += 1;
         self.stats.ldst_instructions += 1;
+        self.stats.work_units += 1;
         self.pc += 1;
     }
 
@@ -782,6 +871,7 @@ impl Pe {
             self.stats.lane_mul_ops += (mr * vl) as u64;
         }
         self.stats.sp_beats += 3 * beats; // 2 reads + result writeback
+        self.stats.work_units += beats;
         self.retire_vector();
         Ok(())
     }
@@ -819,6 +909,7 @@ impl Pe {
             self.stats.lane_mul_ops += vl as u64;
         }
         self.stats.sp_beats += 3 * beats;
+        self.stats.work_units += beats;
         self.retire_vector();
         Ok(())
     }
@@ -855,6 +946,7 @@ impl Pe {
             self.stats.lane_mul_ops += vl as u64;
         }
         self.stats.sp_beats += 2 * beats; // 1 read + writeback
+        self.stats.work_units += beats;
         self.retire_vector();
         Ok(())
     }
@@ -956,6 +1048,8 @@ impl Pe {
             );
         }
         self.program = Program::new(insts);
+        self.prog_fp = vip_isa::program_fingerprint(&self.program);
+        self.frozen = false;
         self.pc = r.usize()?;
         self.halted = r.bool()?;
         self.regs = ScalarRegs::restore(r)?;

@@ -34,6 +34,12 @@ pub struct PeStats {
     /// Scalar-writeback bits flipped by the fault injector (zero unless
     /// injection is enabled; the register file has no ECC).
     pub writeback_flips: u64,
+    /// Abstract work units retired — a lower bound on the cycles this
+    /// PE's instruction stream must occupy (vector ops cost their beat
+    /// count, taken branches their bubble, everything else one unit).
+    /// The functional tier's timing extrapolation is calibrated in
+    /// cycles per work unit.
+    pub work_units: u64,
 }
 
 impl PeStats {
@@ -63,6 +69,7 @@ impl PeStats {
             *a += b;
         }
         self.writeback_flips += other.writeback_flips;
+        self.work_units += other.work_units;
     }
 }
 
@@ -81,6 +88,7 @@ impl Snapshot for PeStats {
         w.u64(self.sp_beats);
         self.stalls.save(w);
         w.u64(self.writeback_flips);
+        w.u64(self.work_units);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -95,6 +103,61 @@ impl Snapshot for PeStats {
             sp_beats: r.u64()?,
             stalls: <[u64; StallReason::COUNT]>::restore(r)?,
             writeback_flips: r.u64()?,
+            work_units: r.u64()?,
+        })
+    }
+}
+
+/// Functional-tier accounting: how much of the run executed as cached
+/// straight-line blocks versus under the cycle-accurate model. All
+/// counters stay zero for the naive / fast-forward / sharded engines, so
+/// cross-engine stats-equality tests are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncStats {
+    /// Straight-line blocks decoded into the block cache.
+    pub blocks_decoded: u64,
+    /// Block executions served from the cache.
+    pub block_cache_hits: u64,
+    /// Block executions that had to decode first.
+    pub block_cache_misses: u64,
+    /// Instructions retired by the functional executor (the rest of
+    /// `PeStats::instructions` retired under the cycle-accurate model).
+    pub functional_instructions: u64,
+    /// Cycles *estimated* for functional stretches (extrapolated from
+    /// sampled cycle-accurate windows).
+    pub functional_cycles: Cycle,
+    /// Cycles actually simulated under the cycle-accurate model
+    /// (timing windows plus drains).
+    pub accurate_cycles: Cycle,
+    /// Completed cycle-accurate sampling windows.
+    pub windows: u64,
+    /// Drains that hit their budget before the machine went idle and
+    /// fell back to an extra accurate window.
+    pub drain_retries: u64,
+}
+
+impl Snapshot for FuncStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.blocks_decoded);
+        w.u64(self.block_cache_hits);
+        w.u64(self.block_cache_misses);
+        w.u64(self.functional_instructions);
+        w.u64(self.functional_cycles);
+        w.u64(self.accurate_cycles);
+        w.u64(self.windows);
+        w.u64(self.drain_retries);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(FuncStats {
+            blocks_decoded: r.u64()?,
+            block_cache_hits: r.u64()?,
+            block_cache_misses: r.u64()?,
+            functional_instructions: r.u64()?,
+            functional_cycles: r.u64()?,
+            accurate_cycles: r.u64()?,
+            windows: r.u64()?,
+            drain_retries: r.u64()?,
         })
     }
 }
@@ -107,6 +170,7 @@ impl Snapshot for SystemStats {
         self.pe.save(w);
         self.mem.save(w);
         self.noc.save(w);
+        self.func.save(w);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
@@ -115,6 +179,7 @@ impl Snapshot for SystemStats {
             pe: PeStats::restore(r)?,
             mem: MemStats::restore(r)?,
             noc: NocStats::restore(r)?,
+            func: FuncStats::restore(r)?,
         })
     }
 }
@@ -174,6 +239,9 @@ pub struct SystemStats {
     pub mem: MemStats,
     /// Network counters.
     pub noc: NocStats,
+    /// Functional-tier counters (all zero under the cycle-accurate
+    /// engines).
+    pub func: FuncStats,
 }
 
 impl SystemStats {
@@ -311,6 +379,7 @@ mod tests {
             },
             mem: vip_mem::MemStats::default(),
             noc: vip_noc::NocStats::default(),
+            func: FuncStats::default(),
         };
         let s = stats.summary();
         assert!(s.contains("cycles:        1250"));

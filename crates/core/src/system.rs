@@ -1,18 +1,20 @@
 //! The full VIP system: PEs + vault controllers + torus, clocked
 //! together.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use vip_faults::FaultConfig;
-use vip_isa::{Program, Reg};
+use vip_isa::{scan_block, Block, Program, Reg};
 use vip_mem::{Hmc, MemRequest, MemResponse, RequestKind};
 use vip_noc::Torus;
 use vip_snap::{read_header, write_header, Reader, SnapError, Snapshot, Writer};
 
 use crate::config::SystemConfig;
 use crate::error::{BlockedPe, HangReport, SimError};
+use crate::fast_func::{exec_block, BlockOutcome, ExecBufs, FuncConfig};
 use crate::pe::Pe;
-use crate::stats::{PeStats, SystemStats};
+use crate::stats::{FuncStats, PeStats, SystemStats};
 use crate::Cycle;
 
 /// How a bounded [`System::run_until`] slice ended.
@@ -196,6 +198,51 @@ pub struct System {
     halted_merged: PeStats,
     /// Whether PE `i`'s statistics are already in `halted_merged`.
     halted_cached: Vec<bool>,
+    /// Decoded straight-line blocks, keyed on `(program fingerprint,
+    /// pc)` so PEs running the same program share entries and reloads
+    /// never serve stale code. Derived state: never snapshotted, and it
+    /// survives a restore because the keys do.
+    block_cache: HashMap<(u64, u64), Arc<Block>>,
+    /// Vector-operand scratch for the functional executor.
+    exec_bufs: ExecBufs,
+    /// Duty-cycle knobs for [`run_functional`](System::run_functional).
+    func_cfg: FuncConfig,
+    /// Functional-tier counters (block cache, window, drain activity).
+    func_stats: FuncStats,
+    /// Calibrated timing rate from the last accurate window, as the
+    /// integer rational (cycles, work units) — `None` until the first
+    /// sample completes (a nominal 1 cycle/work-unit is used before).
+    func_rate: Option<(Cycle, u64)>,
+    /// Decayed (cycles, work) history behind [`System::func_rate`]:
+    /// each window's sample is folded in and old history is halved
+    /// away, smoothing slice-boundary noise without going blind to
+    /// phase changes.
+    func_rate_accum: (Cycle, u64),
+    /// Multiplier on the configured sample length, doubled every time a
+    /// sample observes zero retired work. Long-latency phases (serial
+    /// DMA chains) can otherwise retire all their work inside the
+    /// unmeasured drains and starve the calibrator forever.
+    func_sample_boost: Cycle,
+    /// Set when the functional tier hands off permanently to the
+    /// cycle-accurate engine (a trap or deadlock was detected, which
+    /// only that engine may report). Cleared by snapshot restore.
+    func_poisoned: bool,
+}
+
+/// Why a functional stretch returned control to the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StretchEnd {
+    /// Every PE halted.
+    AllHalted,
+    /// The busiest PE consumed the stretch's work budget; time for an
+    /// accurate timing window.
+    Budget,
+    /// A full round made no progress with live PEs remaining: every
+    /// live PE is parked on a full-empty word.
+    Deadlock,
+    /// An instruction would trap; architectural state is parked exactly
+    /// at it.
+    Trapped,
 }
 
 impl System {
@@ -229,6 +276,14 @@ impl System {
             inflight_msgs: 0,
             halted_merged: PeStats::default(),
             halted_cached: vec![false; total],
+            block_cache: HashMap::new(),
+            exec_bufs: ExecBufs::default(),
+            func_cfg: FuncConfig::default(),
+            func_stats: FuncStats::default(),
+            func_rate: None,
+            func_rate_accum: (0, 0),
+            func_sample_boost: 1,
+            func_poisoned: false,
             cfg,
         }
     }
@@ -709,6 +764,395 @@ impl System {
         Err(SimError::Hang(Box::new(self.hang_report(max_cycles))))
     }
 
+    /// Overrides the functional tier's duty-cycle knobs (see
+    /// [`FuncConfig`]). Tuning state only: every setting yields the
+    /// same architectural results, differing in wall-clock speed and
+    /// timing-estimate accuracy.
+    pub fn set_func_config(&mut self, cfg: FuncConfig) {
+        self.func_cfg = cfg;
+    }
+
+    /// The functional tier's duty-cycle knobs.
+    #[must_use]
+    pub fn func_config(&self) -> &FuncConfig {
+        &self.func_cfg
+    }
+
+    /// Whether nothing is in flight anywhere — [`is_quiesced`]
+    /// (System::is_quiesced) minus the all-halted requirement. Live PEs
+    /// whose front ends simply have not issued yet count as idle; the
+    /// functional tier may take over exactly at such boundaries.
+    fn machine_idle(&self) -> bool {
+        self.pes.iter().all(|pe| pe.is_quiesced(self.now))
+            && self.hmc.is_idle()
+            && self.net.is_idle()
+            && self.pe_egress.iter().all(VecDeque::is_empty)
+            && self.to_vault_local.iter().all(VecDeque::is_empty)
+            && self.vault_ingress.iter().all(VecDeque::is_empty)
+            && self.vault_egress.iter().all(VecDeque::is_empty)
+            && self.to_pe.iter().all(VecDeque::is_empty)
+    }
+
+    /// Whether any fault injector is wired at a non-zero rate. Live
+    /// faults are keyed on cycle-level coordinates (vault access
+    /// counters, retired-instruction counts at specific cycles) that
+    /// the functional tier does not reproduce, so such runs stay on the
+    /// cycle-accurate engine. Injectors wired at rate zero can never
+    /// fire and do not force that.
+    fn faults_active(&self) -> bool {
+        self.hmc
+            .config()
+            .faults
+            .is_some_and(|f| f.single_bit_ppm > 0 || f.double_bit_ppm > 0)
+            || self
+                .net
+                .config()
+                .faults
+                .is_some_and(|f| f.corrupt_ppm > 0 || f.drop_ppm > 0)
+            || self
+                .pes
+                .iter()
+                .any(|p| p.fault_config().is_some_and(|f| f.writeback_flip_ppm > 0))
+    }
+
+    /// Steps the cycle-accurate model with every PE's issue frozen until
+    /// nothing is in flight, or `limit` cycles pass. Freezing keeps
+    /// in-flight work (LSU completions, vector drains, queued traffic)
+    /// retiring without letting front ends issue more, so the drain
+    /// converges whenever no request is parked on a full-empty word.
+    /// Returns whether the machine reached idle; PEs are always thawed.
+    fn drain_to_idle(&mut self, limit: Cycle) -> Result<bool, SimError> {
+        let t0 = self.now;
+        let deadline = self.now.saturating_add(limit.max(1));
+        for pe in &mut self.pes {
+            pe.set_frozen(true);
+        }
+        let drained = loop {
+            if self.machine_idle() {
+                break Ok(true);
+            }
+            if self.now >= deadline {
+                break Ok(false);
+            }
+            if let Err(e) = self.step() {
+                break Err(e);
+            }
+            if let Some(next) = self.next_event() {
+                let target = (next - 1).min(deadline);
+                if target > self.now {
+                    self.skip_to(target);
+                }
+            }
+        };
+        for pe in &mut self.pes {
+            pe.set_frozen(false);
+        }
+        self.func_stats.accurate_cycles += self.now - t0;
+        drained
+    }
+
+    /// Stamps the functional clock forward to `to`: active-cycle
+    /// counters for the PEs that participated (and all still-live PEs),
+    /// the vault clocks with skipped refreshes credited on schedule,
+    /// and the torus clock. Only valid when the machine is idle —
+    /// nothing in flight means nothing to replay.
+    fn advance_functional_clock(&mut self, to: Cycle, ran: &[bool]) {
+        if to <= self.now {
+            return;
+        }
+        for (i, pe) in self.pes.iter_mut().enumerate() {
+            // PEs that halted in earlier stretches are already merged
+            // into the frozen-stats cache and must not change.
+            if ran[i] || !pe.is_halted() {
+                pe.set_active_cycles(to);
+            }
+        }
+        self.hmc.advance_idle(to);
+        self.net.skip_to(to);
+        self.func_stats.functional_cycles += to - self.now;
+        self.now = to;
+    }
+
+    /// Extrapolates how many cycles `work` work units take at the last
+    /// calibrated rate (nominal 1 cycle/work-unit before the first
+    /// sample). `work_units` lower-bounds real occupancy, so estimates
+    /// start optimistic and converge once a window measures the
+    /// machine's actual cycles-per-work-unit.
+    fn estimate_cycles(&self, work: u64) -> Cycle {
+        if work == 0 {
+            return 0;
+        }
+        let (dt, dw) = self.func_rate.unwrap_or((1, 1));
+        let est = (u128::from(work) * u128::from(dt)) / u128::from(dw.max(1));
+        Cycle::try_from(est).unwrap_or(Cycle::MAX).max(1)
+    }
+
+    /// Runs every live PE functionally, round-robin in `quantum`-work
+    /// turns, until the busiest PE exhausts the stretch budget, all PEs
+    /// halt, or only the cycle-accurate engine can make further
+    /// progress (trap, deadlock). Returns how the stretch ended, which
+    /// PEs executed anything, and the busiest PE's work-unit total —
+    /// the quantity the clock advance extrapolates from.
+    fn functional_stretch(&mut self) -> (StretchEnd, Vec<bool>, u64) {
+        let n = self.pes.len();
+        let quantum = self.func_cfg.quantum.max(1);
+        let budget = self.func_cfg.stretch_work.max(1);
+        let mut ran = vec![false; n];
+        let mut done = vec![0u64; n];
+        // One-entry memo over the cache: a dense kernel's self-looping
+        // block hits here without touching the hash map.
+        let mut memo: Option<(u64, usize, Arc<Block>)> = None;
+        let end = 'stretch: loop {
+            let mut progressed = false;
+            let mut live = 0usize;
+            for i in 0..n {
+                if self.pes[i].is_halted() {
+                    continue;
+                }
+                live += 1;
+                let fp = self.pes[i].prog_fp();
+                let turn_work = self.pes[i].stats().work_units;
+                let turn_insts = self.pes[i].stats().instructions;
+                let turn_limit = turn_work.saturating_add(quantum);
+                loop {
+                    let pc = self.pes[i].pc();
+                    let block = match &memo {
+                        Some((mfp, mpc, b)) if *mfp == fp && *mpc == pc => Arc::clone(b),
+                        _ => {
+                            let b = match self.block_cache.get(&(fp, pc as u64)) {
+                                Some(b) => {
+                                    self.func_stats.block_cache_hits += 1;
+                                    Arc::clone(b)
+                                }
+                                None => {
+                                    self.func_stats.block_cache_misses += 1;
+                                    self.func_stats.blocks_decoded += 1;
+                                    let b = Arc::new(scan_block(self.pes[i].program(), pc));
+                                    self.block_cache.insert((fp, pc as u64), Arc::clone(&b));
+                                    b
+                                }
+                            };
+                            memo = Some((fp, pc, Arc::clone(&b)));
+                            b
+                        }
+                    };
+                    let outcome = exec_block(
+                        &mut self.pes[i].func_parts(),
+                        &block,
+                        self.hmc.storage_mut(),
+                        &mut self.exec_bufs,
+                    );
+                    match outcome {
+                        BlockOutcome::Continue => {
+                            if self.pes[i].stats().work_units >= turn_limit {
+                                break;
+                            }
+                        }
+                        BlockOutcome::Halted => {
+                            // Falling off the program's end retires
+                            // nothing, so count the halt transition as
+                            // progress explicitly.
+                            progressed = true;
+                            ran[i] = true;
+                            break;
+                        }
+                        BlockOutcome::Blocked => break,
+                        BlockOutcome::Trapped => break 'stretch StretchEnd::Trapped,
+                    }
+                }
+                let dw = self.pes[i].stats().work_units - turn_work;
+                if dw > 0 {
+                    progressed = true;
+                    ran[i] = true;
+                    done[i] += dw;
+                }
+                self.func_stats.functional_instructions +=
+                    self.pes[i].stats().instructions - turn_insts;
+            }
+            if live == 0 {
+                break StretchEnd::AllHalted;
+            }
+            if done.iter().copied().max().unwrap_or(0) >= budget {
+                break StretchEnd::Budget;
+            }
+            if !progressed {
+                break StretchEnd::Deadlock;
+            }
+        };
+        let max_done = done.iter().copied().max().unwrap_or(0);
+        (end, ran, max_done)
+    }
+
+    /// One cycle-accurate timing window: a warmup slice (pipelines and
+    /// vault queues refill from the post-stretch cold start), then a
+    /// measured sample whose busiest-PE work-unit delta calibrates the
+    /// extrapolation rate. Quiescing inside the window is fine — the
+    /// caller's loop head notices.
+    fn accurate_window(&mut self, max_cycles: Cycle) -> Result<(), SimError> {
+        let t0 = self.now;
+        self.func_stats.windows += 1;
+        let warmup = self.func_cfg.warmup_cycles.max(1);
+        let sample = self
+            .func_cfg
+            .sample_cycles
+            .max(1)
+            .saturating_mul(self.func_sample_boost);
+        let outcome =
+            self.run_inner(self.now.saturating_add(warmup).min(max_cycles), max_cycles)?;
+        if matches!(outcome, RunOutcome::Paused(_)) {
+            let work0: Vec<u64> = self.pes.iter().map(|p| p.stats().work_units).collect();
+            let s0 = self.now;
+            let outcome =
+                self.run_inner(self.now.saturating_add(sample).min(max_cycles), max_cycles)?;
+            // A quiesced sample's tail is idle drain, which would skew
+            // the rate; keep the previous calibration then.
+            if matches!(outcome, RunOutcome::Paused(_)) {
+                let dt = self.now - s0;
+                let dw = self
+                    .pes
+                    .iter()
+                    .zip(&work0)
+                    .map(|(p, w0)| p.stats().work_units - w0)
+                    .max()
+                    .unwrap_or(0);
+                if dw == 0 {
+                    // Nothing retired while we watched: the next sample
+                    // watches longer, so a slow phase (one DMA every
+                    // few hundred cycles) cannot dodge the calibrator
+                    // forever by retiring inside the unmeasured drains.
+                    self.func_sample_boost = self.func_sample_boost.saturating_mul(2).min(64);
+                }
+                if dt > 0 && dw > 0 {
+                    self.func_sample_boost = 1;
+                    // Fold the sample into a decayed accumulator: one
+                    // window's rate is noisy (a loop may straddle the
+                    // slice boundary), but a plain lifetime average
+                    // would never track a phase change. Halving once
+                    // the history exceeds a few samples gives an
+                    // exponential forgetting window.
+                    let (mut at, mut aw) = self.func_rate_accum;
+                    if at > 32 * sample {
+                        at /= 2;
+                        aw /= 2;
+                    }
+                    at += dt;
+                    aw += dw;
+                    self.func_rate_accum = (at, aw);
+                    self.func_rate = Some((at, aw.max(1)));
+                }
+            }
+        }
+        self.func_stats.accurate_cycles += self.now - t0;
+        Ok(())
+    }
+
+    fn run_functional_inner(
+        &mut self,
+        pause_at: Cycle,
+        max_cycles: Cycle,
+    ) -> Result<RunOutcome, SimError> {
+        if self.faults_active() || self.func_poisoned {
+            // Live fault injection (or an earlier trap/deadlock
+            // detection) needs exact per-cycle coordinates; only the
+            // cycle-accurate engine provides them.
+            return self.run_inner(pause_at, max_cycles);
+        }
+        self.recount_quiesce_counters();
+        loop {
+            if !self.machine_idle() && !self.drain_to_idle(self.func_cfg.drain_cycles)? {
+                // Something is parked (a full-empty request from an
+                // earlier accurate window). Run a timing window so
+                // partner PEs can publish, then retry the drain.
+                self.func_stats.drain_retries += 1;
+                if self.now >= pause_at && pause_at < max_cycles {
+                    return Ok(RunOutcome::Paused(self.now));
+                }
+                self.accurate_window(max_cycles)?;
+                continue;
+            }
+            if self.unhalted == 0 && self.inflight_msgs == 0 && self.is_quiesced() {
+                return Ok(RunOutcome::Quiesced(self.now));
+            }
+            if self.now >= max_cycles {
+                return Err(SimError::Hang(Box::new(self.hang_report(max_cycles))));
+            }
+            if self.now >= pause_at {
+                return Ok(RunOutcome::Paused(self.now));
+            }
+            if self.func_rate.is_none() {
+                // A stretch now would extrapolate at the nominal rate;
+                // calibrate from the program's own early behaviour
+                // first. Short programs may simply finish inside this
+                // window — the loop head notices.
+                self.accurate_window(max_cycles)?;
+                continue;
+            }
+            let (end, ran, work) = self.functional_stretch();
+            if matches!(end, StretchEnd::Trapped | StretchEnd::Deadlock) {
+                // Architectural state sits exactly at the trapping /
+                // parked instructions; the cycle-accurate engine
+                // re-dispatches them and reports the identical typed
+                // error (or diagnoses the genuine hang).
+                self.func_poisoned = true;
+                return self.run_inner(pause_at, max_cycles);
+            }
+            let to = self
+                .now
+                .saturating_add(self.estimate_cycles(work))
+                .min(pause_at);
+            self.advance_functional_clock(to, &ran);
+            self.recount_quiesce_counters();
+            if matches!(end, StretchEnd::Budget) && self.now < pause_at {
+                self.accurate_window(max_cycles)?;
+            }
+        }
+    }
+
+    /// Runs on the two-tier engine — block-cached functional execution
+    /// with sampled cycle-accurate timing windows — until every PE
+    /// halts. Architectural results (registers, scratchpads, memory,
+    /// full-empty bits, retirement counters) are bit-identical to
+    /// [`run`](System::run); the returned cycle count is an estimate
+    /// extrapolated from the sampled windows rather than an exact
+    /// replay, and per-cycle occupancy breakdowns are approximate.
+    /// Programs that trap, deadlock, or run with live fault injection
+    /// are delegated to the cycle-accurate engine, preserving its exact
+    /// errors.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](System::run): [`SimError::Hang`] if the estimated
+    /// clock reaches `max_cycles` without quiescence, or the identical
+    /// [`SimError`] the cycle-accurate engine reports for a trapping
+    /// program.
+    pub fn run_functional(&mut self, max_cycles: Cycle) -> Result<Cycle, SimError> {
+        match self.run_functional_inner(max_cycles, max_cycles)? {
+            RunOutcome::Quiesced(at) => Ok(at),
+            RunOutcome::Paused(_) => {
+                unreachable!("pause bound equals the limit, which hangs instead")
+            }
+        }
+    }
+
+    /// [`run_functional`](System::run_functional) with a pause bound:
+    /// returns [`RunOutcome::Paused`] once the (estimated) clock
+    /// reaches `pause_at`, pausing at a machine-idle boundary whenever
+    /// one is reachable — so the paused cycle may exceed `pause_at` by
+    /// up to a drain (looser than [`run_until`](System::run_until),
+    /// which pauses exactly). Snapshots taken at the pause restore and
+    /// continue under any engine.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_functional`](System::run_functional).
+    pub fn run_functional_until(
+        &mut self,
+        pause_at: Cycle,
+        max_cycles: Cycle,
+    ) -> Result<RunOutcome, SimError> {
+        self.run_functional_inner(pause_at.min(max_cycles), max_cycles)
+    }
+
     /// The hang-diagnosis watchdog: snapshots every unhalted PE (pc,
     /// stall cause, full-empty words it is parked on), the packets still
     /// inside the torus, and each vault's queued transaction count.
@@ -781,6 +1225,7 @@ impl System {
         self.vault_egress.save(&mut w);
         self.to_pe.save(&mut w);
         w.usize(self.inflight_msgs);
+        self.func_stats.save(&mut w);
         w.into_bytes()
     }
 
@@ -818,6 +1263,7 @@ impl System {
         self.vault_egress = Vec::restore(&mut r)?;
         self.to_pe = Vec::restore(&mut r)?;
         self.inflight_msgs = r.usize()?;
+        self.func_stats = FuncStats::restore(&mut r)?;
         r.finish()?;
         if self.pe_egress.len() != self.pes.len()
             || self.uplink_busy.len() != self.pes.len()
@@ -830,9 +1276,16 @@ impl System {
             return Err(SnapError::Corrupt("queue geometry mismatch"));
         }
         // Derived caches are not serialized — rebuild them from the
-        // restored PEs.
+        // restored PEs. The block cache is keyed on program
+        // fingerprints, so surviving entries stay valid; the timing
+        // calibration and the trap/deadlock poison flag describe the
+        // interrupted run and are re-derived fresh.
         self.invalidate_stats_cache();
         self.recount_quiesce_counters();
+        self.func_rate = None;
+        self.func_rate_accum = (0, 0);
+        self.func_sample_boost = 1;
+        self.func_poisoned = false;
         Ok(())
     }
 
@@ -851,6 +1304,7 @@ impl System {
             pe,
             mem: self.hmc.stats(),
             noc: self.net.stats(),
+            func: self.func_stats,
         }
     }
 }

@@ -123,6 +123,96 @@ pub fn write_lane(bytes: &mut [u8], idx: usize, ty: ElemType, value: i64) {
     }
 }
 
+/// Native-width lane arithmetic behind the buffer-level entry points.
+///
+/// [`vertical`] stays the semantic definition (i128 intermediates,
+/// explicit clamping); this trait restates it with each type's native
+/// saturating operators so the hot loops below can hoist the
+/// `(op, ty)` dispatch out of the lane loop and auto-vectorize. The
+/// `lane_paths_match_vertical` test pins the two formulations to each
+/// other exactly.
+trait LaneNum: Copy {
+    const BYTES: usize;
+    fn load(chunk: &[u8]) -> Self;
+    fn store(self, chunk: &mut [u8]);
+    fn sat_add(self, o: Self) -> Self;
+    fn sat_sub(self, o: Self) -> Self;
+    fn sat_mul(self, o: Self) -> Self;
+    fn lane_min(self, o: Self) -> Self;
+    fn lane_max(self, o: Self) -> Self;
+    fn narrow(v: i64) -> Self;
+}
+
+macro_rules! impl_lane_num {
+    ($($t:ty),*) => {$(
+        impl LaneNum for $t {
+            const BYTES: usize = size_of::<$t>();
+            #[inline(always)]
+            fn load(chunk: &[u8]) -> Self {
+                <$t>::from_le_bytes(chunk.try_into().expect("lane-sized chunk"))
+            }
+            #[inline(always)]
+            fn store(self, chunk: &mut [u8]) {
+                chunk.copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline(always)]
+            fn sat_add(self, o: Self) -> Self {
+                self.saturating_add(o)
+            }
+            #[inline(always)]
+            fn sat_sub(self, o: Self) -> Self {
+                self.saturating_sub(o)
+            }
+            #[inline(always)]
+            fn sat_mul(self, o: Self) -> Self {
+                self.saturating_mul(o)
+            }
+            #[inline(always)]
+            fn lane_min(self, o: Self) -> Self {
+                self.min(o)
+            }
+            #[inline(always)]
+            fn lane_max(self, o: Self) -> Self {
+                self.max(o)
+            }
+            #[inline(always)]
+            fn narrow(v: i64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_lane_num!(i8, i16, i32, i64);
+
+/// `dst[i] = f(a[i], b[i])` with the operator resolved once, outside
+/// the lane loop.
+#[inline(always)]
+fn zip_lanes<T: LaneNum>(dst: &mut [u8], a: &[u8], b: &[u8], len: usize, f: impl Fn(T, T) -> T) {
+    let n = len * T::BYTES;
+    let dst = &mut dst[..n];
+    let (a, b) = (&a[..n], &b[..n]);
+    for ((d, a), b) in dst
+        .chunks_exact_mut(T::BYTES)
+        .zip(a.chunks_exact(T::BYTES))
+        .zip(b.chunks_exact(T::BYTES))
+    {
+        f(T::load(a), T::load(b)).store(d);
+    }
+}
+
+#[inline(always)]
+fn vec_vec_typed<T: LaneNum>(op: VerticalOp, dst: &mut [u8], a: &[u8], b: &[u8], len: usize) {
+    match op {
+        VerticalOp::Add => zip_lanes::<T>(dst, a, b, len, T::sat_add),
+        VerticalOp::Sub => zip_lanes::<T>(dst, a, b, len, T::sat_sub),
+        VerticalOp::Mul => zip_lanes::<T>(dst, a, b, len, T::sat_mul),
+        VerticalOp::Min => zip_lanes::<T>(dst, a, b, len, T::lane_min),
+        VerticalOp::Max => zip_lanes::<T>(dst, a, b, len, T::lane_max),
+        VerticalOp::Nop => zip_lanes::<T>(dst, a, b, len, |a, _| a),
+    }
+}
+
 /// Element-wise `dst[i] = op(a[i], b[i])` over `len` lanes of byte
 /// buffers — the semantics of `v.v` instructions.
 ///
@@ -130,9 +220,33 @@ pub fn write_lane(bytes: &mut [u8], idx: usize, ty: ElemType, value: i64) {
 ///
 /// Panics if any buffer is shorter than `len` lanes.
 pub fn vec_vec(op: VerticalOp, ty: ElemType, dst: &mut [u8], a: &[u8], b: &[u8], len: usize) {
-    for i in 0..len {
-        let r = vertical(op, ty, read_lane(a, i, ty), read_lane(b, i, ty));
-        write_lane(dst, i, ty, r);
+    match ty {
+        ElemType::I8 => vec_vec_typed::<i8>(op, dst, a, b, len),
+        ElemType::I16 => vec_vec_typed::<i16>(op, dst, a, b, len),
+        ElemType::I32 => vec_vec_typed::<i32>(op, dst, a, b, len),
+        ElemType::I64 => vec_vec_typed::<i64>(op, dst, a, b, len),
+    }
+}
+
+#[inline(always)]
+fn map_lanes<T: LaneNum>(dst: &mut [u8], a: &[u8], len: usize, f: impl Fn(T) -> T) {
+    let n = len * T::BYTES;
+    let dst = &mut dst[..n];
+    let a = &a[..n];
+    for (d, a) in dst.chunks_exact_mut(T::BYTES).zip(a.chunks_exact(T::BYTES)) {
+        f(T::load(a)).store(d);
+    }
+}
+
+#[inline(always)]
+fn vec_scalar_typed<T: LaneNum>(op: VerticalOp, dst: &mut [u8], a: &[u8], b: T, len: usize) {
+    match op {
+        VerticalOp::Add => map_lanes::<T>(dst, a, len, |x| x.sat_add(b)),
+        VerticalOp::Sub => map_lanes::<T>(dst, a, len, |x| x.sat_sub(b)),
+        VerticalOp::Mul => map_lanes::<T>(dst, a, len, |x| x.sat_mul(b)),
+        VerticalOp::Min => map_lanes::<T>(dst, a, len, |x| x.lane_min(b)),
+        VerticalOp::Max => map_lanes::<T>(dst, a, len, |x| x.lane_max(b)),
+        VerticalOp::Nop => map_lanes::<T>(dst, a, len, |x| x),
     }
 }
 
@@ -145,9 +259,11 @@ pub fn vec_vec(op: VerticalOp, ty: ElemType, dst: &mut [u8], a: &[u8], b: &[u8],
 /// Panics if a buffer is shorter than `len` lanes.
 pub fn vec_scalar(op: VerticalOp, ty: ElemType, dst: &mut [u8], a: &[u8], scalar: u64, len: usize) {
     let b = truncate_scalar(ty, scalar);
-    for i in 0..len {
-        let r = vertical(op, ty, read_lane(a, i, ty), b);
-        write_lane(dst, i, ty, r);
+    match ty {
+        ElemType::I8 => vec_scalar_typed::<i8>(op, dst, a, i8::narrow(b), len),
+        ElemType::I16 => vec_scalar_typed::<i16>(op, dst, a, i16::narrow(b), len),
+        ElemType::I32 => vec_scalar_typed::<i32>(op, dst, a, i32::narrow(b), len),
+        ElemType::I64 => vec_scalar_typed::<i64>(op, dst, a, i64::narrow(b), len),
     }
 }
 
@@ -170,14 +286,77 @@ pub fn mat_vec(
     rows: usize,
     len: usize,
 ) {
+    match ty {
+        ElemType::I8 => mat_vec_typed::<i8>(vop, hop, ty, dst, mat, vec, rows, len),
+        ElemType::I16 => mat_vec_typed::<i16>(vop, hop, ty, dst, mat, vec, rows, len),
+        ElemType::I32 => mat_vec_typed::<i32>(vop, hop, ty, dst, mat, vec, rows, len),
+        ElemType::I64 => mat_vec_typed::<i64>(vop, hop, ty, dst, mat, vec, rows, len),
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mat_vec_typed<T: LaneNum>(
+    vop: VerticalOp,
+    hop: HorizontalOp,
+    ty: ElemType,
+    dst: &mut [u8],
+    mat: &[u8],
+    vec: &[u8],
+    rows: usize,
+    len: usize,
+) {
+    match vop {
+        VerticalOp::Add => mat_rows::<T, _>(hop, ty, dst, mat, vec, rows, len, T::sat_add),
+        VerticalOp::Sub => mat_rows::<T, _>(hop, ty, dst, mat, vec, rows, len, T::sat_sub),
+        VerticalOp::Mul => mat_rows::<T, _>(hop, ty, dst, mat, vec, rows, len, T::sat_mul),
+        VerticalOp::Min => mat_rows::<T, _>(hop, ty, dst, mat, vec, rows, len, T::lane_min),
+        VerticalOp::Max => mat_rows::<T, _>(hop, ty, dst, mat, vec, rows, len, T::lane_max),
+        VerticalOp::Nop => mat_rows::<T, _>(hop, ty, dst, mat, vec, rows, len, |a, _| a),
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mat_rows<T: LaneNum, VF: Fn(T, T) -> T>(
+    hop: HorizontalOp,
+    ty: ElemType,
+    dst: &mut [u8],
+    mat: &[u8],
+    vec: &[u8],
+    rows: usize,
+    len: usize,
+    vf: VF,
+) {
+    let ident = T::narrow(reduce_identity(hop, ty));
+    match hop {
+        HorizontalOp::Add => mat_inner::<T, _, _>(dst, mat, vec, rows, len, ident, vf, T::sat_add),
+        HorizontalOp::Min => mat_inner::<T, _, _>(dst, mat, vec, rows, len, ident, vf, T::lane_min),
+        HorizontalOp::Max => mat_inner::<T, _, _>(dst, mat, vec, rows, len, ident, vf, T::lane_max),
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn mat_inner<T: LaneNum, VF: Fn(T, T) -> T, HF: Fn(T, T) -> T>(
+    dst: &mut [u8],
+    mat: &[u8],
+    vec: &[u8],
+    rows: usize,
+    len: usize,
+    ident: T,
+    vf: VF,
+    hf: HF,
+) {
+    let row_bytes = len * T::BYTES;
+    let vec = &vec[..row_bytes];
     for r in 0..rows {
-        let mut acc = reduce_identity(hop, ty);
-        for i in 0..len {
-            let m = read_lane(mat, r * len + i, ty);
-            let v = read_lane(vec, i, ty);
-            acc = reduce(hop, ty, acc, vertical(vop, ty, m, v));
+        let row = &mat[r * row_bytes..(r + 1) * row_bytes];
+        let mut acc = ident;
+        for (m, v) in row.chunks_exact(T::BYTES).zip(vec.chunks_exact(T::BYTES)) {
+            acc = hf(acc, vf(T::load(m), T::load(v)));
         }
-        write_lane(dst, r, ty, acc);
+        acc.store(&mut dst[r * T::BYTES..(r + 1) * T::BYTES]);
     }
 }
 
@@ -332,6 +511,83 @@ mod tests {
         vec_scalar(VerticalOp::Add, ty, &mut dst, &a, 0x1_0000, 2);
         assert_eq!(read_lane(&dst, 0, ty), 5);
         assert_eq!(read_lane(&dst, 1, ty), -5);
+    }
+
+    #[test]
+    fn lane_paths_match_vertical() {
+        // The hoisted native-saturating lane loops must agree with the
+        // i128-clamping `vertical`/`reduce` definitions on every
+        // operator, element type, and boundary value.
+        use crate::ops::{HorizontalOp, VerticalOp};
+        let vops = [
+            VerticalOp::Add,
+            VerticalOp::Sub,
+            VerticalOp::Mul,
+            VerticalOp::Min,
+            VerticalOp::Max,
+            VerticalOp::Nop,
+        ];
+        for ty in ElemType::all() {
+            let vals = [
+                lane_min(ty),
+                lane_min(ty) + 1,
+                -3,
+                -1,
+                0,
+                1,
+                2,
+                7,
+                lane_max(ty) - 1,
+                lane_max(ty),
+            ];
+            let len = vals.len();
+            let mut a = vec![0u8; len * ty.size_bytes()];
+            let mut b = vec![0u8; len * ty.size_bytes()];
+            for (i, &v) in vals.iter().enumerate() {
+                write_lane(&mut a, i, ty, v);
+                write_lane(&mut b, i, ty, vals[len - 1 - i]);
+            }
+            for vop in vops {
+                let mut got = vec![0u8; a.len()];
+                vec_vec(vop, ty, &mut got, &a, &b, len);
+                for i in 0..len {
+                    let want = vertical(vop, ty, read_lane(&a, i, ty), read_lane(&b, i, ty));
+                    assert_eq!(read_lane(&got, i, ty), want, "v.v {vop:?} {ty:?} lane {i}");
+                }
+                for scalar in [0u64, 1, u64::MAX, lane_max(ty) as u64, 0x8000_0001] {
+                    let mut got = vec![0u8; a.len()];
+                    vec_scalar(vop, ty, &mut got, &a, scalar, len);
+                    let s = truncate_scalar(ty, scalar);
+                    for i in 0..len {
+                        let want = vertical(vop, ty, read_lane(&a, i, ty), s);
+                        assert_eq!(
+                            read_lane(&got, i, ty),
+                            want,
+                            "v.s {vop:?} {ty:?} lane {i} scalar {scalar:#x}"
+                        );
+                    }
+                }
+                for hop in [HorizontalOp::Add, HorizontalOp::Min, HorizontalOp::Max] {
+                    // 2 rows of len/2 lanes out of the same buffers.
+                    let (rows, rlen) = (2, len / 2);
+                    let mut got = vec![0u8; rows * ty.size_bytes()];
+                    mat_vec(vop, hop, ty, &mut got, &a, &b, rows, rlen);
+                    for r in 0..rows {
+                        let mut want = reduce_identity(hop, ty);
+                        for i in 0..rlen {
+                            let m = read_lane(&a, r * rlen + i, ty);
+                            let v = read_lane(&b, i, ty);
+                            want = reduce(hop, ty, want, vertical(vop, ty, m, v));
+                        }
+                        assert_eq!(
+                            read_lane(&got, r, ty),
+                            want,
+                            "m.v {vop:?}/{hop:?} {ty:?} row {r}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod alu;
 mod asm;
+mod block;
 mod builder;
 mod encode;
 mod inst;
@@ -52,6 +53,7 @@ mod trap;
 mod types;
 
 pub use asm::{assemble, AsmError};
+pub use block::{program_fingerprint, scan_block, Block, BlockEnd};
 pub use builder::Asm;
 pub use encode::{DecodeError, EncodeError};
 pub use inst::Instruction;

@@ -7,7 +7,7 @@
 
 use std::fmt::Debug;
 
-use vip_core::{System, SystemConfig, SystemStats};
+use vip_core::{FuncConfig, System, SystemConfig, SystemStats};
 use vip_faults::FaultConfig;
 use vip_isa::Program;
 use vip_kernels::bp::{
@@ -23,20 +23,30 @@ fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
 }
 
 /// Runs `programs` on a system built by `setup` and returns the full
-/// statistics record plus whatever output `read` extracts.
+/// statistics record plus whatever output `read` extracts. With
+/// `func: Some(cfg)` the run uses the two-tier functional engine.
 fn run_case<R>(
     faults: &FaultConfig,
     setup: impl Fn(&mut System),
     programs: &[Program],
     max: u64,
     read: impl Fn(&System) -> R,
+    func: Option<FuncConfig>,
 ) -> (SystemStats, R) {
     let mut sys = System::new(SystemConfig::small_test().with_faults(faults));
     setup(&mut sys);
     for (pe, p) in programs.iter().enumerate() {
         sys.load_program(pe, p);
     }
-    sys.run(max).expect("kernel completes");
+    match func {
+        Some(cfg) => {
+            sys.set_func_config(cfg);
+            sys.run_functional(max).expect("kernel completes");
+        }
+        None => {
+            sys.run(max).expect("kernel completes");
+        }
+    }
     let out = read(&sys);
     (sys.stats(), out)
 }
@@ -50,19 +60,69 @@ fn assert_inert<R: PartialEq + Debug>(
     max: u64,
     read: impl Fn(&System) -> R,
 ) {
-    let (plain_stats, plain_out) = run_case(&FaultConfig::disabled(), &setup, programs, max, &read);
+    let (plain_stats, plain_out) =
+        run_case(&FaultConfig::disabled(), &setup, programs, max, &read, None);
     let (wired_stats, wired_out) = run_case(
         &FaultConfig::zero_rate(0xd15a_b1ed),
         &setup,
         programs,
         max,
         &read,
+        None,
     );
     assert_eq!(plain_out, wired_out, "{name}: output");
     assert_eq!(plain_stats, wired_stats, "{name}: cycles and statistics");
     assert_eq!(wired_stats.mem.ecc_corrected, 0, "{name}");
     assert_eq!(wired_stats.noc.retries, 0, "{name}");
     assert_eq!(wired_stats.pe.writeback_flips, 0, "{name}");
+
+    // Same contract on the functional tier. A zero-rate injector can
+    // never fire, so it must not force the run off the functional
+    // path either: both runs take functional stretches (short windows
+    // so these small kernels cross the tier boundary repeatedly), and
+    // must be bit-identical to each other and — in architectural
+    // output — to the cycle-accurate runs. Timing statistics are
+    // estimates on this engine, so only the outputs are compared
+    // across engines.
+    let cfg = FuncConfig {
+        warmup_cycles: 64,
+        sample_cycles: 256,
+        stretch_work: 2_000,
+        quantum: 64,
+        drain_cycles: 5_000,
+    };
+    let (func_plain_stats, func_plain_out) = run_case(
+        &FaultConfig::disabled(),
+        &setup,
+        programs,
+        max,
+        &read,
+        Some(cfg),
+    );
+    let (func_wired_stats, func_wired_out) = run_case(
+        &FaultConfig::zero_rate(0xd15a_b1ed),
+        &setup,
+        programs,
+        max,
+        &read,
+        Some(cfg),
+    );
+    assert!(
+        func_plain_stats.func.functional_instructions > 0,
+        "{name}: functional tier never engaged"
+    );
+    assert_eq!(func_plain_out, plain_out, "{name}: functional output");
+    assert_eq!(
+        func_plain_out, func_wired_out,
+        "{name}: functional output with zero-rate injector"
+    );
+    assert_eq!(
+        func_plain_stats, func_wired_stats,
+        "{name}: functional runs diverge under a zero-rate injector"
+    );
+    assert_eq!(func_wired_stats.mem.ecc_corrected, 0, "{name}");
+    assert_eq!(func_wired_stats.noc.retries, 0, "{name}");
+    assert_eq!(func_wired_stats.pe.writeback_flips, 0, "{name}");
 }
 
 #[test]

@@ -330,6 +330,35 @@ impl VaultController {
         self.now = to;
     }
 
+    /// Jumps an *idle* vault's clock far forward, crediting the
+    /// refreshes that would have fired on schedule during the span
+    /// instead of performing them late. The functional execution tier
+    /// uses this when it retires a stretch of untimed work: unlike
+    /// [`skip_to`](Self::skip_to), the jump may cross any number of
+    /// tREFI boundaries, and the vault comes out with its refresh
+    /// schedule aligned to the new clock (no catch-up refresh burst
+    /// distorting the next timing window).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vault still has queued or
+    /// in-flight work — idle means idle.
+    pub fn advance_idle(&mut self, to: Cycle) {
+        debug_assert!(self.queue.is_empty() && self.completions.is_empty());
+        if to <= self.now {
+            return;
+        }
+        self.now = to;
+        self.refresh_pending = false;
+        let refi = self.cfg.timing.t_refi();
+        while self.next_refresh <= to {
+            self.next_refresh += refi;
+            self.stats.refreshes += 1;
+        }
+        // Any refresh that was mid-flight completed within the span.
+        self.refresh_until = self.refresh_until.min(to);
+    }
+
     /// Serializes every piece of mutable controller state: bank state
     /// machines, the transaction queue, pending completions (in their
     /// exact in-memory order — retirement uses `swap_remove`, so the

@@ -134,6 +134,29 @@ impl Hmc {
         }
     }
 
+    /// Jumps the clock of the (idle) stack far forward, crediting
+    /// skipped refreshes on schedule (see
+    /// [`VaultController::advance_idle`]).
+    pub fn advance_idle(&mut self, to: Cycle) {
+        for vault in &mut self.vaults {
+            vault.advance_idle(to);
+        }
+    }
+
+    /// Direct access to the backing store. Zero-time like the host
+    /// accessors; the functional execution tier reads through this
+    /// without per-call allocation.
+    #[must_use]
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Direct mutable access to the backing store (functional-tier
+    /// stores; bypasses all timing, like [`host_write`](Self::host_write)).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
     /// Zero-time host read (initialization / result extraction).
     #[must_use]
     pub fn host_read(&self, addr: u64, len: usize) -> Vec<u8> {

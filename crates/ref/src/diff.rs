@@ -35,13 +35,22 @@ pub enum Engine {
     FastForward,
     /// [`System::run`] with two stepping shards (threaded).
     Sharded,
+    /// Two-tier block-cached functional execution
+    /// ([`System::run_functional`]). Cycle counts are estimates, but
+    /// the architectural contract is the same bit-identical one.
+    Functional,
 }
 
 impl Engine {
     /// All engines, in the order the harness tries them.
     #[must_use]
-    pub fn all() -> [Engine; 3] {
-        [Engine::Naive, Engine::FastForward, Engine::Sharded]
+    pub fn all() -> [Engine; 4] {
+        [
+            Engine::Naive,
+            Engine::FastForward,
+            Engine::Sharded,
+            Engine::Functional,
+        ]
     }
 }
 
@@ -51,6 +60,7 @@ impl fmt::Display for Engine {
             Engine::Naive => write!(f, "naive"),
             Engine::FastForward => write!(f, "fast-forward"),
             Engine::Sharded => write!(f, "sharded"),
+            Engine::Functional => write!(f, "functional"),
         }
     }
 }
@@ -184,6 +194,20 @@ pub fn run_engine(m: &Materialized, engine: Engine) -> Result<ArchSnapshot, Stri
     let res = match engine {
         Engine::Naive => sys.run_naive(MAX_CYCLES),
         Engine::FastForward | Engine::Sharded => sys.run(MAX_CYCLES),
+        Engine::Functional => {
+            // Generated cases are small; shrink the duty-cycle windows
+            // so they actually cross the functional/accurate boundary
+            // (stretches, drains, re-calibration) instead of finishing
+            // inside the first calibration window.
+            sys.set_func_config(vip_core::FuncConfig {
+                warmup_cycles: 64,
+                sample_cycles: 256,
+                stretch_work: 2_000,
+                quantum: 64,
+                drain_cycles: 5_000,
+            });
+            sys.run_functional(MAX_CYCLES)
+        }
     };
     res.map_err(|e| format!("{engine} engine: {e}"))?;
     Ok(ArchSnapshot {

@@ -41,6 +41,18 @@ fn run_with(m: &Materialized, engine: Engine, faults: &FaultConfig) -> (ArchSnap
     match engine {
         Engine::Naive => sys.run_naive(MAX_CYCLES),
         Engine::FastForward | Engine::Sharded => sys.run(MAX_CYCLES),
+        Engine::Functional => {
+            // Small cases: shrink the windows so the functional tier
+            // engages instead of finishing inside the calibration run.
+            sys.set_func_config(vip_core::FuncConfig {
+                warmup_cycles: 64,
+                sample_cycles: 256,
+                stretch_work: 2_000,
+                quantum: 64,
+                drain_cycles: 5_000,
+            });
+            sys.run_functional(MAX_CYCLES)
+        }
     }
     .unwrap_or_else(|e| panic!("{engine} engine with {faults:?}: {e}"));
     let snapshot = ArchSnapshot {
@@ -114,6 +126,55 @@ fn engines_agree_with_a_wired_zero_rate_injector() {
                 panic!("seed {seed:#x}: naive vs {engine} under wired injector:\n{detail}");
             }
             assert_eq!(base_stats, stats, "seed {seed:#x}: naive vs {engine} stats");
+        }
+        // The functional tier promises bit-identical architectural
+        // state and retirement counters; its cycle-dependent numbers
+        // (estimated clock, refresh counts, occupancy) legitimately
+        // differ, so compare only the retirement side of the record.
+        let (func_snap, func_stats) = run_with(&m, Engine::Functional, &wired);
+        if let Some(detail) = diff_snapshots(&base_snap, &func_snap) {
+            panic!("seed {seed:#x}: naive vs functional under wired injector:\n{detail}");
+        }
+        for (name, base, func) in [
+            (
+                "instructions",
+                base_stats.pe.instructions,
+                func_stats.pe.instructions,
+            ),
+            (
+                "scalar_instructions",
+                base_stats.pe.scalar_instructions,
+                func_stats.pe.scalar_instructions,
+            ),
+            (
+                "vector_instructions",
+                base_stats.pe.vector_instructions,
+                func_stats.pe.vector_instructions,
+            ),
+            (
+                "ldst_instructions",
+                base_stats.pe.ldst_instructions,
+                func_stats.pe.ldst_instructions,
+            ),
+            ("lane_ops", base_stats.pe.lane_ops, func_stats.pe.lane_ops),
+            (
+                "lane_mul_ops",
+                base_stats.pe.lane_mul_ops,
+                func_stats.pe.lane_mul_ops,
+            ),
+            ("sp_beats", base_stats.pe.sp_beats, func_stats.pe.sp_beats),
+            (
+                "work_units",
+                base_stats.pe.work_units,
+                func_stats.pe.work_units,
+            ),
+            (
+                "writeback_flips",
+                base_stats.pe.writeback_flips,
+                func_stats.pe.writeback_flips,
+            ),
+        ] {
+            assert_eq!(base, func, "seed {seed:#x}: naive vs functional {name}");
         }
     });
 }
