@@ -4,6 +4,7 @@ use vip_kernels::bp::{
     self, bp_iteration_programs, strip_program, BpLayout, Messages, Mrf, MrfParams, StripParams,
     Sweep, VectorMachineStyle,
 };
+use vip_kernels::schedule::BpSchedule;
 use vip_mem::MemConfig;
 
 /// Runs to quiescence or prints the structured diagnosis (the hang
@@ -34,6 +35,7 @@ fn main() {
                     ortho_range: (pe * n / 4, (pe + 1) * n / 4),
                     normalize: norm,
                     style: VectorMachineStyle::SpReduce,
+                    group_bufs: 2,
                 });
                 sys.load_program(pe, &p);
             }
@@ -64,7 +66,7 @@ fn main() {
         &mrf,
         &Messages::new_unnormalized(&mrf.params),
     );
-    for (pe, p) in bp_iteration_programs(&layout, 4, 1, false, VectorMachineStyle::SpReduce)
+    for (pe, p) in bp_iteration_programs(&layout, &BpSchedule::default(), 1, false)
         .iter()
         .enumerate()
     {

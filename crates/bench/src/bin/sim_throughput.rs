@@ -28,8 +28,10 @@
 
 use std::time::Instant;
 
+use vip_bench::cli::Cli;
 use vip_bench::experiments::{
-    bp_tile_sim, conv_sim_layer, conv_tile_sim, fc_tile_sim, mem_latency_tile_sim, PreparedTile,
+    bp_tile_sim, conv_sim_layer, conv_tile_sim, fc_shape_tile_sim, mem_latency_tile_sim,
+    PreparedTile, FC_TILE_LARGE,
 };
 use vip_core::FuncStats;
 use vip_mem::MemConfig;
@@ -87,13 +89,26 @@ fn main() {
         ("cnn_conv_tile", || {
             conv_tile_sim(MemConfig::baseline(), &conv_sim_layer(64, 64), 2)
         }),
-        ("mlp_fc_tile", || fc_tile_sim(MemConfig::baseline())),
+        // The large FC shape: 4x the matrix of the layer-time tile, so
+        // the functional tier's block cache amortizes its decode cost
+        // across many more hits (the small tile decodes almost as many
+        // blocks as it reuses).
+        ("mlp_fc_tile", || {
+            fc_shape_tile_sim(MemConfig::baseline(), FC_TILE_LARGE)
+        }),
         ("mem_latency_chase", || {
             mem_latency_tile_sim(MemConfig::baseline(), 16_384)
         }),
     ];
 
-    let gate = std::env::args().any(|a| a == "--gate");
+    let mut cli = Cli::new("sim_throughput", "[--gate]");
+    let mut gate = false;
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            _ => cli.usage(),
+        }
+    }
     let mut entries = Vec::new();
     let mut dense_passing = 0usize;
     for (name, make) in cases {

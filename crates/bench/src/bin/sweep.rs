@@ -21,9 +21,9 @@
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::process::exit;
 use std::time::Duration;
 
+use vip_bench::cli::Cli;
 use vip_bench::experiments::{self, PreparedTile};
 use vip_bench::runner::{PointStatus, Runner};
 use vip_mem::MemConfig;
@@ -70,41 +70,24 @@ fn points(quick: bool) -> Vec<(&'static str, Stage)> {
     pts
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: sweep [--dir <path>] [--checkpoint-every <cycles>] \
-         [--resume] [--budget-secs <s>] [--quick]"
-    );
-    exit(2);
-}
-
-fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
-    let Some(value) = args.next() else {
-        eprintln!("{flag} needs a value");
-        usage();
-    };
-    value.parse().unwrap_or_else(|_| {
-        eprintln!("{flag}: cannot parse `{value}`");
-        usage();
-    })
-}
-
 fn main() {
+    let mut cli = Cli::new(
+        "sweep",
+        "[--dir <path>] [--checkpoint-every <cycles>] [--resume] [--budget-secs <s>] [--quick]",
+    );
     let mut dir = PathBuf::from("sweep-out");
     let mut checkpoint_every = 1_000_000u64;
     let mut resume = false;
     let mut budget_secs: Option<u64> = None;
     let mut quick = false;
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    while let Some(arg) = cli.next_arg() {
         match arg.as_str() {
-            "--dir" => dir = parse(&mut args, "--dir"),
-            "--checkpoint-every" => checkpoint_every = parse(&mut args, "--checkpoint-every"),
+            "--dir" => dir = cli.value("--dir"),
+            "--checkpoint-every" => checkpoint_every = cli.value("--checkpoint-every"),
             "--resume" => resume = true,
-            "--budget-secs" => budget_secs = Some(parse(&mut args, "--budget-secs")),
+            "--budget-secs" => budget_secs = Some(cli.value("--budget-secs")),
             "--quick" => quick = true,
-            _ => usage(),
+            _ => cli.usage(),
         }
     }
 
@@ -123,7 +106,7 @@ fn main() {
     let mut degraded = 0usize;
     for (name, stage) in points(quick) {
         let res = runner
-            .run_point(name, stage)
+            .run_point(name, "", stage)
             .expect("sweep directory writable");
         let status = match res.status {
             PointStatus::Completed => "ok",

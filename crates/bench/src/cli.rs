@@ -1,0 +1,71 @@
+//! Minimal shared command-line plumbing for the bench binaries.
+//!
+//! Every binary under `src/bin/` used to hand-roll the same
+//! flag-walking loop, typed-value parsing, and usage-and-exit; this
+//! module is that boilerplate written once. No external dependencies
+//! (the workspace is dependency-free), no derive magic — a binary
+//! declares its usage line, walks its flags, and pulls typed values:
+//!
+//! ```no_run
+//! use vip_bench::cli::Cli;
+//!
+//! let mut cli = Cli::new("sweep", "[--dir <path>] [--resume]");
+//! let mut dir = std::path::PathBuf::from("sweep-out");
+//! let mut resume = false;
+//! while let Some(arg) = cli.next_arg() {
+//!     match arg.as_str() {
+//!         "--dir" => dir = cli.value("--dir"),
+//!         "--resume" => resume = true,
+//!         _ => cli.usage(),
+//!     }
+//! }
+//! ```
+
+use std::collections::VecDeque;
+use std::process::exit;
+
+/// A command-line in the middle of being parsed.
+#[derive(Debug)]
+pub struct Cli {
+    prog: &'static str,
+    options: &'static str,
+    args: VecDeque<String>,
+}
+
+impl Cli {
+    /// Captures the process arguments (program name skipped) for
+    /// `prog`, whose usage line is `usage: {prog} {options}`.
+    #[must_use]
+    pub fn new(prog: &'static str, options: &'static str) -> Self {
+        Cli {
+            prog,
+            options,
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Prints the usage line to stderr and exits with status 2 (the
+    /// shared bad-invocation convention of the bench binaries).
+    pub fn usage(&self) -> ! {
+        eprintln!("usage: {} {}", self.prog, self.options);
+        exit(2);
+    }
+
+    /// The next raw argument, or `None` when the line is exhausted.
+    pub fn next_arg(&mut self) -> Option<String> {
+        self.args.pop_front()
+    }
+
+    /// Consumes the next argument as `flag`'s value and parses it,
+    /// exiting with the usage line when it is missing or malformed.
+    pub fn value<T: std::str::FromStr>(&mut self, flag: &str) -> T {
+        let Some(value) = self.args.pop_front() else {
+            eprintln!("{flag} needs a value");
+            self.usage();
+        };
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag}: cannot parse `{value}`");
+            self.usage();
+        })
+    }
+}

@@ -10,10 +10,11 @@ use vip_kernels::cnn::{
     LayerCosts, PoolLayer, PoolLayout, VggLayer,
 };
 use vip_kernels::mlp::{self, FcBatchLayout, FcLayout};
+use vip_kernels::schedule::{BpSchedule, ConvSchedule, FcSchedule, Schedule};
 use vip_kernels::sync::i16s_to_bytes;
 use vip_mem::MemConfig;
 
-use crate::{pattern, vault_system_config};
+use crate::{pattern, schedules, vault_system_config};
 
 /// Vaults in the full machine.
 pub const VAULTS: u64 = 32;
@@ -214,14 +215,42 @@ fn bp_tile_mrf(w: usize, h: usize, l: usize) -> Mrf {
     Mrf::new(MrfParams::truncated_linear(w, h, l, 2, 12), costs)
 }
 
+/// The default BP schedule adjusted to match `layout`'s row padding
+/// (the packed ablation layout has `row_pad == 0`).
+fn bp_sched_for(layout: &BpLayout) -> BpSchedule {
+    BpSchedule {
+        row_pad: layout.row_pad,
+        ..BpSchedule::default()
+    }
+}
+
 /// Stages `iters` BP-M iterations over a 64×32 tile on one vault
-/// (4 PEs) under `mem` without running them.
+/// (4 PEs) under `mem` without running them, using the tuned schedule
+/// artifact for this shape and configuration when one exists
+/// ([`crate::schedules`]), else the hand-picked default.
 #[must_use]
 pub fn bp_tile_sim(mem: MemConfig, iters: usize) -> PreparedTile {
     let (w, h, l) = BP_TILE;
+    let cfg = vault_system_config(mem);
+    let sched = match schedules::load(&schedules::bp_key(w, h, l), cfg.snapshot_fingerprint()) {
+        Some(Schedule::Bp(s)) if s.validate(w, h, l).is_ok() => s,
+        _ => BpSchedule::default(),
+    };
+    bp_tile_sim_with(cfg, iters, &sched)
+}
+
+/// Stages the BP timing tile under an explicit schedule — the
+/// autotuner's staging path.
+#[must_use]
+pub fn bp_tile_sim_scheduled(mem: MemConfig, iters: usize, sched: &BpSchedule) -> PreparedTile {
+    bp_tile_sim_with(vault_system_config(mem), iters, sched)
+}
+
+fn bp_tile_sim_with(cfg: vip_core::SystemConfig, iters: usize, sched: &BpSchedule) -> PreparedTile {
+    let (w, h, l) = BP_TILE;
     let mrf = bp_tile_mrf(w, h, l);
-    let layout = BpLayout::new(0, w, h, l);
-    let mut sys = System::new(vault_system_config(mem));
+    let layout = BpLayout::with_row_pad(0, w, h, l, sched.row_pad);
+    let mut sys = System::new(cfg);
     // Timing runs use the paper's exact Figure 2 instruction sequence
     // (unnormalized: 3L + 2L² ops per update); the normalized variant is
     // exercised by the correctness tests and examples.
@@ -230,7 +259,7 @@ pub fn bp_tile_sim(mem: MemConfig, iters: usize) -> PreparedTile {
         &mrf,
         &Messages::new_unnormalized(&mrf.params),
     );
-    let programs = bp_iteration_programs(&layout, 4, iters, false, VectorMachineStyle::SpReduce);
+    let programs = bp_iteration_programs(&layout, sched, iters, false);
     PreparedTile::new(sys, programs, 80_000_000)
 }
 
@@ -277,8 +306,7 @@ pub fn ablations() -> Vec<AblationPoint> {
             &mrf,
             &Messages::new_unnormalized(&mrf.params),
         );
-        let programs =
-            bp_iteration_programs(&layout, 4, 1, normalize, VectorMachineStyle::SpReduce);
+        let programs = bp_iteration_programs(&layout, &bp_sched_for(&layout), 1, normalize);
         TileRun::run(sys, &programs, 80_000_000).cycles
     };
     let baseline = run_layout(BpLayout::new(0, w, h, l), false);
@@ -382,6 +410,7 @@ pub fn figure4_style(style: VectorMachineStyle) -> f64 {
                 ortho_range: (pe * w / 4, (pe + 1) * w / 4),
                 normalize: false,
                 style,
+                group_bufs: 2,
             })
         })
         .collect();
@@ -519,9 +548,36 @@ pub fn conv_sim_layer(ci: usize, co: usize) -> ConvLayer {
     }
 }
 
-/// Stages one conv tile on one vault without running it.
+/// Stages one conv tile on one vault without running it, using the
+/// tuned schedule artifact for this shape and configuration when one
+/// exists ([`crate::schedules`]), else the default schedule around the
+/// caller's filter grouping.
 #[must_use]
 pub fn conv_tile_sim(mem: MemConfig, layer: &ConvLayer, filters_per_group: usize) -> PreparedTile {
+    let cfg = vault_system_config(mem);
+    let sched = match schedules::load(&schedules::conv_key(layer), cfg.snapshot_fingerprint()) {
+        Some(Schedule::Conv(s)) if s.validate(layer).is_ok() => s,
+        _ => ConvSchedule::default_for(layer, filters_per_group),
+    };
+    conv_tile_sim_with(cfg, layer, &sched)
+}
+
+/// Stages one conv tile under an explicit schedule — the autotuner's
+/// staging path. The layout's filter grouping follows the schedule.
+#[must_use]
+pub fn conv_tile_sim_scheduled(
+    mem: MemConfig,
+    layer: &ConvLayer,
+    sched: &ConvSchedule,
+) -> PreparedTile {
+    conv_tile_sim_with(vault_system_config(mem), layer, sched)
+}
+
+fn conv_tile_sim_with(
+    cfg: vip_core::SystemConfig,
+    layer: &ConvLayer,
+    sched: &ConvSchedule,
+) -> PreparedTile {
     let input = cnn::pad_input(
         layer.width,
         layer.height,
@@ -537,12 +593,12 @@ pub fn conv_tile_sim(mem: MemConfig, layer: &ConvLayer, filters_per_group: usize
         weights_base: 0x40_0100,
         bias_base: 0x80_0200,
         output_base: 0xc0_0300,
-        filters_per_group,
+        filters_per_group: sched.filters_per_group,
         mode: ConvMode::Full,
     };
-    let mut sys = System::new(vault_system_config(mem));
+    let mut sys = System::new(cfg);
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    PreparedTile::new(sys, conv_tile_programs(&layout, 4), 80_000_000)
+    PreparedTile::new(sys, conv_tile_programs(&layout, sched), 80_000_000)
 }
 
 /// Simulates one conv tile on one vault.
@@ -571,31 +627,79 @@ pub fn pool_tile_run(mem: MemConfig) -> TileRun {
     TileRun::run(sys, &pool_tile_programs(&layout, 4), 80_000_000)
 }
 
-/// Stages one fully-connected tile (2048 inputs × 64 outputs) without
-/// running it.
-#[must_use]
-pub fn fc_tile_sim(mem: MemConfig) -> PreparedTile {
-    let layer = FcLayer {
+/// The standard fully-connected timing tile: 2048 inputs × 64 outputs
+/// (the geometry [`layer_time`]'s extrapolation is calibrated to).
+pub const FC_TILE: (usize, usize) = (2048, 64);
+
+/// The enlarged fully-connected tile `sim_throughput` uses so the
+/// functional tier's block cache amortizes: same 2048 inputs, 256
+/// output rows — 4x the matrix, same program structure, so block
+/// decodes are paid once and hit 4x as often.
+pub const FC_TILE_LARGE: (usize, usize) = (2048, 256);
+
+fn fc_sim_layer(shape: (usize, usize)) -> FcLayer {
+    FcLayer {
         name: "tile",
-        inputs: 2048,
-        outputs: 64,
+        inputs: shape.0,
+        outputs: shape.1,
+    }
+}
+
+/// Stages one fully-connected tile of the given `(inputs, outputs)`
+/// shape without running it, using the tuned schedule artifact for
+/// this shape and configuration when one exists
+/// ([`crate::schedules`]), else the hand-picked default.
+#[must_use]
+pub fn fc_shape_tile_sim(mem: MemConfig, shape: (usize, usize)) -> PreparedTile {
+    let layer = fc_sim_layer(shape);
+    let cfg = vault_system_config(mem);
+    let sched = match schedules::load(&schedules::fc_key(&layer), cfg.snapshot_fingerprint()) {
+        Some(Schedule::Fc(s)) if s.validate(&layer).is_ok() => s,
+        _ => FcSchedule::default(),
     };
+    fc_tile_sim_with(cfg, &layer, &sched)
+}
+
+/// Stages one fully-connected tile under an explicit schedule — the
+/// autotuner's staging path.
+#[must_use]
+pub fn fc_tile_sim_scheduled(
+    mem: MemConfig,
+    shape: (usize, usize),
+    sched: &FcSchedule,
+) -> PreparedTile {
+    fc_tile_sim_with(vault_system_config(mem), &fc_sim_layer(shape), sched)
+}
+
+fn fc_tile_sim_with(
+    cfg: vip_core::SystemConfig,
+    layer: &FcLayer,
+    sched: &FcSchedule,
+) -> PreparedTile {
     let layout = FcLayout {
-        layer,
+        layer: *layer,
         input_base: 0,
         weights_base: 0x10_0100,
         bias_base: 0x80_0200,
         output_base: 0x90_0300,
         relu: true,
     };
-    let mut sys = System::new(vault_system_config(mem));
-    layout.load_into(
+    let mut sys = System::new(cfg);
+    layout.load_into_scheduled(
         sys.hmc_mut(),
+        sched,
         &pattern(layer.inputs, 1, 5),
         &pattern(layer.inputs * layer.outputs, 1, 5),
         &pattern(layer.outputs, 1, 2),
     );
-    PreparedTile::new(sys, mlp::fc_tile_programs(&layout, 4), 80_000_000)
+    PreparedTile::new(sys, mlp::fc_tile_programs(&layout, sched), 80_000_000)
+}
+
+/// Stages the standard fully-connected timing tile ([`FC_TILE`])
+/// without running it.
+#[must_use]
+pub fn fc_tile_sim(mem: MemConfig) -> PreparedTile {
+    fc_shape_tile_sim(mem, FC_TILE)
 }
 
 /// Simulates one fully-connected tile (2048 inputs × 64 outputs).

@@ -18,10 +18,13 @@
 //! | Figure 5 | [`experiments::figure5_bp`] / [`experiments::figure5_cnn`] |
 //! | §VII / Fig. 6 | [`experiments::rtl_report`] |
 
+pub mod autotune;
+pub mod cli;
 pub mod experiments;
 pub mod harness;
 pub mod report;
 pub mod runner;
+pub mod schedules;
 
 use vip_core::SystemConfig;
 use vip_mem::MemConfig;

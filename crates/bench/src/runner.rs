@@ -64,13 +64,20 @@ pub struct PointResult {
     pub from_cache: bool,
 }
 
-/// Stable identity of an experiment point: its name hashed together
-/// with the structural configuration fingerprint, so renaming a point
-/// or changing the machine shape never resurrects a stale record.
+/// Stable identity of an experiment point: its name and full parameter
+/// encoding hashed together with the structural configuration
+/// fingerprint. Hashing the encoding too means two points that share a
+/// name but differ in any schedule or sweep parameter never collide —
+/// a `--resume` can't wrongly skip one on the strength of the other's
+/// record. Each field is length-prefixed so `("ab", "c")` and
+/// `("a", "bc")` hash differently.
 #[must_use]
-pub fn point_hash(name: &str, fingerprint: u64) -> u64 {
-    let mut bytes = Vec::with_capacity(name.len() + 8);
-    bytes.extend_from_slice(name.as_bytes());
+pub fn point_hash(name: &str, encoding: &str, fingerprint: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(name.len() + encoding.len() + 24);
+    for field in [name, encoding] {
+        bytes.extend_from_slice(&(field.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(field.as_bytes());
+    }
     bytes.extend_from_slice(&fingerprint.to_le_bytes());
     vip_snap::hash_bytes(&bytes)
 }
@@ -162,7 +169,9 @@ impl Runner {
     /// checkpointing along the way. `stage` builds the point's
     /// [`PreparedTile`] — it is called once normally, and a second time
     /// only if a leftover checkpoint proves unreadable and the point
-    /// must restart clean.
+    /// must restart clean. `encoding` is the point's full parameter
+    /// encoding (empty for points whose name alone is the identity);
+    /// it is folded into the durable identity hash (see [`point_hash`]).
     ///
     /// # Errors
     ///
@@ -171,11 +180,12 @@ impl Runner {
     pub fn run_point(
         &self,
         name: &str,
+        encoding: &str,
         stage: impl Fn() -> PreparedTile,
     ) -> io::Result<PointResult> {
         let tile = stage();
         let fingerprint = tile.system().config().snapshot_fingerprint();
-        let hash = point_hash(name, fingerprint);
+        let hash = point_hash(name, encoding, fingerprint);
         let done_path = self.done_path(hash);
         let ckpt_path = self.ckpt_path(hash);
 
@@ -252,6 +262,60 @@ impl Runner {
                     }
                     return self.degrade(name, &done_path, fingerprint, &sys);
                 }
+            }
+        }
+    }
+
+    /// Runs one point on the two-tier functional engine — the
+    /// autotuner's cheap pruning rungs. No mid-run checkpoints (a
+    /// functional run is over in milliseconds); the `.done` record
+    /// alone makes the point durable, so a killed search re-run with
+    /// `--resume` skips every finished point. The record shares its
+    /// format with [`run_point`]'s — callers that use both engines on
+    /// the same point must give them distinct names.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors against the runner's directory; a
+    /// simulation failure is recorded as a degraded row.
+    pub fn run_point_functional(
+        &self,
+        name: &str,
+        encoding: &str,
+        stage: impl Fn() -> PreparedTile,
+    ) -> io::Result<PointResult> {
+        let tile = stage();
+        let fingerprint = tile.system().config().snapshot_fingerprint();
+        let hash = point_hash(name, encoding, fingerprint);
+        let done_path = self.done_path(hash);
+
+        if self.resume {
+            if let Some((status, cycles, stats)) = read_done(&done_path, fingerprint) {
+                return Ok(PointResult {
+                    name: name.to_owned(),
+                    status,
+                    cycles,
+                    stats,
+                    from_cache: true,
+                });
+            }
+        }
+
+        match tile.try_run_functional() {
+            Ok(run) => {
+                self.write_done(&done_path, fingerprint, PointStatus::Completed, &run.stats)?;
+                Ok(PointResult {
+                    name: name.to_owned(),
+                    status: PointStatus::Completed,
+                    cycles: run.cycles,
+                    stats: run.stats,
+                    from_cache: false,
+                })
+            }
+            Err(err) => {
+                eprintln!("point `{name}`: functional run failed: {err}");
+                let (sys, _) = stage().into_system();
+                self.degrade(name, &done_path, fingerprint, &sys)
             }
         }
     }

@@ -46,27 +46,45 @@ pub struct BpLayout {
     pub height: usize,
     /// Labels.
     pub labels: usize,
-    /// Bank-aware padding (one DRAM row per image row and per plane).
-    /// On by default; [`BpLayout::packed`] disables it for the ablation
-    /// study quantifying the layout's effect.
-    pub bank_aware: bool,
+    /// Bank-stagger padding in bytes appended to each image row and
+    /// each plane. The default, 256 (one DRAM row), rotates vertical
+    /// walks through all 16 banks; [`BpLayout::packed`] sets 0 for the
+    /// ablation study, and the autotuner searches other values.
+    pub row_pad: usize,
 }
 
 impl BpLayout {
-    /// Creates a layout at `base`.
+    /// Creates a layout at `base` with the default bank-aware padding.
     ///
     /// # Panics
     ///
     /// Panics if `base` is not 32-byte aligned.
     #[must_use]
     pub fn new(base: u64, width: usize, height: usize, labels: usize) -> Self {
+        Self::with_row_pad(base, width, height, labels, 256)
+    }
+
+    /// Creates a layout with an explicit bank-stagger pad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` or `row_pad` is not 32-byte aligned.
+    #[must_use]
+    pub fn with_row_pad(
+        base: u64,
+        width: usize,
+        height: usize,
+        labels: usize,
+        row_pad: usize,
+    ) -> Self {
         assert_eq!(base % 32, 0, "layout base must be column aligned");
+        assert_eq!(row_pad % 32, 0, "row pad must be column aligned");
         BpLayout {
             base,
             width,
             height,
             labels,
-            bank_aware: true,
+            row_pad,
         }
     }
 
@@ -74,10 +92,7 @@ impl BpLayout {
     /// placement, kept for the ablation bench.
     #[must_use]
     pub fn packed(base: u64, width: usize, height: usize, labels: usize) -> Self {
-        BpLayout {
-            bank_aware: false,
-            ..Self::new(base, width, height, labels)
-        }
+        Self::with_row_pad(base, width, height, labels, 0)
     }
 
     /// Logical bytes per plane (without padding).
@@ -86,22 +101,20 @@ impl BpLayout {
         (self.width * self.height * self.labels * 2) as u64
     }
 
-    /// Bytes between consecutive image rows of a plane. One DRAM row
-    /// (256 B) of padding is added so that walking the grid vertically
-    /// (the horizontal sweeps' access pattern) rotates through all 16
-    /// banks instead of aliasing onto two — bank-aware placement, the
-    /// kind of layout tuning §IV-A's hand-written assembly implies.
+    /// Bytes between consecutive image rows of a plane. The pad
+    /// (one DRAM row by default) staggers vertical walks of the grid
+    /// (the horizontal sweeps' access pattern) through all 16 banks
+    /// instead of aliasing onto two — bank-aware placement, the kind of
+    /// layout tuning §IV-A's hand-written assembly implies.
     #[must_use]
     pub fn row_stride(&self) -> u64 {
-        let pad = if self.bank_aware { 256 } else { 0 };
-        (self.width * self.labels * 2) as u64 + pad
+        (self.width * self.labels * 2 + self.row_pad) as u64
     }
 
     /// Distance between consecutive planes, likewise bank-staggered.
     #[must_use]
     pub fn plane_stride(&self) -> u64 {
-        let pad = if self.bank_aware { 256 } else { 0 };
-        self.height as u64 * self.row_stride() + pad
+        self.height as u64 * self.row_stride() + self.row_pad as u64
     }
 
     fn plane_base(&self, plane: Plane) -> u64 {
@@ -188,7 +201,7 @@ impl BpLayout {
 }
 
 /// The four machine configurations of Figure 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VectorMachineStyle {
     /// VIP proper: scratchpad + reduction unit (SP+R).
     SpReduce,
@@ -226,6 +239,13 @@ impl VectorMachineStyle {
         }
     }
 
+    /// Inverse of [`label`](Self::label) — used when parsing schedule
+    /// artifacts.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<VectorMachineStyle> {
+        Self::all().into_iter().find(|s| s.label() == label)
+    }
+
     fn uses_reduction(self) -> bool {
         matches!(
             self,
@@ -258,6 +278,10 @@ pub struct StripParams {
     pub normalize: bool,
     /// Machine configuration (Figure 4); use `SpReduce` for VIP proper.
     pub style: VectorMachineStyle,
+    /// Rotating scratchpad group buffers: 2 selects the classic per-row
+    /// ping-pong, 3+ the flat cross-row software pipeline (clamped to
+    /// the strip's group count). See `BpSchedule::group_bufs`.
+    pub group_bufs: usize,
 }
 
 /// Named registers used by the generated code.
@@ -307,6 +331,15 @@ struct Regs {
     buf_a: Reg,
     buf_b: Reg,
     buf_xor: Reg,
+    // flat-pipeline extras: two more rotating buffer bases and the
+    // group-within-row counters that fold the per-row pointer
+    // adjustment into the flat group loop
+    buf_c: Reg,
+    buf_d: Reg,
+    lg_load: Reg,
+    lg_store: Reg,
+    lg_n: Reg,
+    ld_n: Reg,
 }
 
 impl Regs {
@@ -357,6 +390,12 @@ impl Regs {
             buf_a: r(),
             buf_b: r(),
             buf_xor: r(),
+            buf_c: r(),
+            buf_d: r(),
+            lg_load: r(),
+            lg_store: r(),
+            lg_n: r(),
+            ld_n: r(),
         }
     }
 
@@ -372,44 +411,48 @@ impl Regs {
     }
 }
 
-/// Scratchpad offsets for label count `l`.
+/// Scratchpad offsets for label count `l` and `bufs` rotating group
+/// buffers (2 for the classic ping-pong).
 #[derive(Debug, Clone, Copy)]
 struct SpMap {
     lb: usize,
     s: usize,
     zeros: usize,
     g0: usize,
-    g1: usize,
     out: usize,
     rep: usize,
     stg: usize,
 }
 
 impl SpMap {
-    fn new(labels: usize) -> Self {
+    fn new(labels: usize, bufs: usize) -> Self {
+        assert!(bufs >= 2, "the group pipeline needs at least two buffers");
         let lb = labels * 2;
         let ll = labels * labels * 2;
         let s = 0;
         let zeros = s + ll;
         let g0 = zeros + lb;
-        let g1 = g0 + 16 * lb;
-        let out = g1 + 16 * lb;
+        let out = g0 + bufs * 16 * lb;
         let rep = out + 4 * lb;
         let stg = rep + lb;
         assert!(
             stg + lb <= 4096,
-            "scratchpad layout overflows for {labels} labels"
+            "scratchpad layout overflows for {labels} labels with {bufs} group buffers"
         );
         SpMap {
             lb,
             s,
             zeros,
             g0,
-            g1,
             out,
             rep,
             stg,
         }
+    }
+
+    /// Base offset of rotating group buffer `i`.
+    fn g(&self, i: usize) -> usize {
+        self.g0 + i * 16 * self.lb
     }
 }
 
@@ -495,8 +538,8 @@ fn emit_prologue(asm: &mut Asm, r: &Regs, layout: &BpLayout, sp: &SpMap) {
         .mov_imm(r.sp_zeros, sp.zeros as i64)
         .mov_imm(r.sp_out, sp.out as i64)
         .mov_imm(r.sp_rep, sp.rep as i64)
-        .mov_imm(r.sp_g0, sp.g0 as i64)
-        .mov_imm(r.sp_g1, sp.g1 as i64)
+        .mov_imm(r.sp_g0, sp.g(0) as i64)
+        .mov_imm(r.sp_g1, sp.g(1) as i64)
         .mov_imm(r.sp_stg, sp.stg as i64)
         .mov_imm(r.stg_h8, (sp.stg + 16) as i64)
         .mov_imm(r.stg_h4, (sp.stg + 8) as i64)
@@ -644,10 +687,22 @@ fn emit_store_strided(asm: &mut Asm, r: &Regs, sp: &SpMap, ortho_stride: i32) {
 
 /// Emits one full strip (pointer setup, row loop, group pipeline).
 /// `prefix` must be unique per strip in the program.
-#[allow(clippy::too_many_lines)]
 fn emit_strip(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
+    let (o0, o1) = p.ortho_range;
+    let n_groups = (o1 - o0) / 4;
+    if p.group_bufs > 2 && n_groups >= 2 {
+        emit_strip_flat(asm, r, p, prefix);
+    } else {
+        emit_strip_pingpong(asm, r, p, prefix);
+    }
+}
+
+/// The classic per-row ping-pong: two buffers, prefetch drained and
+/// restarted at every sequential step.
+#[allow(clippy::too_many_lines)]
+fn emit_strip_pingpong(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
     let layout = &p.layout;
-    let sp = SpMap::new(layout.labels);
+    let sp = SpMap::new(layout.labels, p.group_bufs.max(2));
     let g = geometry(layout, p.sweep);
     let (o0, o1) = p.ortho_range;
     assert!(o1 > o0, "empty strip");
@@ -724,7 +779,7 @@ fn emit_strip(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
         // emitted (the instruction buffer holds 1,024 entries).
         asm.mov(r.buf_a, r.sp_g0)
             .mov(r.buf_b, r.sp_g1)
-            .mov_imm(r.buf_xor, (sp.g0 ^ sp.g1) as i64);
+            .mov_imm(r.buf_xor, (sp.g(0) ^ sp.g(1)) as i64);
         let gl = format!("{prefix}_grp");
         asm.mov_imm(r.grp, 0)
             .mov_imm(r.grp_n, n_groups as i64 - 1)
@@ -747,6 +802,139 @@ fn emit_strip(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
     asm.addi(r.seq, r.seq, 1).blt(r.seq, r.seq_n, &row_label);
 }
 
+/// The flat software pipeline: one group loop over the whole strip
+/// (`seq_count × n_groups` trips) with `min(group_bufs, n_groups)`
+/// rotating buffers, so the prefetch stream never drains at a row
+/// boundary. The per-row pointer adjustment is folded into the loop:
+/// the load pointers and the store pointer each carry a
+/// group-within-row counter and take the adjustment when it wraps.
+///
+/// Safety of prefetching across the row boundary: the along-plane
+/// values a row reads were stored by the *previous* row's groups, and
+/// with depth ≤ `n_groups` (enforced by the clamp plus
+/// `BpSchedule::validate`) every such store is issued in a strictly
+/// earlier loop trip than the load that reads it. The LSU emits
+/// requests in program order and the vault controller never reorders
+/// overlapping transactions, so the RAW dependency through DRAM holds.
+#[allow(clippy::too_many_lines)]
+fn emit_strip_flat(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
+    let layout = &p.layout;
+    let sp = SpMap::new(layout.labels, p.group_bufs);
+    let g = geometry(layout, p.sweep);
+    let (o0, o1) = p.ortho_range;
+    assert!(o1 > o0, "empty strip");
+    let n_pixels = o1 - o0;
+    let n_groups = n_pixels / 4;
+    assert_eq!(n_pixels % 4, 0, "strips need a multiple of 4 pixels");
+    let depth = p.group_bufs.min(n_groups);
+    assert!(depth >= 2, "flat pipeline needs at least two buffers");
+    let group_bytes = i32::try_from(4 * g.ortho_stride).expect("group stride fits");
+    let os = i32::try_from(g.ortho_stride).expect("ortho stride fits");
+    let row_advance = n_groups as i64 * i64::from(group_bytes);
+    let adjust = i32::try_from(g.seq_stride - row_advance).expect("row adjustment fits");
+    let total = g.seq_count * n_groups;
+
+    let ortho_off = o0 as i64 * g.ortho_stride;
+    let base = |plane: Plane| layout.plane_base(plane) as i64 + g.seq_start + ortho_off;
+
+    // The rotation set: compute always reads `bufs[0]`, prefetch always
+    // targets `bufs[depth - 1]`, and each trip rotates left by one.
+    let all_bufs = [r.buf_a, r.buf_b, r.buf_c, r.buf_d];
+    let bufs = &all_bufs[..depth];
+
+    asm.mov_imm(r.p_th, base(Plane::Theta))
+        .mov_imm(r.p_al, base(g.along))
+        .mov_imm(r.p_s1, base(g.s1))
+        .mov_imm(r.p_s2, base(g.s2))
+        .mov_imm(r.p_out, base(g.along) + g.out_delta)
+        .mov_imm(r.lg_n, n_groups as i64);
+    for (i, &buf) in bufs.iter().enumerate() {
+        asm.mov_imm(buf, sp.g(i) as i64);
+    }
+
+    // Bump the load-group counter; on row wrap, adjust the four load
+    // pointers to the next sequential position. Depth ≤ n_groups means
+    // the warm-up never wraps, so this is only emitted in the loop.
+    let wrap_loads = |asm: &mut Asm, label: String| {
+        asm.addi(r.lg_load, r.lg_load, 1)
+            .blt(r.lg_load, r.lg_n, &label);
+        for ptr in [r.p_th, r.p_al, r.p_s1, r.p_s2] {
+            asm.addi(ptr, ptr, adjust);
+        }
+        asm.mov_imm(r.lg_load, 0).label(&label);
+    };
+    let wrap_store = |asm: &mut Asm, label: String| {
+        asm.addi(r.lg_store, r.lg_store, 1)
+            .blt(r.lg_store, r.lg_n, &label);
+        asm.addi(r.p_out, r.p_out, adjust).mov_imm(r.lg_store, 0);
+        asm.label(&label);
+    };
+
+    // Warm-up: fill the first depth-1 buffers (no wrap possible).
+    for &buf in &bufs[..depth - 1] {
+        if g.contiguous {
+            emit_group_load_contig(asm, r, &sp, buf, group_bytes);
+        } else {
+            for u in 0..4 {
+                emit_pixel_load(asm, r, &sp, buf, u, os);
+            }
+        }
+    }
+    asm.mov_imm(r.lg_load, (depth - 1) as i64)
+        .mov_imm(r.lg_store, 0);
+
+    // One loop over every group in the strip. The prefetch (and its
+    // row-wrap pointer adjustment) is guarded by the trip count: the
+    // last depth-1 trips have nothing left to load and only drain the
+    // pipeline, so a single emitted body covers steady state and drain.
+    let main = format!("{prefix}_fs");
+    asm.mov_imm(r.grp, 0)
+        .mov_imm(r.grp_n, total as i64)
+        .mov_imm(r.ld_n, (total - (depth - 1)) as i64)
+        .label(&main);
+    if g.contiguous {
+        let skip = format!("{prefix}_nl");
+        asm.bge(r.grp, r.ld_n, &skip);
+        emit_group_load_contig(asm, r, &sp, bufs[depth - 1], group_bytes);
+        wrap_loads(asm, format!("{prefix}_wl"));
+        asm.label(&skip);
+    }
+    for u in 0..4 {
+        emit_compute(
+            asm,
+            r,
+            &sp,
+            p.style,
+            p.normalize,
+            layout.labels,
+            bufs[0],
+            u,
+            &format!("{prefix}_fa_{u}"),
+        );
+        if !g.contiguous {
+            let skip = format!("{prefix}_nl{u}");
+            asm.bge(r.grp, r.ld_n, &skip);
+            emit_pixel_load(asm, r, &sp, bufs[depth - 1], u, os);
+            if u == 3 {
+                wrap_loads(asm, format!("{prefix}_wl"));
+            }
+            asm.label(&skip);
+        }
+    }
+    if g.contiguous {
+        emit_store_contig(asm, r, group_bytes);
+    } else {
+        emit_store_strided(asm, r, &sp, os);
+    }
+    wrap_store(asm, format!("{prefix}_ws"));
+    asm.mov(r.t, bufs[0]);
+    for i in 0..depth - 1 {
+        asm.mov(bufs[i], bufs[i + 1]);
+    }
+    asm.mov(bufs[depth - 1], r.t);
+    asm.addi(r.grp, r.grp, 1).blt(r.grp, r.grp_n, &main);
+}
+
 /// Generates a standalone single-PE program performing one directional
 /// sweep over `ortho_range` — the Figure 4 micro-kernel.
 ///
@@ -757,7 +945,7 @@ fn emit_strip(asm: &mut Asm, r: &Regs, p: &StripParams, prefix: &str) {
 #[must_use]
 pub fn strip_program(p: &StripParams) -> Program {
     let r = Regs::allocate();
-    let sp = SpMap::new(p.layout.labels);
+    let sp = SpMap::new(p.layout.labels, p.group_bufs.max(2));
     let mut asm = Asm::new();
     emit_prologue(&mut asm, &r, &p.layout, &sp);
     emit_strip(&mut asm, &r, p, "s0");
@@ -766,41 +954,38 @@ pub fn strip_program(p: &StripParams) -> Program {
 }
 
 /// Generates per-PE programs for `iters` full BP-M iterations over the
-/// whole grid, with `total_pes` PEs splitting each sweep's orthogonal
-/// axis and barrier-synchronizing between the vertical and horizontal
-/// phases (§IV-A's schedule).
+/// whole grid under an explicit schedule, with the schedule's PEs
+/// splitting each sweep's orthogonal axis and barrier-synchronizing
+/// between the vertical and horizontal phases (§IV-A's schedule).
 ///
 /// # Panics
 ///
-/// Panics if `width / total_pes` or `height / total_pes` is not a
-/// multiple of 8.
+/// Panics if `sched.validate` rejects the grid shape or the schedule's
+/// `row_pad` disagrees with the staged layout.
 #[must_use]
 pub fn bp_iteration_programs(
     layout: &BpLayout,
-    total_pes: usize,
+    sched: &crate::schedule::BpSchedule,
     iters: usize,
     normalize: bool,
-    style: VectorMachineStyle,
 ) -> Vec<Program> {
     assert!(iters > 0);
+    sched
+        .validate(layout.width, layout.height, layout.labels)
+        .expect("bp schedule is valid for the grid");
+    assert_eq!(
+        sched.row_pad, layout.row_pad,
+        "schedule row pad must match the staged layout"
+    );
+    let (total_pes, style) = (sched.pes, sched.style);
     let x_chunk = layout.width / total_pes;
     let y_chunk = layout.height / total_pes;
-    assert_eq!(
-        x_chunk * total_pes,
-        layout.width,
-        "width must divide evenly"
-    );
-    assert_eq!(
-        y_chunk * total_pes,
-        layout.height,
-        "height must divide evenly"
-    );
     let barrier = BarrierAddrs::at(layout.sync_base());
 
     (0..total_pes)
         .map(|pe| {
             let r = Regs::allocate();
-            let sp = SpMap::new(layout.labels);
+            let sp = SpMap::new(layout.labels, sched.group_bufs.max(2));
             let mut asm = Asm::new();
             emit_prologue(&mut asm, &r, layout, &sp);
             asm.mov_imm(r.iter, 0)
@@ -821,6 +1006,7 @@ pub fn bp_iteration_programs(
                     ortho_range: range,
                     normalize,
                     style,
+                    group_bufs: sched.group_bufs,
                 };
                 emit_strip(&mut asm, &r, &strip, tag);
                 if matches!(sweep, Sweep::Up | Sweep::Left) {
@@ -851,26 +1037,30 @@ mod tests {
     fn strip_program_fits_instruction_buffer() {
         let layout = BpLayout::new(0, 64, 32, 16);
         for style in VectorMachineStyle::all() {
-            let p = strip_program(&StripParams {
-                layout,
-                sweep: Sweep::Down,
-                ortho_range: (0, 64),
-                normalize: false,
-                style,
-            });
-            assert!(
-                p.len() <= 1024,
-                "{}: {} instructions",
-                style.label(),
-                p.len()
-            );
+            for group_bufs in [2, 3, 4] {
+                let p = strip_program(&StripParams {
+                    layout,
+                    sweep: Sweep::Down,
+                    ortho_range: (0, 64),
+                    normalize: false,
+                    style,
+                    group_bufs,
+                });
+                assert!(
+                    p.len() <= 1024,
+                    "{} gb{group_bufs}: {} instructions",
+                    style.label(),
+                    p.len()
+                );
+            }
         }
     }
 
     #[test]
     fn iteration_programs_fit_and_differ_per_pe() {
         let layout = BpLayout::new(0, 32, 32, 16);
-        let progs = bp_iteration_programs(&layout, 4, 2, true, VectorMachineStyle::SpReduce);
+        let progs =
+            bp_iteration_programs(&layout, &crate::schedule::BpSchedule::default(), 2, true);
         assert_eq!(progs.len(), 4);
         for p in &progs {
             assert!(p.len() <= 1024, "{} instructions", p.len());
@@ -899,6 +1089,7 @@ mod tests {
             ortho_range: (0, 6),
             normalize: false,
             style: VectorMachineStyle::SpReduce,
+            group_bufs: 2,
         });
     }
 
@@ -911,6 +1102,7 @@ mod tests {
             ortho_range: (0, 4),
             normalize: true,
             style: VectorMachineStyle::SpReduce,
+            group_bufs: 2,
         });
         assert!(p.len() <= 1024);
     }

@@ -19,6 +19,7 @@ use vip_mem::Hmc;
 
 use super::golden::{padded_at, padded_len};
 use super::{ConvLayer, PoolLayer};
+use crate::schedule::ConvSchedule;
 use crate::sync::{bytes_to_i16s, i16s_to_bytes};
 
 const TY: ElemType = ElemType::I16;
@@ -72,14 +73,14 @@ impl ConvLayout {
         }
     }
 
-    fn sp_map(&self) -> ConvSpMap {
+    fn sp_map(&self, ring: usize) -> ConvSpMap {
         let (k, ci) = (self.layer.kernel, self.layer.in_channels);
         let f = self.filters_per_group;
         let filt = 0;
         let bias = filt + f * k * k * ci * 2;
         let cols = bias + f * 2;
         let col_bytes = k * ci * 2;
-        let p0 = cols + 4 * col_bytes;
+        let p0 = cols + ring * col_bytes;
         let p1 = p0 + f * 2;
         let p2 = p1 + f * 2;
         let end = p2 + f * 2;
@@ -93,6 +94,13 @@ impl ConvLayout {
             p1,
             p2,
         }
+    }
+
+    /// The hand-picked default schedule for this layout's layer and
+    /// filter grouping.
+    #[must_use]
+    pub fn default_schedule(&self) -> ConvSchedule {
+        ConvSchedule::default_for(&self.layer, self.filters_per_group)
     }
 
     /// Bytes of one packed filter group.
@@ -258,23 +266,30 @@ fn emit_column_load(asm: &mut Asm, r: &ConvRegs, sp: &ConvSpMap, layout: &ConvLa
     asm.addi(r.p_in, r.p_in, ci_b);
 }
 
-/// Generates per-PE programs for one convolution tile, splitting output
-/// rows across `pes` PEs.
+/// Generates per-PE programs for one convolution tile under an
+/// explicit schedule, splitting output rows across the schedule's PEs.
+///
+/// The schedule's `ring` sets the input-column ring depth (and with it
+/// the x-loop unroll and prefetch distance); `interleave_rows` assigns
+/// each PE every `pes`-th output row instead of a contiguous band.
 ///
 /// # Panics
 ///
-/// Panics if `width` is not a multiple of 4, rows don't divide across
-/// PEs, or the scratchpad layout overflows.
+/// Panics if `sched.validate` rejects the layer shape or
+/// `sched.filters_per_group` disagrees with the layout's packed-weight
+/// grouping.
 #[must_use]
-pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
+pub fn conv_tile_programs(layout: &ConvLayout, sched: &ConvSchedule) -> Vec<Program> {
     let l = layout.layer;
+    sched
+        .validate(&l)
+        .expect("conv schedule is valid for the layer");
     assert_eq!(
-        l.width % 4,
-        0,
-        "conv tiles are generated for widths divisible by 4"
+        sched.filters_per_group, layout.filters_per_group,
+        "schedule group size must match the staged packing"
     );
-    assert_eq!(l.height % pes, 0, "rows must divide across PEs");
-    let sp = layout.sp_map();
+    let (ring, pes) = (sched.ring, sched.pes);
+    let sp = layout.sp_map(ring);
     let rows_per_pe = l.height / pes;
     let n_groups = l.out_channels / layout.filters_per_group;
     let kz = l.kernel * l.in_channels;
@@ -283,12 +298,19 @@ pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
     let out_px_bytes = l.out_channels * 2;
     let fb = layout.filters_per_group * 2;
     let blk = (layout.filters_per_group * kz * 2) as i32; // kx block bytes
+                                                          // Rows advance one padded row per trip for a contiguous band,
+                                                          // `pes` rows per trip when interleaved.
+    let row_step = if sched.interleave_rows { pes } else { 1 };
 
     (0..pes)
         .map(|pe| {
             let r = ConvRegs::allocate();
             let mut asm = Asm::new();
-            let y0 = pe * rows_per_pe;
+            let y0 = if sched.interleave_rows {
+                pe
+            } else {
+                pe * rows_per_pe
+            };
             // First output pixel of this PE's first row, at padded
             // coordinates (pad, y0 + pad).
             let out_start = layout.output_base
@@ -329,24 +351,25 @@ pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
                 .mov_imm(r.y_n, rows_per_pe as i64)
                 .label("row");
 
-            // Prime the column ring with columns 0..2.
-            for slot in 0..3 {
+            // Prime the column ring with columns 0..ring-2.
+            for slot in 0..ring - 1 {
                 emit_column_load(&mut asm, &r, &sp, layout, slot);
             }
 
             asm.mov_imm(r.x, 0)
-                .mov_imm(r.x_n, (l.width / 4) as i64)
+                .mov_imm(r.x_n, (l.width / ring) as i64)
                 .label("xl");
-            for u in 0..4usize {
-                // Prefetch column x+3 into the ring slot being vacated.
-                emit_column_load(&mut asm, &r, &sp, layout, (u + 3) % 4);
+            for u in 0..ring {
+                // Prefetch column x+ring-1 into the ring slot being
+                // vacated.
+                emit_column_load(&mut asm, &r, &sp, layout, (u + ring - 1) % ring);
                 // One m.v.mul.add per kernel column (Equation 5a+5b):
                 // matrix = the kx block of the packed filters, vector =
                 // the window's kx-th input column.
                 asm.set_vl(r.kz);
                 let cb = sp.col_bytes as i32;
                 for (kx, p) in [r.sp_p0, r.sp_p1, r.sp_p2].into_iter().enumerate() {
-                    let slot = ((u + kx) % 4) as i32;
+                    let slot = ((u + kx) % ring) as i32;
                     asm.addi(r.t, r.zero, sp.cols as i32 + slot * cb)
                         .addi(r.d, r.sp_filt, kx as i32 * blk)
                         .mat_vec(VerticalOp::Mul, HorizontalOp::Add, TY, p, r.d, r.t);
@@ -364,10 +387,13 @@ pub fn conv_tile_programs(layout: &ConvLayout, pes: usize) -> Vec<Program> {
             asm.addi(r.x, r.x, 1).blt(r.x, r.x_n, "xl");
 
             // Row epilogue: rewind column pointer to the next row's
-            // start, advance the output past the padding border.
-            let consumed = ((l.width + 3) * l.in_channels * 2) as i64;
-            let in_adj = in_row_bytes as i64 - consumed;
-            let out_adj = out_row_bytes as i64 - (l.width * out_px_bytes) as i64;
+            // start, advance the output past the padding border. The
+            // loads ran `ring - 1` prefetch columns past the row; the
+            // over-read lands in the next padded row (or zero-backed
+            // pages at the tile's end) and is never consumed.
+            let consumed = ((l.width + ring - 1) * l.in_channels * 2) as i64;
+            let in_adj = (row_step * in_row_bytes) as i64 - consumed;
+            let out_adj = (row_step * out_row_bytes) as i64 - (l.width * out_px_bytes) as i64;
             asm.mov_imm(r.t, in_adj)
                 .add(r.p_in, r.p_in, r.t)
                 .mov_imm(r.t, out_adj)

@@ -13,13 +13,15 @@ use vip_isa::{Asm, ElemType, HorizontalOp, Program, Reg, VerticalOp};
 use vip_mem::Hmc;
 
 use crate::cnn::FcLayer;
+use crate::schedule::FcSchedule;
 use crate::sync::{bytes_to_i16s, i16s_to_bytes};
 
 const TY: ElemType = ElemType::I16;
 
-/// Rows per `m.v` (the matrix-rows configuration).
+/// Rows per `m.v` (the matrix-rows configuration) in the default
+/// schedule.
 pub const MR: usize = 4;
-/// Input columns per chunk.
+/// Input columns per chunk in the default schedule.
 pub const KC: usize = 256;
 
 /// Golden fully-connected forward pass with the generated code's
@@ -40,31 +42,28 @@ pub fn fc_forward(
     bias: &[i16],
     relu: bool,
 ) -> Vec<i16> {
+    fc_forward_kc(layer, input, weights, bias, relu, KC)
+}
+
+/// [`fc_forward`] with an explicit column-chunk width — the golden
+/// reference for a scheduled tile, since the saturating partial-sum
+/// boundaries move with `kc`.
+///
+/// # Panics
+///
+/// Panics on length mismatches or if `inputs % kc != 0`.
+#[must_use]
+pub fn fc_forward_kc(
+    layer: &FcLayer,
+    input: &[i16],
+    weights: &[i16],
+    bias: &[i16],
+    relu: bool,
+    kc: usize,
+) -> Vec<i16> {
     assert_eq!(input.len(), layer.inputs);
-    assert_eq!(weights.len(), layer.inputs * layer.outputs);
     assert_eq!(bias.len(), layer.outputs);
-    assert_eq!(layer.inputs % KC, 0, "inputs must be a multiple of KC");
-    (0..layer.outputs)
-        .map(|m| {
-            let mut acc = bias[m];
-            for chunk in 0..layer.inputs / KC {
-                let mut partial = 0i16;
-                for j in 0..KC {
-                    let col = chunk * KC + j;
-                    partial = sat_add16(
-                        partial,
-                        sat_mul16(weights[m * layer.inputs + col], input[col]),
-                    );
-                }
-                acc = sat_add16(acc, partial);
-            }
-            if relu {
-                acc.max(0)
-            } else {
-                acc
-            }
-        })
-        .collect()
+    fc_forward_batch(layer, input, weights, bias, relu, 1, kc)
 }
 
 /// Batched golden forward pass: `inputs` holds `batch` concatenated
@@ -111,14 +110,15 @@ pub fn fc_forward_batch(
 }
 
 /// Packs row-major weights into the `[row_chunk][col_chunk][mr][kc]`
-/// stream the generated code loads contiguously.
+/// stream the generated code loads contiguously, with the default
+/// schedule's chunk shape.
 ///
 /// # Panics
 ///
 /// Panics unless `outputs % MR == 0` and `inputs % KC == 0`.
 #[must_use]
 pub fn pack_weights(layer: &FcLayer, weights: &[i16]) -> Vec<i16> {
-    pack_weights_kc(layer, weights, KC)
+    pack_weights_with(layer, weights, MR, KC)
 }
 
 /// [`pack_weights`] with an explicit column-chunk width (the batched
@@ -130,14 +130,25 @@ pub fn pack_weights(layer: &FcLayer, weights: &[i16]) -> Vec<i16> {
 /// Panics unless `outputs % MR == 0` and `inputs % kc == 0`.
 #[must_use]
 pub fn pack_weights_kc(layer: &FcLayer, weights: &[i16], kc: usize) -> Vec<i16> {
+    pack_weights_with(layer, weights, MR, kc)
+}
+
+/// [`pack_weights`] with an explicit chunk shape — the packing for a
+/// scheduled tile must use the schedule's `(mr, kc)`.
+///
+/// # Panics
+///
+/// Panics unless `outputs % mr == 0` and `inputs % kc == 0`.
+#[must_use]
+pub fn pack_weights_with(layer: &FcLayer, weights: &[i16], mr: usize, kc: usize) -> Vec<i16> {
     assert_eq!(weights.len(), layer.inputs * layer.outputs);
-    assert_eq!(layer.outputs % MR, 0);
+    assert_eq!(layer.outputs % mr, 0);
     assert_eq!(layer.inputs % kc, 0);
     let mut out = Vec::with_capacity(weights.len());
-    for rc in 0..layer.outputs / MR {
+    for rc in 0..layer.outputs / mr {
         for cc in 0..layer.inputs / kc {
-            for mr in 0..MR {
-                let row = rc * MR + mr;
+            for m in 0..mr {
+                let row = rc * mr + m;
                 let col0 = cc * kc;
                 out.extend_from_slice(&weights[row * layer.inputs + col0..][..kc]);
             }
@@ -164,12 +175,27 @@ pub struct FcLayout {
 }
 
 impl FcLayout {
-    /// Stages inputs, packed weights, and biases (host side).
+    /// Stages inputs, packed weights, and biases (host side), packed
+    /// for the default schedule.
     pub fn load_into(&self, hmc: &mut Hmc, input: &[i16], weights: &[i16], bias: &[i16]) {
+        self.load_into_scheduled(hmc, &FcSchedule::default(), input, weights, bias);
+    }
+
+    /// Stages the tile with the weight packing `sched`'s generated code
+    /// expects — staging and [`fc_tile_programs`] must use the same
+    /// schedule.
+    pub fn load_into_scheduled(
+        &self,
+        hmc: &mut Hmc,
+        sched: &FcSchedule,
+        input: &[i16],
+        weights: &[i16],
+        bias: &[i16],
+    ) {
         hmc.host_write(self.input_base, &i16s_to_bytes(input));
         hmc.host_write(
             self.weights_base,
-            &i16s_to_bytes(&pack_weights(&self.layer, weights)),
+            &i16s_to_bytes(&pack_weights_with(&self.layer, weights, sched.mr, sched.kc)),
         );
         hmc.host_write(self.bias_base, &i16s_to_bytes(bias));
     }
@@ -181,29 +207,40 @@ impl FcLayout {
     }
 }
 
-/// Generates per-PE programs for one fully-connected tile, splitting
-/// output-row chunks across `pes` PEs.
+/// Generates per-PE programs for one fully-connected tile under an
+/// explicit schedule, splitting output-row chunks across the
+/// schedule's PEs. The staged weights must be packed with the same
+/// schedule ([`FcLayout::load_into_scheduled`]).
+///
+/// The schedule's `rc_block` keeps that many row-chunk accumulators
+/// resident per column sweep, so each input segment is streamed from
+/// DRAM once per *block* instead of once per row chunk — the dominant
+/// non-weight traffic term of the tile.
 ///
 /// # Panics
 ///
-/// Panics unless `outputs / MR` divides across PEs and `inputs % KC ==
-/// 0`.
+/// Panics if `sched.validate` rejects the layer shape.
 #[must_use]
-pub fn fc_tile_programs(layout: &FcLayout, pes: usize) -> Vec<Program> {
+pub fn fc_tile_programs(layout: &FcLayout, sched: &FcSchedule) -> Vec<Program> {
     let l = layout.layer;
-    assert_eq!(l.inputs % KC, 0);
-    assert_eq!(l.outputs % MR, 0);
-    let row_chunks = l.outputs / MR;
-    assert_eq!(row_chunks % pes, 0, "row chunks must divide across PEs");
+    sched
+        .validate(&l)
+        .expect("fc schedule is valid for the layer");
+    let (kc, mr, rb, pes) = (sched.kc, sched.mr, sched.rc_block, sched.pes);
+    let row_chunks = l.outputs / mr;
     let chunks_per_pe = row_chunks / pes;
-    let col_chunks = l.inputs / KC;
-    // Scratchpad: weight chunk | input chunk | acc | partial.
+    let blocks_per_pe = chunks_per_pe / rb;
+    let col_chunks = l.inputs / kc;
+    // Scratchpad: weight chunk | input chunk | rc_block accumulators |
+    // partial.
     let sp_w = 0usize;
-    let sp_x = sp_w + MR * KC * 2;
-    let sp_acc = sp_x + KC * 2;
-    let sp_p = sp_acc + MR * 2;
-    assert!(sp_p + MR * 2 <= 4096);
-    let w_chunk_bytes = (MR * KC * 2) as i32;
+    let sp_x = sp_w + mr * kc * 2;
+    let sp_acc = sp_x + kc * 2;
+    let sp_p = sp_acc + rb * mr * 2;
+    let w_chunk_bytes = (mr * kc * 2) as i32;
+    // Distance in the packed stream between the same column chunk of
+    // two consecutive row chunks.
+    let rc_stride = col_chunks * mr * kc * 2;
 
     (0..pes)
         .map(|pe| {
@@ -213,9 +250,10 @@ pub fn fc_tile_programs(layout: &FcLayout, pes: usize) -> Vec<Program> {
                 next += 1;
                 r
             };
-            let (r_kc, r_mr, r_w, r_x, r_acc, r_p, r_zero) =
+            let (r_kc, r_mr, r_bm, r_w, r_x, r_p, r_zero) =
                 (reg(), reg(), reg(), reg(), reg(), reg(), reg());
-            let (r_pw, r_px, r_pb, r_po, r_rc, r_rcn, r_cc, r_ccn, r_t) = (
+            let (r_pw, r_px, r_pb, r_po, r_blk, r_blkn, r_cc, r_ccn, r_t, r_t2) = (
+                reg(),
                 reg(),
                 reg(),
                 reg(),
@@ -228,52 +266,65 @@ pub fn fc_tile_programs(layout: &FcLayout, pes: usize) -> Vec<Program> {
             );
 
             let first_chunk = pe * chunks_per_pe;
-            let w_start = layout.weights_base + (first_chunk * col_chunks * MR * KC * 2) as u64;
-            let b_start = layout.bias_base + (first_chunk * MR * 2) as u64;
-            let o_start = layout.output_base + (first_chunk * MR * 2) as u64;
+            let w_start = layout.weights_base + (first_chunk * rc_stride) as u64;
+            let b_start = layout.bias_base + (first_chunk * mr * 2) as u64;
+            let o_start = layout.output_base + (first_chunk * mr * 2) as u64;
 
             let mut asm = Asm::new();
-            asm.mov_imm(r_kc, KC as i64)
-                .mov_imm(r_mr, MR as i64)
+            asm.mov_imm(r_kc, kc as i64)
+                .mov_imm(r_mr, mr as i64)
+                .mov_imm(r_bm, (rb * mr) as i64)
                 .mov_imm(r_w, sp_w as i64)
                 .mov_imm(r_x, sp_x as i64)
-                .mov_imm(r_acc, sp_acc as i64)
                 .mov_imm(r_p, sp_p as i64)
                 .mov_imm(r_zero, 0)
                 .mov_imm(r_pw, w_start as i64)
                 .mov_imm(r_pb, b_start as i64)
                 .mov_imm(r_po, o_start as i64)
                 .set_mr(r_mr)
-                .mov_imm(r_rc, 0)
-                .mov_imm(r_rcn, chunks_per_pe as i64)
-                .label("rc");
-            // acc = bias chunk.
-            asm.set_vl(r_mr)
-                .ld_sram(TY, r_acc, r_pb, r_mr)
-                .addi(r_pb, r_pb, (MR * 2) as i32)
+                .mov_imm(r_blk, 0)
+                .mov_imm(r_blkn, blocks_per_pe as i64)
+                .label("blk");
+            // The block's accumulators start at the bias chunks, which
+            // are contiguous across the block's row chunks.
+            asm.set_vl(r_bm)
+                .mov_imm(r_t, sp_acc as i64)
+                .ld_sram(TY, r_t, r_pb, r_bm)
+                .addi(r_pb, r_pb, (rb * mr * 2) as i32)
                 .mov_imm(r_px, layout.input_base as i64)
                 .mov_imm(r_cc, 0)
                 .mov_imm(r_ccn, col_chunks as i64)
                 .label("cc");
-            // Load the weight chunk and input segment, multiply, fold.
-            asm.mov_imm(r_t, (MR * KC) as i64)
-                .ld_sram(TY, r_w, r_pw, r_t)
-                .addi(r_pw, r_pw, w_chunk_bytes)
-                .ld_sram(TY, r_x, r_px, r_kc)
-                .addi(r_px, r_px, (KC * 2) as i32)
-                .set_vl(r_kc)
-                .mat_vec(VerticalOp::Mul, HorizontalOp::Add, TY, r_p, r_w, r_x)
-                .set_vl(r_mr)
-                .vec_vec(VerticalOp::Add, TY, r_acc, r_acc, r_p)
+            // One input segment serves every row chunk in the block.
+            asm.ld_sram(TY, r_x, r_px, r_kc)
+                .addi(r_px, r_px, (kc * 2) as i32);
+            for j in 0..rb {
+                let w_off = i32::try_from(j * rc_stride).expect("packed row-chunk offset fits");
+                asm.mov_imm(r_t, (mr * kc) as i64)
+                    .addi(r_t2, r_pw, w_off)
+                    .ld_sram(TY, r_w, r_t2, r_t)
+                    .set_vl(r_kc)
+                    .mat_vec(VerticalOp::Mul, HorizontalOp::Add, TY, r_p, r_w, r_x)
+                    .set_vl(r_mr)
+                    .mov_imm(r_t, (sp_acc + j * mr * 2) as i64)
+                    .vec_vec(VerticalOp::Add, TY, r_t, r_t, r_p);
+            }
+            asm.addi(r_pw, r_pw, w_chunk_bytes)
                 .addi(r_cc, r_cc, 1)
                 .blt(r_cc, r_ccn, "cc");
+            // Skip the block's remaining row chunks in the weight
+            // stream (the column loop walked only the first).
+            let w_skip = i32::try_from((rb - 1) * rc_stride).expect("block weight skip fits");
+            asm.addi(r_pw, r_pw, w_skip);
+            // Finish the whole block contiguously: ReLU + store.
+            asm.set_vl(r_bm).mov_imm(r_t, sp_acc as i64);
             if layout.relu {
-                asm.vec_scalar(VerticalOp::Max, TY, r_acc, r_acc, r_zero);
+                asm.vec_scalar(VerticalOp::Max, TY, r_t, r_t, r_zero);
             }
-            asm.st_sram(TY, r_acc, r_po, r_mr)
-                .addi(r_po, r_po, (MR * 2) as i32)
-                .addi(r_rc, r_rc, 1)
-                .blt(r_rc, r_rcn, "rc")
+            asm.st_sram(TY, r_t, r_po, r_bm)
+                .addi(r_po, r_po, (rb * mr * 2) as i32)
+                .addi(r_blk, r_blk, 1)
+                .blt(r_blk, r_blkn, "blk")
                 .memfence()
                 .halt();
             asm.assemble().expect("fc program assembles")

@@ -8,6 +8,7 @@ use vip_kernels::bp::{
     self, bp_iteration_programs, labels, strip_program, BpLayout, Messages, Mrf, MrfParams,
     StripParams, Sweep, VectorMachineStyle,
 };
+use vip_kernels::schedule::BpSchedule;
 
 fn stereo_mrf(w: usize, h: usize, l: usize, seed: u64) -> Mrf {
     let costs = bp::stereo_data_costs(w, h, l, seed);
@@ -34,6 +35,7 @@ fn down_sweep_matches_golden_bit_for_bit() {
         ortho_range: (0, w),
         normalize: false,
         style: VectorMachineStyle::SpReduce,
+        group_bufs: 2,
     };
     let mut sys = single_strip_system(&mrf, &init, &strip);
     sys.run(2_000_000).expect("strip completes");
@@ -63,6 +65,7 @@ fn all_four_sweeps_match_golden() {
             ortho_range: (0, 16),
             normalize: true,
             style: VectorMachineStyle::SpReduce,
+            group_bufs: 2,
         };
         let mut sys = single_strip_system(&mrf, &state, &strip);
         sys.run(4_000_000)
@@ -88,7 +91,7 @@ fn four_pe_iterations_match_golden_labels() {
 
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &mrf, &init);
-    for (pe, prog) in bp_iteration_programs(&layout, 4, iters, true, VectorMachineStyle::SpReduce)
+    for (pe, prog) in bp_iteration_programs(&layout, &BpSchedule::default(), iters, true)
         .iter()
         .enumerate()
     {
@@ -126,6 +129,7 @@ fn figure4_styles_all_compute_the_same_messages() {
             ortho_range: (0, w),
             normalize: false,
             style,
+            group_bufs: 2,
         };
         let mut sys = single_strip_system(&mrf, &init, &strip);
         let t = sys

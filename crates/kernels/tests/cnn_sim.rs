@@ -7,6 +7,7 @@ use vip_kernels::cnn::{
     ConvLayout, ConvMode, FcLayer, PoolLayer, PoolLayout,
 };
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 use vip_kernels::sync::i16s_to_bytes;
 
 /// Small deterministic values that exercise signs without instantly
@@ -50,7 +51,11 @@ fn conv_tile_matches_golden() {
     };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    run_on(&mut sys, &conv_tile_programs(&layout, 4), 5_000_000);
+    run_on(
+        &mut sys,
+        &conv_tile_programs(&layout, &layout.default_schedule()),
+        5_000_000,
+    );
 
     let expect = cnn::conv_forward(&layer, &input, &weights, &bias, true);
     let got = layout.read_output(sys.hmc());
@@ -89,7 +94,11 @@ fn conv_all_filters_resident_like_c1_1() {
     assert_eq!(layout.filters_per_group, 8, "all filters resident");
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    run_on(&mut sys, &conv_tile_programs(&layout, 4), 5_000_000);
+    run_on(
+        &mut sys,
+        &conv_tile_programs(&layout, &layout.default_schedule()),
+        5_000_000,
+    );
     let expect = cnn::conv_forward(&layer, &input, &weights, &bias, true);
     assert_eq!(
         cnn::unpad_output(8, 4, 8, 1, &layout.read_output(sys.hmc())),
@@ -145,7 +154,11 @@ fn sharded_conv_with_accumulate_pass_matches_golden() {
         partial_bases.push(layout.output_base);
         let padded = cnn::pad_input(8, 4, 4, 1, inp);
         layout.load_into(sys.hmc_mut(), &padded, w, &[0; 4]);
-        run_on(&mut sys, &conv_tile_programs(&layout, 4), 5_000_000);
+        run_on(
+            &mut sys,
+            &conv_tile_programs(&layout, &layout.default_schedule()),
+            5_000_000,
+        );
     }
     // Phase 2: accumulate + bias + ReLU.
     let acc = AccumulateLayout {
@@ -227,7 +240,11 @@ fn fc_tile_matches_golden() {
     };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    run_on(&mut sys, &mlp::fc_tile_programs(&layout, 4), 3_000_000);
+    run_on(
+        &mut sys,
+        &mlp::fc_tile_programs(&layout, &FcSchedule::default()),
+        3_000_000,
+    );
 
     let expect = mlp::fc_forward(&layer, &input, &weights, &bias, true);
     assert_eq!(layout.read_output(sys.hmc()), expect);
@@ -253,7 +270,11 @@ fn fc_without_relu_keeps_negatives() {
     };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    run_on(&mut sys, &mlp::fc_tile_programs(&layout, 4), 3_000_000);
+    run_on(
+        &mut sys,
+        &mlp::fc_tile_programs(&layout, &FcSchedule::default()),
+        3_000_000,
+    );
     let expect = mlp::fc_forward(&layer, &input, &weights, &bias, false);
     assert_eq!(layout.read_output(sys.hmc()), expect);
     assert!(

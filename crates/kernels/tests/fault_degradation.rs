@@ -8,6 +8,7 @@ use vip_core::{System, SystemConfig, SystemStats};
 use vip_faults::{DramFaultConfig, FaultConfig};
 use vip_kernels::cnn::FcLayer;
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
     (0..n)
@@ -34,7 +35,10 @@ fn run_fc_under_faults(faults: &FaultConfig) -> (SystemStats, Vec<i16>, Vec<i16>
     };
     let mut sys = System::new(SystemConfig::small_test().with_faults(faults));
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    for (pe, p) in mlp::fc_tile_programs(&layout, 4).iter().enumerate() {
+    for (pe, p) in mlp::fc_tile_programs(&layout, &FcSchedule::default())
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     sys.run(3_000_000).expect("tile completes despite faults");

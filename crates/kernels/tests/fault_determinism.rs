@@ -15,6 +15,7 @@ use vip_kernels::bp::{
 };
 use vip_kernels::cnn::{self, conv_tile_programs, ConvLayer, ConvLayout, ConvMode, FcLayer};
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
     (0..n)
@@ -138,6 +139,7 @@ fn bp_sweep_is_identical_with_zero_rate_injector() {
         ortho_range: (0, w),
         normalize: false,
         style: VectorMachineStyle::SpReduce,
+        group_bufs: 2,
     };
     let program = strip_program(&strip);
     assert_inert(
@@ -172,7 +174,7 @@ fn conv_tile_is_identical_with_zero_rate_injector() {
         filters_per_group: 2,
         mode: ConvMode::Full,
     };
-    let programs = conv_tile_programs(&layout, 4);
+    let programs = conv_tile_programs(&layout, &layout.default_schedule());
     assert_inert(
         "conv tile",
         |sys| layout.load_into(sys.hmc_mut(), &input, &weights, &bias),
@@ -200,7 +202,7 @@ fn fc_tile_is_identical_with_zero_rate_injector() {
         output_base: 0x50000,
         relu: true,
     };
-    let programs = mlp::fc_tile_programs(&layout, 4);
+    let programs = mlp::fc_tile_programs(&layout, &FcSchedule::default());
     assert_inert(
         "fc tile",
         |sys| layout.load_into(sys.hmc_mut(), &input, &weights, &bias),

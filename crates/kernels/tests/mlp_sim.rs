@@ -7,6 +7,7 @@ use vip_core::{System, SystemConfig};
 use vip_isa::Program;
 use vip_kernels::cnn::FcLayer;
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 use vip_kernels::sync::bytes_to_i16s;
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
@@ -61,15 +62,23 @@ fn two_layer_mlp_matches_golden() {
         relu: false,
     };
 
-    let pes = 4;
+    let sched = FcSchedule::default();
     let mut sys = System::new(SystemConfig::small_test());
     layout1.load_into(sys.hmc_mut(), &input, &w1, &b1);
     // Stage layer 2's parameters up front; its input arrives via
     // layer 1's stores.
     layout2.load_into(sys.hmc_mut(), &[], &w2, &b2);
 
-    run_on(&mut sys, &mlp::fc_tile_programs(&layout1, pes), 30_000_000);
-    run_on(&mut sys, &mlp::fc_tile_programs(&layout2, pes), 40_000_000);
+    run_on(
+        &mut sys,
+        &mlp::fc_tile_programs(&layout1, &sched),
+        30_000_000,
+    );
+    run_on(
+        &mut sys,
+        &mlp::fc_tile_programs(&layout2, &sched),
+        40_000_000,
+    );
 
     let hidden_golden = mlp::fc_forward(&hidden, &input, &w1, &b1, true);
     let out_golden = mlp::fc_forward(&output, &hidden_golden, &w2, &b2, false);

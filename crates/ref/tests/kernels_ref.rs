@@ -7,6 +7,7 @@
 
 use vip_kernels::cnn::FcLayer;
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 use vip_kernels::sync::{bytes_to_i16s, i16s_to_bytes};
 use vip_ref::RefSystem;
 
@@ -31,7 +32,16 @@ fn run_fc_on_ref(layout: &FcLayout, input: &[i16], weights: &[i16], bias: &[i16]
     let pes = 4;
     let mut sys = RefSystem::new(pes, 4096);
     stage(&mut sys, layout, input, weights, bias);
-    for (pe, p) in mlp::fc_tile_programs(layout, pes).iter().enumerate() {
+    for (pe, p) in mlp::fc_tile_programs(
+        layout,
+        &FcSchedule {
+            pes,
+            ..FcSchedule::default()
+        },
+    )
+    .iter()
+    .enumerate()
+    {
         sys.load_program(pe, p);
     }
     sys.run(10_000_000).expect("fc tile completes");

@@ -14,6 +14,7 @@
 use vip_core::{cycles_to_ms, System, SystemConfig};
 use vip_kernels::cnn::FcLayer;
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 
 fn main() {
     let layer = FcLayer {
@@ -48,7 +49,10 @@ fn main() {
     };
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    for (pe, p) in mlp::fc_tile_programs(&layout, 4).iter().enumerate() {
+    for (pe, p) in mlp::fc_tile_programs(&layout, &FcSchedule::default())
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     let cycles = sys.run(50_000_000).expect("fc layer completes");

@@ -13,8 +13,8 @@
 use vip_core::{cycles_to_ms, System, SystemConfig};
 use vip_kernels::bp::{
     self, bp_iteration_programs, BpExtrapolation, BpLayout, Messages, Mrf, MrfParams,
-    VectorMachineStyle,
 };
+use vip_kernels::schedule::BpSchedule;
 
 fn main() {
     let (w, h, labels, iters) = (64, 32, 16, 2);
@@ -28,7 +28,7 @@ fn main() {
     let layout = BpLayout::new(0, w, h, labels);
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &mrf, &Messages::new(&mrf.params));
-    let programs = bp_iteration_programs(&layout, 4, iters, true, VectorMachineStyle::SpReduce);
+    let programs = bp_iteration_programs(&layout, &BpSchedule::default(), iters, true);
     for (pe, p) in programs.iter().enumerate() {
         println!("PE{pe}: {} instructions", p.len());
         sys.load_program(pe, p);

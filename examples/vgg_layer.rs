@@ -70,7 +70,7 @@ fn main() {
 
     let mut sys = System::new(SystemConfig::small_test());
     layout.load_into(sys.hmc_mut(), &input, &weights, &bias);
-    let programs = conv_tile_programs(&layout, 4);
+    let programs = conv_tile_programs(&layout, &layout.default_schedule());
     for (pe, p) in programs.iter().enumerate() {
         sys.load_program(pe, p);
     }

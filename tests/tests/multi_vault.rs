@@ -4,9 +4,8 @@
 
 use vip_core::{System, SystemConfig};
 use vip_isa::{assemble, Asm, Reg};
-use vip_kernels::bp::{
-    self, bp_iteration_programs, BpLayout, Messages, Mrf, MrfParams, VectorMachineStyle,
-};
+use vip_kernels::bp::{self, bp_iteration_programs, BpLayout, Messages, Mrf, MrfParams};
+use vip_kernels::schedule::BpSchedule;
 use vip_kernels::sync::{BarrierAddrs, BarrierRegs};
 
 fn r(i: u8) -> Reg {
@@ -151,7 +150,15 @@ fn bp_iteration_with_eight_pes_across_two_vaults() {
     let cfg = SystemConfig::test_vaults(2);
     let mut sys = System::new(cfg);
     layout.load_into(sys.hmc_mut(), &mrf, &Messages::new(&mrf.params));
-    let programs = bp_iteration_programs(&layout, 8, 1, true, VectorMachineStyle::SpReduce);
+    let programs = bp_iteration_programs(
+        &layout,
+        &BpSchedule {
+            pes: 8,
+            ..BpSchedule::default()
+        },
+        1,
+        true,
+    );
     for (pe, p) in programs.iter().enumerate() {
         sys.load_program(pe, p);
     }

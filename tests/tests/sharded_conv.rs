@@ -65,7 +65,10 @@ fn shards_on_two_vaults_accumulate_remotely() {
         partial_bases.push(layout.output_base);
         let padded = cnn::pad_input(8, 4, 4, 1, inp);
         layout.load_into(sys.hmc_mut(), &padded, w, &[0; 4]);
-        for (i, p) in conv_tile_programs(&layout, 4).iter().enumerate() {
+        for (i, p) in conv_tile_programs(&layout, &layout.default_schedule())
+            .iter()
+            .enumerate()
+        {
             sys.load_program(s * 4 + i, p);
         }
         layouts.push(layout);

@@ -8,6 +8,7 @@ use vip_kernels::cnn::{
     PoolLayer, PoolLayout,
 };
 use vip_kernels::mlp::{self, FcLayout};
+use vip_kernels::schedule::FcSchedule;
 
 fn pattern(n: usize, scale: i16, offset: i16) -> Vec<i16> {
     (0..n)
@@ -67,7 +68,10 @@ fn conv_pool_fc_pipeline_matches_golden() {
         mode: ConvMode::Full,
     };
     conv_layout.load_into(sys.hmc_mut(), &padded, &conv_w, &conv_b);
-    for (pe, p) in conv_tile_programs(&conv_layout, 4).iter().enumerate() {
+    for (pe, p) in conv_tile_programs(&conv_layout, &conv_layout.default_schedule())
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     sys.run(20_000_000).expect("conv completes");
@@ -96,7 +100,10 @@ fn conv_pool_fc_pipeline_matches_golden() {
         relu: true,
     };
     fc_layout.load_into(sys.hmc_mut(), &fc_in, &fc_w, &fc_b);
-    for (pe, p) in mlp::fc_tile_programs(&fc_layout, 4).iter().enumerate() {
+    for (pe, p) in mlp::fc_tile_programs(&fc_layout, &FcSchedule::default())
+        .iter()
+        .enumerate()
+    {
         sys.load_program(pe, p);
     }
     sys.run(60_000_000).expect("fc completes");
