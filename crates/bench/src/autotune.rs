@@ -314,7 +314,7 @@ pub fn tune_kernel(
         let run_one = |i: usize| -> io::Result<(u64, Schedule)> {
             let sched = candidates[i];
             let name = format!("tune-{key}@func{rung}");
-            let res = runner.run_point_functional(&name, &sched.encoding(), || {
+            let res = runner.run_point_functional(&name, &sched.encoding(), fingerprint, || {
                 let tile = kernel.stage(&cfg.mem, &sched);
                 match func {
                     Some(f) => tile.with_func_config(f),
@@ -347,7 +347,9 @@ pub fn tune_kernel(
     let confirm_one = |i: usize| -> io::Result<(u64, Schedule)> {
         let sched = candidates[i];
         let name = format!("tune-{key}@cycle");
-        let res = runner.run_point(&name, &sched.encoding(), || kernel.stage(&cfg.mem, &sched))?;
+        let res = runner.run_point(&name, &sched.encoding(), fingerprint, || {
+            kernel.stage(&cfg.mem, &sched)
+        })?;
         let cycles = match res.status {
             PointStatus::Completed => res.cycles,
             PointStatus::Degraded => u64::MAX,

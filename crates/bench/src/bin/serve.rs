@@ -1,0 +1,149 @@
+//! Closed-loop serving benchmark over a simulated VIP fleet.
+//!
+//! Sweeps offered load (client count) over a pool of simulated
+//! devices via [`vip_serve`], printing one summary row per point and
+//! writing `BENCH_serving.json` atomically into the output directory.
+//! The report is a pure function of the seed and the configuration —
+//! byte-identical across re-runs at any `--jobs` — which is exactly
+//! what the `--gate` determinism check in CI diffs.
+//!
+//! Flags:
+//!
+//! * `--devices <n>` — simulated devices in the fleet (default `4`)
+//! * `--queue-depth <n>` — shared admission bound (default `64`)
+//! * `--quantum <cycles>` — device slice length (default `100000`)
+//! * `--batch <n>` — max requests batched into one tile (default `8`)
+//! * `--engine fast|naive|functional` — device stepping engine
+//!   (default `fast`)
+//! * `--requests <n>` — requests per sweep point (default `64`)
+//! * `--clients-max <n>` — sweep client counts 1,2,4,… up to this
+//!   (default `16`)
+//! * `--think <cycles>` — mean client think time (default `200000`)
+//! * `--seed <u64>` — workload seed (default: `VIP_TEST_SEED` env
+//!   override, else `7`)
+//! * `--jobs <n>` — sweep-point worker threads (default `1`)
+//! * `--dir <path>` — output directory (default `serve-out`)
+//! * `--schedules <path>` — tuned schedule artifacts (default:
+//!   `VIP_SCHEDULE_DIR` or `schedules/`)
+//! * `--quick` — small fleet, short sweep, small tiles (CI smoke)
+//! * `--gate` — exit nonzero unless the load curve is monotone,
+//!   saturating, and fully served
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use vip_bench::cli::{env_seed, Cli};
+use vip_bench::runner::atomic_write;
+use vip_serve::{
+    gate, metrics, report_json, run_sweep, Engine, ServeConfig, SweepConfig, Workload,
+};
+
+fn main() {
+    let mut cli = Cli::new(
+        "serve",
+        "[--devices <n>] [--queue-depth <n>] [--quantum <cycles>] [--batch <n>] \
+         [--engine fast|naive|functional] [--requests <n>] [--clients-max <n>] \
+         [--think <cycles>] [--seed <u64>] [--jobs <n>] [--dir <path>] \
+         [--schedules <path>] [--quick] [--gate]",
+    );
+    let mut serve_cfg = ServeConfig::default();
+    let mut requests = 64usize;
+    let mut clients_max = 16usize;
+    let mut think = 200_000u64;
+    let mut seed: Option<u64> = None;
+    let mut jobs = 1usize;
+    let mut dir = PathBuf::from("serve-out");
+    let mut quick = false;
+    let mut gate_run = false;
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--devices" => serve_cfg.devices = cli.value("--devices"),
+            "--queue-depth" => serve_cfg.queue_depth = cli.value("--queue-depth"),
+            "--quantum" => serve_cfg.quantum = cli.value("--quantum"),
+            "--batch" => serve_cfg.batch_max = cli.value("--batch"),
+            "--engine" => {
+                let label: String = cli.value("--engine");
+                serve_cfg.engine = Engine::parse(&label).unwrap_or_else(|| {
+                    eprintln!("--engine: unknown engine `{label}`");
+                    cli.usage();
+                });
+            }
+            "--requests" => requests = cli.value("--requests"),
+            "--clients-max" => clients_max = cli.value("--clients-max"),
+            "--think" => think = cli.value("--think"),
+            "--seed" => seed = Some(cli.value("--seed")),
+            "--jobs" => jobs = cli.value("--jobs"),
+            "--dir" => dir = cli.value("--dir"),
+            "--schedules" => serve_cfg.schedule_dir = cli.value("--schedules"),
+            "--quick" => quick = true,
+            "--gate" => gate_run = true,
+            _ => cli.usage(),
+        }
+    }
+    if quick {
+        serve_cfg.devices = serve_cfg.devices.min(2);
+        requests = requests.min(24);
+        clients_max = clients_max.min(8);
+    }
+
+    let mut clients = Vec::new();
+    let mut c = 1usize;
+    while c <= clients_max {
+        clients.push(c);
+        c *= 2;
+    }
+    let cfg = SweepConfig {
+        serve: serve_cfg,
+        seed: seed.unwrap_or_else(|| env_seed(7)),
+        requests,
+        think,
+        clients,
+        jobs,
+        mix: if quick {
+            Workload::small_mix()
+        } else {
+            Workload::standard_mix()
+        },
+    };
+
+    println!(
+        "serving sweep: {} devices, {} requests/point, engine {}, seed {:#x}",
+        cfg.serve.devices,
+        cfg.requests,
+        cfg.serve.engine.label(),
+        cfg.seed
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
+        "clients", "tput(rps)", "p50(ms)", "p99(ms)", "max(ms)", "batches", "preempt", "reject"
+    );
+    let points = run_sweep(&cfg);
+    for p in &points {
+        let lat = metrics::latency_summary(&p.outcome);
+        println!(
+            "{:<8} {:>10.2} {:>10.4} {:>10.4} {:>10.4} {:>8} {:>8} {:>8}",
+            p.clients,
+            metrics::throughput_rps(&p.outcome),
+            metrics::ms(lat.map_or(0, |l| l.p50)),
+            metrics::ms(lat.map_or(0, |l| l.p99)),
+            metrics::ms(lat.map_or(0, |l| l.max)),
+            p.outcome.batches,
+            p.outcome.preemptions,
+            p.outcome.rejections,
+        );
+    }
+
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let report = report_json(&cfg, &points);
+    let path = dir.join("BENCH_serving.json");
+    atomic_write(&path, report.as_bytes()).expect("write report");
+    println!("report: {}", path.display());
+
+    if gate_run {
+        if let Err(why) = gate(&points, cfg.requests) {
+            eprintln!("gate: FAILED: {why}");
+            exit(1);
+        }
+        println!("gate: ok");
+    }
+}

@@ -104,9 +104,13 @@ fn main() {
         "point", "status", "cycles", "bw (GB/s)"
     );
     let mut degraded = 0usize;
+    // Every point stages against the baseline single-vault config, so
+    // one fingerprint identifies them all — computed up front so
+    // resumed points skip staging entirely.
+    let fingerprint = vip_bench::vault_system_config(MemConfig::baseline()).snapshot_fingerprint();
     for (name, stage) in points(quick) {
         let res = runner
-            .run_point(name, "", stage)
+            .run_point(name, "", fingerprint, stage)
             .expect("sweep directory writable");
         let status = match res.status {
             PointStatus::Completed => "ok",

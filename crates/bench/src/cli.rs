@@ -20,9 +20,41 @@
 //!     }
 //! }
 //! ```
+//!
+//! The exiting conveniences ([`Cli::value`], [`Cli::usage`]) sit on a
+//! testable core: [`Cli::from_args`] builds a parser from any argument
+//! list and [`Cli::try_value`] reports malformed input as a typed
+//! [`CliError`] instead of exiting, which is what the CLI unit tests
+//! drive.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::process::exit;
+
+/// How an argument failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The flag was the last token; its value never arrived.
+    MissingValue(String),
+    /// The value was present but would not parse at the target type.
+    BadValue {
+        /// The flag whose value was malformed.
+        flag: String,
+        /// The offending token.
+        value: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::BadValue { flag, value } => {
+                write!(f, "{flag}: cannot parse `{value}`")
+            }
+        }
+    }
+}
 
 /// A command-line in the middle of being parsed.
 #[derive(Debug)]
@@ -37,10 +69,21 @@ impl Cli {
     /// `prog`, whose usage line is `usage: {prog} {options}`.
     #[must_use]
     pub fn new(prog: &'static str, options: &'static str) -> Self {
+        Self::from_args(prog, options, std::env::args().skip(1))
+    }
+
+    /// A parser over an explicit argument list — what the unit tests
+    /// construct (and what [`Cli::new`] feeds the process arguments
+    /// to).
+    pub fn from_args(
+        prog: &'static str,
+        options: &'static str,
+        args: impl IntoIterator<Item = String>,
+    ) -> Self {
         Cli {
             prog,
             options,
-            args: std::env::args().skip(1).collect(),
+            args: args.into_iter().collect(),
         }
     }
 
@@ -56,16 +99,36 @@ impl Cli {
         self.args.pop_front()
     }
 
+    /// Consumes the next argument as `flag`'s value and parses it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] when the value is missing or malformed
+    /// (the non-exiting core of [`Cli::value`]).
+    pub fn try_value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, CliError> {
+        let Some(value) = self.args.pop_front() else {
+            return Err(CliError::MissingValue(flag.to_owned()));
+        };
+        value.parse().map_err(|_| CliError::BadValue {
+            flag: flag.to_owned(),
+            value,
+        })
+    }
+
     /// Consumes the next argument as `flag`'s value and parses it,
     /// exiting with the usage line when it is missing or malformed.
     pub fn value<T: std::str::FromStr>(&mut self, flag: &str) -> T {
-        let Some(value) = self.args.pop_front() else {
-            eprintln!("{flag} needs a value");
-            self.usage();
-        };
-        value.parse().unwrap_or_else(|_| {
-            eprintln!("{flag}: cannot parse `{value}`");
+        self.try_value(flag).unwrap_or_else(|e| {
+            eprintln!("{e}");
             self.usage();
         })
     }
+}
+
+/// The bench binaries' shared seed resolution: an explicit `--seed`
+/// wins, else the `VIP_TEST_SEED` environment override
+/// ([`vip_rng::seed_override`]), else `default`.
+#[must_use]
+pub fn env_seed(default: u64) -> u64 {
+    vip_rng::seed_override().unwrap_or(default)
 }

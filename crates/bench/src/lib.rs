@@ -28,22 +28,13 @@ pub mod schedules;
 
 use vip_core::SystemConfig;
 use vip_mem::MemConfig;
-use vip_noc::TorusConfig;
 
 /// A single-vault (4-PE) system with the given memory preset — the
-/// independent-tile simulation vehicle.
+/// independent-tile simulation vehicle (now a thin delegate to
+/// [`SystemConfig::single_vault`], which the serving layer shares).
 #[must_use]
-pub fn vault_system_config(mut mem: MemConfig) -> SystemConfig {
-    mem.vaults = 1;
-    SystemConfig {
-        mem,
-        torus: TorusConfig {
-            width: 1,
-            height: 1,
-            ..TorusConfig::vip()
-        },
-        ..SystemConfig::vip()
-    }
+pub fn vault_system_config(mem: MemConfig) -> SystemConfig {
+    SystemConfig::single_vault(mem)
 }
 
 /// Deterministic small-magnitude test values (weights/activations).

@@ -166,25 +166,36 @@ impl Runner {
     }
 
     /// Runs one experiment point to completion (or degradation),
-    /// checkpointing along the way. `stage` builds the point's
-    /// [`PreparedTile`] — it is called once normally, and a second time
-    /// only if a leftover checkpoint proves unreadable and the point
-    /// must restart clean. `encoding` is the point's full parameter
-    /// encoding (empty for points whose name alone is the identity);
-    /// it is folded into the durable identity hash (see [`point_hash`]).
+    /// checkpointing along the way. `fingerprint` is the structural
+    /// configuration fingerprint of the system the point targets
+    /// (callers have it from the config they stage with); passing it
+    /// up front lets a `--resume` hit against the `.done` record
+    /// return *before* `stage` runs, so cached points skip program
+    /// preparation entirely. `stage` builds the point's
+    /// [`PreparedTile`] — it is called once normally, and a second
+    /// time only if a leftover checkpoint proves unreadable and the
+    /// point must restart clean. `encoding` is the point's full
+    /// parameter encoding (empty for points whose name alone is the
+    /// identity); it is folded into the durable identity hash (see
+    /// [`point_hash`]).
     ///
     /// # Errors
     ///
     /// Fails only on I/O errors against the runner's directory; every
     /// simulation failure degrades into a recorded partial row instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged tile's configuration does not hash to
+    /// `fingerprint` — that would silently divorce the durable record
+    /// from the simulation it claims to describe.
     pub fn run_point(
         &self,
         name: &str,
         encoding: &str,
+        fingerprint: u64,
         stage: impl Fn() -> PreparedTile,
     ) -> io::Result<PointResult> {
-        let tile = stage();
-        let fingerprint = tile.system().config().snapshot_fingerprint();
         let hash = point_hash(name, encoding, fingerprint);
         let done_path = self.done_path(hash);
         let ckpt_path = self.ckpt_path(hash);
@@ -201,6 +212,12 @@ impl Runner {
             }
         }
 
+        let tile = stage();
+        assert_eq!(
+            tile.system().config().snapshot_fingerprint(),
+            fingerprint,
+            "point `{name}`: staged tile does not match the declared fingerprint"
+        );
         let (mut sys, limit) = tile.into_system();
         if self.resume {
             if let Ok(bytes) = fs::read(&ckpt_path) {
@@ -270,22 +287,28 @@ impl Runner {
     /// autotuner's cheap pruning rungs. No mid-run checkpoints (a
     /// functional run is over in milliseconds); the `.done` record
     /// alone makes the point durable, so a killed search re-run with
-    /// `--resume` skips every finished point. The record shares its
-    /// format with [`run_point`]'s — callers that use both engines on
-    /// the same point must give them distinct names.
+    /// `--resume` skips every finished point *without re-staging it*
+    /// (the `fingerprint` contract matches [`run_point`]'s). The
+    /// record shares its format with [`run_point`]'s — callers that
+    /// use both engines on the same point must give them distinct
+    /// names.
     ///
     /// # Errors
     ///
     /// Fails only on I/O errors against the runner's directory; a
     /// simulation failure is recorded as a degraded row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged tile's configuration does not hash to
+    /// `fingerprint`.
     pub fn run_point_functional(
         &self,
         name: &str,
         encoding: &str,
+        fingerprint: u64,
         stage: impl Fn() -> PreparedTile,
     ) -> io::Result<PointResult> {
-        let tile = stage();
-        let fingerprint = tile.system().config().snapshot_fingerprint();
         let hash = point_hash(name, encoding, fingerprint);
         let done_path = self.done_path(hash);
 
@@ -301,6 +324,12 @@ impl Runner {
             }
         }
 
+        let tile = stage();
+        assert_eq!(
+            tile.system().config().snapshot_fingerprint(),
+            fingerprint,
+            "point `{name}`: staged tile does not match the declared fingerprint"
+        );
         match tile.try_run_functional() {
             Ok(run) => {
                 self.write_done(&done_path, fingerprint, PointStatus::Completed, &run.stats)?;

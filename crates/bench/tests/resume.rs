@@ -46,6 +46,45 @@ fn has_checkpoint(dir: &Path) -> bool {
         .any(|e| e.path().extension().is_some_and(|ext| ext == "ckpt"))
 }
 
+/// A `--resume` hit on a finished point must return the durable record
+/// without re-preparing the point: the staging closure never runs on
+/// the cached path (the fingerprint is supplied up front).
+#[test]
+fn resumed_point_skips_staging() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vip_bench::experiments;
+    use vip_bench::runner::Runner;
+    use vip_mem::MemConfig;
+
+    let dir = scratch_dir("stagecount");
+    let runner = Runner::new(&dir).expect("runner dir").resume(true);
+    let fingerprint = vip_bench::vault_system_config(MemConfig::baseline()).snapshot_fingerprint();
+    let staged = AtomicUsize::new(0);
+    let stage = || {
+        staged.fetch_add(1, Ordering::Relaxed);
+        experiments::fc_shape_tile_sim(MemConfig::baseline(), (256, 16))
+    };
+
+    let first = runner
+        .run_point("stage-count", "", fingerprint, stage)
+        .expect("first run");
+    assert!(!first.from_cache);
+    assert_eq!(staged.load(Ordering::Relaxed), 1);
+
+    let second = runner
+        .run_point("stage-count", "", fingerprint, stage)
+        .expect("second run");
+    assert!(second.from_cache, "second run must hit the .done record");
+    assert_eq!(
+        staged.load(Ordering::Relaxed),
+        1,
+        "cached point re-ran its staging closure"
+    );
+    assert_eq!(first.cycles, second.cycles);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn killed_sweep_resumes_to_an_identical_report() {
     let clean = scratch_dir("clean");

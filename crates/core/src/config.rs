@@ -89,12 +89,12 @@ impl SystemConfig {
         SystemConfig { mem, ..Self::vip() }
     }
 
-    /// A single-vault, 4-PE configuration for unit tests and
-    /// independent-tile simulations (§V-A): same PE and timing
-    /// parameters, 1×1 torus.
+    /// A single-vault (4-PE) system around the given memory preset —
+    /// the independent-tile simulation vehicle (§V-A) and the serving
+    /// layer's per-device configuration: same PE and timing parameters
+    /// as the full machine, 1×1 torus.
     #[must_use]
-    pub fn small_test() -> Self {
-        let mut mem = MemConfig::baseline();
+    pub fn single_vault(mut mem: MemConfig) -> Self {
         mem.vaults = 1;
         SystemConfig {
             mem,
@@ -105,6 +105,14 @@ impl SystemConfig {
             },
             ..Self::vip()
         }
+    }
+
+    /// A single-vault, 4-PE configuration for unit tests and
+    /// independent-tile simulations (§V-A): same PE and timing
+    /// parameters, 1×1 torus.
+    #[must_use]
+    pub fn small_test() -> Self {
+        Self::single_vault(MemConfig::baseline())
     }
 
     /// A reduced multi-vault configuration (`vaults` must be a power of

@@ -30,6 +30,7 @@ pub mod bp;
 pub mod cnn;
 pub mod mlp;
 pub mod schedule;
+pub mod schedule_store;
 pub mod sync;
 
 /// Fixed-point element type used by every evaluated workload ("16-bit

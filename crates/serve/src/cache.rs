@@ -1,0 +1,129 @@
+//! The prepared-program cache.
+//!
+//! Program generation (schedule resolution + codegen) is a pure
+//! function of the tile class, the chosen schedule, the machine
+//! fingerprint, and the batch size — none of which depend on a
+//! request's payload — so prepared per-PE programs are shared across
+//! every dispatch of a compatible batch. Keys follow the bench
+//! runner's durable-point idiom (name + structural configuration
+//! fingerprint), extended with the schedule encoding and the batch
+//! size the codegen specialized for.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vip_isa::Program;
+
+/// Identity of one prepared program set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The tile's shape key (`fc-2048x64`, `conv-4x8x16x8`, …) — the
+    /// same string the schedule store files under.
+    pub key: String,
+    /// Encoding of the schedule the programs were generated for.
+    pub encoding: String,
+    /// Structural configuration fingerprint of the target device
+    /// ([`vip_core::SystemConfig::snapshot_fingerprint`]).
+    pub fingerprint: u64,
+    /// Batch size the codegen specialized for.
+    pub batch: usize,
+}
+
+/// A concurrent map from [`CacheKey`] to shared prepared programs,
+/// with hit/miss counters. Builds happen under the lock, so a key is
+/// generated at most once even when parallel sweep points race for it
+/// (and the counters stay deterministic in single-threaded use — the
+/// resume test asserts on them).
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    map: Mutex<HashMap<CacheKey, Arc<Vec<Program>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the prepared programs for `key`, building (and
+    /// retaining) them via `build` on the first request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a prior builder
+    /// panicked).
+    pub fn get_or_build(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Vec<Program>,
+    ) -> Arc<Vec<Program>> {
+        let mut map = self.map.lock().expect("program cache lock");
+        if let Some(found) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        map.insert(key, Arc::clone(&built));
+        built
+    }
+
+    /// Lookups served from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct program sets currently retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("program cache lock").len()
+    }
+
+    /// Whether the cache holds nothing yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(batch: usize) -> CacheKey {
+        CacheKey {
+            key: "fc-8x8".into(),
+            encoding: "kc8".into(),
+            fingerprint: 0xfeed,
+            batch,
+        }
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let cache = ProgramCache::new();
+        let a = cache.get_or_build(key(1), Vec::new);
+        let b = cache.get_or_build(key(1), || panic!("second lookup must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different batch size is a different prepared-program set.
+        let _ = cache.get_or_build(key(2), Vec::new);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+}

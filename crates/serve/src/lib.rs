@@ -1,0 +1,45 @@
+//! # vip-serve — multi-tenant serving over a pool of simulated VIP devices
+//!
+//! The ROADMAP's production-scale serving layer: a deterministic
+//! discrete-event request scheduler (hand-rolled executor, no async
+//! runtime — determinism for a fixed seed is the house contract)
+//! multiplexing seeded open- and closed-loop inference workloads over
+//! a fleet of N independently simulated single-vault VIP devices.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`tiles`] — the servable tile classes (mlp / cnn / bp in mixed
+//!   sizes), their batchable stagers, and the per-request result
+//!   readback; tuned schedules are resolved through
+//!   [`vip_kernels::schedule_store`] exactly like the bench stagers.
+//! * [`cache`] — the prepared-program cache, keyed like the bench
+//!   runner's durable points (shape key + schedule encoding + config
+//!   fingerprint + batch) with hit/miss counters.
+//! * [`device`] — the stepping-engine selector; every device advances
+//!   in bounded quanta via the `*_until` pause points, so preemption
+//!   decisions only ever happen at slice boundaries.
+//! * [`workload`] — seeded request mixes and the open/closed load
+//!   modes.
+//! * [`scheduler`] — the discrete-event fleet executor: bounded
+//!   admission queues with typed rejection, same-key batching,
+//!   priority preemption via bit-exact snapshots, and migration of a
+//!   parked job onto whichever device frees up first.
+//! * [`metrics`] / [`sweep`] — per-request latency records, integer
+//!   nearest-rank percentiles, the offered-load sweep, and the
+//!   `BENCH_serving.json` report (byte-identical for a fixed seed at
+//!   any `--jobs`).
+
+pub mod cache;
+pub mod device;
+pub mod metrics;
+pub mod scheduler;
+pub mod sweep;
+pub mod tiles;
+pub mod workload;
+
+pub use cache::ProgramCache;
+pub use device::Engine;
+pub use scheduler::{serve, Rejection, RequestRecord, ServeConfig, ServeOutcome};
+pub use sweep::{gate, report_json, run_sweep, SweepConfig, SweepPoint};
+pub use tiles::{StagedJob, TileClass};
+pub use workload::{LoadMode, MixEntry, Workload};

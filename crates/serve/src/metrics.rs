@@ -1,0 +1,98 @@
+//! Latency and throughput summaries over a serving outcome.
+//!
+//! All integer arithmetic on the cycle domain (nearest-rank
+//! percentiles over sorted latencies); floats only appear at the very
+//! edge, converting cycles to wall-clock milliseconds at the device
+//! clock for the report.
+
+use vip_core::{cycles_to_ms, CLOCK_HZ};
+
+use crate::scheduler::ServeOutcome;
+
+/// Latency distribution of the completed requests, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Completed-request count the summary covers.
+    pub completed: usize,
+    /// Median latency.
+    pub p50: u64,
+    /// 99th-percentile latency (nearest rank).
+    pub p99: u64,
+    /// Mean latency (integer division).
+    pub mean: u64,
+    /// Worst latency.
+    pub max: u64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// value with at least `pct`% of the samples at or below it.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `pct` is outside `1..=100`.
+#[must_use]
+pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((1..=100).contains(&pct), "percentile rank out of range");
+    let n = sorted.len() as u64;
+    let rank = (n * pct).div_ceil(100).max(1);
+    sorted[usize::try_from(rank - 1).expect("rank fits")]
+}
+
+/// Summarizes the completed requests' latencies (`None` if nothing
+/// completed).
+#[must_use]
+pub fn latency_summary(outcome: &ServeOutcome) -> Option<LatencySummary> {
+    let mut lat: Vec<u64> = outcome.records.iter().filter_map(|r| r.latency()).collect();
+    if lat.is_empty() {
+        return None;
+    }
+    lat.sort_unstable();
+    let sum: u64 = lat.iter().sum();
+    Some(LatencySummary {
+        completed: lat.len(),
+        p50: percentile(&lat, 50),
+        p99: percentile(&lat, 99),
+        mean: sum / lat.len() as u64,
+        max: *lat.last().expect("non-empty"),
+    })
+}
+
+/// Completed requests per (simulated) second over the run's makespan.
+#[must_use]
+pub fn throughput_rps(outcome: &ServeOutcome) -> f64 {
+    if outcome.makespan == 0 {
+        return 0.0;
+    }
+    let completed = outcome
+        .records
+        .iter()
+        .filter(|r| r.completion.is_some())
+        .count();
+    completed as f64 * CLOCK_HZ / outcome.makespan as f64
+}
+
+/// Cycles → milliseconds at the device clock (re-exported shape the
+/// report writer uses).
+#[must_use]
+pub fn ms(cycles: u64) -> f64 {
+    cycles_to_ms(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        // 3 samples: p50 is the 2nd, p99 the 3rd.
+        assert_eq!(percentile(&[1, 2, 3], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3], 99), 3);
+    }
+}

@@ -1,0 +1,557 @@
+//! The discrete-event fleet scheduler.
+//!
+//! One fleet-wide virtual clock, one event heap. Devices are full
+//! simulated `System`s; the scheduler advances the one holding a job
+//! in bounded quanta (eagerly simulating each slice when it is
+//! dispatched, then scheduling the completion event at the fleet time
+//! the slice ends). Everything is ordered by `(cycle, sequence)` with
+//! a monotone sequence counter, so execution is a pure function of
+//! the workload seed — no host threads, no wall clock, no hashmap
+//! iteration order anywhere near a decision.
+//!
+//! Admission: two FIFO queues (priority 0 = interactive, 1 = batch)
+//! with a shared depth bound; an arrival that would exceed the bound
+//! gets a typed [`Rejection`] (terminal in open loop, retry-after-
+//! backoff in closed loop). Dispatch prefers interactive work, batches
+//! same-key compatible requests up to the class's batch limit, and
+//! resumes parked jobs before starting new batch-class work.
+//!
+//! Preemption: a batch-priority job that pauses at a slice boundary
+//! while interactive work is queued is snapshotted (the bit-exact
+//! checkpoint of [`vip_core::System::save_snapshot`]) and parked; the
+//! snapshot restores onto whichever device frees up first — migration
+//! across devices is safe because every device in the fleet shares
+//! one structural configuration fingerprint.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::path::PathBuf;
+
+use vip_core::{RunOutcome, System, SystemConfig};
+use vip_mem::MemConfig;
+use vip_rng::SplitMix64;
+
+use crate::cache::ProgramCache;
+use crate::device::Engine;
+use crate::tiles::{ResultReader, TileClass};
+use crate::workload::{LoadMode, Workload};
+
+/// Fleet and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated devices in the pool.
+    pub devices: usize,
+    /// Shared admission bound: queued requests across both priority
+    /// classes may not exceed this.
+    pub queue_depth: usize,
+    /// Device slice length in cycles; preemption and completion are
+    /// only observed at slice boundaries.
+    pub quantum: u64,
+    /// Upper bound on requests batched into one tile (further capped
+    /// by each class's [`TileClass::batch_limit`]).
+    pub batch_max: usize,
+    /// Stepping engine for every device.
+    pub engine: Engine,
+    /// Per-device memory configuration (devices are single-vault).
+    pub mem: MemConfig,
+    /// Where tuned schedule artifacts live.
+    pub schedule_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            devices: 4,
+            queue_depth: 64,
+            quantum: 100_000,
+            batch_max: 8,
+            engine: Engine::Fast,
+            mem: MemConfig::baseline(),
+            schedule_dir: vip_kernels::schedule_store::dir(),
+        }
+    }
+}
+
+/// Why an arrival was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The shared queue bound was already met.
+    QueueFull {
+        /// The rejected request's priority class.
+        priority: u8,
+        /// Queue occupancy at the instant of rejection.
+        depth: usize,
+    },
+}
+
+/// The full life of one request, as the report records it.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request id (issue order).
+    pub id: u64,
+    /// Issuing client (closed loop only).
+    pub client: Option<usize>,
+    /// What was asked for.
+    pub class: TileClass,
+    /// The class's schedule-store shape key.
+    pub key: String,
+    /// Priority class (0 interactive, 1 batch).
+    pub priority: u8,
+    /// Fleet cycle the request (finally) arrived.
+    pub arrival: u64,
+    /// Fleet cycle its tile started running, if it ever did.
+    pub dispatch: Option<u64>,
+    /// Fleet cycle its results were read back.
+    pub completion: Option<u64>,
+    /// Device the tile finished on.
+    pub device: Option<usize>,
+    /// Requests sharing its tile (1 = unbatched).
+    pub batch: usize,
+    /// Times its job moved to a different device via snapshot.
+    pub migrations: u32,
+    /// Closed-loop admission retries before it got in.
+    pub retries: u32,
+    /// Terminal rejection (open loop only).
+    pub rejection: Option<Rejection>,
+    /// FNV-1a hash of the request's result blob.
+    pub result_hash: u64,
+}
+
+impl RequestRecord {
+    /// Queueing + service latency in cycles, if the request completed.
+    #[must_use]
+    pub fn latency(&self) -> Option<u64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-request records, in id order, one per issued request.
+    pub records: Vec<RequestRecord>,
+    /// Fleet cycle the last event settled.
+    pub makespan: u64,
+    /// Slice-boundary preemptions taken.
+    pub preemptions: u64,
+    /// Parked jobs resumed on a device other than the one they left.
+    pub migrations: u64,
+    /// Tiles dispatched serving more than one request.
+    pub batches: u64,
+    /// Total tiles dispatched.
+    pub dispatches: u64,
+    /// High-water queue occupancy per priority class.
+    pub max_queue_depth: [usize; 2],
+    /// Arrivals refused admission (terminal or retried).
+    pub rejections: u64,
+    /// Busy cycles per device.
+    pub device_busy: Vec<u64>,
+    /// Prepared-program cache hits over the run.
+    pub cache_hits: u64,
+    /// Prepared-program cache misses (program builds) over the run.
+    pub cache_misses: u64,
+}
+
+/// A queued request awaiting dispatch.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: u64,
+    class: TileClass,
+    priority: u8,
+}
+
+/// The scheduler's view of one in-flight tile.
+#[derive(Debug)]
+struct JobMeta {
+    reqs: Vec<u64>,
+    limit: u64,
+    reader: ResultReader,
+    home: usize,
+}
+
+/// A job parked mid-flight as a snapshot.
+#[derive(Debug)]
+struct Parked {
+    meta: JobMeta,
+    snapshot: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceEnd {
+    Done,
+    Paused,
+}
+
+struct Running {
+    meta: JobMeta,
+    sys: Box<System>,
+    end: SliceEnd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// Request with this id arrives (or retries admission).
+    Arrive(u64),
+    /// The device's current slice ends.
+    Device(usize),
+}
+
+type EventHeap = BinaryHeap<Reverse<(u64, u64, EvKind)>>;
+
+/// Shared mutable bookkeeping the event handlers thread through.
+struct Fleet {
+    heap: EventHeap,
+    seq: u64,
+    issued: u64,
+    client_of: HashMap<u64, usize>,
+    think_rngs: Vec<SplitMix64>,
+    queues: [VecDeque<Pending>; 2],
+    parked: VecDeque<Parked>,
+    devices: Vec<Option<Running>>,
+    outcome: ServeOutcome,
+}
+
+impl Fleet {
+    fn post(&mut self, at: u64, kind: EvKind) {
+        self.heap.push(Reverse((at, self.seq, kind)));
+        self.seq += 1;
+    }
+
+    /// Issues request number `issued` at fleet time `at` and returns
+    /// its id (the record is appended; the arrival event is not).
+    fn issue(&mut self, workload: &Workload, at: u64, client: Option<usize>) -> u64 {
+        let id = self.issued;
+        self.issued += 1;
+        let entry = workload.draw(id);
+        self.outcome.records.push(RequestRecord {
+            id,
+            client,
+            class: entry.class,
+            key: entry.class.key(),
+            priority: entry.priority,
+            arrival: at,
+            dispatch: None,
+            completion: None,
+            device: None,
+            batch: 1,
+            migrations: 0,
+            retries: 0,
+            rejection: None,
+            result_hash: 0,
+        });
+        if let Some(c) = client {
+            self.client_of.insert(id, c);
+        }
+        id
+    }
+}
+
+/// Runs `workload` over the fleet described by `cfg` and returns the
+/// full outcome. Deterministic: same config + same workload ⇒
+/// identical outcome, field for field.
+///
+/// # Panics
+///
+/// Panics if the fleet is empty, the queue bound is zero, or a device
+/// simulation faults (a hang or trap inside a staged tile is a kernel
+/// bug, not a serving-policy outcome).
+#[must_use]
+pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
+    assert!(cfg.devices > 0, "fleet needs at least one device");
+    assert!(cfg.queue_depth > 0, "queue bound must admit something");
+    assert!(cfg.quantum > 0, "a zero quantum cannot make progress");
+    let dev_cfg = SystemConfig::single_vault(cfg.mem.clone());
+    let cache = ProgramCache::new();
+
+    let mut fleet = Fleet {
+        heap: BinaryHeap::new(),
+        seq: 0,
+        issued: 0,
+        client_of: HashMap::new(),
+        think_rngs: Vec::new(),
+        queues: [VecDeque::new(), VecDeque::new()],
+        parked: VecDeque::new(),
+        devices: (0..cfg.devices).map(|_| None).collect(),
+        outcome: ServeOutcome {
+            records: Vec::with_capacity(workload.requests),
+            makespan: 0,
+            preemptions: 0,
+            migrations: 0,
+            batches: 0,
+            dispatches: 0,
+            max_queue_depth: [0, 0],
+            rejections: 0,
+            device_busy: vec![0; cfg.devices],
+            cache_hits: 0,
+            cache_misses: 0,
+        },
+    };
+
+    match workload.mode {
+        LoadMode::Open { mean_gap } => {
+            let mut rng = workload.arrival_rng();
+            let mut t = 0u64;
+            for _ in 0..workload.requests {
+                t += rng.below(2 * mean_gap + 1);
+                let id = fleet.issue(workload, t, None);
+                fleet.post(t, EvKind::Arrive(id));
+            }
+        }
+        LoadMode::Closed { clients, think: _ } => {
+            assert!(clients > 0, "closed loop needs at least one client");
+            for c in 0..clients {
+                fleet.think_rngs.push(workload.think_rng(c));
+                if (fleet.issued as usize) < workload.requests {
+                    let id = fleet.issue(workload, 0, Some(c));
+                    fleet.post(0, EvKind::Arrive(id));
+                }
+            }
+        }
+    }
+
+    while let Some(Reverse((now, _, kind))) = fleet.heap.pop() {
+        fleet.outcome.makespan = fleet.outcome.makespan.max(now);
+        match kind {
+            EvKind::Arrive(id) => on_arrive(&mut fleet, cfg, &dev_cfg, &cache, workload, now, id),
+            EvKind::Device(d) => on_device(&mut fleet, cfg, &dev_cfg, &cache, workload, now, d),
+        }
+    }
+
+    fleet.outcome.cache_hits = cache.hits();
+    fleet.outcome.cache_misses = cache.misses();
+    fleet.outcome
+}
+
+fn on_arrive(
+    fleet: &mut Fleet,
+    cfg: &ServeConfig,
+    dev_cfg: &SystemConfig,
+    cache: &ProgramCache,
+    workload: &Workload,
+    now: u64,
+    id: u64,
+) {
+    let depth = fleet.queues[0].len() + fleet.queues[1].len();
+    let rec = &mut fleet.outcome.records[usize::try_from(id).expect("id fits")];
+    if depth >= cfg.queue_depth {
+        fleet.outcome.rejections += 1;
+        match workload.mode {
+            LoadMode::Open { .. } => {
+                rec.rejection = Some(Rejection::QueueFull {
+                    priority: rec.priority,
+                    depth,
+                });
+            }
+            LoadMode::Closed { .. } => {
+                // Back off one quantum and retry; the arrival time
+                // moves so latency measures from the admitting
+                // attempt.
+                rec.retries += 1;
+                let at = now + cfg.quantum;
+                rec.arrival = at;
+                fleet.post(at, EvKind::Arrive(id));
+            }
+        }
+        return;
+    }
+    let q = usize::from(rec.priority.min(1));
+    let pending = Pending {
+        id,
+        class: rec.class,
+        priority: rec.priority,
+    };
+    fleet.queues[q].push_back(pending);
+    fleet.outcome.max_queue_depth[q] = fleet.outcome.max_queue_depth[q].max(fleet.queues[q].len());
+    assert!(
+        fleet.queues[0].len() + fleet.queues[1].len() <= cfg.queue_depth,
+        "admission bound violated"
+    );
+    if let Some(d) = fleet.devices.iter().position(Option::is_none) {
+        dispatch(fleet, cfg, dev_cfg, cache, now, d);
+    }
+}
+
+fn on_device(
+    fleet: &mut Fleet,
+    cfg: &ServeConfig,
+    dev_cfg: &SystemConfig,
+    cache: &ProgramCache,
+    workload: &Workload,
+    now: u64,
+    d: usize,
+) {
+    let running = fleet.devices[d].take().expect("device event without a job");
+    match running.end {
+        SliceEnd::Done => {
+            let Running { meta, sys, .. } = running;
+            let blobs = meta.reader.read(sys.hmc());
+            assert!(
+                blobs.len() >= meta.reqs.len(),
+                "tile produced fewer result blobs than batched requests"
+            );
+            let batch = meta.reqs.len();
+            for (req, blob) in meta.reqs.iter().zip(&blobs) {
+                let i = usize::try_from(*req).expect("id fits");
+                let rec = &mut fleet.outcome.records[i];
+                rec.completion = Some(now);
+                rec.device = Some(d);
+                rec.batch = batch;
+                rec.result_hash = vip_snap::hash_bytes(blob);
+            }
+            // Closed loop: each satisfied client thinks, then issues
+            // its next request.
+            if let LoadMode::Closed { think, .. } = workload.mode {
+                for i in 0..batch {
+                    let req = meta.reqs[i];
+                    if (fleet.issued as usize) >= workload.requests {
+                        break;
+                    }
+                    let c = fleet.client_of[&req];
+                    let gap = fleet.think_rngs[c].below(2 * think + 1);
+                    let at = now + gap;
+                    let id = fleet.issue(workload, at, Some(c));
+                    fleet.post(at, EvKind::Arrive(id));
+                }
+            }
+            dispatch(fleet, cfg, dev_cfg, cache, now, d);
+        }
+        SliceEnd::Paused => {
+            let batch_job =
+                running.meta.reqs.iter().all(|r| {
+                    fleet.outcome.records[usize::try_from(*r).expect("id fits")].priority > 0
+                });
+            if batch_job && !fleet.queues[0].is_empty() {
+                // Interactive work is waiting: park the batch job
+                // bit-exactly and give the queue the device.
+                fleet.outcome.preemptions += 1;
+                let snapshot = running.sys.save_snapshot();
+                fleet.parked.push_back(Parked {
+                    meta: running.meta,
+                    snapshot,
+                });
+                dispatch(fleet, cfg, dev_cfg, cache, now, d);
+            } else {
+                let mut running = running;
+                run_slice(fleet, cfg, &mut running, now, d);
+                fleet.devices[d] = Some(running);
+            }
+        }
+    }
+}
+
+/// Picks the next job for idle device `d` and starts its first slice.
+/// Preference order: fresh interactive batch, then a parked job, then
+/// fresh batch-class work.
+fn dispatch(
+    fleet: &mut Fleet,
+    cfg: &ServeConfig,
+    dev_cfg: &SystemConfig,
+    cache: &ProgramCache,
+    now: u64,
+    d: usize,
+) {
+    debug_assert!(fleet.devices[d].is_none());
+    let mut running = if !fleet.queues[0].is_empty() {
+        start_batch(fleet, cfg, dev_cfg, cache, now, d, 0)
+    } else if let Some(p) = fleet.parked.pop_front() {
+        let mut sys = Box::new(System::new(dev_cfg.clone()));
+        sys.restore_snapshot(&p.snapshot)
+            .expect("fleet devices share one fingerprint");
+        let mut meta = p.meta;
+        if meta.home != d {
+            fleet.outcome.migrations += 1;
+            for req in &meta.reqs {
+                let i = usize::try_from(*req).expect("id fits");
+                fleet.outcome.records[i].migrations += 1;
+            }
+            meta.home = d;
+        }
+        Running {
+            meta,
+            sys,
+            end: SliceEnd::Paused,
+        }
+    } else if !fleet.queues[1].is_empty() {
+        start_batch(fleet, cfg, dev_cfg, cache, now, d, 1)
+    } else {
+        return;
+    };
+
+    run_slice(fleet, cfg, &mut running, now, d);
+    fleet.devices[d] = Some(running);
+}
+
+/// Pops queue `q`'s head plus every same-class follower (in arrival
+/// order, up to the batch bound), stages the tile, and returns it
+/// ready for its first slice. Batching is the only reordering the
+/// FIFO-fairness property permits: it may lift same-key requests past
+/// other keys, but never reorders requests of one key.
+fn start_batch(
+    fleet: &mut Fleet,
+    cfg: &ServeConfig,
+    dev_cfg: &SystemConfig,
+    cache: &ProgramCache,
+    now: u64,
+    d: usize,
+    q: usize,
+) -> Running {
+    let head = fleet.queues[q]
+        .pop_front()
+        .expect("dispatch from an empty queue");
+    let limit = cfg.batch_max.min(head.class.batch_limit()).max(1);
+    let mut reqs = vec![head.id];
+    if limit > 1 {
+        let queue = &mut fleet.queues[q];
+        let mut i = 0;
+        while i < queue.len() && reqs.len() < limit {
+            if queue[i].class == head.class && queue[i].priority == head.priority {
+                let p = queue.remove(i).expect("scanned index is in range");
+                reqs.push(p.id);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    let batch = reqs.len();
+    fleet.outcome.dispatches += 1;
+    if batch > 1 {
+        fleet.outcome.batches += 1;
+    }
+    let mut staged = head.class.stage(dev_cfg, batch, &cfg.schedule_dir, cache);
+    staged.load_programs();
+    for req in &reqs {
+        let i = usize::try_from(*req).expect("id fits");
+        let rec = &mut fleet.outcome.records[i];
+        rec.dispatch = Some(now);
+        rec.batch = batch;
+    }
+    Running {
+        meta: JobMeta {
+            reqs,
+            limit: staged.limit,
+            reader: staged.reader,
+            home: d,
+        },
+        sys: Box::new(staged.sys),
+        end: SliceEnd::Paused,
+    }
+}
+
+/// Simulates one quantum on the job's own system (eagerly) and posts
+/// the slice-end event at the fleet time it lands.
+fn run_slice(fleet: &mut Fleet, cfg: &ServeConfig, running: &mut Running, now: u64, d: usize) {
+    let start = running.sys.now();
+    let pause = start.saturating_add(cfg.quantum).min(running.meta.limit);
+    let res = cfg
+        .engine
+        .advance(&mut running.sys, pause, running.meta.limit)
+        .expect("staged tile must not hang or trap");
+    let end = running.sys.now();
+    running.end = match res {
+        RunOutcome::Quiesced(_) => SliceEnd::Done,
+        RunOutcome::Paused(_) => SliceEnd::Paused,
+    };
+    let delta = end - start;
+    fleet.outcome.device_busy[d] += delta;
+    fleet.post(now + delta, EvKind::Device(d));
+}

@@ -1,0 +1,218 @@
+//! Property tests for the serving scheduler's invariants, seeded
+//! through `vip_rng::for_each_seed` (override with `VIP_TEST_SEED`).
+//!
+//! Per seed: no request is lost or double-completed, FIFO order holds
+//! within a priority class, the admission bound is never exceeded,
+//! and the whole outcome — records, counters, report bytes — is a
+//! pure function of (seed, config), independent of sweep `jobs`.
+
+use vip_rng::for_each_seed;
+use vip_serve::{
+    gate, report_json, run_sweep, serve, LoadMode, ServeConfig, ServeOutcome, SweepConfig, Workload,
+};
+
+fn small_serve_config() -> ServeConfig {
+    ServeConfig {
+        devices: 2,
+        queue_depth: 4,
+        quantum: 50_000,
+        batch_max: 4,
+        ..ServeConfig::default()
+    }
+}
+
+fn closed_workload(seed: u64, requests: usize, clients: usize) -> Workload {
+    Workload {
+        seed,
+        requests,
+        mode: LoadMode::Closed {
+            clients,
+            think: 20_000,
+        },
+        mix: Workload::small_mix(),
+    }
+}
+
+/// The invariants every run must satisfy, regardless of mode.
+fn check_invariants(cfg: &ServeConfig, outcome: &ServeOutcome) {
+    // Records are dense in id order: request id n is records[n] —
+    // nothing lost, nothing duplicated.
+    for (i, rec) in outcome.records.iter().enumerate() {
+        assert_eq!(rec.id as usize, i, "records must be dense in id order");
+        // A completed request has a coherent timeline.
+        if let Some(done) = rec.completion {
+            let dispatch = rec.dispatch.expect("completed requests were dispatched");
+            assert!(rec.arrival <= dispatch, "dispatch precedes arrival");
+            assert!(dispatch <= done, "completion precedes dispatch");
+            assert!(rec.rejection.is_none(), "completed yet terminally rejected");
+            assert!(rec.batch >= 1 && rec.batch <= cfg.batch_max);
+        }
+        // A terminally rejected request never ran.
+        if rec.rejection.is_some() {
+            assert!(rec.dispatch.is_none() && rec.completion.is_none());
+        }
+    }
+    // The admission bound: no per-class high-water mark ever exceeded
+    // the shared bound. (The scheduler itself hard-asserts the
+    // combined occupancy after every admission, so running at all
+    // proves the instantaneous bound; the per-class maxima here are
+    // observed at different instants and only individually bounded.)
+    assert!(
+        outcome.max_queue_depth[0].max(outcome.max_queue_depth[1]) <= cfg.queue_depth,
+        "queue depth high-water {:?} exceeds bound {}",
+        outcome.max_queue_depth,
+        cfg.queue_depth
+    );
+    // FIFO fairness within a priority class, stream by stream:
+    // batching may lift a compatible group past requests of another
+    // key, but two requests of the same priority and key must dispatch
+    // in arrival order.
+    let mut dispatched: Vec<_> = outcome
+        .records
+        .iter()
+        .filter(|r| r.dispatch.is_some())
+        .collect();
+    dispatched.sort_by_key(|r| (r.arrival, r.id));
+    for a in 0..dispatched.len() {
+        for b in a + 1..dispatched.len() {
+            let (x, y) = (dispatched[a], dispatched[b]);
+            if x.priority == y.priority && x.key == y.key {
+                assert!(
+                    x.dispatch <= y.dispatch,
+                    "requests {} and {} of one stream dispatched out of arrival order",
+                    x.id,
+                    y.id
+                );
+            }
+        }
+    }
+    // Device accounting is coherent.
+    assert_eq!(outcome.device_busy.len(), cfg.devices);
+    for busy in &outcome.device_busy {
+        assert!(*busy <= outcome.makespan, "a device was busy past the end");
+    }
+    assert!(outcome.batches <= outcome.dispatches);
+}
+
+fn assert_outcomes_identical(a: &ServeOutcome, b: &ServeOutcome) {
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.arrival, y.arrival);
+        assert_eq!(x.dispatch, y.dispatch);
+        assert_eq!(x.completion, y.completion);
+        assert_eq!(x.device, y.device);
+        assert_eq!(x.batch, y.batch);
+        assert_eq!(x.migrations, y.migrations);
+        assert_eq!(x.retries, y.retries);
+        assert_eq!(x.result_hash, y.result_hash);
+    }
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.preemptions, b.preemptions);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.dispatches, b.dispatches);
+    assert_eq!(a.rejections, b.rejections);
+    assert_eq!(a.device_busy, b.device_busy);
+}
+
+#[test]
+fn closed_loop_invariants_hold_across_seeds() {
+    let cfg = small_serve_config();
+    let mut total_preemptions = 0u64;
+    let mut total_migrations = 0u64;
+    let mut total_batches = 0u64;
+    let mut total_retries = 0u64;
+    for_each_seed("serve-closed", 11, 5, |seed| {
+        // More clients than queue slots + devices, so admission
+        // rejections (and retries) actually happen.
+        let wl = closed_workload(seed, 24, 8);
+        let outcome = serve(&cfg, &wl);
+        check_invariants(&cfg, &outcome);
+        // Closed loop: every issued request eventually completes.
+        assert_eq!(outcome.records.len(), wl.requests);
+        for rec in &outcome.records {
+            assert!(
+                rec.completion.is_some(),
+                "closed-loop request {} never completed",
+                rec.id
+            );
+            assert_ne!(rec.result_hash, 0, "request {} has no result", rec.id);
+        }
+        // Determinism: an identical rerun reproduces every field.
+        let again = serve(&cfg, &wl);
+        assert_outcomes_identical(&outcome, &again);
+        total_preemptions += outcome.preemptions;
+        total_migrations += outcome.migrations;
+        total_batches += outcome.batches;
+        total_retries += outcome
+            .records
+            .iter()
+            .map(|r| u64::from(r.retries))
+            .sum::<u64>();
+    });
+    // The interesting machinery must actually fire somewhere across
+    // the seed set, or the invariants above prove nothing about it.
+    // (Seeds are fixed, so these are deterministic, not flaky.)
+    if vip_rng::seed_override().is_none() {
+        assert!(total_preemptions > 0, "no seed exercised preemption");
+        assert!(total_migrations > 0, "no seed exercised migration");
+        assert!(total_batches > 0, "no seed exercised batching");
+        assert!(total_retries > 0, "no seed exercised admission retry");
+    }
+}
+
+#[test]
+fn open_loop_accounts_for_every_arrival() {
+    let cfg = small_serve_config();
+    for_each_seed("serve-open", 23, 3, |seed| {
+        // A tight arrival gap overwhelms the small queue, forcing
+        // terminal rejections.
+        let wl = Workload {
+            seed,
+            requests: 24,
+            mode: LoadMode::Open { mean_gap: 10_000 },
+            mix: Workload::small_mix(),
+        };
+        let outcome = serve(&cfg, &wl);
+        check_invariants(&cfg, &outcome);
+        assert_eq!(outcome.records.len(), wl.requests);
+        let completed = outcome
+            .records
+            .iter()
+            .filter(|r| r.completion.is_some())
+            .count();
+        let rejected = outcome
+            .records
+            .iter()
+            .filter(|r| r.rejection.is_some())
+            .count();
+        // Every issued request either completed or was terminally
+        // rejected — nothing lost in between.
+        assert_eq!(completed + rejected, wl.requests);
+        assert_eq!(outcome.rejections as usize, rejected);
+    });
+}
+
+#[test]
+fn sweep_report_is_jobs_independent() {
+    let sweep = |jobs: usize| SweepConfig {
+        serve: small_serve_config(),
+        seed: 0xa11ce,
+        requests: 10,
+        think: 20_000,
+        clients: vec![1, 4],
+        jobs,
+        mix: Workload::small_mix(),
+    };
+    let serial_cfg = sweep(1);
+    let serial = run_sweep(&serial_cfg);
+    let parallel_cfg = sweep(4);
+    let parallel = run_sweep(&parallel_cfg);
+    gate(&serial, serial_cfg.requests).expect("serial sweep passes the gate");
+    // Same seed + same config ⇒ byte-identical report at any --jobs.
+    assert_eq!(
+        report_json(&serial_cfg, &serial),
+        report_json(&parallel_cfg, &parallel)
+    );
+}
