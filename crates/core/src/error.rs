@@ -62,6 +62,55 @@ pub enum SimError {
     Hang(Box<HangReport>),
 }
 
+/// The coarse policy-relevant classification of a [`SimError`] — what a
+/// supervising layer (the serving fleet's failure handler, a report
+/// writer) keys retry / quarantine / accounting decisions on, without
+/// matching every variant's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureClass {
+    /// An architecturally illegal instruction ([`SimError::Trap`]).
+    Trap,
+    /// A machine-check on consumed data
+    /// ([`SimError::UncorrectableMemory`]).
+    Memory,
+    /// The interconnect gave up on a packet
+    /// ([`SimError::NocDeliveryFailed`]).
+    Noc,
+    /// A simulator protocol violation ([`SimError::OrphanResponse`]).
+    Protocol,
+    /// The cycle budget ran out with work in flight
+    /// ([`SimError::Hang`]).
+    Hang,
+}
+
+impl FailureClass {
+    /// Stable lower-case label for reports and test assertions.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureClass::Trap => "trap",
+            FailureClass::Memory => "memory",
+            FailureClass::Noc => "noc",
+            FailureClass::Protocol => "protocol",
+            FailureClass::Hang => "hang",
+        }
+    }
+}
+
+impl SimError {
+    /// This error's [`FailureClass`].
+    #[must_use]
+    pub fn class(&self) -> FailureClass {
+        match self {
+            SimError::Trap { .. } => FailureClass::Trap,
+            SimError::UncorrectableMemory { .. } => FailureClass::Memory,
+            SimError::NocDeliveryFailed { .. } => FailureClass::Noc,
+            SimError::OrphanResponse { .. } => FailureClass::Protocol,
+            SimError::Hang(_) => FailureClass::Hang,
+        }
+    }
+}
+
 /// What one unhalted PE was doing when the watchdog fired.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockedPe {

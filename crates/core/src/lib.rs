@@ -80,7 +80,7 @@ mod vector;
 
 pub use arc::ArcTable;
 pub use config::SystemConfig;
-pub use error::{BlockedPe, HangReport, SimError};
+pub use error::{BlockedPe, FailureClass, HangReport, SimError};
 pub use fast_func::FuncConfig;
 pub use lsu::{LoadStoreUnit, LsuError};
 pub use pe::{Pe, PeArchState, StallReason, TraceEvent};

@@ -24,12 +24,18 @@
 //!   admission queues with typed rejection, same-key batching,
 //!   priority preemption via bit-exact snapshots, and migration of a
 //!   parked job onto whichever device frees up first.
+//! * [`chaos`] — the seeded failure model (fault-poisoned devices,
+//!   induced hangs, crashes and decommissions) and the recovery
+//!   policy's knobs: periodic checkpoints, bounded retry with backoff,
+//!   quarantine behind health probes, deadlines, load shedding —
+//!   plus the chaos sweep and `BENCH_chaos.json`.
 //! * [`metrics`] / [`sweep`] — per-request latency records, integer
-//!   nearest-rank percentiles, the offered-load sweep, and the
-//!   `BENCH_serving.json` report (byte-identical for a fixed seed at
-//!   any `--jobs`).
+//!   nearest-rank percentiles, availability and recovery summaries,
+//!   the offered-load sweep, and the `BENCH_serving.json` report
+//!   (byte-identical for a fixed seed at any `--jobs`).
 
 pub mod cache;
+pub mod chaos;
 pub mod device;
 pub mod metrics;
 pub mod scheduler;
@@ -38,6 +44,10 @@ pub mod tiles;
 pub mod workload;
 
 pub use cache::ProgramCache;
+pub use chaos::{
+    chaos_gate, chaos_report_json, run_chaos_sweep, ChaosConfig, ChaosPoint, ChaosStats,
+    ChaosSweepConfig, FailureKind, Terminal,
+};
 pub use device::Engine;
 pub use scheduler::{serve, Rejection, RequestRecord, ServeConfig, ServeOutcome};
 pub use sweep::{gate, report_json, run_sweep, SweepConfig, SweepPoint};

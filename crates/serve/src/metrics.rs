@@ -1,18 +1,23 @@
-//! Latency and throughput summaries over a serving outcome.
+//! Latency, throughput, availability, and recovery summaries over a
+//! serving outcome.
 //!
 //! All integer arithmetic on the cycle domain (nearest-rank
 //! percentiles over sorted latencies); floats only appear at the very
 //! edge, converting cycles to wall-clock milliseconds at the device
-//! clock for the report.
+//! clock for the report. Every summary here is *total*: empty or
+//! degenerate outcomes (nothing completed, nothing recovered, an
+//! all-shed run) yield `None` or a defined value, never a panic — the
+//! chaos sweep summarizes runs where anything may have happened.
 
 use vip_core::{cycles_to_ms, CLOCK_HZ};
 
+use crate::chaos::Terminal;
 use crate::scheduler::ServeOutcome;
 
-/// Latency distribution of the completed requests, in cycles.
+/// Latency distribution of a set of requests, in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySummary {
-    /// Completed-request count the summary covers.
+    /// Request count the summary covers.
     pub completed: usize,
     /// Median latency.
     pub p50: u64,
@@ -25,25 +30,20 @@ pub struct LatencySummary {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice: the smallest
-/// value with at least `pct`% of the samples at or below it.
-///
-/// # Panics
-///
-/// Panics if `sorted` is empty or `pct` is outside `1..=100`.
+/// value with at least `pct`% of the samples at or below it. Total:
+/// `None` when the sample is empty or `pct` is outside `1..=100`.
 #[must_use]
-pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
-    assert!((1..=100).contains(&pct), "percentile rank out of range");
+pub fn percentile(sorted: &[u64], pct: u64) -> Option<u64> {
+    if sorted.is_empty() || !(1..=100).contains(&pct) {
+        return None;
+    }
     let n = sorted.len() as u64;
     let rank = (n * pct).div_ceil(100).max(1);
-    sorted[usize::try_from(rank - 1).expect("rank fits")]
+    Some(sorted[usize::try_from(rank - 1).expect("rank fits")])
 }
 
-/// Summarizes the completed requests' latencies (`None` if nothing
-/// completed).
-#[must_use]
-pub fn latency_summary(outcome: &ServeOutcome) -> Option<LatencySummary> {
-    let mut lat: Vec<u64> = outcome.records.iter().filter_map(|r| r.latency()).collect();
+/// Summarizes an unsorted latency sample (`None` if empty).
+fn summarize(mut lat: Vec<u64>) -> Option<LatencySummary> {
     if lat.is_empty() {
         return None;
     }
@@ -51,11 +51,48 @@ pub fn latency_summary(outcome: &ServeOutcome) -> Option<LatencySummary> {
     let sum: u64 = lat.iter().sum();
     Some(LatencySummary {
         completed: lat.len(),
-        p50: percentile(&lat, 50),
-        p99: percentile(&lat, 99),
+        p50: percentile(&lat, 50)?,
+        p99: percentile(&lat, 99)?,
         mean: sum / lat.len() as u64,
         max: *lat.last().expect("non-empty"),
     })
+}
+
+/// Summarizes the completed requests' latencies (`None` if nothing
+/// completed).
+#[must_use]
+pub fn latency_summary(outcome: &ServeOutcome) -> Option<LatencySummary> {
+    summarize(outcome.records.iter().filter_map(|r| r.latency()).collect())
+}
+
+/// Summarizes the latencies of failed-then-recovered requests only —
+/// arrival to completion, so it includes the failed attempts, the
+/// backoff, and the re-run. `None` when nothing recovered.
+#[must_use]
+pub fn recovery_summary(outcome: &ServeOutcome) -> Option<LatencySummary> {
+    summarize(
+        outcome
+            .records
+            .iter()
+            .filter(|r| matches!(r.status, Terminal::Recovered { .. }))
+            .filter_map(|r| r.latency())
+            .collect(),
+    )
+}
+
+/// Served requests (completed or recovered) as a percentage of issued.
+/// An empty outcome counts as fully available: nothing was refused.
+#[must_use]
+pub fn availability_pct(outcome: &ServeOutcome) -> f64 {
+    if outcome.records.is_empty() {
+        return 100.0;
+    }
+    let served = outcome
+        .records
+        .iter()
+        .filter(|r| r.status.is_served())
+        .count();
+    served as f64 * 100.0 / outcome.records.len() as f64
 }
 
 /// Completed requests per (simulated) second over the run's makespan.
@@ -82,17 +119,60 @@ pub fn ms(cycles: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::percentile;
+    use vip_rng::SplitMix64;
 
     #[test]
     fn nearest_rank_percentiles() {
         let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 50), 50);
-        assert_eq!(percentile(&v, 99), 99);
-        assert_eq!(percentile(&v, 100), 100);
-        assert_eq!(percentile(&[7], 50), 7);
-        assert_eq!(percentile(&[7], 99), 7);
+        assert_eq!(percentile(&v, 50), Some(50));
+        assert_eq!(percentile(&v, 99), Some(99));
+        assert_eq!(percentile(&v, 100), Some(100));
+        assert_eq!(percentile(&[7], 50), Some(7));
+        assert_eq!(percentile(&[7], 99), Some(7));
         // 3 samples: p50 is the 2nd, p99 the 3rd.
-        assert_eq!(percentile(&[1, 2, 3], 50), 2);
-        assert_eq!(percentile(&[1, 2, 3], 99), 3);
+        assert_eq!(percentile(&[1, 2, 3], 50), Some(2));
+        assert_eq!(percentile(&[1, 2, 3], 99), Some(3));
+    }
+
+    #[test]
+    fn percentile_is_total_over_degenerate_inputs() {
+        assert_eq!(percentile(&[], 50), None);
+        assert_eq!(percentile(&[], 1), None);
+        assert_eq!(percentile(&[1, 2, 3], 0), None);
+        assert_eq!(percentile(&[1, 2, 3], 101), None);
+    }
+
+    /// The definition, computed the slow way: the smallest sample
+    /// value `v` such that at least `pct`% of samples are ≤ `v`.
+    fn naive_nearest_rank(sorted: &[u64], pct: u64) -> Option<u64> {
+        if sorted.is_empty() || !(1..=100).contains(&pct) {
+            return None;
+        }
+        let n = sorted.len() as u64;
+        sorted
+            .iter()
+            .copied()
+            .find(|v| {
+                let at_or_below = sorted.iter().filter(|s| **s <= *v).count() as u64;
+                at_or_below * 100 >= pct * n
+            })
+            .or_else(|| sorted.last().copied())
+    }
+
+    #[test]
+    fn percentile_matches_naive_reference_on_random_samples() {
+        let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
+        for round in 0..200 {
+            let len = (round % 17) as usize; // includes empty
+            let mut v: Vec<u64> = (0..len).map(|_| rng.below(1000)).collect();
+            v.sort_unstable();
+            for pct in [0u64, 1, 25, 50, 75, 90, 99, 100, 101] {
+                assert_eq!(
+                    percentile(&v, pct),
+                    naive_nearest_rank(&v, pct),
+                    "len {len} pct {pct} sample {v:?}"
+                );
+            }
+        }
     }
 }

@@ -22,16 +22,29 @@
 //! snapshot restores onto whichever device frees up first — migration
 //! across devices is safe because every device in the fleet shares
 //! one structural configuration fingerprint.
+//!
+//! Failure and recovery: a dispatch that dies — a typed
+//! [`SimError`](vip_core::SimError) from the engine, or a chaos-model
+//! device crash ([`ChaosConfig`]) — is a policy decision, never a
+//! panic. The job retries with exponential backoff on whatever healthy
+//! device frees up, restoring its last periodic snapshot where one
+//! exists and re-running from admission otherwise; the sick device is
+//! quarantined behind health probes (circuit-breaker style) or
+//! permanently decommissioned; jobs that exhaust their attempts, miss
+//! their deadline, or arrive while surviving capacity is below the
+//! shedding floor resolve to typed terminal statuses ([`Terminal`]).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::path::PathBuf;
 
-use vip_core::{RunOutcome, System, SystemConfig};
+use vip_core::{RunOutcome, SimError, System, SystemConfig};
+use vip_faults::{FaultConfig, PPM_SCALE};
 use vip_mem::MemConfig;
 use vip_rng::SplitMix64;
 
 use crate::cache::ProgramCache;
+use crate::chaos::{ChaosConfig, ChaosStats, FailureKind, Terminal};
 use crate::device::Engine;
 use crate::tiles::{ResultReader, TileClass};
 use crate::workload::{LoadMode, Workload};
@@ -56,6 +69,10 @@ pub struct ServeConfig {
     pub mem: MemConfig,
     /// Where tuned schedule artifacts live.
     pub schedule_dir: PathBuf,
+    /// The chaos model: seeded device failures and the recovery
+    /// policy. `None` runs the fleet clean (failures in staged tiles
+    /// still resolve to typed terminal statuses, with no retries).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -68,11 +85,12 @@ impl Default for ServeConfig {
             engine: Engine::Fast,
             mem: MemConfig::baseline(),
             schedule_dir: vip_kernels::schedule_store::dir(),
+            chaos: None,
         }
     }
 }
 
-/// Why an arrival was refused admission.
+/// Why an arrival or queued request was terminally refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rejection {
     /// The shared queue bound was already met.
@@ -81,6 +99,21 @@ pub enum Rejection {
         priority: u8,
         /// Queue occupancy at the instant of rejection.
         depth: usize,
+    },
+    /// The per-job deadline expired before the request could (re)run.
+    Timeout {
+        /// The configured deadline in fleet cycles.
+        deadline: u64,
+        /// Fleet cycles the request had waited when it was cut.
+        waited: u64,
+    },
+    /// Surviving healthy capacity fell below the shedding floor and
+    /// the request's priority class was sacrificed.
+    Shed {
+        /// Healthy devices at the instant of shedding.
+        healthy: usize,
+        /// Total devices in the fleet.
+        devices: usize,
     },
 }
 
@@ -111,8 +144,17 @@ pub struct RequestRecord {
     pub migrations: u32,
     /// Closed-loop admission retries before it got in.
     pub retries: u32,
-    /// Terminal rejection (open loop only).
+    /// Terminal rejection, if any (queue-full, timeout, shed).
     pub rejection: Option<Rejection>,
+    /// Dispatch attempts its job consumed (0 if never dispatched;
+    /// >1 means the job failed and was re-dispatched).
+    pub attempts: u32,
+    /// Every device its job ran slices on, in first-visit order
+    /// (consecutive duplicates collapsed).
+    pub devices: Vec<usize>,
+    /// The typed terminal status (never [`Terminal::Pending`] in a
+    /// returned outcome).
+    pub status: Terminal,
     /// FNV-1a hash of the request's result blob.
     pub result_hash: u64,
 }
@@ -142,14 +184,19 @@ pub struct ServeOutcome {
     pub dispatches: u64,
     /// High-water queue occupancy per priority class.
     pub max_queue_depth: [usize; 2],
-    /// Arrivals refused admission (terminal or retried).
+    /// Arrivals refused admission at the queue bound (terminal in open
+    /// loop, retried in closed loop). Deadline and shedding rejections
+    /// are counted in [`ChaosStats`] instead.
     pub rejections: u64,
-    /// Busy cycles per device.
+    /// Busy cycles per device (failed slices included — the device
+    /// was occupied while they ran).
     pub device_busy: Vec<u64>,
     /// Prepared-program cache hits over the run.
     pub cache_hits: u64,
     /// Prepared-program cache misses (program builds) over the run.
     pub cache_misses: u64,
+    /// Chaos and recovery counters.
+    pub chaos: ChaosStats,
 }
 
 /// A queued request awaiting dispatch.
@@ -164,22 +211,42 @@ struct Pending {
 #[derive(Debug)]
 struct JobMeta {
     reqs: Vec<u64>,
+    class: TileClass,
     limit: u64,
     reader: ResultReader,
     home: usize,
+    /// Dispatch attempts so far (1 = first).
+    attempt: u32,
+    /// The job failed at least once and was re-dispatched.
+    recovered: bool,
+    /// The most recent recovery restored a snapshot (vs. restaged).
+    via_snapshot: bool,
+    /// What killed the most recent attempt, if any.
+    last_failure: Option<FailureKind>,
+    /// Last periodic checkpoint, bit-exact, restorable on any device.
+    ckpt: Option<Vec<u8>>,
+    /// Paused slices since the last periodic checkpoint.
+    slices_since_ckpt: u32,
 }
 
-/// A job parked mid-flight as a snapshot.
+/// A job parked mid-flight: either a bit-exact snapshot (preemption,
+/// checkpoint recovery) or a restage-from-admission marker.
 #[derive(Debug)]
 struct Parked {
     meta: JobMeta,
-    snapshot: Vec<u8>,
+    /// `Some`: restore these bytes. `None`: re-stage the class from
+    /// scratch (the job had no usable checkpoint).
+    snapshot: Option<Vec<u8>>,
+    /// Earliest fleet cycle this job may dispatch (retry backoff).
+    not_before: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SliceEnd {
     Done,
     Paused,
+    /// The slice died with a typed failure; the job needs recovery.
+    Failed(FailureKind),
 }
 
 struct Running {
@@ -188,15 +255,47 @@ struct Running {
     end: SliceEnd,
 }
 
+/// One device's health, as the recovery policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Healthy,
+    Quarantined,
+    Dead,
+}
+
+/// Per-device chaos state: the device's own draw stream, its wired
+/// fault injector (if the flaky draw selected it), and its health.
+struct DeviceChaos {
+    rng: SplitMix64,
+    flaky: bool,
+    faults: FaultConfig,
+    health: Health,
+    /// Failed health probes since the last pass (the circuit
+    /// breaker's open count).
+    strikes: u32,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EvKind {
     /// Request with this id arrives (or retries admission).
     Arrive(u64),
     /// The device's current slice ends.
     Device(usize),
+    /// A quarantined device runs its health probe.
+    Probe(usize),
+    /// A retry backoff expired: try dispatching idle devices.
+    Kick,
 }
 
 type EventHeap = BinaryHeap<Reverse<(u64, u64, EvKind)>>;
+
+/// The read-only context the event handlers share.
+struct Ctx<'a> {
+    cfg: &'a ServeConfig,
+    dev_cfg: &'a SystemConfig,
+    cache: &'a ProgramCache,
+    workload: &'a Workload,
+}
 
 /// Shared mutable bookkeeping the event handlers thread through.
 struct Fleet {
@@ -208,6 +307,7 @@ struct Fleet {
     queues: [VecDeque<Pending>; 2],
     parked: VecDeque<Parked>,
     devices: Vec<Option<Running>>,
+    chaos: Vec<DeviceChaos>,
     outcome: ServeOutcome,
 }
 
@@ -237,6 +337,9 @@ impl Fleet {
             migrations: 0,
             retries: 0,
             rejection: None,
+            attempts: 0,
+            devices: Vec::new(),
+            status: Terminal::Pending,
             result_hash: 0,
         });
         if let Some(c) = client {
@@ -244,17 +347,91 @@ impl Fleet {
         }
         id
     }
+
+    /// Whether device `d` is idle and healthy enough to take work.
+    fn device_available(&self, d: usize) -> bool {
+        self.devices[d].is_none()
+            && self
+                .chaos
+                .get(d)
+                .is_none_or(|c| c.health == Health::Healthy)
+    }
+
+    /// Devices currently healthy (all of them when chaos is off).
+    fn healthy_count(&self) -> usize {
+        if self.chaos.is_empty() {
+            self.devices.len()
+        } else {
+            self.chaos
+                .iter()
+                .filter(|c| c.health == Health::Healthy)
+                .count()
+        }
+    }
+
+    /// Devices not permanently decommissioned.
+    fn alive_count(&self) -> usize {
+        if self.chaos.is_empty() {
+            self.devices.len()
+        } else {
+            self.chaos
+                .iter()
+                .filter(|c| c.health != Health::Dead)
+                .count()
+        }
+    }
+
+    /// Removes and returns the first parked job whose retry backoff
+    /// has expired.
+    fn take_parked(&mut self, now: u64) -> Option<Parked> {
+        let i = self.parked.iter().position(|p| p.not_before <= now)?;
+        self.parked.remove(i)
+    }
+
+    /// Appends `d` to each request's device trail (consecutive
+    /// duplicates collapsed) and refreshes the attempt count.
+    fn note_dispatch(&mut self, reqs: &[u64], attempt: u32, d: usize) {
+        for req in reqs {
+            let rec = &mut self.outcome.records[usize::try_from(*req).expect("id fits")];
+            rec.attempts = attempt;
+            if rec.devices.last() != Some(&d) {
+                rec.devices.push(d);
+            }
+        }
+    }
+}
+
+/// Sets the request's terminal status (mirroring a rejection into the
+/// legacy field) and, in closed loop, lets the issuing client move on
+/// to its next request — terminal outcomes must not starve the loop.
+fn resolve(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, id: u64, status: Terminal) {
+    let rec = &mut fleet.outcome.records[usize::try_from(id).expect("id fits")];
+    debug_assert_eq!(rec.status, Terminal::Pending, "double-resolved request");
+    rec.status = status;
+    if let Terminal::Rejected(r) = status {
+        rec.rejection = Some(r);
+    }
+    if let LoadMode::Closed { think, .. } = ctx.workload.mode {
+        if (fleet.issued as usize) < ctx.workload.requests {
+            if let Some(&c) = fleet.client_of.get(&id) {
+                let gap = fleet.think_rngs[c].below(2 * think + 1);
+                let at = now + gap;
+                let next = fleet.issue(ctx.workload, at, Some(c));
+                fleet.post(at, EvKind::Arrive(next));
+            }
+        }
+    }
 }
 
 /// Runs `workload` over the fleet described by `cfg` and returns the
 /// full outcome. Deterministic: same config + same workload ⇒
-/// identical outcome, field for field.
+/// identical outcome, field for field — with or without chaos.
 ///
 /// # Panics
 ///
-/// Panics if the fleet is empty, the queue bound is zero, or a device
-/// simulation faults (a hang or trap inside a staged tile is a kernel
-/// bug, not a serving-policy outcome).
+/// Panics if the fleet is empty, the queue bound is zero, or the
+/// quantum is zero. A device failure (hang, trap, machine check,
+/// chaos crash) is a policy outcome, not a panic.
 #[must_use]
 pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
     assert!(cfg.devices > 0, "fleet needs at least one device");
@@ -262,6 +439,28 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
     assert!(cfg.quantum > 0, "a zero quantum cannot make progress");
     let dev_cfg = SystemConfig::single_vault(cfg.mem.clone());
     let cache = ProgramCache::new();
+    let ctx = Ctx {
+        cfg,
+        dev_cfg: &dev_cfg,
+        cache: &cache,
+        workload,
+    };
+
+    let chaos_state = cfg.chaos.map_or_else(Vec::new, |ch| {
+        (0..cfg.devices)
+            .map(|d| {
+                let mut rng = ch.device_rng(d);
+                let flaky = ch.flaky_ppm > 0 && rng.below(PPM_SCALE) < u64::from(ch.flaky_ppm);
+                DeviceChaos {
+                    rng,
+                    flaky,
+                    faults: ch.device_faults(d),
+                    health: Health::Healthy,
+                    strikes: 0,
+                }
+            })
+            .collect()
+    });
 
     let mut fleet = Fleet {
         heap: BinaryHeap::new(),
@@ -272,6 +471,7 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
         queues: [VecDeque::new(), VecDeque::new()],
         parked: VecDeque::new(),
         devices: (0..cfg.devices).map(|_| None).collect(),
+        chaos: chaos_state,
         outcome: ServeOutcome {
             records: Vec::with_capacity(workload.requests),
             makespan: 0,
@@ -284,6 +484,7 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
             device_busy: vec![0; cfg.devices],
             cache_hits: 0,
             cache_misses: 0,
+            chaos: ChaosStats::default(),
         },
     };
 
@@ -312,8 +513,37 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
     while let Some(Reverse((now, _, kind))) = fleet.heap.pop() {
         fleet.outcome.makespan = fleet.outcome.makespan.max(now);
         match kind {
-            EvKind::Arrive(id) => on_arrive(&mut fleet, cfg, &dev_cfg, &cache, workload, now, id),
-            EvKind::Device(d) => on_device(&mut fleet, cfg, &dev_cfg, &cache, workload, now, d),
+            EvKind::Arrive(id) => on_arrive(&mut fleet, &ctx, now, id),
+            EvKind::Device(d) => on_device(&mut fleet, &ctx, now, d),
+            EvKind::Probe(d) => on_probe(&mut fleet, &ctx, now, d),
+            EvKind::Kick => {
+                for d in 0..ctx.cfg.devices {
+                    if fleet.device_available(d) {
+                        dispatch(&mut fleet, &ctx, now, d);
+                    }
+                }
+            }
+        }
+    }
+
+    // Defensive totality: a fleet collapse resolves everything at the
+    // instant of collapse, so nothing should still be pending — but a
+    // typed terminal status is a contract, so sweep rather than trust.
+    let devices = cfg.devices;
+    let makespan = fleet.outcome.makespan;
+    for i in 0..fleet.outcome.records.len() {
+        if fleet.outcome.records[i].status == Terminal::Pending {
+            fleet.outcome.chaos.shed += 1;
+            let rec = &mut fleet.outcome.records[i];
+            rec.status = Terminal::Rejected(Rejection::Shed {
+                healthy: 0,
+                devices,
+            });
+            rec.rejection = Some(Rejection::Shed {
+                healthy: 0,
+                devices,
+            });
+            let _ = makespan;
         }
     }
 
@@ -322,32 +552,65 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
     fleet.outcome
 }
 
-fn on_arrive(
-    fleet: &mut Fleet,
-    cfg: &ServeConfig,
-    dev_cfg: &SystemConfig,
-    cache: &ProgramCache,
-    workload: &Workload,
-    now: u64,
-    id: u64,
-) {
+fn on_arrive(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, id: u64) {
+    let idx = usize::try_from(id).expect("id fits");
+    let priority = fleet.outcome.records[idx].priority;
+    if let Some(ch) = ctx.cfg.chaos {
+        // A dead fleet can serve nothing: shed terminally instead of
+        // retrying forever.
+        if fleet.alive_count() == 0 {
+            fleet.outcome.chaos.shed += 1;
+            resolve(
+                fleet,
+                ctx,
+                now,
+                id,
+                Terminal::Rejected(Rejection::Shed {
+                    healthy: 0,
+                    devices: ctx.cfg.devices,
+                }),
+            );
+            return;
+        }
+        // Load shedding: below the floor, batch-priority work is
+        // sacrificed so surviving capacity serves interactive work.
+        let healthy = fleet.healthy_count();
+        if ch.shed_floor_pct > 0
+            && priority > 0
+            && healthy * 100 < (ch.shed_floor_pct as usize) * ctx.cfg.devices
+        {
+            fleet.outcome.chaos.shed += 1;
+            resolve(
+                fleet,
+                ctx,
+                now,
+                id,
+                Terminal::Rejected(Rejection::Shed {
+                    healthy,
+                    devices: ctx.cfg.devices,
+                }),
+            );
+            return;
+        }
+    }
     let depth = fleet.queues[0].len() + fleet.queues[1].len();
-    let rec = &mut fleet.outcome.records[usize::try_from(id).expect("id fits")];
-    if depth >= cfg.queue_depth {
+    let rec = &mut fleet.outcome.records[idx];
+    if depth >= ctx.cfg.queue_depth {
         fleet.outcome.rejections += 1;
-        match workload.mode {
+        match ctx.workload.mode {
             LoadMode::Open { .. } => {
-                rec.rejection = Some(Rejection::QueueFull {
+                let rejection = Rejection::QueueFull {
                     priority: rec.priority,
                     depth,
-                });
+                };
+                resolve(fleet, ctx, now, id, Terminal::Rejected(rejection));
             }
             LoadMode::Closed { .. } => {
                 // Back off one quantum and retry; the arrival time
                 // moves so latency measures from the admitting
                 // attempt.
                 rec.retries += 1;
-                let at = now + cfg.quantum;
+                let at = now + ctx.cfg.quantum;
                 rec.arrival = at;
                 fleet.post(at, EvKind::Arrive(id));
             }
@@ -363,24 +626,29 @@ fn on_arrive(
     fleet.queues[q].push_back(pending);
     fleet.outcome.max_queue_depth[q] = fleet.outcome.max_queue_depth[q].max(fleet.queues[q].len());
     assert!(
-        fleet.queues[0].len() + fleet.queues[1].len() <= cfg.queue_depth,
+        fleet.queues[0].len() + fleet.queues[1].len() <= ctx.cfg.queue_depth,
         "admission bound violated"
     );
-    if let Some(d) = fleet.devices.iter().position(Option::is_none) {
-        dispatch(fleet, cfg, dev_cfg, cache, now, d);
+    if let Some(d) = (0..ctx.cfg.devices).find(|&d| fleet.device_available(d)) {
+        dispatch(fleet, ctx, now, d);
     }
 }
 
-fn on_device(
-    fleet: &mut Fleet,
-    cfg: &ServeConfig,
-    dev_cfg: &SystemConfig,
-    cache: &ProgramCache,
-    workload: &Workload,
-    now: u64,
-    d: usize,
-) {
+fn on_device(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, d: usize) {
     let running = fleet.devices[d].take().expect("device event without a job");
+    // The chaos crash draw happens at every slice end, before the
+    // slice's outcome is believed: a crash loses the slice (even a
+    // completed one — results are only read back from live devices).
+    if let Some(ch) = ctx.cfg.chaos {
+        if ch.crash_ppm > 0 && fleet.chaos[d].rng.below(PPM_SCALE) < u64::from(ch.crash_ppm) {
+            fleet.outcome.chaos.crashes += 1;
+            let permanent = ch.decommission_ppm > 0
+                && fleet.chaos[d].rng.below(PPM_SCALE) < u64::from(ch.decommission_ppm);
+            recover_job(fleet, ctx, now, running.meta, FailureKind::Crash);
+            take_down(fleet, ctx, now, d, permanent);
+            return;
+        }
+    }
     match running.end {
         SliceEnd::Done => {
             let Running { meta, sys, .. } = running;
@@ -390,6 +658,14 @@ fn on_device(
                 "tile produced fewer result blobs than batched requests"
             );
             let batch = meta.reqs.len();
+            let status = if meta.recovered {
+                Terminal::Recovered {
+                    attempts: meta.attempt,
+                    via_snapshot: meta.via_snapshot,
+                }
+            } else {
+                Terminal::Completed
+            };
             for (req, blob) in meta.reqs.iter().zip(&blobs) {
                 let i = usize::try_from(*req).expect("id fits");
                 let rec = &mut fleet.outcome.records[i];
@@ -397,23 +673,12 @@ fn on_device(
                 rec.device = Some(d);
                 rec.batch = batch;
                 rec.result_hash = vip_snap::hash_bytes(blob);
+                // `resolve` chains the closed-loop client, preserving
+                // the issue order of the pre-failure-handling
+                // scheduler: batched requests chain in batch order.
+                resolve(fleet, ctx, now, *req, status);
             }
-            // Closed loop: each satisfied client thinks, then issues
-            // its next request.
-            if let LoadMode::Closed { think, .. } = workload.mode {
-                for i in 0..batch {
-                    let req = meta.reqs[i];
-                    if (fleet.issued as usize) >= workload.requests {
-                        break;
-                    }
-                    let c = fleet.client_of[&req];
-                    let gap = fleet.think_rngs[c].below(2 * think + 1);
-                    let at = now + gap;
-                    let id = fleet.issue(workload, at, Some(c));
-                    fleet.post(at, EvKind::Arrive(id));
-                }
-            }
-            dispatch(fleet, cfg, dev_cfg, cache, now, d);
+            dispatch(fleet, ctx, now, d);
         }
         SliceEnd::Paused => {
             let batch_job =
@@ -427,86 +692,322 @@ fn on_device(
                 let snapshot = running.sys.save_snapshot();
                 fleet.parked.push_back(Parked {
                     meta: running.meta,
-                    snapshot,
+                    snapshot: Some(snapshot),
+                    not_before: now,
                 });
-                dispatch(fleet, cfg, dev_cfg, cache, now, d);
+                dispatch(fleet, ctx, now, d);
             } else {
                 let mut running = running;
-                run_slice(fleet, cfg, &mut running, now, d);
+                run_slice(fleet, ctx, &mut running, now, d);
                 fleet.devices[d] = Some(running);
+            }
+        }
+        SliceEnd::Failed(kind) => {
+            match kind {
+                FailureKind::Sim(vip_core::FailureClass::Hang) => {
+                    fleet.outcome.chaos.hang_failures += 1;
+                }
+                FailureKind::Sim(_) => fleet.outcome.chaos.fault_failures += 1,
+                FailureKind::Crash => unreachable!("crashes are drawn, not slice outcomes"),
+            }
+            recover_job(fleet, ctx, now, running.meta, kind);
+            if ctx.cfg.chaos.is_some() {
+                // A failure is evidence of a sick device: open the
+                // breaker and probe before trusting it again.
+                take_down(fleet, ctx, now, d, false);
+            } else {
+                dispatch(fleet, ctx, now, d);
             }
         }
     }
 }
 
-/// Picks the next job for idle device `d` and starts its first slice.
-/// Preference order: fresh interactive batch, then a parked job, then
-/// fresh batch-class work.
-fn dispatch(
-    fleet: &mut Fleet,
-    cfg: &ServeConfig,
-    dev_cfg: &SystemConfig,
-    cache: &ProgramCache,
-    now: u64,
-    d: usize,
-) {
+/// Re-queues a failed job for another attempt — restoring its last
+/// periodic checkpoint where one exists, restaging from admission
+/// otherwise — or resolves its requests terminally when the retry
+/// budget, the deadline, or the fleet itself has run out.
+fn recover_job(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, meta: JobMeta, kind: FailureKind) {
+    let ch = ctx.cfg.chaos;
+    let attempts = meta.attempt;
+    let max_attempts = ch.map_or(1, |c| c.max_attempts.max(1));
+    let deadline = ch.map_or(0, |c| c.deadline);
+    if deadline > 0 {
+        let all_expired = meta.reqs.iter().all(|req| {
+            let rec = &fleet.outcome.records[usize::try_from(*req).expect("id fits")];
+            now > rec.arrival.saturating_add(deadline)
+        });
+        if all_expired {
+            for req in meta.reqs.clone() {
+                let waited =
+                    now - fleet.outcome.records[usize::try_from(req).expect("id fits")].arrival;
+                fleet.outcome.chaos.timeouts += 1;
+                resolve(
+                    fleet,
+                    ctx,
+                    now,
+                    req,
+                    Terminal::Rejected(Rejection::Timeout { deadline, waited }),
+                );
+            }
+            return;
+        }
+    }
+    if attempts >= max_attempts || fleet.alive_count() == 0 {
+        for req in meta.reqs {
+            fleet.outcome.chaos.failed += 1;
+            resolve(fleet, ctx, now, req, Terminal::Failed { kind, attempts });
+        }
+        return;
+    }
+    fleet.outcome.chaos.job_retries += 1;
+    let mut meta = meta;
+    meta.attempt += 1;
+    meta.recovered = true;
+    meta.last_failure = Some(kind);
+    let snapshot = meta.ckpt.clone();
+    meta.via_snapshot = snapshot.is_some();
+    if snapshot.is_some() {
+        fleet.outcome.chaos.recoveries_snapshot += 1;
+    } else {
+        fleet.outcome.chaos.recoveries_restart += 1;
+    }
+    let backoff = ch.map_or(0, |c| c.retry_backoff << (attempts - 1).min(6));
+    let at = now + backoff;
+    fleet.parked.push_back(Parked {
+        meta,
+        snapshot,
+        not_before: at,
+    });
+    fleet.post(at, EvKind::Kick);
+}
+
+/// Quarantines device `d` behind a health probe, or decommissions it
+/// permanently. A collapse (no device left alive) resolves every
+/// queued and parked request on the spot.
+fn take_down(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, d: usize, permanent: bool) {
+    let ch = ctx.cfg.chaos.expect("take_down is a chaos-path action");
+    if permanent {
+        fleet.chaos[d].health = Health::Dead;
+        fleet.outcome.chaos.decommissions += 1;
+        if fleet.alive_count() == 0 {
+            collapse(fleet, ctx, now);
+        }
+    } else {
+        fleet.chaos[d].health = Health::Quarantined;
+        fleet.outcome.chaos.quarantines += 1;
+        let strikes = fleet.chaos[d].strikes;
+        fleet.post(
+            now + (ch.quarantine.max(1) << strikes.min(6)),
+            EvKind::Probe(d),
+        );
+    }
+}
+
+/// A quarantined device's health probe: pass rejoins the fleet, fail
+/// adds a strike and re-quarantines with doubled backoff until the
+/// breaker opens for good.
+fn on_probe(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, d: usize) {
+    let ch = ctx.cfg.chaos.expect("probe events only exist under chaos");
+    if fleet.chaos[d].health != Health::Quarantined {
+        return;
+    }
+    fleet.outcome.chaos.probes += 1;
+    if fleet.chaos[d].rng.below(PPM_SCALE) < u64::from(ch.probe_pass_ppm) {
+        fleet.chaos[d].health = Health::Healthy;
+        fleet.chaos[d].strikes = 0;
+        dispatch(fleet, ctx, now, d);
+    } else {
+        fleet.outcome.chaos.probe_failures += 1;
+        fleet.chaos[d].strikes += 1;
+        if fleet.chaos[d].strikes >= ch.max_strikes.max(1) {
+            fleet.chaos[d].health = Health::Dead;
+            fleet.outcome.chaos.decommissions += 1;
+            if fleet.alive_count() == 0 {
+                collapse(fleet, ctx, now);
+            }
+        } else {
+            let strikes = fleet.chaos[d].strikes;
+            fleet.post(
+                now + (ch.quarantine.max(1) << strikes.min(6)),
+                EvKind::Probe(d),
+            );
+        }
+    }
+}
+
+/// The whole fleet is dead: resolve every queued and parked request
+/// terminally so the run still accounts for everything it admitted.
+fn collapse(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64) {
+    let devices = ctx.cfg.devices;
+    let queued: Vec<u64> = fleet
+        .queues
+        .iter_mut()
+        .flat_map(|q| q.drain(..))
+        .map(|p| p.id)
+        .collect();
+    for id in queued {
+        fleet.outcome.chaos.shed += 1;
+        resolve(
+            fleet,
+            ctx,
+            now,
+            id,
+            Terminal::Rejected(Rejection::Shed {
+                healthy: 0,
+                devices,
+            }),
+        );
+    }
+    let parked: Vec<Parked> = fleet.parked.drain(..).collect();
+    for p in parked {
+        let kind = p.meta.last_failure.unwrap_or(FailureKind::Crash);
+        for req in p.meta.reqs {
+            fleet.outcome.chaos.failed += 1;
+            resolve(
+                fleet,
+                ctx,
+                now,
+                req,
+                Terminal::Failed {
+                    kind,
+                    attempts: p.meta.attempt,
+                },
+            );
+        }
+    }
+}
+
+/// Picks the next job for idle, healthy device `d` and starts its
+/// first slice. Preference order: fresh interactive batch, then a
+/// parked job whose backoff expired, then fresh batch-class work.
+fn dispatch(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, d: usize) {
     debug_assert!(fleet.devices[d].is_none());
-    let mut running = if !fleet.queues[0].is_empty() {
-        start_batch(fleet, cfg, dev_cfg, cache, now, d, 0)
-    } else if let Some(p) = fleet.parked.pop_front() {
-        let mut sys = Box::new(System::new(dev_cfg.clone()));
-        sys.restore_snapshot(&p.snapshot)
+    let mut running = if let Some(r) = start_batch(fleet, ctx, now, d, 0) {
+        r
+    } else if let Some(p) = fleet.take_parked(now) {
+        resume_parked(fleet, ctx, d, p)
+    } else if let Some(r) = start_batch(fleet, ctx, now, d, 1) {
+        r
+    } else {
+        return;
+    };
+    run_slice(fleet, ctx, &mut running, now, d);
+    fleet.devices[d] = Some(running);
+}
+
+/// Brings a parked job back onto device `d`: restores its snapshot
+/// (counting a migration if the device changed), or restages it from
+/// admission when it parked without one.
+fn resume_parked(fleet: &mut Fleet, ctx: &Ctx<'_>, d: usize, p: Parked) -> Running {
+    let mut meta = p.meta;
+    let sys = if let Some(bytes) = &p.snapshot {
+        let mut sys = Box::new(System::new(ctx.dev_cfg.clone()));
+        sys.restore_snapshot(bytes)
             .expect("fleet devices share one fingerprint");
-        let mut meta = p.meta;
         if meta.home != d {
             fleet.outcome.migrations += 1;
             for req in &meta.reqs {
                 let i = usize::try_from(*req).expect("id fits");
                 fleet.outcome.records[i].migrations += 1;
             }
-            meta.home = d;
         }
-        Running {
-            meta,
-            sys,
-            end: SliceEnd::Paused,
-        }
-    } else if !fleet.queues[1].is_empty() {
-        start_batch(fleet, cfg, dev_cfg, cache, now, d, 1)
+        // The snapshot carries the *source* device's fault wiring;
+        // the job now runs under the destination's.
+        apply_device_faults(fleet, ctx, &mut sys, d);
+        sys
     } else {
-        return;
+        let batch = meta.reqs.len();
+        let mut staged = meta
+            .class
+            .stage(ctx.dev_cfg, batch, &ctx.cfg.schedule_dir, ctx.cache);
+        staged.load_programs();
+        fleet.outcome.dispatches += 1;
+        if batch > 1 {
+            fleet.outcome.batches += 1;
+        }
+        meta.reader = staged.reader;
+        meta.limit = staged.limit;
+        meta.slices_since_ckpt = 0;
+        let mut sys = Box::new(staged.sys);
+        apply_device_faults(fleet, ctx, &mut sys, d);
+        sys
     };
+    meta.home = d;
+    fleet.note_dispatch(&meta.reqs.clone(), meta.attempt, d);
+    Running {
+        meta,
+        sys,
+        end: SliceEnd::Paused,
+    }
+}
 
-    run_slice(fleet, cfg, &mut running, now, d);
-    fleet.devices[d] = Some(running);
+/// Wires device `d`'s fault injector into `sys` (flaky devices get
+/// their per-device config, healthy ones an explicit all-off). A
+/// no-op when chaos is disabled, preserving the clean fleet's exact
+/// behaviour.
+fn apply_device_faults(fleet: &Fleet, ctx: &Ctx<'_>, sys: &mut System, d: usize) {
+    if ctx.cfg.chaos.is_none() {
+        return;
+    }
+    if fleet.chaos[d].flaky && !fleet.chaos[d].faults.is_inert() {
+        sys.set_fault_config(&fleet.chaos[d].faults);
+    } else {
+        sys.set_fault_config(&FaultConfig::disabled());
+    }
 }
 
 /// Pops queue `q`'s head plus every same-class follower (in arrival
 /// order, up to the batch bound), stages the tile, and returns it
-/// ready for its first slice. Batching is the only reordering the
-/// FIFO-fairness property permits: it may lift same-key requests past
-/// other keys, but never reorders requests of one key.
-fn start_batch(
-    fleet: &mut Fleet,
-    cfg: &ServeConfig,
-    dev_cfg: &SystemConfig,
-    cache: &ProgramCache,
-    now: u64,
-    d: usize,
-    q: usize,
-) -> Running {
-    let head = fleet.queues[q]
-        .pop_front()
-        .expect("dispatch from an empty queue");
-    let limit = cfg.batch_max.min(head.class.batch_limit()).max(1);
+/// ready for its first slice — or `None` if the queue ran out
+/// (including when every queued request had blown its deadline).
+/// Batching is the only reordering the FIFO-fairness property
+/// permits: it may lift same-key requests past other keys, but never
+/// reorders requests of one key.
+fn start_batch(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, d: usize, q: usize) -> Option<Running> {
+    let deadline = ctx.cfg.chaos.map_or(0, |c| c.deadline);
+    let expired = |rec: &RequestRecord| deadline > 0 && now > rec.arrival.saturating_add(deadline);
+    let head = loop {
+        let head = fleet.queues[q].pop_front()?;
+        let idx = usize::try_from(head.id).expect("id fits");
+        if expired(&fleet.outcome.records[idx]) {
+            let waited = now - fleet.outcome.records[idx].arrival;
+            fleet.outcome.chaos.timeouts += 1;
+            resolve(
+                fleet,
+                ctx,
+                now,
+                head.id,
+                Terminal::Rejected(Rejection::Timeout { deadline, waited }),
+            );
+            continue;
+        }
+        break head;
+    };
+    let limit = ctx.cfg.batch_max.min(head.class.batch_limit()).max(1);
     let mut reqs = vec![head.id];
     if limit > 1 {
-        let queue = &mut fleet.queues[q];
         let mut i = 0;
-        while i < queue.len() && reqs.len() < limit {
-            if queue[i].class == head.class && queue[i].priority == head.priority {
-                let p = queue.remove(i).expect("scanned index is in range");
-                reqs.push(p.id);
+        while i < fleet.queues[q].len() && reqs.len() < limit {
+            if fleet.queues[q][i].class == head.class
+                && fleet.queues[q][i].priority == head.priority
+            {
+                let p = fleet.queues[q]
+                    .remove(i)
+                    .expect("scanned index is in range");
+                let idx = usize::try_from(p.id).expect("id fits");
+                if expired(&fleet.outcome.records[idx]) {
+                    let waited = now - fleet.outcome.records[idx].arrival;
+                    fleet.outcome.chaos.timeouts += 1;
+                    resolve(
+                        fleet,
+                        ctx,
+                        now,
+                        p.id,
+                        Terminal::Rejected(Rejection::Timeout { deadline, waited }),
+                    );
+                } else {
+                    reqs.push(p.id);
+                }
             } else {
                 i += 1;
             }
@@ -517,7 +1018,9 @@ fn start_batch(
     if batch > 1 {
         fleet.outcome.batches += 1;
     }
-    let mut staged = head.class.stage(dev_cfg, batch, &cfg.schedule_dir, cache);
+    let mut staged = head
+        .class
+        .stage(ctx.dev_cfg, batch, &ctx.cfg.schedule_dir, ctx.cache);
     staged.load_programs();
     for req in &reqs {
         let i = usize::try_from(*req).expect("id fits");
@@ -525,32 +1028,73 @@ fn start_batch(
         rec.dispatch = Some(now);
         rec.batch = batch;
     }
-    Running {
+    let mut sys = Box::new(staged.sys);
+    apply_device_faults(fleet, ctx, &mut sys, d);
+    fleet.note_dispatch(&reqs, 1, d);
+    Some(Running {
         meta: JobMeta {
             reqs,
+            class: head.class,
             limit: staged.limit,
             reader: staged.reader,
             home: d,
+            attempt: 1,
+            recovered: false,
+            via_snapshot: false,
+            last_failure: None,
+            ckpt: None,
+            slices_since_ckpt: 0,
         },
-        sys: Box::new(staged.sys),
+        sys,
         end: SliceEnd::Paused,
-    }
+    })
 }
 
 /// Simulates one quantum on the job's own system (eagerly) and posts
-/// the slice-end event at the fleet time it lands.
-fn run_slice(fleet: &mut Fleet, cfg: &ServeConfig, running: &mut Running, now: u64, d: usize) {
+/// the slice-end event at the fleet time it lands. A chaos hang draw
+/// caps the engine's budget at the slice boundary, so a wedged slice
+/// surfaces the engine's own typed [`SimError::Hang`] with a genuine
+/// report of the live machine; any other engine error becomes a typed
+/// slice failure for the recovery path.
+fn run_slice(fleet: &mut Fleet, ctx: &Ctx<'_>, running: &mut Running, now: u64, d: usize) {
     let start = running.sys.now();
-    let pause = start.saturating_add(cfg.quantum).min(running.meta.limit);
-    let res = cfg
-        .engine
-        .advance(&mut running.sys, pause, running.meta.limit)
-        .expect("staged tile must not hang or trap");
+    let pause = start
+        .saturating_add(ctx.cfg.quantum)
+        .min(running.meta.limit);
+    let mut limit = running.meta.limit;
+    let mut induced = false;
+    if let Some(ch) = ctx.cfg.chaos {
+        if ch.hang_ppm > 0 && fleet.chaos[d].rng.below(PPM_SCALE) < u64::from(ch.hang_ppm) {
+            limit = pause;
+            induced = true;
+        }
+    }
+    match ctx.cfg.engine.advance(&mut running.sys, pause, limit) {
+        Ok(res) => {
+            running.end = match res {
+                RunOutcome::Quiesced(_) => SliceEnd::Done,
+                RunOutcome::Paused(_) => SliceEnd::Paused,
+            };
+            if running.end == SliceEnd::Paused {
+                if let Some(ch) = ctx.cfg.chaos {
+                    if ch.checkpoint_every > 0 {
+                        running.meta.slices_since_ckpt += 1;
+                        if running.meta.slices_since_ckpt >= ch.checkpoint_every {
+                            running.meta.ckpt = Some(running.sys.save_snapshot());
+                            running.meta.slices_since_ckpt = 0;
+                        }
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            if induced && matches!(e, SimError::Hang(_)) {
+                fleet.outcome.chaos.induced_hangs += 1;
+            }
+            running.end = SliceEnd::Failed(FailureKind::Sim(e.class()));
+        }
+    }
     let end = running.sys.now();
-    running.end = match res {
-        RunOutcome::Quiesced(_) => SliceEnd::Done,
-        RunOutcome::Paused(_) => SliceEnd::Paused,
-    };
     let delta = end - start;
     fleet.outcome.device_busy[d] += delta;
     fleet.post(now + delta, EvKind::Device(d));

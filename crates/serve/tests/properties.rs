@@ -8,7 +8,8 @@
 
 use vip_rng::for_each_seed;
 use vip_serve::{
-    gate, report_json, run_sweep, serve, LoadMode, ServeConfig, ServeOutcome, SweepConfig, Workload,
+    gate, report_json, run_sweep, serve, ChaosStats, LoadMode, Rejection, ServeConfig,
+    ServeOutcome, SweepConfig, Terminal, Workload,
 };
 
 fn small_serve_config() -> ServeConfig {
@@ -47,10 +48,55 @@ fn check_invariants(cfg: &ServeConfig, outcome: &ServeOutcome) {
             assert!(rec.rejection.is_none(), "completed yet terminally rejected");
             assert!(rec.batch >= 1 && rec.batch <= cfg.batch_max);
         }
-        // A terminally rejected request never ran.
+        // A terminally rejected request never produced results; one
+        // refused at admission (queue-full, shed) never even ran. A
+        // deadline timeout may have dispatched — and failed — before
+        // its retry budget met the deadline.
         if rec.rejection.is_some() {
-            assert!(rec.dispatch.is_none() && rec.completion.is_none());
+            assert!(rec.completion.is_none());
+            if matches!(
+                rec.rejection,
+                Some(Rejection::QueueFull { .. } | Rejection::Shed { .. })
+            ) {
+                assert!(rec.dispatch.is_none());
+            }
         }
+        // Terminal-status totality and coherence: every record ends in
+        // exactly one typed status, agreeing with the legacy fields.
+        match rec.status {
+            Terminal::Pending => panic!("request {} ended without a terminal status", rec.id),
+            Terminal::Completed => {
+                assert!(rec.completion.is_some());
+                assert_eq!(rec.attempts, 1, "unfailed request consumed retries");
+            }
+            Terminal::Recovered {
+                attempts,
+                via_snapshot: _,
+            } => {
+                assert!(rec.completion.is_some());
+                assert!(attempts >= 2, "recovered implies a failed attempt");
+                assert_eq!(rec.attempts, attempts);
+            }
+            Terminal::Rejected(r) => {
+                assert_eq!(rec.rejection, Some(r));
+                assert!(rec.completion.is_none());
+            }
+            Terminal::Failed { attempts, .. } => {
+                assert!(attempts >= 1, "a job cannot fail before dispatching");
+                assert!(rec.dispatch.is_some());
+                assert!(rec.completion.is_none() && rec.rejection.is_none());
+            }
+        }
+        assert_eq!(rec.status.is_served(), rec.completion.is_some());
+        // The device trail exists exactly when the request ran.
+        assert_eq!(rec.devices.is_empty(), rec.dispatch.is_none());
+        if let Some(d) = rec.device {
+            assert_eq!(rec.devices.last(), Some(&d));
+        }
+    }
+    // A clean fleet injects nothing and recovers nothing.
+    if cfg.chaos.is_none() {
+        assert_eq!(outcome.chaos, ChaosStats::default());
     }
     // The admission bound: no per-class high-water mark ever exceeded
     // the shared bound. (The scheduler itself hard-asserts the
@@ -106,6 +152,9 @@ fn assert_outcomes_identical(a: &ServeOutcome, b: &ServeOutcome) {
         assert_eq!(x.migrations, y.migrations);
         assert_eq!(x.retries, y.retries);
         assert_eq!(x.result_hash, y.result_hash);
+        assert_eq!(x.status, y.status);
+        assert_eq!(x.attempts, y.attempts);
+        assert_eq!(x.devices, y.devices);
     }
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.preemptions, b.preemptions);
@@ -114,6 +163,7 @@ fn assert_outcomes_identical(a: &ServeOutcome, b: &ServeOutcome) {
     assert_eq!(a.dispatches, b.dispatches);
     assert_eq!(a.rejections, b.rejections);
     assert_eq!(a.device_busy, b.device_busy);
+    assert_eq!(a.chaos, b.chaos);
 }
 
 #[test]
