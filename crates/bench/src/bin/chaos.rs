@@ -38,6 +38,13 @@
 //! * `--dir <path>` — output directory (default `serve-out`)
 //! * `--schedules <path>` — tuned schedule artifacts (default:
 //!   `VIP_SCHEDULE_DIR` or `schedules/`)
+//! * `--fleet-checkpoint-every <events>` — run durably: journal
+//!   scheduler events and checkpoint the whole fleet every N events
+//!   under `<dir>/wal/` (distinct from `--checkpoint-every`, the
+//!   per-job device-snapshot cadence)
+//! * `--resume` — continue an interrupted durable run from its
+//!   journal and checkpoints (the finished report is byte-identical
+//!   to an uninterrupted run's)
 //! * `--quick` — small fleet, short points, small tiles, hotter rates
 //!   (CI smoke)
 //! * `--gate` — exit nonzero unless every request reached a typed
@@ -52,9 +59,13 @@ use std::process::exit;
 use vip_bench::cli::{env_seed, Cli};
 use vip_bench::runner::atomic_write;
 use vip_serve::{
-    chaos_gate, chaos_report_json, metrics, run_chaos_sweep, ChaosConfig, ChaosSweepConfig, Engine,
-    ServeConfig, Workload,
+    chaos_gate, chaos_report_json, metrics, run_chaos_sweep, run_chaos_sweep_durable, ChaosConfig,
+    ChaosSweepConfig, DurableConfig, Engine, ServeConfig, Workload,
 };
+
+/// Default fleet-checkpoint cadence when `--resume` is given without
+/// an explicit `--fleet-checkpoint-every`.
+const DEFAULT_FLEET_CHECKPOINT_EVERY: u64 = 256;
 
 fn main() {
     let mut cli = Cli::new(
@@ -64,7 +75,8 @@ fn main() {
          [--think <cycles>] [--seed <u64>] [--chaos-seed <u64>] [--scales <csv>] \
          [--crash-ppm <n>] [--hang-ppm <n>] [--flaky-ppm <n>] [--checkpoint-every <n>] \
          [--max-attempts <n>] [--deadline <cycles>] [--shed-floor <pct>] [--jobs <n>] \
-         [--dir <path>] [--schedules <path>] [--quick] [--gate] [--floor <pct>]",
+         [--dir <path>] [--schedules <path>] [--fleet-checkpoint-every <events>] [--resume] \
+         [--quick] [--gate] [--floor <pct>]",
     );
     let mut serve_cfg = ServeConfig::default();
     let mut requests = 48usize;
@@ -76,6 +88,8 @@ fn main() {
     let mut chaos = ChaosConfig::default_rates(0);
     let mut jobs = 1usize;
     let mut dir = PathBuf::from("serve-out");
+    let mut fleet_checkpoint_every: Option<u64> = None;
+    let mut resume = false;
     let mut quick = false;
     let mut gate_run = false;
     let mut floor = 50.0f64;
@@ -108,6 +122,10 @@ fn main() {
             "--jobs" => jobs = cli.value("--jobs"),
             "--dir" => dir = cli.value("--dir"),
             "--schedules" => serve_cfg.schedule_dir = cli.value("--schedules"),
+            "--fleet-checkpoint-every" => {
+                fleet_checkpoint_every = Some(cli.value("--fleet-checkpoint-every"));
+            }
+            "--resume" => resume = true,
             "--quick" => quick = true,
             "--gate" => gate_run = true,
             "--floor" => floor = cli.value("--floor"),
@@ -187,7 +205,22 @@ fn main() {
         "quarant",
         "failed"
     );
-    let points = run_chaos_sweep(&cfg);
+    let points = if fleet_checkpoint_every.is_some() || resume {
+        let durable = DurableConfig {
+            dir: dir.join("wal"),
+            checkpoint_every: fleet_checkpoint_every.unwrap_or(DEFAULT_FLEET_CHECKPOINT_EVERY),
+            resume,
+        };
+        match run_chaos_sweep_durable(&cfg, &durable) {
+            Ok(points) => points,
+            Err(e) => {
+                eprintln!("error: durable chaos sweep failed: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        run_chaos_sweep(&cfg)
+    };
     for p in &points {
         let c = &p.outcome.chaos;
         let rec = metrics::recovery_summary(&p.outcome);
@@ -206,10 +239,19 @@ fn main() {
         );
     }
 
-    std::fs::create_dir_all(&dir).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "error: cannot create output directory {}: {e}",
+            dir.display()
+        );
+        exit(1);
+    }
     let report = chaos_report_json(&cfg, &points);
     let path = dir.join("BENCH_chaos.json");
-    atomic_write(&path, report.as_bytes()).expect("write report");
+    if let Err(e) = atomic_write(&path, report.as_bytes()) {
+        eprintln!("error: cannot write report {}: {e}", path.display());
+        exit(1);
+    }
     println!("report: {}", path.display());
 
     if gate_run {

@@ -25,6 +25,12 @@
 //! * `--dir <path>` — output directory (default `serve-out`)
 //! * `--schedules <path>` — tuned schedule artifacts (default:
 //!   `VIP_SCHEDULE_DIR` or `schedules/`)
+//! * `--checkpoint-every <events>` — run durably: journal scheduler
+//!   events and checkpoint the whole fleet every N events under
+//!   `<dir>/wal/`
+//! * `--resume` — continue an interrupted durable run from its
+//!   journal and checkpoints (the finished report is byte-identical
+//!   to an uninterrupted run's)
 //! * `--quick` — small fleet, short sweep, small tiles (CI smoke)
 //! * `--gate` — exit nonzero unless the load curve is monotone,
 //!   saturating, and fully served
@@ -35,8 +41,13 @@ use std::process::exit;
 use vip_bench::cli::{env_seed, Cli};
 use vip_bench::runner::atomic_write;
 use vip_serve::{
-    gate, metrics, report_json, run_sweep, Engine, ServeConfig, SweepConfig, Workload,
+    gate, metrics, report_json, run_sweep, run_sweep_durable, DurableConfig, Engine, ServeConfig,
+    SweepConfig, Workload,
 };
+
+/// Default fleet-checkpoint cadence when `--resume` is given without
+/// an explicit `--checkpoint-every`.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 256;
 
 fn main() {
     let mut cli = Cli::new(
@@ -44,7 +55,7 @@ fn main() {
         "[--devices <n>] [--queue-depth <n>] [--quantum <cycles>] [--batch <n>] \
          [--engine fast|naive|functional] [--requests <n>] [--clients-max <n>] \
          [--think <cycles>] [--seed <u64>] [--jobs <n>] [--dir <path>] \
-         [--schedules <path>] [--quick] [--gate]",
+         [--schedules <path>] [--checkpoint-every <events>] [--resume] [--quick] [--gate]",
     );
     let mut serve_cfg = ServeConfig::default();
     let mut requests = 64usize;
@@ -53,6 +64,8 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut jobs = 1usize;
     let mut dir = PathBuf::from("serve-out");
+    let mut checkpoint_every: Option<u64> = None;
+    let mut resume = false;
     let mut quick = false;
     let mut gate_run = false;
     while let Some(arg) = cli.next_arg() {
@@ -75,6 +88,8 @@ fn main() {
             "--jobs" => jobs = cli.value("--jobs"),
             "--dir" => dir = cli.value("--dir"),
             "--schedules" => serve_cfg.schedule_dir = cli.value("--schedules"),
+            "--checkpoint-every" => checkpoint_every = Some(cli.value("--checkpoint-every")),
+            "--resume" => resume = true,
             "--quick" => quick = true,
             "--gate" => gate_run = true,
             _ => cli.usage(),
@@ -117,7 +132,22 @@ fn main() {
         "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8}",
         "clients", "tput(rps)", "p50(ms)", "p99(ms)", "max(ms)", "batches", "preempt", "reject"
     );
-    let points = run_sweep(&cfg);
+    let points = if checkpoint_every.is_some() || resume {
+        let durable = DurableConfig {
+            dir: dir.join("wal"),
+            checkpoint_every: checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY),
+            resume,
+        };
+        match run_sweep_durable(&cfg, &durable) {
+            Ok(points) => points,
+            Err(e) => {
+                eprintln!("error: durable sweep failed: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        run_sweep(&cfg)
+    };
     for p in &points {
         let lat = metrics::latency_summary(&p.outcome);
         println!(
@@ -133,10 +163,19 @@ fn main() {
         );
     }
 
-    std::fs::create_dir_all(&dir).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "error: cannot create output directory {}: {e}",
+            dir.display()
+        );
+        exit(1);
+    }
     let report = report_json(&cfg, &points);
     let path = dir.join("BENCH_serving.json");
-    atomic_write(&path, report.as_bytes()).expect("write report");
+    if let Err(e) = atomic_write(&path, report.as_bytes()) {
+        eprintln!("error: cannot write report {}: {e}", path.display());
+        exit(1);
+    }
     println!("report: {}", path.display());
 
     if gate_run {

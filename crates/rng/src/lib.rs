@@ -28,6 +28,14 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(rng.state())`
+    /// resumes the stream exactly where `rng` left off, which is how
+    /// checkpoints serialize RNG cursors.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);

@@ -33,15 +33,19 @@
 //! latency, and goodput versus injected failure rate, rendered as
 //! `BENCH_chaos.json`.
 
+use std::fs;
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use vip_core::FailureClass;
 use vip_faults::FaultConfig;
 use vip_rng::SplitMix64;
+use vip_snap::{Fingerprint, Reader, SnapError, Snapshot, Writer};
 
+use crate::durable::{run_dir, DurableConfig, DurableError, PointStore};
 use crate::metrics::{availability_pct, ms, recovery_summary, throughput_rps};
-use crate::scheduler::{serve, Rejection, ServeConfig, ServeOutcome};
+use crate::scheduler::{serve, serve_durable, Rejection, ServeConfig, ServeOutcome};
 use crate::workload::{LoadMode, MixEntry, Workload};
 
 /// Chaos-model knobs. All rates are integer parts-per-million
@@ -206,6 +210,26 @@ impl FailureKind {
     }
 }
 
+impl Snapshot for FailureKind {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            FailureKind::Crash => w.u8(0),
+            FailureKind::Sim(class) => {
+                w.u8(1);
+                class.save(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => FailureKind::Crash,
+            1 => FailureKind::Sim(FailureClass::restore(r)?),
+            _ => return Err(SnapError::Corrupt("failure kind tag")),
+        })
+    }
+}
+
 /// A request's typed terminal status. Every issued request ends in
 /// exactly one of these; [`Terminal::Pending`] is the in-flight
 /// placeholder and never survives a finished run.
@@ -242,6 +266,49 @@ impl Terminal {
     #[must_use]
     pub fn is_served(self) -> bool {
         matches!(self, Terminal::Completed | Terminal::Recovered { .. })
+    }
+}
+
+impl Snapshot for Terminal {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            Terminal::Pending => w.u8(0),
+            Terminal::Completed => w.u8(1),
+            Terminal::Recovered {
+                attempts,
+                via_snapshot,
+            } => {
+                w.u8(2);
+                w.u32(*attempts);
+                w.bool(*via_snapshot);
+            }
+            Terminal::Rejected(rejection) => {
+                w.u8(3);
+                rejection.save(w);
+            }
+            Terminal::Failed { kind, attempts } => {
+                w.u8(4);
+                kind.save(w);
+                w.u32(*attempts);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Terminal::Pending,
+            1 => Terminal::Completed,
+            2 => Terminal::Recovered {
+                attempts: r.u32()?,
+                via_snapshot: r.bool()?,
+            },
+            3 => Terminal::Rejected(Rejection::restore(r)?),
+            4 => Terminal::Failed {
+                kind: FailureKind::restore(r)?,
+                attempts: r.u32()?,
+            },
+            _ => return Err(SnapError::Corrupt("terminal status tag")),
+        })
     }
 }
 
@@ -282,6 +349,48 @@ pub struct ChaosStats {
     pub failed: u64,
 }
 
+impl Snapshot for ChaosStats {
+    fn save(&self, w: &mut Writer) {
+        for v in [
+            self.crashes,
+            self.induced_hangs,
+            self.hang_failures,
+            self.fault_failures,
+            self.job_retries,
+            self.recoveries_snapshot,
+            self.recoveries_restart,
+            self.quarantines,
+            self.probes,
+            self.probe_failures,
+            self.decommissions,
+            self.timeouts,
+            self.shed,
+            self.failed,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ChaosStats {
+            crashes: r.u64()?,
+            induced_hangs: r.u64()?,
+            hang_failures: r.u64()?,
+            fault_failures: r.u64()?,
+            job_retries: r.u64()?,
+            recoveries_snapshot: r.u64()?,
+            recoveries_restart: r.u64()?,
+            quarantines: r.u64()?,
+            probes: r.u64()?,
+            probe_failures: r.u64()?,
+            decommissions: r.u64()?,
+            timeouts: r.u64()?,
+            shed: r.u64()?,
+            failed: r.u64()?,
+        })
+    }
+}
+
 /// One chaos sweep's shape: a fixed closed-loop workload replayed at
 /// increasing chaos intensity.
 #[derive(Debug, Clone)]
@@ -305,6 +414,35 @@ pub struct ChaosSweepConfig {
     pub jobs: usize,
     /// The request mix.
     pub mix: Vec<MixEntry>,
+}
+
+impl ChaosSweepConfig {
+    /// The run fingerprint durable state is filed under — every
+    /// result-affecting knob of the chaos sweep. `jobs` is excluded:
+    /// the fan-out width never changes results.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.push_bytes(b"chaos-sweep");
+        self.serve.absorb(&mut f);
+        f.push_u64(self.seed);
+        f.push_usize(self.requests);
+        f.push_usize(self.clients);
+        f.push_u64(self.think);
+        f.push_usize(self.scales.len());
+        for &s in &self.scales {
+            f.push_u64(u64::from(s));
+        }
+        f.push_usize(self.mix.len());
+        for entry in &self.mix {
+            let mut w = Writer::new();
+            entry.class.save(&mut w);
+            f.push_bytes(&w.into_bytes());
+            f.push_u64(u64::from(entry.weight));
+            f.push_u64(u64::from(entry.priority));
+        }
+        f.finish()
+    }
 }
 
 /// One completed chaos sweep point.
@@ -351,6 +489,78 @@ pub fn run_chaos_sweep(cfg: &ChaosSweepConfig) -> Vec<ChaosPoint> {
                 };
                 let outcome = serve(&serve_cfg, &workload);
                 slots.lock().expect("chaos slots")[i] = Some(ChaosPoint { scale, outcome });
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("chaos slots")
+        .into_iter()
+        .map(|p| p.expect("every point ran"))
+        .collect()
+}
+
+/// [`run_chaos_sweep`] with host-crash durability: each point journals
+/// its scheduler events and checkpoints its whole fleet (chaos RNG
+/// cursors included) under `run_dir(durable.dir, cfg.fingerprint())`,
+/// and with `durable.resume` set a rerun continues every interrupted
+/// point — the final report is byte-identical to an uninterrupted
+/// run's. Without `resume`, prior state for this configuration is
+/// wiped first.
+///
+/// # Errors
+///
+/// [`DurableError`] when the filesystem refuses a read or write.
+///
+/// # Panics
+///
+/// Panics if `serve.chaos` is `None`, like [`run_chaos_sweep`].
+pub fn run_chaos_sweep_durable(
+    cfg: &ChaosSweepConfig,
+    durable: &DurableConfig,
+) -> Result<Vec<ChaosPoint>, DurableError> {
+    let base = cfg.serve.chaos.expect("chaos sweep needs a chaos config");
+    let fingerprint = cfg.fingerprint();
+    if !durable.resume {
+        let dir = run_dir(&durable.dir, fingerprint);
+        if let Err(e) = fs::remove_dir_all(&dir) {
+            if e.kind() != io::ErrorKind::NotFound {
+                return Err(DurableError::Io {
+                    op: "wipe run directory",
+                    path: dir,
+                    source: e,
+                });
+            }
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<ChaosPoint, DurableError>>>> =
+        Mutex::new(cfg.scales.iter().map(|_| None).collect());
+    let workers = cfg.jobs.max(1).min(cfg.scales.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&scale) = cfg.scales.get(i) else {
+                    break;
+                };
+                let mut serve_cfg = cfg.serve.clone();
+                serve_cfg.chaos = Some(base.scaled(scale));
+                let workload = Workload {
+                    seed: cfg.seed,
+                    requests: cfg.requests,
+                    mode: LoadMode::Closed {
+                        clients: cfg.clients,
+                        think: cfg.think,
+                    },
+                    mix: cfg.mix.clone(),
+                };
+                let result =
+                    PointStore::open(&durable.dir, i, fingerprint).and_then(|mut store| {
+                        serve_durable(&serve_cfg, &workload, &mut store, durable.checkpoint_every)
+                            .map(|outcome| ChaosPoint { scale, outcome })
+                    });
+                slots.lock().expect("chaos slots")[i] = Some(result);
             });
         }
     });

@@ -29,6 +29,11 @@
 //!   policy's knobs: periodic checkpoints, bounded retry with backoff,
 //!   quarantine behind health probes, deadlines, load shedding —
 //!   plus the chaos sweep and `BENCH_chaos.json`.
+//! * [`durable`] — host-crash durability: the CRC-framed write-ahead
+//!   journal of scheduler events, whole-fleet checkpoints (device
+//!   snapshots, queues, RNG cursors, cache keys), and the
+//!   verified-replay resume behind `--resume` — a resumed run's
+//!   report is byte-identical to an uninterrupted one's.
 //! * [`metrics`] / [`sweep`] — per-request latency records, integer
 //!   nearest-rank percentiles, availability and recovery summaries,
 //!   the offered-load sweep, and the `BENCH_serving.json` report
@@ -37,6 +42,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod device;
+pub mod durable;
 pub mod metrics;
 pub mod scheduler;
 pub mod sweep;
@@ -45,11 +51,15 @@ pub mod workload;
 
 pub use cache::ProgramCache;
 pub use chaos::{
-    chaos_gate, chaos_report_json, run_chaos_sweep, ChaosConfig, ChaosPoint, ChaosStats,
-    ChaosSweepConfig, FailureKind, Terminal,
+    chaos_gate, chaos_report_json, run_chaos_sweep, run_chaos_sweep_durable, ChaosConfig,
+    ChaosPoint, ChaosStats, ChaosSweepConfig, FailureKind, Terminal,
 };
 pub use device::Engine;
-pub use scheduler::{serve, Rejection, RequestRecord, ServeConfig, ServeOutcome};
-pub use sweep::{gate, report_json, run_sweep, SweepConfig, SweepPoint};
+pub use durable::{run_dir, DurableConfig, DurableError, LoadedPoint, PointStore};
+pub use scheduler::{
+    serve, serve_durable, serve_durable_interrupted, Rejection, RequestRecord, ServeConfig,
+    ServeOutcome,
+};
+pub use sweep::{gate, report_json, run_sweep, run_sweep_durable, SweepConfig, SweepPoint};
 pub use tiles::{StagedJob, TileClass};
 pub use workload::{LoadMode, MixEntry, Workload};

@@ -42,10 +42,12 @@ use vip_core::{RunOutcome, SimError, System, SystemConfig};
 use vip_faults::{FaultConfig, PPM_SCALE};
 use vip_mem::MemConfig;
 use vip_rng::SplitMix64;
+use vip_snap::{read_header, write_header, Fingerprint, Reader, SnapError, Snapshot, Writer};
 
-use crate::cache::ProgramCache;
+use crate::cache::{CacheKey, ProgramCache};
 use crate::chaos::{ChaosConfig, ChaosStats, FailureKind, Terminal};
 use crate::device::Engine;
+use crate::durable::{DurableError, LoadedPoint, PointStore};
 use crate::tiles::{ResultReader, TileClass};
 use crate::workload::{LoadMode, Workload};
 
@@ -90,6 +92,49 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Absorbs every result-affecting knob into a run fingerprint —
+    /// the key durable run directories are filed under, so persisted
+    /// state from a differently-configured run can never be replayed
+    /// into this one. Chaos knobs are folded in through their
+    /// canonical snapshot encoding.
+    pub(crate) fn absorb(&self, f: &mut Fingerprint) {
+        f.push_usize(self.devices);
+        f.push_usize(self.queue_depth);
+        f.push_u64(self.quantum);
+        f.push_usize(self.batch_max);
+        f.push_bytes(self.engine.label().as_bytes());
+        f.push_u64(SystemConfig::single_vault(self.mem.clone()).snapshot_fingerprint());
+        f.push_bytes(self.schedule_dir.to_string_lossy().as_bytes());
+        match self.chaos {
+            None => f.push_bool(false),
+            Some(ch) => {
+                f.push_bool(true);
+                f.push_u64(ch.seed);
+                for ppm in [
+                    ch.crash_ppm,
+                    ch.decommission_ppm,
+                    ch.hang_ppm,
+                    ch.flaky_ppm,
+                    ch.probe_pass_ppm,
+                ] {
+                    f.push_u64(u64::from(ppm));
+                }
+                let mut w = Writer::new();
+                ch.faults.save(&mut w);
+                f.push_bytes(&w.into_bytes());
+                f.push_u64(u64::from(ch.checkpoint_every));
+                f.push_u64(u64::from(ch.max_attempts));
+                f.push_u64(ch.retry_backoff);
+                f.push_u64(ch.quarantine);
+                f.push_u64(u64::from(ch.max_strikes));
+                f.push_u64(ch.deadline);
+                f.push_u64(u64::from(ch.shed_floor_pct));
+            }
+        }
+    }
+}
+
 /// Why an arrival or queued request was terminally refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rejection {
@@ -117,8 +162,48 @@ pub enum Rejection {
     },
 }
 
+impl Snapshot for Rejection {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            Rejection::QueueFull { priority, depth } => {
+                w.u8(0);
+                w.u8(priority);
+                w.usize(depth);
+            }
+            Rejection::Timeout { deadline, waited } => {
+                w.u8(1);
+                w.u64(deadline);
+                w.u64(waited);
+            }
+            Rejection::Shed { healthy, devices } => {
+                w.u8(2);
+                w.usize(healthy);
+                w.usize(devices);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Rejection::QueueFull {
+                priority: r.u8()?,
+                depth: r.usize()?,
+            },
+            1 => Rejection::Timeout {
+                deadline: r.u64()?,
+                waited: r.u64()?,
+            },
+            2 => Rejection::Shed {
+                healthy: r.usize()?,
+                devices: r.usize()?,
+            },
+            _ => return Err(SnapError::Corrupt("rejection tag")),
+        })
+    }
+}
+
 /// The full life of one request, as the report records it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestRecord {
     /// Request id (issue order).
     pub id: u64,
@@ -167,8 +252,52 @@ impl RequestRecord {
     }
 }
 
+impl Snapshot for RequestRecord {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.id);
+        self.client.save(w);
+        self.class.save(w);
+        self.key.save(w);
+        w.u8(self.priority);
+        w.u64(self.arrival);
+        self.dispatch.save(w);
+        self.completion.save(w);
+        self.device.save(w);
+        w.usize(self.batch);
+        w.u32(self.migrations);
+        w.u32(self.retries);
+        self.rejection.save(w);
+        w.u32(self.attempts);
+        self.devices.save(w);
+        self.status.save(w);
+        w.u64(self.result_hash);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(RequestRecord {
+            id: r.u64()?,
+            client: Option::restore(r)?,
+            class: TileClass::restore(r)?,
+            key: String::restore(r)?,
+            priority: r.u8()?,
+            arrival: r.u64()?,
+            dispatch: Option::restore(r)?,
+            completion: Option::restore(r)?,
+            device: Option::restore(r)?,
+            batch: r.usize()?,
+            migrations: r.u32()?,
+            retries: r.u32()?,
+            rejection: Option::restore(r)?,
+            attempts: r.u32()?,
+            devices: Vec::restore(r)?,
+            status: Terminal::restore(r)?,
+            result_hash: r.u64()?,
+        })
+    }
+}
+
 /// Everything one serving run produced.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeOutcome {
     /// Per-request records, in id order, one per issued request.
     pub records: Vec<RequestRecord>,
@@ -197,6 +326,40 @@ pub struct ServeOutcome {
     pub cache_misses: u64,
     /// Chaos and recovery counters.
     pub chaos: ChaosStats,
+}
+
+impl Snapshot for ServeOutcome {
+    fn save(&self, w: &mut Writer) {
+        self.records.save(w);
+        w.u64(self.makespan);
+        w.u64(self.preemptions);
+        w.u64(self.migrations);
+        w.u64(self.batches);
+        w.u64(self.dispatches);
+        self.max_queue_depth.save(w);
+        w.u64(self.rejections);
+        self.device_busy.save(w);
+        w.u64(self.cache_hits);
+        w.u64(self.cache_misses);
+        self.chaos.save(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(ServeOutcome {
+            records: Vec::restore(r)?,
+            makespan: r.u64()?,
+            preemptions: r.u64()?,
+            migrations: r.u64()?,
+            batches: r.u64()?,
+            dispatches: r.u64()?,
+            max_queue_depth: <[usize; 2]>::restore(r)?,
+            rejections: r.u64()?,
+            device_busy: Vec::restore(r)?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            chaos: ChaosStats::restore(r)?,
+        })
+    }
 }
 
 /// A queued request awaiting dispatch.
@@ -287,6 +450,32 @@ enum EvKind {
     Kick,
 }
 
+impl EvKind {
+    /// `(tag, argument)` encoding for journal records and checkpoints.
+    fn encode(self) -> (u8, u64) {
+        match self {
+            EvKind::Arrive(id) => (0, id),
+            EvKind::Device(d) => (1, d as u64),
+            EvKind::Probe(d) => (2, d as u64),
+            EvKind::Kick => (3, 0),
+        }
+    }
+
+    fn decode(tag: u8, arg: u64) -> Result<Self, SnapError> {
+        Ok(match tag {
+            0 => EvKind::Arrive(arg),
+            1 => EvKind::Device(
+                usize::try_from(arg).map_err(|_| SnapError::Corrupt("device index"))?,
+            ),
+            2 => {
+                EvKind::Probe(usize::try_from(arg).map_err(|_| SnapError::Corrupt("device index"))?)
+            }
+            3 => EvKind::Kick,
+            _ => return Err(SnapError::Corrupt("event kind tag")),
+        })
+    }
+}
+
 type EventHeap = BinaryHeap<Reverse<(u64, u64, EvKind)>>;
 
 /// The read-only context the event handlers share.
@@ -302,6 +491,9 @@ struct Fleet {
     heap: EventHeap,
     seq: u64,
     issued: u64,
+    /// Events popped and handled so far — the write-ahead journal's
+    /// record ordinal and the fleet-checkpoint cadence counter.
+    events_settled: u64,
     client_of: HashMap<u64, usize>,
     think_rngs: Vec<SplitMix64>,
     queues: [VecDeque<Pending>; 2],
@@ -399,6 +591,65 @@ impl Fleet {
             }
         }
     }
+
+    /// A cheap FNV digest of the scheduler-visible state, journaled
+    /// with every event so replay divergence is caught at the first
+    /// differing event rather than at the end of the run.
+    fn digest(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.push_u64(self.seq);
+        f.push_u64(self.issued);
+        f.push_usize(self.outcome.records.len());
+        f.push_u64(self.outcome.makespan);
+        f.push_u64(self.outcome.dispatches);
+        f.push_u64(self.outcome.preemptions);
+        f.push_u64(self.outcome.migrations);
+        f.push_u64(self.outcome.batches);
+        f.push_u64(self.outcome.rejections);
+        f.push_usize(self.queues[0].len());
+        f.push_usize(self.queues[1].len());
+        f.push_usize(self.parked.len());
+        f.push_usize(self.devices.iter().filter(|d| d.is_some()).count());
+        let c = &self.outcome.chaos;
+        f.push_u64(
+            c.crashes
+                + c.induced_hangs
+                + c.hang_failures
+                + c.fault_failures
+                + c.job_retries
+                + c.quarantines
+                + c.probes
+                + c.decommissions
+                + c.timeouts
+                + c.shed
+                + c.failed,
+        );
+        f.finish()
+    }
+}
+
+/// One settled scheduler event, as the write-ahead journal records it.
+struct StepEvent {
+    /// Ordinal of this event (1-based count of settled events).
+    index: u64,
+    /// Fleet cycle the event fired.
+    now: u64,
+    /// What fired.
+    kind: EvKind,
+    /// [`Fleet::digest`] after handling the event.
+    digest: u64,
+}
+
+/// Encodes one journal record payload.
+fn event_payload(ev: &StepEvent) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(ev.index);
+    w.u64(ev.now);
+    let (tag, arg) = ev.kind.encode();
+    w.u8(tag);
+    w.u64(arg);
+    w.u64(ev.digest);
+    w.into_bytes()
 }
 
 /// Sets the request's terminal status (mirroring a rejection into the
@@ -434,9 +685,6 @@ fn resolve(fleet: &mut Fleet, ctx: &Ctx<'_>, now: u64, id: u64, status: Terminal
 /// chaos crash) is a policy outcome, not a panic.
 #[must_use]
 pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
-    assert!(cfg.devices > 0, "fleet needs at least one device");
-    assert!(cfg.queue_depth > 0, "queue bound must admit something");
-    assert!(cfg.quantum > 0, "a zero quantum cannot make progress");
     let dev_cfg = SystemConfig::single_vault(cfg.mem.clone());
     let cache = ProgramCache::new();
     let ctx = Ctx {
@@ -445,6 +693,19 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
         cache: &cache,
         workload,
     };
+    let mut fleet = init_fleet(&ctx);
+    while step(&mut fleet, &ctx).is_some() {}
+    finalize(fleet, &ctx)
+}
+
+/// Builds the fleet at cycle zero: chaos streams seeded, the
+/// workload's initial arrivals posted, nothing dispatched yet.
+fn init_fleet(ctx: &Ctx<'_>) -> Fleet {
+    let cfg = ctx.cfg;
+    let workload = ctx.workload;
+    assert!(cfg.devices > 0, "fleet needs at least one device");
+    assert!(cfg.queue_depth > 0, "queue bound must admit something");
+    assert!(cfg.quantum > 0, "a zero quantum cannot make progress");
 
     let chaos_state = cfg.chaos.map_or_else(Vec::new, |ch| {
         (0..cfg.devices)
@@ -466,6 +727,7 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
         heap: BinaryHeap::new(),
         seq: 0,
         issued: 0,
+        events_settled: 0,
         client_of: HashMap::new(),
         think_rngs: Vec::new(),
         queues: [VecDeque::new(), VecDeque::new()],
@@ -509,28 +771,42 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
             }
         }
     }
+    fleet
+}
 
-    while let Some(Reverse((now, _, kind))) = fleet.heap.pop() {
-        fleet.outcome.makespan = fleet.outcome.makespan.max(now);
-        match kind {
-            EvKind::Arrive(id) => on_arrive(&mut fleet, &ctx, now, id),
-            EvKind::Device(d) => on_device(&mut fleet, &ctx, now, d),
-            EvKind::Probe(d) => on_probe(&mut fleet, &ctx, now, d),
-            EvKind::Kick => {
-                for d in 0..ctx.cfg.devices {
-                    if fleet.device_available(d) {
-                        dispatch(&mut fleet, &ctx, now, d);
-                    }
+/// Pops and fully handles the next event, or returns `None` when the
+/// heap has drained (the run is over). The returned [`StepEvent`] is
+/// what the write-ahead journal records for this step.
+fn step(fleet: &mut Fleet, ctx: &Ctx<'_>) -> Option<StepEvent> {
+    let Reverse((now, _, kind)) = fleet.heap.pop()?;
+    fleet.outcome.makespan = fleet.outcome.makespan.max(now);
+    match kind {
+        EvKind::Arrive(id) => on_arrive(fleet, ctx, now, id),
+        EvKind::Device(d) => on_device(fleet, ctx, now, d),
+        EvKind::Probe(d) => on_probe(fleet, ctx, now, d),
+        EvKind::Kick => {
+            for d in 0..ctx.cfg.devices {
+                if fleet.device_available(d) {
+                    dispatch(fleet, ctx, now, d);
                 }
             }
         }
     }
+    fleet.events_settled += 1;
+    Some(StepEvent {
+        index: fleet.events_settled,
+        now,
+        kind,
+        digest: fleet.digest(),
+    })
+}
 
+/// Sweeps the drained fleet into its final [`ServeOutcome`].
+fn finalize(mut fleet: Fleet, ctx: &Ctx<'_>) -> ServeOutcome {
     // Defensive totality: a fleet collapse resolves everything at the
     // instant of collapse, so nothing should still be pending — but a
     // typed terminal status is a contract, so sweep rather than trust.
-    let devices = cfg.devices;
-    let makespan = fleet.outcome.makespan;
+    let devices = ctx.cfg.devices;
     for i in 0..fleet.outcome.records.len() {
         if fleet.outcome.records[i].status == Terminal::Pending {
             fleet.outcome.chaos.shed += 1;
@@ -543,12 +819,11 @@ pub fn serve(cfg: &ServeConfig, workload: &Workload) -> ServeOutcome {
                 healthy: 0,
                 devices,
             });
-            let _ = makespan;
         }
     }
 
-    fleet.outcome.cache_hits = cache.hits();
-    fleet.outcome.cache_misses = cache.misses();
+    fleet.outcome.cache_hits = ctx.cache.hits();
+    fleet.outcome.cache_misses = ctx.cache.misses();
     fleet.outcome
 }
 
@@ -1098,4 +1373,484 @@ fn run_slice(fleet: &mut Fleet, ctx: &Ctx<'_>, running: &mut Running, now: u64, 
     let delta = end - start;
     fleet.outcome.device_busy[d] += delta;
     fleet.post(now + delta, EvKind::Device(d));
+}
+
+// ---------------------------------------------------------------------------
+// Fleet checkpointing: the codec for the whole scheduler state.
+//
+// The `Snapshot` canonicality contract holds throughout: unordered
+// containers (the event heap, the client map) serialize sorted, so the
+// same logical fleet always checkpoints to the same bytes. Derived
+// state is not persisted — each job's `ResultReader` is rebuilt from
+// its tile class, and each device `System` round-trips through its own
+// bit-exact snapshot.
+// ---------------------------------------------------------------------------
+
+impl Snapshot for Pending {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.id);
+        self.class.save(w);
+        w.u8(self.priority);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(Pending {
+            id: r.u64()?,
+            class: TileClass::restore(r)?,
+            priority: r.u8()?,
+        })
+    }
+}
+
+impl Snapshot for SliceEnd {
+    fn save(&self, w: &mut Writer) {
+        match self {
+            SliceEnd::Done => w.u8(0),
+            SliceEnd::Paused => w.u8(1),
+            SliceEnd::Failed(kind) => {
+                w.u8(2);
+                kind.save(w);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => SliceEnd::Done,
+            1 => SliceEnd::Paused,
+            2 => SliceEnd::Failed(FailureKind::restore(r)?),
+            _ => return Err(SnapError::Corrupt("slice end tag")),
+        })
+    }
+}
+
+impl Snapshot for Health {
+    fn save(&self, w: &mut Writer) {
+        w.u8(match self {
+            Health::Healthy => 0,
+            Health::Quarantined => 1,
+            Health::Dead => 2,
+        });
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Health::Healthy,
+            1 => Health::Quarantined,
+            2 => Health::Dead,
+            _ => return Err(SnapError::Corrupt("health tag")),
+        })
+    }
+}
+
+impl Snapshot for DeviceChaos {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.rng.state());
+        w.bool(self.flaky);
+        self.faults.save(w);
+        self.health.save(w);
+        w.u32(self.strikes);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(DeviceChaos {
+            rng: SplitMix64::new(r.u64()?),
+            flaky: r.bool()?,
+            faults: FaultConfig::restore(r)?,
+            health: Health::restore(r)?,
+            strikes: r.u32()?,
+        })
+    }
+}
+
+fn save_job(meta: &JobMeta, w: &mut Writer) {
+    meta.reqs.save(w);
+    meta.class.save(w);
+    w.u64(meta.limit);
+    w.usize(meta.home);
+    w.u32(meta.attempt);
+    w.bool(meta.recovered);
+    w.bool(meta.via_snapshot);
+    meta.last_failure.save(w);
+    match &meta.ckpt {
+        None => w.bool(false),
+        Some(b) => {
+            w.bool(true);
+            w.bytes(b);
+        }
+    }
+    w.u32(meta.slices_since_ckpt);
+}
+
+/// Decodes a [`JobMeta`], rebuilding its result reader (a pure
+/// function of the tile class, batch size, and schedule store).
+fn restore_job(r: &mut Reader<'_>, ctx: &Ctx<'_>) -> Result<JobMeta, SnapError> {
+    let reqs: Vec<u64> = Vec::restore(r)?;
+    if reqs.is_empty() {
+        return Err(SnapError::Corrupt("job without requests"));
+    }
+    let class = TileClass::restore(r)?;
+    let limit = r.u64()?;
+    let home = r.usize()?;
+    let attempt = r.u32()?;
+    let recovered = r.bool()?;
+    let via_snapshot = r.bool()?;
+    let last_failure = Option::restore(r)?;
+    let ckpt = if r.bool()? {
+        Some(r.bytes()?.to_vec())
+    } else {
+        None
+    };
+    let slices_since_ckpt = r.u32()?;
+    let reader = class.reader_for(
+        reqs.len(),
+        &ctx.cfg.schedule_dir,
+        ctx.dev_cfg.snapshot_fingerprint(),
+    );
+    Ok(JobMeta {
+        reqs,
+        class,
+        limit,
+        reader,
+        home,
+        attempt,
+        recovered,
+        via_snapshot,
+        last_failure,
+        ckpt,
+        slices_since_ckpt,
+    })
+}
+
+fn save_parked(p: &Parked, w: &mut Writer) {
+    save_job(&p.meta, w);
+    match &p.snapshot {
+        None => w.bool(false),
+        Some(b) => {
+            w.bool(true);
+            w.bytes(b);
+        }
+    }
+    w.u64(p.not_before);
+}
+
+fn restore_parked(r: &mut Reader<'_>, ctx: &Ctx<'_>) -> Result<Parked, SnapError> {
+    let meta = restore_job(r, ctx)?;
+    let snapshot = if r.bool()? {
+        Some(r.bytes()?.to_vec())
+    } else {
+        None
+    };
+    Ok(Parked {
+        meta,
+        snapshot,
+        not_before: r.u64()?,
+    })
+}
+
+fn save_running(running: &Running, w: &mut Writer) {
+    save_job(&running.meta, w);
+    w.bytes(&running.sys.save_snapshot());
+    running.end.save(w);
+}
+
+fn restore_running(r: &mut Reader<'_>, ctx: &Ctx<'_>) -> Result<Running, SnapError> {
+    let meta = restore_job(r, ctx)?;
+    let snap = r.bytes()?;
+    let mut sys = Box::new(System::new(ctx.dev_cfg.clone()));
+    sys.restore_snapshot(snap)?;
+    let end = SliceEnd::restore(r)?;
+    Ok(Running { meta, sys, end })
+}
+
+/// Serializes the whole fleet — scheduler bookkeeping, every busy
+/// device's bit-exact snapshot, chaos RNG cursors, the partial
+/// outcome, and the program cache's key set — into one checkpoint
+/// blob keyed by the run fingerprint.
+fn save_fleet(fleet: &Fleet, ctx: &Ctx<'_>, fingerprint: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_header(&mut w, fingerprint);
+    let mut events: Vec<(u64, u64, EvKind)> = fleet.heap.iter().map(|Reverse(e)| *e).collect();
+    events.sort_unstable();
+    w.usize(events.len());
+    for (at, seq, kind) in events {
+        w.u64(at);
+        w.u64(seq);
+        let (tag, arg) = kind.encode();
+        w.u8(tag);
+        w.u64(arg);
+    }
+    w.u64(fleet.seq);
+    w.u64(fleet.issued);
+    w.u64(fleet.events_settled);
+    let mut clients: Vec<(u64, usize)> = fleet.client_of.iter().map(|(&k, &v)| (k, v)).collect();
+    clients.sort_unstable();
+    clients.save(&mut w);
+    let cursors: Vec<u64> = fleet.think_rngs.iter().map(SplitMix64::state).collect();
+    cursors.save(&mut w);
+    fleet.queues[0].save(&mut w);
+    fleet.queues[1].save(&mut w);
+    w.usize(fleet.parked.len());
+    for p in &fleet.parked {
+        save_parked(p, &mut w);
+    }
+    w.usize(fleet.devices.len());
+    for dev in &fleet.devices {
+        match dev {
+            None => w.bool(false),
+            Some(running) => {
+                w.bool(true);
+                save_running(running, &mut w);
+            }
+        }
+    }
+    w.usize(fleet.chaos.len());
+    for c in &fleet.chaos {
+        c.save(&mut w);
+    }
+    fleet.outcome.save(&mut w);
+    ctx.cache.keys().save(&mut w);
+    w.u64(ctx.cache.hits());
+    w.u64(ctx.cache.misses());
+    w.into_bytes()
+}
+
+/// Guards a decoded element count against the bytes actually left —
+/// every element the fleet codec reads occupies at least one byte, so
+/// a larger count can only be a corrupt length prefix.
+fn fleet_len(r: &Reader<'_>, len: usize) -> Result<usize, SnapError> {
+    if len > r.remaining() {
+        return Err(SnapError::Corrupt("fleet element count"));
+    }
+    Ok(len)
+}
+
+/// Decodes a [`save_fleet`] blob back into a live fleet, priming the
+/// program cache with the checkpointed key set and counters. Every
+/// malformed input is a typed [`SnapError`] — never a panic.
+fn restore_fleet(bytes: &[u8], ctx: &Ctx<'_>, fingerprint: u64) -> Result<Fleet, SnapError> {
+    let mut r = Reader::new(bytes);
+    read_header(&mut r, fingerprint)?;
+    let n = r.usize()?;
+    let n = fleet_len(&r, n)?;
+    let mut heap = EventHeap::with_capacity(n);
+    for _ in 0..n {
+        let at = r.u64()?;
+        let seq = r.u64()?;
+        let tag = r.u8()?;
+        let arg = r.u64()?;
+        heap.push(Reverse((at, seq, EvKind::decode(tag, arg)?)));
+    }
+    let seq = r.u64()?;
+    let issued = r.u64()?;
+    let events_settled = r.u64()?;
+    let clients: Vec<(u64, usize)> = Vec::restore(&mut r)?;
+    let cursors: Vec<u64> = Vec::restore(&mut r)?;
+    let queues = [VecDeque::restore(&mut r)?, VecDeque::restore(&mut r)?];
+    let n = r.usize()?;
+    let n = fleet_len(&r, n)?;
+    let mut parked = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        parked.push_back(restore_parked(&mut r, ctx)?);
+    }
+    let n = r.usize()?;
+    if n != ctx.cfg.devices {
+        return Err(SnapError::Corrupt("device count mismatch"));
+    }
+    let mut devices = Vec::with_capacity(n);
+    for _ in 0..n {
+        devices.push(if r.bool()? {
+            Some(restore_running(&mut r, ctx)?)
+        } else {
+            None
+        });
+    }
+    let n = r.usize()?;
+    if n != if ctx.cfg.chaos.is_some() {
+        ctx.cfg.devices
+    } else {
+        0
+    } {
+        return Err(SnapError::Corrupt("chaos state count mismatch"));
+    }
+    let mut chaos = Vec::with_capacity(n);
+    for _ in 0..n {
+        chaos.push(DeviceChaos::restore(&mut r)?);
+    }
+    let outcome = ServeOutcome::restore(&mut r)?;
+    let cache_keys: Vec<CacheKey> = Vec::restore(&mut r)?;
+    let hits = r.u64()?;
+    let misses = r.u64()?;
+    r.finish()?;
+    ctx.cache.prime(cache_keys, hits, misses);
+    Ok(Fleet {
+        heap,
+        seq,
+        issued,
+        events_settled,
+        client_of: clients.into_iter().collect(),
+        think_rngs: cursors.into_iter().map(SplitMix64::new).collect(),
+        queues,
+        parked,
+        devices,
+        chaos,
+        outcome,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The durable driver: journaled execution with verified replay.
+// ---------------------------------------------------------------------------
+
+fn outcome_bytes(outcome: &ServeOutcome, fingerprint: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_header(&mut w, fingerprint);
+    outcome.save(&mut w);
+    w.into_bytes()
+}
+
+fn decode_outcome(bytes: &[u8], fingerprint: u64) -> Result<ServeOutcome, SnapError> {
+    let mut r = Reader::new(bytes);
+    read_header(&mut r, fingerprint)?;
+    let outcome = ServeOutcome::restore(&mut r)?;
+    r.finish()?;
+    Ok(outcome)
+}
+
+/// Runs `workload` durably over `store`: every settled scheduler event
+/// appends one frame to the write-ahead journal, a whole-fleet
+/// checkpoint lands every `checkpoint_every` events (`0` = journal
+/// only), and the finished outcome is published as the point's
+/// done-record. When the store already holds state from an interrupted
+/// run, the run restores the latest checkpoint and *verifies* itself
+/// against the journal tail while replaying it — so the returned
+/// outcome is byte-identical to an uninterrupted run's.
+///
+/// Corrupt or divergent persisted state is never fatal (and never a
+/// panic): the point's files are wiped and the run recomputed from
+/// scratch. A fresh attempt can only fail with [`DurableError::Io`].
+///
+/// # Errors
+///
+/// [`DurableError::Io`] when the filesystem refuses a read or write.
+pub fn serve_durable(
+    cfg: &ServeConfig,
+    workload: &Workload,
+    store: &mut PointStore,
+    checkpoint_every: u64,
+) -> Result<ServeOutcome, DurableError> {
+    match try_serve_durable(cfg, workload, store, checkpoint_every, None) {
+        Err(DurableError::Corrupt { .. } | DurableError::Diverged { .. }) => {
+            store.reset()?;
+            let outcome = try_serve_durable(cfg, workload, store, checkpoint_every, None)?;
+            Ok(outcome.expect("uninterrupted run always finishes"))
+        }
+        done => Ok(done?.expect("uninterrupted run always finishes")),
+    }
+}
+
+/// [`serve_durable`], abandoned after `stop_after` settled events —
+/// the in-process stand-in for a host crash between journal appends,
+/// used by the durability tests to exercise resume at exact event
+/// boundaries. The store is left exactly as a kill at that point
+/// would leave it (journal synced, no done-record).
+///
+/// # Errors
+///
+/// As [`serve_durable`].
+pub fn serve_durable_interrupted(
+    cfg: &ServeConfig,
+    workload: &Workload,
+    store: &mut PointStore,
+    checkpoint_every: u64,
+    stop_after: u64,
+) -> Result<(), DurableError> {
+    match try_serve_durable(cfg, workload, store, checkpoint_every, Some(stop_after)) {
+        Err(DurableError::Corrupt { .. } | DurableError::Diverged { .. }) => {
+            store.reset()?;
+            try_serve_durable(cfg, workload, store, checkpoint_every, Some(stop_after))?;
+            Ok(())
+        }
+        done => {
+            done?;
+            Ok(())
+        }
+    }
+}
+
+/// One durable attempt. `Ok(None)` means `stop_after` cut the run
+/// short (test-only); `Ok(Some(..))` is the finished outcome.
+fn try_serve_durable(
+    cfg: &ServeConfig,
+    workload: &Workload,
+    store: &mut PointStore,
+    checkpoint_every: u64,
+    stop_after: Option<u64>,
+) -> Result<Option<ServeOutcome>, DurableError> {
+    let fingerprint = store.fingerprint();
+    let (ckpt, journal) = match store.load()? {
+        LoadedPoint::Done(bytes) => {
+            return decode_outcome(&bytes, fingerprint).map(Some).map_err(|e| {
+                DurableError::Corrupt {
+                    path: store.done_path(),
+                    source: e,
+                }
+            });
+        }
+        LoadedPoint::Resume { ckpt, journal } => (ckpt, journal),
+    };
+
+    let dev_cfg = SystemConfig::single_vault(cfg.mem.clone());
+    let cache = ProgramCache::new();
+    let ctx = Ctx {
+        cfg,
+        dev_cfg: &dev_cfg,
+        cache: &cache,
+        workload,
+    };
+    let mut fleet = match &ckpt {
+        Some(bytes) => {
+            restore_fleet(bytes, &ctx, fingerprint).map_err(|e| DurableError::Corrupt {
+                path: store.latest_ckpt_path(),
+                source: e,
+            })?
+        }
+        None => init_fleet(&ctx),
+    };
+    // Journal frames settled after the checkpoint, awaiting
+    // verification against what replay actually produces.
+    let mut verify: VecDeque<Vec<u8>> = journal.into();
+
+    while let Some(ev) = step(&mut fleet, &ctx) {
+        let payload = event_payload(&ev);
+        match verify.pop_front() {
+            Some(expected) => {
+                if expected != payload {
+                    return Err(DurableError::Diverged { event: ev.index });
+                }
+            }
+            None => store.append(&payload)?,
+        }
+        // The cadence rule: checkpoint on the boundary, but never while
+        // journal frames are still pending verification — during replay
+        // the verify queue drains exactly at the boundary only when the
+        // original run died *inside* its checkpoint write, which is
+        // precisely the case that needs the checkpoint retaken.
+        if checkpoint_every > 0 && fleet.events_settled % checkpoint_every == 0 && verify.is_empty()
+        {
+            store.checkpoint(&save_fleet(&fleet, &ctx, fingerprint))?;
+        }
+        if stop_after.is_some_and(|n| fleet.events_settled >= n) {
+            return Ok(None);
+        }
+    }
+    if !verify.is_empty() {
+        // The journal records events this replay never produced.
+        return Err(DurableError::Diverged {
+            event: fleet.events_settled + 1,
+        });
+    }
+    let outcome = finalize(fleet, &ctx);
+    store.finish(&outcome_bytes(&outcome, fingerprint))?;
+    Ok(Some(outcome))
 }

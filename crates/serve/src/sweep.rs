@@ -9,11 +9,16 @@
 //! count: the same seed and config produce a byte-identical
 //! `BENCH_serving.json` at any `--jobs`.
 
+use std::fs;
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use vip_snap::{Fingerprint, Snapshot, Writer};
+
+use crate::durable::{run_dir, DurableConfig, DurableError, PointStore};
 use crate::metrics::{latency_summary, ms, throughput_rps, LatencySummary};
-use crate::scheduler::{serve, ServeConfig, ServeOutcome};
+use crate::scheduler::{serve, serve_durable, ServeConfig, ServeOutcome};
 use crate::workload::{LoadMode, MixEntry, Workload};
 
 /// One sweep's shape.
@@ -34,6 +39,36 @@ pub struct SweepConfig {
     pub jobs: usize,
     /// The request mix.
     pub mix: Vec<MixEntry>,
+}
+
+impl SweepConfig {
+    /// The run fingerprint durable state is filed under: every
+    /// result-affecting knob of the sweep, absorbed in declaration
+    /// order. `jobs` is deliberately excluded — the fan-out width
+    /// never changes results, so a resumed run may use a different
+    /// one.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.push_bytes(b"serve-sweep");
+        self.serve.absorb(&mut f);
+        f.push_u64(self.seed);
+        f.push_usize(self.requests);
+        f.push_u64(self.think);
+        f.push_usize(self.clients.len());
+        for &c in &self.clients {
+            f.push_usize(c);
+        }
+        f.push_usize(self.mix.len());
+        for entry in &self.mix {
+            let mut w = Writer::new();
+            entry.class.save(&mut w);
+            f.push_bytes(&w.into_bytes());
+            f.push_u64(u64::from(entry.weight));
+            f.push_u64(u64::from(entry.priority));
+        }
+        f.finish()
+    }
 }
 
 /// One completed sweep point.
@@ -84,6 +119,73 @@ fn pull_points(cfg: &SweepConfig) -> Vec<SweepPoint> {
 #[must_use]
 pub fn run_sweep(cfg: &SweepConfig) -> Vec<SweepPoint> {
     pull_points(cfg)
+}
+
+/// [`run_sweep`] with host-crash durability: each point journals its
+/// scheduler events and checkpoints its fleet under
+/// `run_dir(durable.dir, cfg.fingerprint())`, finished points collapse
+/// to done-records, and with `durable.resume` set a rerun picks every
+/// point up where the crash left it — producing results byte-identical
+/// to an uninterrupted run. Without `resume`, prior state for this
+/// configuration is wiped first.
+///
+/// # Errors
+///
+/// [`DurableError`] when the filesystem refuses a read or write
+/// (corrupt or divergent persisted state is recovered by recomputing,
+/// not reported).
+pub fn run_sweep_durable(
+    cfg: &SweepConfig,
+    durable: &DurableConfig,
+) -> Result<Vec<SweepPoint>, DurableError> {
+    let fingerprint = cfg.fingerprint();
+    if !durable.resume {
+        let dir = run_dir(&durable.dir, fingerprint);
+        if let Err(e) = fs::remove_dir_all(&dir) {
+            if e.kind() != io::ErrorKind::NotFound {
+                return Err(DurableError::Io {
+                    op: "wipe run directory",
+                    path: dir,
+                    source: e,
+                });
+            }
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<SweepPoint, DurableError>>>> =
+        Mutex::new(cfg.clients.iter().map(|_| None).collect());
+    let workers = cfg.jobs.max(1).min(cfg.clients.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&clients) = cfg.clients.get(i) else {
+                    break;
+                };
+                let workload = Workload {
+                    seed: cfg.seed,
+                    requests: cfg.requests,
+                    mode: LoadMode::Closed {
+                        clients,
+                        think: cfg.think,
+                    },
+                    mix: cfg.mix.clone(),
+                };
+                let result =
+                    PointStore::open(&durable.dir, i, fingerprint).and_then(|mut store| {
+                        serve_durable(&cfg.serve, &workload, &mut store, durable.checkpoint_every)
+                            .map(|outcome| SweepPoint { clients, outcome })
+                    });
+                slots.lock().expect("sweep slots")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep slots")
+        .into_iter()
+        .map(|p| p.expect("every point ran"))
+        .collect()
 }
 
 fn point_json(p: &SweepPoint) -> String {

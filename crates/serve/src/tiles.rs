@@ -29,6 +29,7 @@ use vip_kernels::schedule::{BpSchedule, ConvSchedule, FcSchedule, Schedule};
 use vip_kernels::schedule_store as store;
 use vip_kernels::sync::i16s_to_bytes;
 use vip_mem::Hmc;
+use vip_snap::{Reader, SnapError, Snapshot, Writer};
 
 use crate::cache::{CacheKey, ProgramCache};
 
@@ -307,6 +308,130 @@ impl TileClass {
                 }
             }
         }
+    }
+}
+
+impl TileClass {
+    /// Rebuilds the [`ResultReader`] a dispatch of `batch` requests of
+    /// this class would have been staged with — the piece of job state
+    /// a fleet checkpoint cannot serialize (layouts carry static
+    /// names), reconstructed instead from the class, the batch size,
+    /// and the same schedule resolution [`TileClass::stage`] performs.
+    #[must_use]
+    pub fn reader_for(&self, batch: usize, sched_dir: &Path, fingerprint: u64) -> ResultReader {
+        match *self {
+            TileClass::Mlp { inputs, outputs } => {
+                let layer = fc_layer(inputs, outputs);
+                if batch == 1 {
+                    ResultReader::Fc(FcLayout {
+                        layer,
+                        input_base: 0,
+                        weights_base: 0x10_0100,
+                        bias_base: 0x80_0200,
+                        output_base: 0x90_0300,
+                        relu: true,
+                    })
+                } else {
+                    ResultReader::FcBatch(FcBatchLayout {
+                        layer,
+                        batch,
+                        kc: BATCH_KC,
+                        input_base: 0,
+                        weights_base: 0x10_0100,
+                        bias_base: 0x80_0200,
+                        output_base: 0x90_0300,
+                        relu: true,
+                    })
+                }
+            }
+            TileClass::Cnn {
+                in_channels,
+                out_channels,
+                filters_per_group,
+            } => {
+                let layer = conv_layer(in_channels, out_channels);
+                let sched = conv_schedule(sched_dir, &layer, filters_per_group, fingerprint);
+                ResultReader::Conv(ConvLayout {
+                    layer,
+                    input_base: 0,
+                    weights_base: 0x40_0100,
+                    bias_base: 0x80_0200,
+                    output_base: 0xc0_0300,
+                    filters_per_group: sched.filters_per_group,
+                    mode: ConvMode::Full,
+                })
+            }
+            TileClass::Bp {
+                width,
+                height,
+                labels,
+                ..
+            } => {
+                let sched = bp_schedule(sched_dir, width, height, labels, fingerprint);
+                ResultReader::Bp(BpLayout::with_row_pad(
+                    0,
+                    width,
+                    height,
+                    labels,
+                    sched.row_pad,
+                ))
+            }
+        }
+    }
+}
+
+impl Snapshot for TileClass {
+    fn save(&self, w: &mut Writer) {
+        match *self {
+            TileClass::Mlp { inputs, outputs } => {
+                w.u8(0);
+                w.usize(inputs);
+                w.usize(outputs);
+            }
+            TileClass::Cnn {
+                in_channels,
+                out_channels,
+                filters_per_group,
+            } => {
+                w.u8(1);
+                w.usize(in_channels);
+                w.usize(out_channels);
+                w.usize(filters_per_group);
+            }
+            TileClass::Bp {
+                width,
+                height,
+                labels,
+                iters,
+            } => {
+                w.u8(2);
+                w.usize(width);
+                w.usize(height);
+                w.usize(labels);
+                w.usize(iters);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => TileClass::Mlp {
+                inputs: r.usize()?,
+                outputs: r.usize()?,
+            },
+            1 => TileClass::Cnn {
+                in_channels: r.usize()?,
+                out_channels: r.usize()?,
+                filters_per_group: r.usize()?,
+            },
+            2 => TileClass::Bp {
+                width: r.usize()?,
+                height: r.usize()?,
+                labels: r.usize()?,
+                iters: r.usize()?,
+            },
+            _ => return Err(SnapError::Corrupt("tile class tag")),
+        })
     }
 }
 

@@ -291,3 +291,118 @@ fn deadline_and_shedding_resolve_to_typed_rejections() {
     );
     assert!(shed > 0, "no load shedding fired: {:?}", outcome.chaos);
 }
+
+/// The circuit breaker's strike boundary, pinned exactly: with probes
+/// that can never pass and direct decommissions disabled, every
+/// quarantined device fails exactly `max_strikes` probes and then
+/// opens the breaker — no off-by-one readmission, no early death.
+#[test]
+fn breaker_opens_after_exactly_max_strikes_failed_probes() {
+    let mut chaos = hot_chaos(0x57217e);
+    chaos.crash_ppm = 300_000;
+    chaos.decommission_ppm = 0; // breaker is the only path to Dead
+    chaos.probe_pass_ppm = 0; // probes always fail
+    chaos.max_strikes = 3;
+    let cfg = fleet(Engine::Fast, Some(chaos));
+    let outcome = serve(&cfg, &closed(0x57217e, 20, 6));
+    assert_total(&outcome);
+    let c = &outcome.chaos;
+    assert!(c.quarantines > 0, "no device was quarantined: {c:?}");
+    // One quarantine episode per device: with no passing probe a
+    // quarantined device never rejoins the fleet.
+    assert_eq!(c.quarantines, c.decommissions, "{c:?}");
+    assert_eq!(c.probes, c.probe_failures, "a probe passed at 0 ppm");
+    assert_eq!(
+        c.probe_failures,
+        3 * c.decommissions,
+        "strike boundary missed: {c:?}"
+    );
+}
+
+/// The opposite boundary: probes that always pass readmit every
+/// quarantined device on its first probe (strikes reset, breaker never
+/// opens), so the fleet survives an arbitrary quarantine churn.
+#[test]
+fn perfect_probes_readmit_on_first_attempt() {
+    let mut chaos = hot_chaos(0x4ead);
+    chaos.crash_ppm = 300_000;
+    chaos.decommission_ppm = 0;
+    chaos.probe_pass_ppm = vip_faults::PPM_SCALE as u32;
+    let cfg = fleet(Engine::Fast, Some(chaos));
+    let outcome = serve(&cfg, &closed(0x4ead, 20, 6));
+    assert_total(&outcome);
+    let c = &outcome.chaos;
+    assert!(c.quarantines > 0, "no device was quarantined: {c:?}");
+    assert_eq!(c.probes, c.quarantines, "a readmission took >1 probe");
+    assert_eq!(c.probe_failures, 0, "{c:?}");
+    assert_eq!(c.decommissions, 0, "{c:?}");
+    assert!(
+        outcome.records.iter().any(|r| r.status.is_served()),
+        "readmitted fleet served nothing"
+    );
+}
+
+/// Losing every device at once must not wedge or drop work: with two
+/// devices and near-certain slice crashes, the whole fleet cycles
+/// through quarantine (often simultaneously), yet every request still
+/// reaches a typed terminal status and the backoff eventually serves.
+#[test]
+fn whole_fleet_quarantine_backs_off_and_recovers() {
+    let mut chaos = hot_chaos(0xa11);
+    chaos.crash_ppm = 900_000;
+    chaos.decommission_ppm = 0;
+    chaos.probe_pass_ppm = vip_faults::PPM_SCALE as u32;
+    let cfg = ServeConfig {
+        devices: 2,
+        ..fleet(Engine::Fast, Some(chaos))
+    };
+    let outcome = serve(&cfg, &closed(0xa11, 16, 5));
+    assert_total(&outcome);
+    let c = &outcome.chaos;
+    assert!(
+        c.quarantines >= 2,
+        "both devices should have cycled through quarantine: {c:?}"
+    );
+    assert_eq!(c.decommissions, 0, "{c:?}");
+    // Rerun-identical even at the saturation edge.
+    assert_identical(&outcome, &serve(&cfg, &closed(0xa11, 16, 5)));
+}
+
+/// Deadline expiry racing successful recovery: with a deadline a few
+/// retry-backoffs wide, some failed jobs recover in time and some blow
+/// the deadline mid-recovery. Both outcomes must appear across the
+/// seed set, and a timeout must never fire early.
+#[test]
+fn deadline_races_recovery_both_ways() {
+    let mut raced_recoveries = 0u64;
+    let mut raced_timeouts = 0u64;
+    for_each_seed("serve-deadline-race", 0xace, 4, |seed| {
+        let mut chaos = hot_chaos(seed ^ 0xd11e);
+        chaos.deadline = 300_000;
+        chaos.max_attempts = 6;
+        let cfg = fleet(Engine::Fast, Some(chaos));
+        let outcome = serve(&cfg, &closed(seed, 20, 8));
+        assert_total(&outcome);
+        for rec in &outcome.records {
+            match rec.status {
+                Terminal::Rejected(Rejection::Timeout { deadline, waited }) => {
+                    assert_eq!(deadline, 300_000);
+                    assert!(waited > deadline, "timed out before the deadline");
+                    raced_timeouts += 1;
+                }
+                Terminal::Recovered { .. } => raced_recoveries += 1,
+                _ => {}
+            }
+        }
+    });
+    if vip_rng::seed_override().is_none() {
+        assert!(
+            raced_recoveries > 0,
+            "no failed job recovered inside the deadline"
+        );
+        assert!(
+            raced_timeouts > 0,
+            "no failed job blew the deadline mid-recovery"
+        );
+    }
+}

@@ -40,7 +40,7 @@ pub const MAGIC: [u8; 8] = *b"VIPSNAP\0";
 /// Restore rejects other versions — there is no cross-version migration,
 /// because a snapshot is a resumable suspension of one build, not an
 /// archival format.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Errors surfaced while decoding a snapshot. Encoding is infallible.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -333,6 +333,22 @@ impl<T: Snapshot> Snapshot for Option<T> {
     }
 }
 
+/// Validates a decoded element count against the bytes actually left in
+/// the reader, before any allocation. Every element type the codec
+/// serializes occupies at least one byte, so `len > remaining` can only
+/// mean a corrupt or truncated length prefix — reject it up front
+/// instead of looping (or worse, reserving) on an attacker-controlled
+/// count.
+fn checked_len(r: &Reader<'_>, len: usize) -> Result<usize, SnapError> {
+    if len > r.remaining() {
+        return Err(SnapError::Truncated {
+            needed: len,
+            available: r.remaining(),
+        });
+    }
+    Ok(len)
+}
+
 impl<T: Snapshot> Snapshot for Vec<T> {
     fn save(&self, w: &mut Writer) {
         w.usize(self.len());
@@ -343,9 +359,11 @@ impl<T: Snapshot> Snapshot for Vec<T> {
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         let len = r.usize()?;
-        // Do not pre-reserve `len` blindly: a corrupt length must fail
-        // with Truncated, not abort on allocation.
-        let mut out = Vec::new();
+        let len = checked_len(r, len)?;
+        // Safe to reserve: `len` is bounded by the bytes remaining, so a
+        // corrupt length fails with Truncated above instead of aborting
+        // on an absurd allocation here.
+        let mut out = Vec::with_capacity(len);
         for _ in 0..len {
             out.push(T::restore(r)?);
         }
@@ -363,11 +381,23 @@ impl<T: Snapshot> Snapshot for VecDeque<T> {
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
         let len = r.usize()?;
-        let mut out = VecDeque::new();
+        let len = checked_len(r, len)?;
+        let mut out = VecDeque::with_capacity(len);
         for _ in 0..len {
             out.push_back(T::restore(r)?);
         }
         Ok(out)
+    }
+}
+
+impl Snapshot for String {
+    fn save(&self, w: &mut Writer) {
+        w.bytes(self.as_bytes());
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, SnapError> {
+        let raw = r.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SnapError::Corrupt("string not valid UTF-8"))
     }
 }
 
@@ -433,6 +463,140 @@ pub fn read_header(r: &mut Reader<'_>, expected_fingerprint: u64) -> Result<(), 
         });
     }
     Ok(())
+}
+
+/// Magic bytes opening every write-ahead journal segment.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"VIPJRNL\0";
+
+/// Bytes occupied by a journal segment header: magic, format version,
+/// and the run's configuration fingerprint.
+pub const JOURNAL_HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Bytes of framing overhead per journal record: a `u32` payload length
+/// followed by a `u32` CRC-32 of the payload.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB8_8320`) over a byte
+/// string. Guards each journal frame so a torn or bit-flipped record is
+/// detected and the journal truncated at the last intact frame instead
+/// of replaying garbage.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffff_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes the header that opens a journal segment file.
+#[must_use]
+pub fn journal_header(fingerprint: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.raw(&JOURNAL_MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(fingerprint);
+    debug_assert_eq!(w.len(), JOURNAL_HEADER_LEN);
+    w.into_bytes()
+}
+
+/// Validates a journal segment header and returns the offset where
+/// frames begin.
+///
+/// # Errors
+///
+/// [`SnapError::BadMagic`], [`SnapError::BadVersion`], or
+/// [`SnapError::ConfigMismatch`] (plus truncation) when the segment was
+/// not written by this build for this run configuration.
+pub fn read_journal_header(buf: &[u8], expected_fingerprint: u64) -> Result<usize, SnapError> {
+    let mut r = Reader::new(buf);
+    if r.raw(JOURNAL_MAGIC.len())? != JOURNAL_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapError::BadVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let found = r.u64()?;
+    if found != expected_fingerprint {
+        return Err(SnapError::ConfigMismatch {
+            found,
+            expected: expected_fingerprint,
+        });
+    }
+    Ok(JOURNAL_HEADER_LEN)
+}
+
+/// Wraps one journal record payload in a CRC frame:
+/// `u32 payload length | u32 CRC-32(payload) | payload`.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds `u32::MAX` bytes — journal records are
+/// single scheduler events, orders of magnitude smaller.
+#[must_use]
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("journal frame payload fits u32");
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The result of scanning a journal segment's frame region: every intact
+/// frame in order, the byte length of the valid prefix, and whether a
+/// torn (incomplete or corrupt) tail followed it.
+#[derive(Debug)]
+pub struct JournalScan<'a> {
+    /// Payloads of every frame with an intact length prefix and CRC, in
+    /// file order.
+    pub frames: Vec<&'a [u8]>,
+    /// Byte length of the valid prefix (relative to the start of `buf`).
+    /// Truncating the file to `header + valid_len` drops the torn tail.
+    pub valid_len: usize,
+    /// Whether bytes remained past the last intact frame — a torn final
+    /// record from a crash mid-append.
+    pub torn: bool,
+}
+
+/// Scans the frame region of a journal segment (the bytes *after* the
+/// header), stopping at the first frame that is incomplete or fails its
+/// CRC. Never fails: a journal is append-only, so anything past the last
+/// intact frame is a torn tail from a crash mid-write, reported via
+/// `torn`/`valid_len` for the caller to truncate.
+#[must_use]
+pub fn scan_frames(buf: &[u8]) -> JournalScan<'_> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &buf[pos..];
+        if rest.len() < FRAME_OVERHEAD {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let Some(payload) = rest.get(FRAME_OVERHEAD..FRAME_OVERHEAD + len) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        frames.push(payload);
+        pos += FRAME_OVERHEAD + len;
+    }
+    JournalScan {
+        frames,
+        valid_len: pos,
+        torn: pos != buf.len(),
+    }
 }
 
 /// FNV-1a accumulator for configuration fingerprints (and for hashing
@@ -624,6 +788,122 @@ mod tests {
             read_header(&mut r, 0x1111),
             Err(SnapError::BadVersion { .. })
         ));
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_bad_utf8() {
+        let s = String::from("mlp-1024x256 ∘ batch");
+        let mut w = Writer::new();
+        s.save(&mut w);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(String::restore(&mut r).unwrap(), s);
+        r.finish().unwrap();
+
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe, 0x41]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            String::restore(&mut r),
+            Err(SnapError::Corrupt("string not valid UTF-8"))
+        );
+    }
+
+    #[test]
+    fn absurd_container_length_fails_before_allocation() {
+        // A length prefix larger than the remaining input must be
+        // rejected up front — no per-element loop, no reservation.
+        let mut w = Writer::new();
+        w.usize(usize::MAX / 2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            Vec::<u8>::restore(&mut r),
+            Err(SnapError::Truncated {
+                needed: usize::MAX / 2,
+                available: 0
+            })
+        );
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            VecDeque::<u64>::restore(&mut r),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn journal_frames_roundtrip_in_order() {
+        let mut seg = journal_header(0xfeed);
+        seg.extend_from_slice(&frame(b"admit 0"));
+        seg.extend_from_slice(&frame(b""));
+        seg.extend_from_slice(&frame(b"dispatch 0 -> dev2"));
+        let start = read_journal_header(&seg, 0xfeed).unwrap();
+        let scan = scan_frames(&seg[start..]);
+        assert_eq!(
+            scan.frames,
+            vec![b"admit 0".as_slice(), b"".as_slice(), b"dispatch 0 -> dev2"]
+        );
+        assert!(!scan.torn);
+        assert_eq!(start + scan.valid_len, seg.len());
+    }
+
+    #[test]
+    fn journal_header_is_validated() {
+        let seg = journal_header(0xfeed);
+        assert!(matches!(
+            read_journal_header(&seg, 0xbeef),
+            Err(SnapError::ConfigMismatch { .. })
+        ));
+        let mut bad = seg.clone();
+        bad[0] ^= 0x80;
+        assert_eq!(read_journal_header(&bad, 0xfeed), Err(SnapError::BadMagic));
+        let mut old = seg.clone();
+        old[8] = old[8].wrapping_add(1);
+        assert!(matches!(
+            read_journal_header(&old, 0xfeed),
+            Err(SnapError::BadVersion { .. })
+        ));
+        assert!(matches!(
+            read_journal_header(&seg[..4], 0xfeed),
+            Err(SnapError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_the_last_intact_frame() {
+        let a = frame(b"first");
+        let b = frame(b"second");
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b);
+
+        // Crash mid-append: any strict prefix of the second frame keeps
+        // exactly the first frame and reports the tear.
+        for cut in a.len()..buf.len() {
+            let scan = scan_frames(&buf[..cut]);
+            assert_eq!(scan.frames.len(), 1);
+            assert_eq!(scan.frames[0], b"first");
+            assert_eq!(scan.valid_len, a.len());
+            assert_eq!(scan.torn, cut != a.len());
+        }
+
+        // A bit flip anywhere in the final frame tears it off cleanly.
+        for bit in 0..b.len() * 8 {
+            let mut flipped = buf.clone();
+            let off = a.len() + bit / 8;
+            flipped[off] ^= 1 << (bit % 8);
+            let scan = scan_frames(&flipped);
+            assert!(scan.frames.len() <= 1, "flipped frame survived");
+            assert!(scan.torn);
+        }
     }
 
     #[test]
